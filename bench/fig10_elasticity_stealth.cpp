@@ -1,0 +1,87 @@
+// Figure 10 reproduction: MemCA stealthiness under cloud elasticity.
+// The same 3-minute attacked run's MySQL CPU utilization viewed at three
+// monitoring granularities:
+//   (a) 1-minute (CloudWatch): flat and moderate — Auto Scaling never fires;
+//   (b) 1-second: mild fluctuation, still under the 85% threshold;
+//   (c) 50-millisecond: frequent transient saturations plainly visible.
+#include <iostream>
+
+#include "common/table.h"
+#include "monitor/autoscaler.h"
+#include "monitor/detector.h"
+#include "testbed/rubbos_testbed.h"
+
+using namespace memca;
+
+int main() {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  core::MemcaConfig memca;
+  memca.enable_controller = false;
+  memca.params.burst_length = msec(500);
+  memca.params.burst_interval = sec(std::int64_t{2});
+  auto attack = bed.make_attack(memca);
+  attack->start();
+  bed.sim().run_for(3 * kMinute);
+
+  const TimeSeries& fine = bed.mysql_cpu().series();
+
+  print_banner(std::cout, "Fig. 10a — 1-minute monitoring (CloudWatch granularity)");
+  Table a({"window start", "avg CPU %"});
+  const TimeSeries one_minute = fine.resample_mean(kMinute);
+  for (const Sample& s : one_minute.samples()) {
+    a.add_row({format_time(s.time), Table::num(s.value * 100.0, 1)});
+  }
+  a.print(std::cout);
+
+  print_banner(std::cout, "Fig. 10b — 1-second monitoring (excerpt 60-75 s + summary)");
+  Table b({"t (s)", "avg CPU %"});
+  const TimeSeries one_second = fine.resample_mean(sec(std::int64_t{1}));
+  for (const Sample& s : one_second.samples()) {
+    if (s.time < sec(std::int64_t{60}) || s.time >= sec(std::int64_t{75})) continue;
+    b.add_row({Table::num(to_seconds(s.time), 0), Table::num(s.value * 100.0, 1)});
+  }
+  b.print(std::cout);
+  std::cout << "1-second series: mean " << Table::num(one_second.mean() * 100.0, 1)
+            << "%, max " << Table::num(one_second.max() * 100.0, 1) << "%, windows above 85%: "
+            << one_second.count_above(0.85) << " of " << one_second.size() << "\n";
+
+  print_banner(std::cout, "Fig. 10c — 50 ms monitoring (excerpt 60-66 s)");
+  Table c({"t (s)", "CPU %"});
+  for (const Sample& s : fine.samples()) {
+    if (s.time < sec(std::int64_t{60}) || s.time >= sec(std::int64_t{66})) continue;
+    if (s.time % msec(200) != 0) continue;
+    c.add_row({Table::num(to_seconds(s.time), 2), Table::num(s.value * 100.0, 0)});
+  }
+  c.print(std::cout);
+  std::cout << "50 ms series: max " << Table::num(fine.max() * 100.0, 1)
+            << "%, saturated (>98%) windows: " << fine.count_above(0.98) << " of "
+            << fine.size() << "\n";
+
+  print_banner(std::cout, "Auto Scaling verdicts (threshold 85% avg CPU)");
+  Table v({"granularity", "consecutive periods", "triggered", "max window avg %"});
+  struct Policy {
+    const char* name;
+    SimTime period;
+    int consecutive;
+  };
+  for (const Policy& p : {Policy{"1 minute (CloudWatch)", kMinute, 1},
+                          Policy{"1 second", sec(std::int64_t{1}), 2},
+                          Policy{"50 ms", msec(50), 2}}) {
+    monitor::AutoScalerConfig config;
+    config.sampling_period = p.period;
+    config.consecutive_periods = p.consecutive;
+    const auto decision = monitor::evaluate_autoscaler(fine, config);
+    v.add_row({p.name, Table::num(std::int64_t{p.consecutive}),
+               decision.triggered ? "YES" : "no",
+               Table::num(decision.observed.max() * 100.0, 1)});
+  }
+  v.print(std::cout);
+
+  std::cout << "\nDamage context: client p95 = "
+            << Table::num(to_millis(bed.clients().response_times().quantile(0.95)), 0)
+            << " ms while every realistic scaling policy stays silent.\n"
+            << "Shape checks (paper): (a) flat ~55-65%; (b) fluctuation bounded below the\n"
+               "85% trigger; (c) transient 100% saturations every 2 s.\n";
+  return 0;
+}

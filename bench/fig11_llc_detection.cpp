@@ -1,0 +1,90 @@
+// Figure 11 reproduction: MemCA stealthiness under host-level interference
+// detection (OProfile-style LLC-miss monitoring on the MySQL host).
+//
+//  (a) Bus-saturating bursts cleanse the LLC: the victim's miss counts show
+//      clear periodic spikes — a periodicity detector finds the 2 s attack
+//      interval.
+//  (b) Memory-lock bursts bypass the cache hierarchy: the miss series is
+//      indistinguishable from baseline noise — the detector stays blind,
+//      even though the attack's damage is higher.
+#include <functional>
+#include <iostream>
+
+#include "cloud/llc.h"
+#include "common/table.h"
+#include "monitor/detector.h"
+#include "testbed/rubbos_testbed.h"
+
+using namespace memca;
+
+namespace {
+
+void run_variant(cloud::MemoryAttackType type) {
+  testbed::TestbedConfig config;
+  config.cloud = testbed::CloudProfile::kPrivateCloud;  // host-level access
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+  core::MemcaConfig memca;
+  memca.enable_controller = false;
+  memca.params.burst_length = msec(500);
+  memca.params.burst_interval = sec(std::int64_t{2});
+  memca.params.type = type;
+  auto attack = bed.make_attack(memca);
+  attack->start();
+  bed.sim().run_for(2 * kMinute);
+  attack->stop();
+
+  // Fraction of each 100 ms window covered by an attack burst.
+  const auto& windows = attack->program().windows();
+  auto overlap = [&](SimTime start, SimTime end) {
+    SimTime total = 0;
+    for (const auto& w : windows) {
+      const SimTime lo = std::max(start, w.start);
+      const SimTime hi = std::min(end, w.end);
+      if (hi > lo) total += hi - lo;
+    }
+    return static_cast<double>(total) / static_cast<double>(end - start);
+  };
+  auto none = [](SimTime, SimTime) { return 0.0; };
+  const bool is_bus = type == cloud::MemoryAttackType::kBusSaturate;
+
+  cloud::LlcModel llc;
+  Rng rng = bed.fork_rng("llc-observer");
+  const TimeSeries misses = llc.sample_series(
+      2 * kMinute, msec(100),
+      is_bus ? std::function<double(SimTime, SimTime)>(overlap) : none,
+      is_bus ? none : std::function<double(SimTime, SimTime)>(overlap), rng);
+
+  print_banner(std::cout, std::string("Fig. 11") + (is_bus ? "a" : "b") +
+                              " — MySQL-host LLC misses under " + to_string(type) +
+                              " bursts (excerpt 60-66 s, 100 ms windows)");
+  Table table({"t (s)", "LLC misses (millions)"});
+  for (const Sample& s : misses.samples()) {
+    if (s.time < sec(std::int64_t{60}) || s.time >= sec(std::int64_t{66})) continue;
+    table.add_row({Table::num(to_seconds(s.time), 1), Table::num(s.value / 1e6, 2)});
+  }
+  table.print(std::cout);
+
+  const auto detection = monitor::detect_periodicity(misses, msec(100), 5, 60);
+  const double burst_index = monitor::burstiness_index(misses);
+  std::cout << "periodicity detector: " << (detection.periodic ? "DETECTED" : "blind")
+            << " (score " << Table::num(detection.score, 2);
+  if (detection.periodic) {
+    std::cout << ", period " << format_time(detection.best_period);
+  }
+  std::cout << "), burstiness index " << Table::num(burst_index, 2) << "\n";
+  std::cout << "attack damage for reference: client p95 = "
+            << Table::num(to_millis(bed.clients().response_times().quantile(0.95)), 0)
+            << " ms\n";
+}
+
+}  // namespace
+
+int main() {
+  run_variant(cloud::MemoryAttackType::kBusSaturate);
+  run_variant(cloud::MemoryAttackType::kMemoryLock);
+  std::cout << "\nShape checks (paper): (a) periodic spikes at the 2 s attack interval,\n"
+               "detector fires; (b) flat noise, detector blind — monitoring the \"right\"\n"
+               "low-level metric still misses the more damaging attack variant.\n";
+  return 0;
+}

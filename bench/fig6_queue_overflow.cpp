@@ -1,0 +1,127 @@
+// Figure 6 reproduction: cross-tier queue overflow under MemCA, comparing
+// the classic tandem queue model (all queueing collapses into the last
+// station) with the n-tier RPC thread-holding model (overflow propagates
+// upstream through every tier).
+//
+// Matches the paper's simulation-analysis setup: open-loop Poisson arrivals,
+// degradation index D = 0.1 applied to the back tier during bursts of
+// length L every I = 2 s.
+#include <iostream>
+
+#include "common/table.h"
+#include "queueing/ntier.h"
+#include "queueing/tandem.h"
+#include "sim/simulator.h"
+#include "workload/openloop.h"
+
+using namespace memca;
+
+namespace {
+
+constexpr double kLambda = 500.0;
+constexpr double kDegradation = 0.1;
+// Uniform per-tier demands matching the RUBBoS calibration.
+const std::vector<double> kDemand = {200.0, 1000.0, 1700.0};
+
+/// Applies the ON-OFF degradation schedule to a back-tier throttle.
+void schedule_bursts(Simulator& sim, SimTime burst_length, SimTime interval,
+                     const std::function<void(double)>& set_multiplier) {
+  for (SimTime t = sec(std::int64_t{1}); t < 10 * kMinute; t += interval) {
+    sim.schedule_at(t, [&set_multiplier] { set_multiplier(kDegradation); });
+    sim.schedule_at(t + burst_length, [&set_multiplier] { set_multiplier(1.0); });
+  }
+}
+
+struct Snapshot {
+  SimTime time;
+  int tier1, tier2, tier3;
+};
+
+template <typename GetResident>
+std::vector<Snapshot> sample_queues(Simulator& sim, SimTime until, GetResident resident) {
+  std::vector<Snapshot> out;
+  for (SimTime t = 0; t <= until; t += msec(50)) {
+    sim.run_until(t);
+    out.push_back(Snapshot{t, resident(0), resident(1), resident(2)});
+  }
+  return out;
+}
+
+void print_snapshots(const char* title, const std::vector<Snapshot>& snaps, SimTime from,
+                     SimTime to) {
+  print_banner(std::cout, title);
+  Table table({"t (s)", "tier1 (Apache)", "tier2 (Tomcat)", "tier3 (MySQL)"});
+  for (const Snapshot& s : snaps) {
+    if (s.time < from || s.time > to) continue;
+    table.add_row({Table::num(to_seconds(s.time), 2), Table::num(std::int64_t{s.tier1}),
+                   Table::num(std::int64_t{s.tier2}), Table::num(std::int64_t{s.tier3})});
+  }
+  table.print(std::cout);
+}
+
+void run_case(SimTime burst_length) {
+  std::cout << "\n---- burst length L = " << format_time(burst_length)
+            << ", I = 2s, D = " << kDegradation << " ----\n";
+
+  // (a) Tandem queue: stations are decoupled, infinite buffers.
+  {
+    Simulator sim;
+    queueing::TandemQueueSystem tandem(
+        sim, {{"apache", 8, queueing::StationConfig::kUnbounded},
+              {"tomcat", 6, queueing::StationConfig::kUnbounded},
+              {"mysql", 2, queueing::StationConfig::kUnbounded}});
+    workload::RequestRouter router(tandem);
+    workload::OpenLoopConfig config;
+    config.rate_per_sec = kLambda;
+    config.retransmit = false;
+    workload::OpenLoopSource source(sim, router, workload::uniform_profile(kDemand), config,
+                                    Rng(7));
+    auto throttle = [&](double m) { tandem.set_speed_multiplier(2, m); };
+    std::function<void(double)> set = throttle;
+    schedule_bursts(sim, burst_length, sec(std::int64_t{2}), set);
+    source.start();
+    const auto snaps =
+        sample_queues(sim, sec(std::int64_t{6}), [&](int i) {
+          return tandem.resident(static_cast<std::size_t>(i));
+        });
+    print_snapshots("Fig. 6a — tandem queue model: all requests pile in MySQL", snaps,
+                    msec(900), msec(2600));
+  }
+
+  // (b) Attack (n-tier RPC) model: finite thread pools, overflow propagates.
+  {
+    Simulator sim;
+    queueing::NTierSystem ntier(
+        sim, {{"apache", 100, 8}, {"tomcat", 60, 6}, {"mysql", 30, 2}});
+    workload::RequestRouter router(ntier);
+    workload::OpenLoopConfig config;
+    config.rate_per_sec = kLambda;
+    config.retransmit = false;
+    workload::OpenLoopSource source(sim, router, workload::uniform_profile(kDemand), config,
+                                    Rng(7));
+    auto throttle = [&](double m) { ntier.back_tier().set_speed_multiplier(m); };
+    std::function<void(double)> set = throttle;
+    schedule_bursts(sim, burst_length, sec(std::int64_t{2}), set);
+    source.start();
+    const auto snaps = sample_queues(sim, sec(std::int64_t{6}), [&](int i) {
+      return ntier.tier(static_cast<std::size_t>(i)).resident();
+    });
+    print_snapshots(
+        "Fig. 6b — attack model: queue overflow propagates MySQL -> Tomcat -> Apache",
+        snaps, msec(900), msec(2600));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The paper's simulation section fixes L = 100 ms; that shows the onset of
+  // propagation. A 500 ms burst (the cloud-experiment value) shows the full
+  // build-up / hold-on / fade-off cycle within one frame.
+  run_case(msec(100));
+  run_case(msec(500));
+  std::cout << "\nShape checks (paper): in (a) only the MySQL column grows during a burst;\n"
+               "in (b) MySQL saturates at its thread limit and the overflow climbs into\n"
+               "Tomcat and then Apache, draining after the burst ends (fade-off).\n";
+  return 0;
+}

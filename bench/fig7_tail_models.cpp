@@ -1,0 +1,129 @@
+// Figure 7 reproduction: tail response time amplification under MemCA for
+// three system models, with identical attack parameters:
+//   (a) tandem queue with an infinite MySQL queue — all tiers' percentile
+//       curves nearly overlap (no amplification);
+//   (b) n-tier RPC model with an infinite Apache queue — Apache and client
+//       percentiles amplify through cross-tier queue overflow;
+//   (c) n-tier RPC model with finite queues everywhere — dropped requests
+//       add TCP retransmission (min RTO 1 s) and the client tail explodes.
+#include <functional>
+#include <iostream>
+
+#include "common/table.h"
+#include "queueing/ntier.h"
+#include "queueing/tandem.h"
+#include "workload/openloop.h"
+
+using namespace memca;
+
+namespace {
+
+constexpr double kLambda = 500.0;
+constexpr double kDegradation = 0.1;
+const std::vector<double> kDemand = {200.0, 1000.0, 1700.0};
+constexpr SimTime kBurstLength = msec(500);
+constexpr SimTime kInterval = sec(std::int64_t{2});
+constexpr SimTime kDuration = 3 * kMinute;
+
+struct CaseResult {
+  const queueing::RequestSystem* system = nullptr;
+  std::function<SimTime(std::size_t, double)> tier_quantile;
+  const LatencyHistogram* client = nullptr;
+};
+
+void print_percentiles(const char* title,
+                       const std::function<SimTime(std::size_t, double)>& tier_quantile,
+                       const LatencyHistogram& client) {
+  print_banner(std::cout, title);
+  Table table({"percentile", "MySQL (ms)", "Tomcat (ms)", "Apache (ms)", "Client (ms)"});
+  for (double q : {0.50, 0.75, 0.90, 0.95, 0.98, 0.99, 0.999}) {
+    table.add_row({
+        Table::num(q * 100.0, 1),
+        Table::num(to_millis(tier_quantile(2, q))),
+        Table::num(to_millis(tier_quantile(1, q))),
+        Table::num(to_millis(tier_quantile(0, q))),
+        Table::num(to_millis(client.quantile(q))),
+    });
+  }
+  table.print(std::cout);
+}
+
+void schedule_bursts(Simulator& sim, const std::function<void(double)>& throttle) {
+  for (SimTime t = sec(std::int64_t{1}); t < kDuration; t += kInterval) {
+    sim.schedule_at(t, [&throttle] { throttle(kDegradation); });
+    sim.schedule_at(t + kBurstLength, [&throttle] { throttle(1.0); });
+  }
+}
+
+void run_tandem_infinite() {
+  Simulator sim;
+  queueing::TandemQueueSystem system(
+      sim, {{"apache", 8, queueing::StationConfig::kUnbounded},
+            {"tomcat", 6, queueing::StationConfig::kUnbounded},
+            {"mysql", 2, queueing::StationConfig::kUnbounded}});
+  workload::RequestRouter router(system);
+  // "Response time observed by tier i" in the paper is the time from
+  // entering tier i until the request completes; in the tandem model the
+  // MySQL queueing dominates, so the curves nearly overlap.
+  std::array<LatencyHistogram, 3> observed;
+  router.add_completion_observer([&](const queueing::Request& r) {
+    const SimTime completion = r.trace[2].leave;
+    for (std::size_t i = 0; i < 3; ++i) observed[i].record(completion - r.trace[i].enter);
+  });
+  workload::OpenLoopConfig config;
+  config.rate_per_sec = kLambda;
+  config.retransmit = true;
+  workload::OpenLoopSource source(sim, router, workload::uniform_profile(kDemand), config,
+                                  Rng(11));
+  std::function<void(double)> throttle = [&](double m) { system.set_speed_multiplier(2, m); };
+  schedule_bursts(sim, throttle);
+  source.start();
+  sim.run_until(kDuration);
+  print_percentiles(
+      "Fig. 7a — tandem queue, infinite MySQL queue: all curves nearly overlap",
+      [&](std::size_t tier, double q) { return observed[tier].quantile(q); },
+      source.response_times());
+}
+
+void run_ntier(int apache_threads, const char* title) {
+  Simulator sim;
+  queueing::NTierSystem system(
+      sim, {{"apache", apache_threads, 8}, {"tomcat", 60, 6}, {"mysql", 30, 2}});
+  workload::RequestRouter router(system);
+  workload::OpenLoopConfig config;
+  config.rate_per_sec = kLambda;
+  config.retransmit = true;  // dropped requests follow TCP RTO semantics
+  workload::OpenLoopSource source(sim, router, workload::uniform_profile(kDemand), config,
+                                  Rng(11));
+  std::function<void(double)> throttle = [&](double m) {
+    system.back_tier().set_speed_multiplier(m);
+  };
+  schedule_bursts(sim, throttle);
+  source.start();
+  sim.run_until(kDuration);
+  print_percentiles(
+      title,
+      [&](std::size_t tier, double q) {
+        return system.tier(tier).residence_time().quantile(q);
+      },
+      source.response_times());
+  std::cout << "drops: " << system.dropped() << " of " << system.submitted()
+            << " submissions\n";
+}
+
+}  // namespace
+
+int main() {
+  run_tandem_infinite();
+  run_ntier(1000000,
+            "Fig. 7b — attack model, infinite Apache queue: Apache & client amplify");
+  run_ntier(100,
+            "Fig. 7c — attack model, finite queues: drops + TCP retransmission, "
+            "client tail explodes past 1 s");
+  std::cout
+      << "\nShape checks (paper): (a) per-tier curves nearly overlap; (b) Apache and\n"
+         "client tails amplify above Tomcat/MySQL; (c) client peak percentiles exceed\n"
+         "1 s (minimum TCP retransmission timeout) while per-tier times stay bounded\n"
+         "by the finite queues.\n";
+  return 0;
+}

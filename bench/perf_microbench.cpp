@@ -1,0 +1,103 @@
+// Performance micro-benchmarks (google-benchmark): the hot paths of the
+// simulation substrate. These guard the property that a 3-minute, 3500-user
+// scenario runs in well under a second of wall-clock, which is what makes
+// the parameter sweeps in the other benches affordable.
+#include <benchmark/benchmark.h>
+
+#include "cloud/membw.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "testbed/attack_lab.h"
+
+namespace memca {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(usec(i), [&sink] { ++sink; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_PeriodicTaskTick(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int ticks = 0;
+    PeriodicTask task(sim, msec(1), [&ticks] { ++ticks; });
+    sim.run_until(sec(std::int64_t{10}));
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PeriodicTaskTick);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(1);
+  std::vector<SimTime> values;
+  for (int i = 0; i < 4096; ++i) values.push_back(rng.exponential_time(msec(20)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hist.record(values[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) hist.record(rng.exponential_time(msec(20)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.quantile(0.95));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_MemBwSharePackage(benchmark::State& state) {
+  cloud::MemoryBandwidthModel model;
+  cloud::PackageSpec package;
+  std::vector<cloud::StreamDemand> streams;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    streams.push_back({i, 8.0, i == 0 ? 0.9 : 0.0, 1});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.share_package(package, streams));
+  }
+}
+BENCHMARK(BM_MemBwSharePackage)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1000.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_FullTestbedSecond(benchmark::State& state) {
+  // One simulated second of the full attacked 3500-user scenario per
+  // iteration (construction amortised out by measuring a long run).
+  for (auto _ : state) {
+    testbed::AttackLabConfig config;
+    config.duration = sec(std::int64_t{10});
+    config.params.burst_length = msec(500);
+    config.params.burst_interval = sec(std::int64_t{2});
+    benchmark::DoNotOptimize(testbed::run_attack_lab(config));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
+}
+BENCHMARK(BM_FullTestbedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace memca
+
+BENCHMARK_MAIN();

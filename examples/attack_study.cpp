@@ -1,0 +1,72 @@
+// E-commerce SLO study: what MemCA costs the victim's business.
+//
+// The paper motivates the attack with industry numbers: Amazon found every
+// 100 ms of added page latency costs ~1% of sales; Google requires p99 of
+// 500 ms. This example sweeps the burst interval I (the attacker's
+// cheapest knob) and reports, per configuration, the victim's latency SLO
+// violations and a revenue-impact estimate.
+//
+//   $ ./examples/attack_study
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "testbed/attack_lab.h"
+
+using namespace memca;
+
+namespace {
+
+/// Amazon-style revenue model: 1% of sales lost per added 100 ms of mean
+/// latency, saturating at 25%.
+double revenue_loss_percent(double added_mean_ms) {
+  return std::min(25.0, added_mean_ms / 100.0);
+}
+
+}  // namespace
+
+int main() {
+  // Reference run without the attack.
+  testbed::AttackLabConfig clean;
+  clean.attack_enabled = false;
+  clean.duration = 2 * kMinute;
+  const auto base = testbed::run_attack_lab(clean);
+  const double base_mean_ms = to_millis(base.client_p50);
+
+  print_banner(std::cout, "Victim's view: latency SLOs and revenue impact vs burst interval");
+  std::cout << "clean baseline: p50 " << Table::num(to_millis(base.client_p50), 1)
+            << " ms, p95 " << Table::num(to_millis(base.client_p95), 1) << " ms, p99 "
+            << Table::num(to_millis(base.client_p99), 1) << " ms\n\n";
+
+  Table table({"I (s)", "attacker duty", "p95 (ms)", "p99 (ms)", "p95>1s SLO", "p99>500ms SLO",
+               "est. revenue loss", "autoscale?"});
+  for (SimTime interval : {sec(std::int64_t{8}), sec(std::int64_t{4}), sec(std::int64_t{2}),
+                           sec(std::int64_t{1})}) {
+    testbed::AttackLabConfig config;
+    config.params.burst_length = msec(500);
+    config.params.burst_interval = interval;
+    config.duration = 2 * kMinute;
+    const auto r = testbed::run_attack_lab(config);
+    // Mean added latency approximated from the drop fraction: each dropped
+    // request pays at least the 1 s RTO.
+    const double added_mean_ms =
+        r.drop_fraction * 1000.0 + std::max(0.0, to_millis(r.client_p50) - base_mean_ms);
+    table.add_row({
+        Table::num(to_seconds(interval), 0),
+        Table::num(config.params.duty_cycle() * 100.0, 0) + "%",
+        Table::num(to_millis(r.client_p95), 0),
+        Table::num(to_millis(r.client_p99), 0),
+        r.client_p95 > sec(std::int64_t{1}) ? "VIOLATED" : "ok",
+        r.client_p99 > msec(500) ? "VIOLATED" : "ok",
+        Table::num(revenue_loss_percent(added_mean_ms), 1) + "%",
+        r.autoscaler_triggered ? "YES" : "no",
+    });
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: even the laziest schedule (one 500 ms burst every 8 s) breaks\n"
+               "Google's p99 SLO; at the paper's I = 2 s the p95-under-1s SLO falls and\n"
+               "the estimated revenue impact reaches several percent — all without a\n"
+               "single scaling alarm. The attacker's cost is one co-located VM.\n";
+  return 0;
+}

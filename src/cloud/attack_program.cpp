@@ -1,0 +1,76 @@
+#include "cloud/attack_program.h"
+
+#include "common/check.h"
+
+namespace memca::cloud {
+
+const char* to_string(MemoryAttackType type) {
+  switch (type) {
+    case MemoryAttackType::kBusSaturate:
+      return "bus-saturate";
+    case MemoryAttackType::kMemoryLock:
+      return "memory-lock";
+  }
+  return "?";
+}
+
+MemoryAttackProgram::MemoryAttackProgram(Simulator& sim, Host& host, VmId adversary_vm,
+                                         MemoryAttackType type, double intensity)
+    : sim_(sim), host_(host), vm_(adversary_vm), type_(type), intensity_(intensity) {
+  MEMCA_CHECK_MSG(intensity_ > 0.0 && intensity_ <= 1.0, "intensity must be in (0, 1]");
+}
+
+MemoryAttackProgram::~MemoryAttackProgram() {
+  if (running_) stop();
+}
+
+void MemoryAttackProgram::start() {
+  if (running_) return;
+  running_ = true;
+  window_start_ = sim_.now();
+  apply_activity();
+}
+
+void MemoryAttackProgram::stop() {
+  if (!running_) return;
+  running_ = false;
+  windows_.push_back(ExecutionWindow{window_start_, sim_.now()});
+  host_.clear_memory_activity(vm_);
+}
+
+void MemoryAttackProgram::set_intensity(double intensity) {
+  MEMCA_CHECK_MSG(intensity > 0.0 && intensity <= 1.0, "intensity must be in (0, 1]");
+  intensity_ = intensity;
+  if (running_) apply_activity();
+}
+
+void MemoryAttackProgram::set_type(MemoryAttackType type) {
+  type_ = type;
+  if (running_) apply_activity();
+}
+
+SimTime MemoryAttackProgram::total_on_time() const {
+  SimTime total = 0;
+  for (const ExecutionWindow& w : windows_) total += w.length();
+  if (running_) total += sim_.now() - window_start_;
+  return total;
+}
+
+void MemoryAttackProgram::apply_activity() {
+  // The adversary VM's package: pinned VMs attack their own package; a
+  // floating adversary dilutes over packages (handled inside Host).
+  const PackageSpec& pkg = host_.spec().packages[static_cast<std::size_t>(
+      host_.vm(vm_).placement == Placement::kPinnedPackage ? host_.vm(vm_).package : 0)];
+  switch (type_) {
+    case MemoryAttackType::kBusSaturate:
+      // The streaming kernel runs one thread per vCPU of the adversary VM.
+      host_.set_memory_activity(
+          vm_, intensity_ * pkg.single_stream_gbps * host_.vm(vm_).vcpus, 0.0);
+      break;
+    case MemoryAttackType::kMemoryLock:
+      host_.set_memory_activity(vm_, 0.0, intensity_ * kMaxLockDuty);
+      break;
+  }
+}
+
+}  // namespace memca::cloud

@@ -1,0 +1,82 @@
+// Memory attack programs run inside an adversary VM (Section III).
+//
+// Two attack types, matching the paper's measurements:
+//  * kBusSaturate — a RAMspeed-style streaming kernel that pulls as much
+//    bandwidth as one vCPU can, evicting the LLC as a side effect (which is
+//    what makes this variant visible to LLC-miss monitoring, Fig. 11a).
+//  * kMemoryLock — unaligned atomic operations spanning two cache lines,
+//    which lock the memory bus for their duration. Far more effective at
+//    starving co-located VMs (Fig. 3) and invisible to LLC-miss monitoring
+//    (Fig. 11b).
+//
+// The program is ON/OFF switchable (the MemCA burst scheduler drives it) and
+// records its execution windows — MemCA-FE uses the window lengths as the
+// conservative millibottleneck estimate (Section IV-C).
+#pragma once
+
+#include <vector>
+
+#include "cloud/host.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace memca::cloud {
+
+enum class MemoryAttackType {
+  kBusSaturate,
+  kMemoryLock,
+};
+
+const char* to_string(MemoryAttackType type);
+
+struct ExecutionWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  SimTime length() const { return end - start; }
+};
+
+class MemoryAttackProgram {
+ public:
+  /// `intensity` in (0, 1] scales the attack: fraction of the single-stream
+  /// bandwidth ceiling for kBusSaturate, fraction of the maximum safe lock
+  /// duty for kMemoryLock.
+  MemoryAttackProgram(Simulator& sim, Host& host, VmId adversary_vm, MemoryAttackType type,
+                      double intensity = 1.0);
+  ~MemoryAttackProgram();
+  MemoryAttackProgram(const MemoryAttackProgram&) = delete;
+  MemoryAttackProgram& operator=(const MemoryAttackProgram&) = delete;
+
+  /// Starts the attack kernel (idempotent).
+  void start();
+  /// Stops it and records the execution window (idempotent).
+  void stop();
+  bool running() const { return running_; }
+
+  void set_intensity(double intensity);
+  double intensity() const { return intensity_; }
+  MemoryAttackType type() const { return type_; }
+  void set_type(MemoryAttackType type);
+  VmId adversary_vm() const { return vm_; }
+
+  /// Completed execution windows (MemCA-FE's raw stealth telemetry).
+  const std::vector<ExecutionWindow>& windows() const { return windows_; }
+  /// Total ON time accumulated so far, including a still-open window.
+  SimTime total_on_time() const;
+
+  /// Maximum lock duty the kernel can sustain (lock/unlock overhead bound).
+  static constexpr double kMaxLockDuty = 0.95;
+
+ private:
+  void apply_activity();
+
+  Simulator& sim_;
+  Host& host_;
+  VmId vm_;
+  MemoryAttackType type_;
+  double intensity_;
+  bool running_ = false;
+  SimTime window_start_ = 0;
+  std::vector<ExecutionWindow> windows_;
+};
+
+}  // namespace memca::cloud

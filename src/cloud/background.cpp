@@ -1,0 +1,50 @@
+#include "cloud/background.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::cloud {
+
+NoisyNeighbor::NoisyNeighbor(Simulator& sim, Host& host, VmId vm, NoisyNeighborConfig config,
+                             Rng rng)
+    : sim_(sim), host_(host), vm_(vm), config_(config), rng_(std::move(rng)) {
+  MEMCA_CHECK_MSG(config_.on_mean > 0 && config_.off_mean > 0, "phase means must be positive");
+  MEMCA_CHECK_MSG(config_.demand_mean_gbps > 0.0, "demand must be positive");
+}
+
+NoisyNeighbor::~NoisyNeighbor() { stop(); }
+
+void NoisyNeighbor::start() {
+  if (running_) return;
+  running_ = true;
+  enter_off();
+}
+
+void NoisyNeighbor::stop() {
+  running_ = false;
+  next_.cancel();
+  if (active_) {
+    host_.clear_memory_activity(vm_);
+    active_ = false;
+  }
+}
+
+void NoisyNeighbor::enter_on() {
+  if (!running_) return;
+  ++phases_;
+  active_ = true;
+  const double demand = std::max(
+      0.1, rng_.normal(config_.demand_mean_gbps, config_.demand_cv * config_.demand_mean_gbps));
+  host_.set_memory_activity(vm_, demand, 0.0);
+  next_ = sim_.schedule_in(rng_.exponential_time(config_.on_mean), [this] { enter_off(); });
+}
+
+void NoisyNeighbor::enter_off() {
+  if (!running_) return;
+  active_ = false;
+  host_.clear_memory_activity(vm_);
+  next_ = sim_.schedule_in(rng_.exponential_time(config_.off_mean), [this] { enter_on(); });
+}
+
+}  // namespace memca::cloud

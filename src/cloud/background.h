@@ -1,0 +1,57 @@
+// Noisy-neighbor background load.
+//
+// Public-cloud hosts are multi-tenant: besides the victim and the
+// adversary, other tenants' VMs come and go with their own memory traffic.
+// This component drives a VM with an ON-OFF renewal process (exponential ON
+// and OFF durations, noisy demand level), adding realistic interference
+// noise to the contention model. Used to check that MemCA's signal survives
+// — and hides inside — ordinary neighbor noise.
+#pragma once
+
+#include "cloud/host.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace memca::cloud {
+
+struct NoisyNeighborConfig {
+  /// Mean duration of an active (memory-hungry) phase.
+  SimTime on_mean = sec(std::int64_t{5});
+  /// Mean duration of a quiet phase.
+  SimTime off_mean = sec(std::int64_t{10});
+  /// Mean demand while active, GB/s.
+  double demand_mean_gbps = 2.0;
+  /// Coefficient of variation of the per-phase demand level.
+  double demand_cv = 0.3;
+};
+
+class NoisyNeighbor {
+ public:
+  NoisyNeighbor(Simulator& sim, Host& host, VmId vm, NoisyNeighborConfig config, Rng rng);
+  ~NoisyNeighbor();
+  NoisyNeighbor(const NoisyNeighbor&) = delete;
+  NoisyNeighbor& operator=(const NoisyNeighbor&) = delete;
+
+  /// Starts the ON-OFF renewal process (begins with a quiet phase).
+  void start();
+  void stop();
+
+  std::int64_t phases() const { return phases_; }
+  bool active() const { return active_; }
+
+ private:
+  void enter_on();
+  void enter_off();
+
+  Simulator& sim_;
+  Host& host_;
+  VmId vm_;
+  NoisyNeighborConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  bool active_ = false;
+  std::int64_t phases_ = 0;
+  EventHandle next_;
+};
+
+}  // namespace memca::cloud

@@ -1,0 +1,136 @@
+#include "cloud/host.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::cloud {
+
+Host::Host(HostSpec spec, MemBwModelParams bw_params)
+    : spec_(std::move(spec)), bw_model_(bw_params) {
+  MEMCA_CHECK_MSG(!spec_.packages.empty(), "a host needs at least one package");
+}
+
+VmId Host::add_vm(VmSpec spec) {
+  if (spec.placement == Placement::kPinnedPackage) {
+    MEMCA_CHECK_MSG(spec.package >= 0 &&
+                        spec.package < static_cast<int>(spec_.packages.size()),
+                    "pinned VM must name an existing package");
+  }
+  vms_.push_back(VmState{std::move(spec), 0.0, 0.0});
+  return static_cast<VmId>(vms_.size() - 1);
+}
+
+const VmSpec& Host::vm(VmId id) const {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  return vms_[static_cast<std::size_t>(id)].spec;
+}
+
+void Host::set_memory_activity(VmId id, double demand_gbps, double lock_duty) {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  MEMCA_CHECK_MSG(demand_gbps >= 0.0, "demand must be non-negative");
+  MEMCA_CHECK_MSG(lock_duty >= 0.0 && lock_duty < 1.0, "lock duty must be in [0, 1)");
+  auto& state = vms_[static_cast<std::size_t>(id)];
+  if (state.demand_gbps == demand_gbps && state.lock_duty == lock_duty) return;
+  state.demand_gbps = demand_gbps;
+  state.lock_duty = lock_duty;
+  notify();
+}
+
+std::vector<StreamDemand> Host::package_streams(int pkg) const {
+  std::vector<StreamDemand> streams;
+  const auto n_packages = static_cast<double>(spec_.packages.size());
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    const VmState& v = vms_[i];
+    const double demand = v.effective_demand();
+    const double lock = v.effective_lock_duty();
+    if (demand == 0.0 && lock == 0.0) continue;
+    StreamDemand s;
+    s.vm = static_cast<VmId>(i);
+    s.parallelism = v.spec.vcpus;
+    if (v.spec.placement == Placement::kPinnedPackage) {
+      if (v.spec.package != pkg) continue;
+      s.demand_gbps = demand;
+      s.lock_duty = lock;
+    } else {
+      // Floating vCPUs spend 1/P of their time on each package, so each
+      // package sees a proportionally diluted stream. This is what makes
+      // "random package" placement degrade less (Fig. 3).
+      s.demand_gbps = demand / n_packages;
+      s.lock_duty = lock / n_packages;
+    }
+    streams.push_back(s);
+  }
+  return streams;
+}
+
+void Host::set_memory_isolation(VmId id, double max_lock_duty, double max_demand_gbps) {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  MEMCA_CHECK_MSG(max_lock_duty >= 0.0 && max_lock_duty < 1.0,
+                  "lock-duty cap must be in [0, 1)");
+  MEMCA_CHECK_MSG(max_demand_gbps >= 0.0, "demand cap must be non-negative");
+  auto& state = vms_[static_cast<std::size_t>(id)];
+  state.isolation = true;
+  state.max_lock_duty = max_lock_duty;
+  state.max_demand_gbps = max_demand_gbps;
+  notify();
+}
+
+void Host::clear_memory_isolation(VmId id) {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  auto& state = vms_[static_cast<std::size_t>(id)];
+  if (!state.isolation) return;
+  state.isolation = false;
+  notify();
+}
+
+bool Host::isolated(VmId id) const {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  return vms_[static_cast<std::size_t>(id)].isolation;
+}
+
+double Host::achieved_bandwidth(VmId id) const {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  double total = 0.0;
+  for (int pkg = 0; pkg < static_cast<int>(spec_.packages.size()); ++pkg) {
+    const auto streams = package_streams(pkg);
+    const auto results =
+        bw_model_.share_package(spec_.packages[static_cast<std::size_t>(pkg)], streams);
+    for (const StreamResult& r : results) {
+      if (r.vm == id) total += r.achieved_gbps;
+    }
+  }
+  return total;
+}
+
+double Host::demand(VmId id) const {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  return vms_[static_cast<std::size_t>(id)].demand_gbps;
+}
+
+double Host::lock_duty(VmId id) const {
+  MEMCA_CHECK(id >= 0 && id < static_cast<VmId>(vms_.size()));
+  return vms_[static_cast<std::size_t>(id)].lock_duty;
+}
+
+bool Host::any_lock_active() const {
+  return std::any_of(vms_.begin(), vms_.end(),
+                     [](const VmState& v) { return v.lock_duty > 0.0; });
+}
+
+double Host::total_demand() const {
+  double total = 0.0;
+  for (const VmState& v : vms_) total += v.demand_gbps;
+  return total;
+}
+
+void Host::on_contention_change(std::function<void()> fn) {
+  MEMCA_CHECK(static_cast<bool>(fn));
+  observers_.push_back(std::move(fn));
+}
+
+void Host::notify() {
+  for (const auto& fn : observers_) fn();
+}
+
+}  // namespace memca::cloud

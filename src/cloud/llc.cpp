@@ -1,0 +1,49 @@
+#include "cloud/llc.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::cloud {
+
+double LlcModel::expected_misses(SimTime window, double bus_fraction,
+                                 double lock_fraction) const {
+  MEMCA_CHECK_MSG(window > 0, "window must be positive");
+  MEMCA_CHECK_MSG(bus_fraction >= 0.0 && bus_fraction <= 1.0, "fraction must be in [0, 1]");
+  MEMCA_CHECK_MSG(lock_fraction >= 0.0 && lock_fraction <= 1.0, "fraction must be in [0, 1]");
+  const double seconds = to_seconds(window);
+  // Weighted mixture of the three regimes within the window. Overlap of both
+  // attacks takes the stronger (bus) multiplier.
+  const double both = std::min(bus_fraction, lock_fraction);
+  const double bus_only = bus_fraction - both;
+  const double lock_only = lock_fraction - both;
+  const double idle = std::max(0.0, 1.0 - bus_only - lock_only - both);
+  const double rate =
+      params_.base_miss_rate *
+      (idle + (bus_only + both) * params_.bus_attack_multiplier +
+       lock_only * params_.lock_attack_multiplier);
+  return rate * seconds;
+}
+
+double LlcModel::observe(SimTime window, double bus_fraction, double lock_fraction,
+                         Rng& rng) const {
+  const double expected = expected_misses(window, bus_fraction, lock_fraction);
+  const double noisy = rng.normal(expected, params_.noise_cv * expected);
+  return std::max(0.0, noisy);
+}
+
+TimeSeries LlcModel::sample_series(SimTime duration, SimTime window,
+                                   const std::function<double(SimTime, SimTime)>& bus_fraction,
+                                   const std::function<double(SimTime, SimTime)>& lock_fraction,
+                                   Rng& rng) const {
+  MEMCA_CHECK_MSG(duration > 0 && window > 0, "duration and window must be positive");
+  TimeSeries out;
+  for (SimTime t = 0; t + window <= duration; t += window) {
+    const double bus = bus_fraction(t, t + window);
+    const double lock = lock_fraction(t, t + window);
+    out.append(t, observe(window, bus, lock, rng));
+  }
+  return out;
+}
+
+}  // namespace memca::cloud

@@ -1,0 +1,62 @@
+// Last-level-cache miss model for the victim VM (reproduces Figure 11).
+//
+// The paper's host-level detection experiment monitors the victim's LLC
+// misses with OProfile. The observable difference between the two attack
+// kernels:
+//  * bus saturation streams through memory and *cleanses the LLC*, so the
+//    victim's miss rate spikes during every burst → periodic, detectable;
+//  * memory locking issues a handful of locked operations and touches
+//    almost no cache, so the victim's miss series shows only its own noise
+//    → no pattern, undetectable from this metric.
+//
+// The model produces a per-interval miss-count series given the attack
+// schedule, with multiplicative log-normal-ish measurement noise.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/timeseries.h"
+
+namespace memca::cloud {
+
+struct LlcModelParams {
+  /// Victim's baseline LLC miss rate, misses per second.
+  double base_miss_rate = 2.0e6;
+  /// Multiplier applied to the victim's miss rate while a bus-saturating
+  /// stream shares its package (LLC cleansing).
+  double bus_attack_multiplier = 8.0;
+  /// Multiplier while only a locking attack is active: locked operations
+  /// bypass the cache hierarchy entirely, so the victim's miss rate does
+  /// not move — this is what blinds LLC-based detection (Fig. 11b).
+  double lock_attack_multiplier = 1.0;
+  /// Coefficient of variation of the sampling noise.
+  double noise_cv = 0.12;
+};
+
+class LlcModel {
+ public:
+  explicit LlcModel(LlcModelParams params = {}) : params_(params) {}
+
+  /// Expected misses in one interval of `window` given which attacks
+  /// overlap it for fractions `bus_fraction` / `lock_fraction` of it.
+  double expected_misses(SimTime window, double bus_fraction, double lock_fraction) const;
+
+  /// One noisy observation of `expected_misses`.
+  double observe(SimTime window, double bus_fraction, double lock_fraction, Rng& rng) const;
+
+  /// Builds a sampled miss series over [0, duration): for each window, the
+  /// schedule callback reports the fraction of the window each attack type
+  /// was active.
+  TimeSeries sample_series(SimTime duration, SimTime window,
+                           const std::function<double(SimTime, SimTime)>& bus_fraction,
+                           const std::function<double(SimTime, SimTime)>& lock_fraction,
+                           Rng& rng) const;
+
+  const LlcModelParams& params() const { return params_; }
+
+ private:
+  LlcModelParams params_;
+};
+
+}  // namespace memca::cloud

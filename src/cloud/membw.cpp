@@ -1,0 +1,108 @@
+#include "cloud/membw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace memca::cloud {
+
+double MemoryBandwidthModel::combined_lock_duty(const std::vector<StreamDemand>& streams) {
+  double unlocked = 1.0;
+  for (const StreamDemand& s : streams) {
+    MEMCA_CHECK_MSG(s.lock_duty >= 0.0 && s.lock_duty < 1.0, "lock duty must be in [0, 1)");
+    unlocked *= (1.0 - s.lock_duty);
+  }
+  return 1.0 - unlocked;
+}
+
+std::vector<StreamResult> MemoryBandwidthModel::share_package(
+    const PackageSpec& package, const std::vector<StreamDemand>& streams) const {
+  std::vector<StreamResult> out;
+  out.reserve(streams.size());
+
+  // Active streams are those demanding bandwidth or holding locks.
+  std::size_t active = 0;
+  for (const StreamDemand& s : streams) {
+    MEMCA_CHECK_MSG(s.demand_gbps >= 0.0, "demand must be non-negative");
+    if (s.demand_gbps > 0.0 || s.lock_duty > 0.0) ++active;
+  }
+  if (active == 0) {
+    for (const StreamDemand& s : streams) out.push_back(StreamResult{s.vm, 0.0});
+    return out;
+  }
+
+  const double usable =
+      package.mem_bw_gbps / (1.0 + params_.contention_alpha * static_cast<double>(active - 1));
+  const double lock_duty = combined_lock_duty(streams);
+  const double unlocked_fraction = 1.0 - lock_duty;
+
+  // Water-filling over the non-locking demands within the unlocked window.
+  // Each stream's demand is first capped by the single-stream ceiling.
+  struct Work {
+    std::size_t index;
+    double remaining_demand;
+    double achieved = 0.0;
+    bool locker = false;
+  };
+  std::vector<Work> work;
+  work.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    Work w;
+    w.index = i;
+    const double cap =
+        package.single_stream_gbps * static_cast<double>(std::max(1, streams[i].parallelism));
+    w.remaining_demand = std::min(streams[i].demand_gbps, cap);
+    w.locker = streams[i].lock_duty > 0.0;
+    work.push_back(w);
+  }
+
+  double budget = usable * unlocked_fraction;
+  // Iterative water-filling weighted by parallelism: the memory scheduler
+  // is stream-fair, so a VM issuing k concurrent streams draws k shares.
+  // Satisfied streams return their surplus for redistribution.
+  std::vector<Work*> unsatisfied;
+  for (Work& w : work) {
+    if (!w.locker && w.remaining_demand > 0.0) unsatisfied.push_back(&w);
+  }
+  while (!unsatisfied.empty() && budget > 1e-12) {
+    double total_weight = 0.0;
+    for (const Work* w : unsatisfied) {
+      total_weight += static_cast<double>(std::max(1, streams[w->index].parallelism));
+    }
+    std::vector<Work*> next;
+    double consumed = 0.0;
+    for (Work* w : unsatisfied) {
+      const double weight = static_cast<double>(std::max(1, streams[w->index].parallelism));
+      const double share = budget * weight / total_weight;
+      const double take = std::min(share, w->remaining_demand);
+      w->achieved += take;
+      w->remaining_demand -= take;
+      consumed += take;
+      if (w->remaining_demand > 1e-12) next.push_back(w);
+    }
+    budget -= consumed;
+    if (next.size() == unsatisfied.size()) break;  // nobody saturated: done
+    unsatisfied = std::move(next);
+  }
+
+  // Lockers achieve bandwidth proportional to their duty: lock/unlock cycles
+  // move little data.
+  for (Work& w : work) {
+    if (w.locker) {
+      w.achieved = params_.locker_self_gbps * streams[w.index].lock_duty +
+                   std::min(w.remaining_demand, 0.0);
+      // A locker may also stream in its unlocked window, bounded by what is
+      // left of the bus.
+      if (streams[w.index].demand_gbps > 0.0) {
+        const double cap = std::min(streams[w.index].demand_gbps, package.single_stream_gbps);
+        w.achieved += std::min(cap, std::max(0.0, budget)) * unlocked_fraction;
+      }
+    }
+  }
+
+  for (const Work& w : work) out.push_back(StreamResult{streams[w.index].vm, w.achieved});
+  return out;
+}
+
+}  // namespace memca::cloud

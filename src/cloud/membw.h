@@ -1,0 +1,73 @@
+// Shared memory-bandwidth contention model (reproduces Figure 3).
+//
+// Given the set of active memory streams on a package — each stream is a
+// VM's demand in GB/s, optionally holding bus locks for a duty fraction —
+// the model computes the bandwidth each stream actually achieves:
+//
+//  * Bus sharing: the package's usable bandwidth shrinks with the number of
+//    concurrent streams (scheduler contention overhead), and streams split
+//    it by water-filling (nobody gets more than they demand; leftover is
+//    redistributed).
+//  * Bus locking: unaligned atomic operations lock the whole bus for their
+//    duration. While a locker holds the bus for duty fraction f, every
+//    other stream on the package is blocked, so non-locking streams achieve
+//    only (1 - f_total) of their water-filled share. Lockers themselves
+//    move very little data (lock/unlock dominates), which is exactly why
+//    the attack is cheap for the adversary and invisible to LLC-miss
+//    monitoring (Figure 11).
+//
+// Floating VMs split their demand evenly over all packages, which is why
+// "random package" placement degrades less than "same package" in Fig. 3.
+#pragma once
+
+#include <vector>
+
+#include "cloud/topology.h"
+
+namespace memca::cloud {
+
+/// One VM's active memory activity on one package.
+struct StreamDemand {
+  VmId vm = kInvalidVm;
+  /// Requested bandwidth on this package, GB/s.
+  double demand_gbps = 0.0;
+  /// Fraction of time this stream holds the memory bus locked, in [0, 1).
+  double lock_duty = 0.0;
+  /// Concurrent hardware streams backing the demand (the VM's vCPUs): the
+  /// achievable bandwidth is capped at parallelism × single-stream ceiling.
+  int parallelism = 1;
+};
+
+/// Result for one stream.
+struct StreamResult {
+  VmId vm = kInvalidVm;
+  double achieved_gbps = 0.0;
+};
+
+struct MemBwModelParams {
+  /// Per-extra-stream scheduler contention penalty: usable bandwidth is
+  /// peak / (1 + alpha * (k - 1)) with k active streams.
+  double contention_alpha = 0.05;
+  /// Bandwidth a locking stream itself achieves at duty 1.0, GB/s.
+  double locker_self_gbps = 0.9;
+};
+
+class MemoryBandwidthModel {
+ public:
+  explicit MemoryBandwidthModel(MemBwModelParams params = {}) : params_(params) {}
+
+  /// Computes achieved bandwidth for every stream active on one package.
+  std::vector<StreamResult> share_package(const PackageSpec& package,
+                                          const std::vector<StreamDemand>& streams) const;
+
+  /// Combined fraction of time the bus is locked given individual duties
+  /// (independent lockers: 1 - prod(1 - f_i), saturating below 1).
+  static double combined_lock_duty(const std::vector<StreamDemand>& streams);
+
+  const MemBwModelParams& params() const { return params_; }
+
+ private:
+  MemBwModelParams params_;
+};
+
+}  // namespace memca::cloud

@@ -1,0 +1,77 @@
+// Physical host topology: processor packages and their shared resources.
+//
+// Models the on-chip resource structure of Figure 1 in the paper: a host has
+// one or more processor packages; within a package the last-level cache and
+// the memory bus (controller, bank and channel schedulers) are shared by all
+// co-located VMs, while vCPUs themselves are isolated by the hypervisor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace memca::cloud {
+
+/// One processor package (socket): cores plus the package-shared resources.
+struct PackageSpec {
+  int cores = 6;
+  /// Last-level cache size, MB (shared within the package).
+  double llc_mb = 15.0;
+  /// Peak aggregate memory bandwidth of the package, GB/s.
+  double mem_bw_gbps = 21.0;
+  /// Maximum bandwidth a single core / vCPU stream can draw, GB/s.
+  double single_stream_gbps = 10.5;
+};
+
+/// A physical host: a set of packages. Mirrors the paper's profiling host
+/// (12-core, 2-package Xeon E5-2603 v3, 15 MB LLC per package).
+struct HostSpec {
+  std::string name = "host";
+  std::vector<PackageSpec> packages = {PackageSpec{}, PackageSpec{}};
+
+  int total_cores() const {
+    int n = 0;
+    for (const auto& p : packages) n += p.cores;
+    return n;
+  }
+};
+
+/// Returns the paper's private-cloud profiling host (Section III).
+inline HostSpec xeon_e5_2603_v3() {
+  HostSpec host;
+  host.name = "xeon-e5-2603v3";
+  host.packages = {PackageSpec{6, 15.0, 21.0, 10.5}, PackageSpec{6, 15.0, 21.0, 10.5}};
+  return host;
+}
+
+/// Returns an EC2 dedicated-node style host (two ten-core E5-2680, Section V).
+inline HostSpec ec2_dedicated_node() {
+  HostSpec host;
+  host.name = "ec2-dedicated-e5-2680";
+  host.packages = {PackageSpec{10, 25.0, 40.0, 12.0}, PackageSpec{10, 25.0, 40.0, 12.0}};
+  return host;
+}
+
+/// How a VM's vCPUs are mapped onto packages.
+enum class Placement {
+  /// All vCPUs pinned to cores of one package (the paper's "same package").
+  kPinnedPackage,
+  /// vCPUs float over all cores/packages (the paper's "random package",
+  /// the common practice in real clouds).
+  kFloating,
+};
+
+/// A virtual machine as the contention model sees it.
+struct VmSpec {
+  std::string name;
+  int vcpus = 1;
+  Placement placement = Placement::kPinnedPackage;
+  /// Package index when pinned; ignored when floating.
+  int package = 0;
+};
+
+using VmId = int;
+inline constexpr VmId kInvalidVm = -1;
+
+}  // namespace memca::cloud

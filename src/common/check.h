@@ -1,0 +1,35 @@
+// Lightweight contract checking (Expects/Ensures in Core Guidelines terms).
+//
+// MEMCA_CHECK is always on (the simulation is cheap relative to the cost of
+// silently corrupt state); MEMCA_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace memca::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "MEMCA_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace memca::detail
+
+#define MEMCA_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::memca::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MEMCA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) ::memca::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MEMCA_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define MEMCA_DCHECK(expr) MEMCA_CHECK(expr)
+#endif

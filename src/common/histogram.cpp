@@ -1,0 +1,144 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace memca {
+
+namespace {
+// Sub-buckets per power-of-two decade: 2^6 = 64 gives ~1.6% worst-case
+// relative bucket width, ample for percentile reporting.
+constexpr int kSubBucketBits = 6;
+constexpr std::int64_t kSubBuckets = std::int64_t{1} << kSubBucketBits;
+// Values up to 2^40 us (~12.7 days) are representable before clamping.
+constexpr int kMaxExponent = 40;
+constexpr std::size_t kNumBuckets =
+    static_cast<std::size_t>((kMaxExponent + 1)) * static_cast<std::size_t>(kSubBuckets);
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(SimTime value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < static_cast<std::uint64_t>(kSubBuckets)) {
+    return static_cast<std::size_t>(v);
+  }
+  // Indices [0, kSubBuckets) store exact small values; decade d >= 0 (bucket
+  // width 2^d) covers [kSubBuckets << d, kSubBuckets << (d+1)) at indices
+  // [kSubBuckets + d*kSubBuckets, kSubBuckets + (d+1)*kSubBuckets).
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;  // == decade
+  const auto sub = static_cast<std::int64_t>(v >> shift) - kSubBuckets;  // in [0, kSubBuckets)
+  std::size_t idx = static_cast<std::size_t>(kSubBuckets) +
+                    static_cast<std::size_t>(shift) * kSubBuckets +
+                    static_cast<std::size_t>(sub);
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+SimTime LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index < static_cast<std::size_t>(kSubBuckets)) {
+    return static_cast<SimTime>(index);
+  }
+  const std::size_t rel = index - kSubBuckets;
+  const int decade = static_cast<int>(rel / kSubBuckets);
+  const std::int64_t sub = static_cast<std::int64_t>(rel % kSubBuckets);
+  const int shift = decade;  // matches bucket_index: shift = msb - kSubBucketBits, decade = shift + 1 - 1
+  const std::int64_t base = (kSubBuckets + sub) << shift;
+  const std::int64_t width = std::int64_t{1} << shift;
+  return base + width - 1;
+}
+
+SimTime LatencyHistogram::bucket_mid(std::size_t index) {
+  if (index < static_cast<std::size_t>(kSubBuckets)) {
+    return static_cast<SimTime>(index);
+  }
+  const std::size_t rel = index - kSubBuckets;
+  const int decade = static_cast<int>(rel / kSubBuckets);
+  const std::int64_t sub = static_cast<std::int64_t>(rel % kSubBuckets);
+  const std::int64_t base = (kSubBuckets + sub) << decade;
+  const std::int64_t width = std::int64_t{1} << decade;
+  return base + width / 2;
+}
+
+void LatencyHistogram::record(SimTime value) { record_n(value, 1); }
+
+void LatencyHistogram::record_n(SimTime value, std::int64_t count) {
+  MEMCA_CHECK_MSG(count >= 0, "cannot record a negative count");
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  const std::size_t idx = bucket_index(value);
+  buckets_[idx] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+SimTime LatencyHistogram::quantile(double q) const {
+  MEMCA_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (empty()) return 0;
+  const auto target = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(bucket_upper(i), max_);
+    }
+    if (seen >= target) {
+      // target fell on an empty bucket boundary; keep scanning to next
+      // populated bucket.
+      for (std::size_t j = i + 1; j < buckets_.size(); ++j) {
+        if (buckets_[j] > 0) return std::min(bucket_upper(j), max_);
+      }
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::mean() const {
+  if (empty()) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  MEMCA_CHECK(buckets_.size() == other.buckets_.size());
+  if (other.empty()) return;
+  if (empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencyHistogram::fraction_above(SimTime threshold) const {
+  if (empty()) return 0.0;
+  // Count values in buckets entirely above the threshold, plus a
+  // conservative split of the straddling bucket.
+  std::int64_t above = 0;
+  const std::size_t tidx = bucket_index(threshold);
+  for (std::size_t i = tidx + 1; i < buckets_.size(); ++i) above += buckets_[i];
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+}  // namespace memca

@@ -1,0 +1,62 @@
+// Latency histogram with percentile queries.
+//
+// Log-bucketed (HDR-style) recorder: values are grouped into buckets whose
+// width grows geometrically, giving ~1% relative error across nine decades
+// while using a few KB. Used for per-tier and client response-time tails,
+// where the interesting statistics are p95/p98/p99-style quantiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace memca {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one value (negative values are clamped to zero).
+  void record(SimTime value);
+  /// Records one value `count` times.
+  void record_n(SimTime value, std::int64_t count);
+
+  /// Number of recorded values.
+  std::int64_t count() const { return count_; }
+  /// True if nothing has been recorded.
+  bool empty() const { return count_ == 0; }
+
+  /// Value at quantile q in [0, 1]; returns 0 on an empty histogram.
+  /// The result is the upper edge of the bucket containing the quantile,
+  /// so `quantile(1.0) >= max recorded value` within bucket resolution.
+  SimTime quantile(double q) const;
+
+  /// Arithmetic mean of recorded values (bucket-midpoint approximation).
+  double mean() const;
+  /// Largest recorded value (exact).
+  SimTime max() const { return max_; }
+  /// Smallest recorded value (exact).
+  SimTime min() const { return empty() ? 0 : min_; }
+
+  /// Merges another histogram into this one.
+  void merge(const LatencyHistogram& other);
+  /// Clears all recorded values.
+  void reset();
+
+  /// Fraction of recorded values strictly greater than `threshold`.
+  double fraction_above(SimTime threshold) const;
+
+ private:
+  static std::size_t bucket_index(SimTime value);
+  static SimTime bucket_upper(std::size_t index);
+  static SimTime bucket_mid(std::size_t index);
+
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  SimTime min_ = 0;
+  SimTime max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace memca

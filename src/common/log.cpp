@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+#include "common/time.h"
+
+namespace memca {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t >= kSecond || t <= -kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  } else if (t >= kMillisecond || t <= -kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", to_millis(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace memca

@@ -1,0 +1,41 @@
+// Minimal leveled logging.
+//
+// Quiet by default (warnings and errors only) so bench output stays clean;
+// tests and examples can raise verbosity. Not thread-safe by design — the
+// simulator is single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace memca {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line if `level` passes the global filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace memca
+
+#define MEMCA_LOG(level) ::memca::detail::LogLine(::memca::LogLevel::level)

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace memca {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MEMCA_CHECK_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MEMCA_CHECK_MSG(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) rule += std::string(widths[c] + 2, '-');
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace memca

@@ -1,0 +1,43 @@
+// Aligned table / CSV printing for benches and examples.
+//
+// Every figure-reproduction bench prints its series through this so the
+// output stays machine-diffable and readable: fixed column widths, one
+// header row, optional CSV dump.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace memca {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; cell count must equal the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles at the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Convenience: formats integers.
+  static std::string num(std::int64_t v);
+
+  /// Renders an aligned text table.
+  void print(std::ostream& os) const;
+  /// Renders CSV.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used to separate figure panels.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace memca

@@ -1,0 +1,47 @@
+// Simulated-time primitives.
+//
+// All simulation time in this project is expressed as a signed 64-bit count
+// of microseconds (`SimTime`). Integer time keeps the discrete-event engine
+// fully deterministic (no floating-point event-ordering ambiguity) while a
+// microsecond tick is fine enough for the sub-millisecond service times the
+// MemCA model cares about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace memca {
+
+/// Simulated time or duration, in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1'000;
+inline constexpr SimTime kSecond = 1'000'000;
+inline constexpr SimTime kMinute = 60 * kSecond;
+
+/// Builds a SimTime from microseconds.
+constexpr SimTime usec(std::int64_t n) { return n * kMicrosecond; }
+/// Builds a SimTime from milliseconds.
+constexpr SimTime msec(std::int64_t n) { return n * kMillisecond; }
+/// Builds a SimTime from whole seconds.
+constexpr SimTime sec(std::int64_t n) { return n * kSecond; }
+/// Builds a SimTime from fractional seconds (rounds to nearest microsecond).
+constexpr SimTime sec(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a SimTime to fractional seconds (for reporting / math only).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a SimTime to fractional milliseconds (for reporting / math only).
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Formats a time as e.g. "1.234s" or "250ms" for logs and tables.
+std::string format_time(SimTime t);
+
+}  // namespace memca

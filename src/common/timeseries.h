@@ -1,0 +1,67 @@
+// Append-only time series with resampling.
+//
+// Stores (time, value) samples in time order and supports the resampling
+// operations the monitoring substrate needs: bucketed mean/max at a coarser
+// granularity (what a CloudWatch-style monitor would see) and windowed
+// statistics. Values are doubles; time is SimTime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+
+namespace memca {
+
+struct Sample {
+  SimTime time = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Appends a sample; time must be >= the last appended time.
+  void append(SimTime time, double value);
+
+  const std::vector<Sample>& samples() const& { return samples_; }
+  /// Rvalue overload returns by value so `resample_mean(...).samples()` in a
+  /// range-for binds a lifetime-extended temporary instead of dangling.
+  std::vector<Sample> samples() && { return std::move(samples_); }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  Sample front() const;
+  Sample back() const;
+
+  /// Mean of all sample values (0 if empty).
+  double mean() const;
+  /// Max of all sample values (0 if empty).
+  double max() const;
+  /// Mean of samples with time in [start, end).
+  double mean_in(SimTime start, SimTime end) const;
+  /// Max of samples with time in [start, end); 0 if none.
+  double max_in(SimTime start, SimTime end) const;
+  /// Number of samples with value strictly above `threshold`.
+  std::size_t count_above(double threshold) const;
+
+  /// Re-buckets into fixed-width windows of `granularity`, averaging the
+  /// samples that fall into each window. The output sample time is the
+  /// window start. Windows with no samples are skipped.
+  TimeSeries resample_mean(SimTime granularity) const;
+  /// Same, keeping the max per window.
+  TimeSeries resample_max(SimTime granularity) const;
+
+  /// Lag-k autocorrelation of the sample values (ignores timestamps); the
+  /// periodicity detector uses this on uniformly-sampled series.
+  /// Returns 0 for degenerate series (fewer than k+2 samples, zero variance).
+  double autocorrelation(std::size_t lag) const;
+
+ private:
+  template <typename Reduce>
+  TimeSeries resample(SimTime granularity, Reduce reduce) const;
+
+  std::vector<Sample> samples_;
+};
+
+}  // namespace memca

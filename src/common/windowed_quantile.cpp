@@ -1,0 +1,46 @@
+#include "common/windowed_quantile.h"
+
+#include "common/check.h"
+
+namespace memca {
+
+WindowedQuantile::WindowedQuantile(SimTime window, std::size_t num_windows)
+    : window_(window), ring_(num_windows) {
+  MEMCA_CHECK_MSG(window_ > 0, "window must be positive");
+  MEMCA_CHECK_MSG(num_windows >= 1, "need at least one window");
+}
+
+bool WindowedQuantile::slot_live(const Slot& slot, std::int64_t current_epoch) const {
+  return slot.epoch >= 0 &&
+         current_epoch - slot.epoch < static_cast<std::int64_t>(ring_.size());
+}
+
+void WindowedQuantile::record(SimTime now, SimTime value) {
+  const std::int64_t epoch = epoch_of(now);
+  Slot& slot = ring_[static_cast<std::size_t>(epoch) % ring_.size()];
+  if (slot.epoch != epoch) {
+    slot.epoch = epoch;
+    slot.histogram.reset();
+  }
+  slot.histogram.record(value);
+}
+
+SimTime WindowedQuantile::quantile(SimTime now, double q) const {
+  const std::int64_t epoch = epoch_of(now);
+  LatencyHistogram merged;
+  for (const Slot& slot : ring_) {
+    if (slot_live(slot, epoch)) merged.merge(slot.histogram);
+  }
+  return merged.quantile(q);
+}
+
+std::int64_t WindowedQuantile::count(SimTime now) const {
+  const std::int64_t epoch = epoch_of(now);
+  std::int64_t total = 0;
+  for (const Slot& slot : ring_) {
+    if (slot_live(slot, epoch)) total += slot.histogram.count();
+  }
+  return total;
+}
+
+}  // namespace memca

@@ -1,0 +1,49 @@
+// Time-windowed quantile tracking.
+//
+// Maintains a ring of per-window latency histograms so callers can query
+// "the p95 over the last W seconds" cheaply and continuously — the metric
+// every SLO dashboard actually plots, and what the MemCA prober/commander
+// reason about. Unlike the prober's raw sample window, this scales to the
+// full client stream (HDR buckets, no per-sample storage).
+#pragma once
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+
+namespace memca {
+
+class WindowedQuantile {
+ public:
+  /// Tracks values in `num_windows` rotating windows of `window` each; a
+  /// query aggregates the most recent `num_windows` windows (~the last
+  /// num_windows * window of data).
+  WindowedQuantile(SimTime window, std::size_t num_windows);
+
+  /// Records a value observed at time `now` (non-decreasing across calls).
+  void record(SimTime now, SimTime value);
+
+  /// Quantile over the retained windows as of time `now`; 0 if empty.
+  SimTime quantile(SimTime now, double q) const;
+  /// Observations currently retained as of `now`.
+  std::int64_t count(SimTime now) const;
+
+  SimTime window() const { return window_; }
+  std::size_t num_windows() const { return ring_.size(); }
+
+ private:
+  struct Slot {
+    std::int64_t epoch = -1;  // which absolute window this slot holds
+    LatencyHistogram histogram;
+  };
+
+  std::int64_t epoch_of(SimTime t) const { return t / window_; }
+  /// Lazily clears slots whose epoch has rotated out.
+  bool slot_live(const Slot& slot, std::int64_t current_epoch) const;
+
+  SimTime window_;
+  std::vector<Slot> ring_;
+};
+
+}  // namespace memca

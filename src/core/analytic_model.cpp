@@ -1,0 +1,122 @@
+#include "core/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace memca::core {
+
+double degradation_index(double attack_rate, double peak_rate) {
+  MEMCA_CHECK_MSG(peak_rate > 0.0, "peak rate must be positive");
+  MEMCA_CHECK_MSG(attack_rate >= 0.0 && attack_rate <= peak_rate,
+                  "attack rate must be within [0, peak]");
+  return (peak_rate - attack_rate) / peak_rate;
+}
+
+namespace {
+
+void validate(const AttackModelInputs& in) {
+  MEMCA_CHECK_MSG(!in.tiers.empty(), "model needs at least one tier");
+  for (const TierModelParams& t : in.tiers) {
+    MEMCA_CHECK_MSG(t.queue_size > 0.0, "queue sizes must be positive");
+    MEMCA_CHECK_MSG(t.capacity_off > 0.0, "capacities must be positive");
+    MEMCA_CHECK_MSG(t.arrival_rate >= 0.0, "arrival rates must be non-negative");
+  }
+  MEMCA_CHECK_MSG(in.degradation_index > 0.0 && in.degradation_index <= 1.0,
+                  "degradation index must be in (0, 1]");
+  MEMCA_CHECK_MSG(in.burst_length > 0, "burst length must be positive");
+  MEMCA_CHECK_MSG(in.burst_interval > 0, "burst interval must be positive");
+}
+
+/// Computes the per-tier fill times (front = index 0) and their sum over
+/// tiers that actually fill. Entries are +inf where the fill rate is <= 0.
+std::vector<double> fill_times(const AttackModelInputs& in, double capacity_on) {
+  const std::size_t n = in.tiers.size();
+  std::vector<double> out(n, std::numeric_limits<double>::infinity());
+  // Cumulative arrival rate from tier i to the back: Σ_{j>=i} λ_j.
+  std::vector<double> cumulative(n, 0.0);
+  double acc = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    acc += in.tiers[i].arrival_rate;
+    cumulative[i] = acc;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double slots = (i + 1 < n) ? in.tiers[i].queue_size - in.tiers[i + 1].queue_size
+                                     : in.tiers[i].queue_size;
+    const double fill_rate = cumulative[i] - capacity_on;
+    if (slots <= 0.0) {
+      out[i] = 0.0;  // degenerate Condition-1 violation: no extra slots
+      continue;
+    }
+    if (fill_rate > 0.0) out[i] = slots / fill_rate;
+  }
+  return out;
+}
+
+}  // namespace
+
+AttackModelOutputs evaluate_attack_model(const AttackModelInputs& in) {
+  validate(in);
+  AttackModelOutputs out;
+  const TierModelParams& bottleneck = in.tiers.back();
+  out.capacity_on = in.degradation_index * bottleneck.capacity_off;  // Eq. 3
+
+  out.condition1 = true;
+  for (std::size_t i = 0; i + 1 < in.tiers.size(); ++i) {
+    if (in.tiers[i].queue_size <= in.tiers[i + 1].queue_size) out.condition1 = false;
+  }
+  out.condition2 = bottleneck.arrival_rate > out.capacity_on;
+
+  out.fill_time_s = fill_times(in, out.capacity_on);
+
+  const double L = to_seconds(in.burst_length);
+  const double I = to_seconds(in.burst_interval);
+
+  // Queues fill back-to-front; the damage period starts once the front-most
+  // queue is full (Eq. 7). If the cumulative fill time exceeds L, hold-on is
+  // never reached and P_D = 0.
+  double total = 0.0;
+  bool all_fill = true;
+  for (double t : out.fill_time_s) {
+    if (!std::isfinite(t)) {
+      all_fill = false;
+      break;
+    }
+    total += t;
+  }
+  out.total_fill_time_s = all_fill ? total : std::numeric_limits<double>::infinity();
+  if (all_fill && total < L) {
+    out.damage_period_s = L - total;  // Eq. 7
+  } else {
+    out.damage_period_s = 0.0;
+  }
+  out.rho = out.damage_period_s / I;  // Eq. 8
+
+  // Fade-off (Eq. 9): only defined when the OFF capacity exceeds the load.
+  const double drain_rate = bottleneck.capacity_off - bottleneck.arrival_rate;
+  if (drain_rate > 0.0) {
+    out.drain_time_s = bottleneck.queue_size / drain_rate;
+  } else {
+    out.drain_time_s = std::numeric_limits<double>::infinity();
+  }
+  out.millibottleneck_s = L + out.drain_time_s;  // Eq. 10
+  return out;
+}
+
+SimTime required_burst_length(const AttackModelInputs& inputs, double rho) {
+  MEMCA_CHECK_MSG(rho >= 0.0 && rho < 1.0, "rho must be in [0, 1)");
+  AttackModelInputs probe = inputs;
+  probe.burst_length = kSecond;  // placeholder; we only need the fill times
+  const AttackModelOutputs out = evaluate_attack_model(probe);
+  if (!out.condition2 || !std::isfinite(out.total_fill_time_s)) return 0;
+  const double needed_s = rho * to_seconds(inputs.burst_interval) + out.total_fill_time_s;
+  return static_cast<SimTime>(std::ceil(needed_s * static_cast<double>(kSecond)));
+}
+
+double predicted_drop_fraction(const AttackModelOutputs& outputs) {
+  return std::clamp(outputs.rho, 0.0, 1.0);
+}
+
+}  // namespace memca::core

@@ -1,0 +1,90 @@
+// The paper's queueing-network attack model (Section IV-B, Eq. 2–10).
+//
+// Given per-tier queue sizes Q_i, OFF capacities C_i,OFF, legitimate
+// arrival rates λ_i, and the attack parameters (D, L, I), the model
+// predicts the three stages of each burst:
+//
+//   build-up:  l_{n,UP} = Q_n / (λ_n − C_{n,ON})                    (Eq. 4)
+//              l_{i,UP} = (Q_i − Q_{i+1}) / (Σ_{j≥i} λ_j − C_{n,ON}) (Eq. 5/6)
+//   hold-on:   P_D = L − Σ l_{i,UP}                                 (Eq. 7)
+//              ρ   = P_D / I                                        (Eq. 8)
+//   fade-off:  l_{n,DOWN} = Q_n / (C_{n,OFF} − λ_n)                 (Eq. 9)
+//              P_MB = L + l_{n,DOWN}                                (Eq. 10)
+//
+// Conditions: (1) Q_1 > Q_2 > … > Q_n; (2) λ_n > C_{n,ON}.
+//
+// Tier index 0 is the front-most tier (Apache), index n-1 the back-most
+// (MySQL) — the attacked/bottleneck tier.
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+
+namespace memca::core {
+
+struct TierModelParams {
+  /// Queue size Q_i: concurrency limit (threads/connections).
+  double queue_size = 100.0;
+  /// Capacity C_{i,OFF}: requests/second when unattacked.
+  double capacity_off = 1000.0;
+  /// Legitimate arrival rate λ_i entering at this tier, requests/second.
+  /// (In a web-facing n-tier system all traffic enters at the front, so
+  /// typically λ_0 = λ and λ_{i>0} = λ as the same requests pass through;
+  /// the model follows the paper and sums rates cumulatively.)
+  double arrival_rate = 500.0;
+};
+
+struct AttackModelInputs {
+  std::vector<TierModelParams> tiers;
+  /// Degradation index D (Eq. 2): C_{n,ON} = D · C_{n,OFF}.
+  double degradation_index = 0.1;
+  /// Burst length L.
+  SimTime burst_length = msec(100);
+  /// Burst interval I.
+  SimTime burst_interval = sec(std::int64_t{2});
+};
+
+struct AttackModelOutputs {
+  /// C_{n,ON} (Eq. 3), requests/second.
+  double capacity_on = 0.0;
+  /// Condition 1: strictly decreasing queue sizes front → back.
+  bool condition1 = false;
+  /// Condition 2: λ_n > C_{n,ON} (the burst actually overwhelms tier n).
+  bool condition2 = false;
+  /// l_{i,UP} per tier (index 0 = front); +inf entries mean "never fills".
+  std::vector<double> fill_time_s;
+  /// Σ l_{i,UP} over tiers that fill within the burst.
+  double total_fill_time_s = 0.0;
+  /// Damage period P_D (Eq. 7), seconds; 0 if the queues never all fill.
+  double damage_period_s = 0.0;
+  /// Damage ratio ρ = P_D / I (Eq. 8).
+  double rho = 0.0;
+  /// l_{n,DOWN} (Eq. 9), seconds.
+  double drain_time_s = 0.0;
+  /// Millibottleneck period P_MB (Eq. 10), seconds.
+  double millibottleneck_s = 0.0;
+};
+
+/// Degradation index D = (R_max − R) / R_max (Eq. 2): the capacity fraction
+/// that *survives* the attack; R is the attack's resource consumption and
+/// R_max the host's peak.
+double degradation_index(double attack_rate, double peak_rate);
+
+/// Evaluates the model. Aborts on ill-formed inputs (empty tiers,
+/// non-positive rates, D outside (0, 1]).
+AttackModelOutputs evaluate_attack_model(const AttackModelInputs& inputs);
+
+/// Inverse use (Section IV-B "Relationship between Attack Parameters and
+/// Impact"): the burst length L needed to reach damage ratio `rho` at
+/// interval I given the fill/drain structure in `inputs` (whose L is
+/// ignored). Returns 0 if unreachable (conditions violated).
+SimTime required_burst_length(const AttackModelInputs& inputs, double rho);
+
+/// Predicted fraction of client requests that experience TCP-retransmission
+/// latency: requests arriving during the hold-on stage of a burst are
+/// dropped, so the fraction ≈ ρ. With a 1 s minimum RTO this directly
+/// bounds the achievable percentile: quantiles above (1 − ρ) exceed 1 s.
+double predicted_drop_fraction(const AttackModelOutputs& outputs);
+
+}  // namespace memca::core

@@ -1,0 +1,40 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::core {
+
+BruteForceMemoryAttack::BruteForceMemoryAttack(Simulator& sim, cloud::Host& host,
+                                               cloud::VmId adversary_vm,
+                                               cloud::MemoryAttackType type,
+                                               double intensity)
+    : program_(std::make_unique<cloud::MemoryAttackProgram>(sim, host, adversary_vm, type,
+                                                            intensity)) {}
+
+FloodingAttack::FloodingAttack(Simulator& sim, workload::RequestRouter& target,
+                               double rate_per_sec,
+                               const workload::WorkloadProfile& victim_profile, Rng rng) {
+  MEMCA_CHECK_MSG(rate_per_sec > 0.0, "flood rate must be positive");
+  // Single-page profile of the victim's most expensive page: the classic
+  // "heavy URL" application-layer flood.
+  std::size_t heaviest = 0;
+  double heaviest_back = 0.0;
+  for (std::size_t i = 0; i < victim_profile.pages.size(); ++i) {
+    const double back = victim_profile.pages[i].demand_mean_us.back();
+    if (back > heaviest_back) {
+      heaviest_back = back;
+      heaviest = i;
+    }
+  }
+  workload::WorkloadProfile flood =
+      workload::uniform_profile(victim_profile.pages[heaviest].demand_mean_us);
+  workload::OpenLoopConfig config;
+  config.rate_per_sec = rate_per_sec;
+  config.retransmit = false;  // bots do not care about lost requests
+  source_ = std::make_unique<workload::OpenLoopSource>(sim, target, std::move(flood), config,
+                                                       rng.fork("flood"));
+}
+
+}  // namespace memca::core

@@ -1,0 +1,54 @@
+// Baseline attacks MemCA is compared against.
+//
+//  * BruteForceMemoryAttack — the prior art (Zhang et al., ASIA CCS'17):
+//    the same memory kernels, but running continuously. Maximum damage,
+//    but the sustained saturation is exactly what coarse monitors and
+//    auto-scaling catch.
+//  * FloodingAttack — a traditional application-level (HTTP) flood: an
+//    open-loop stream of expensive requests. Effective, but the traffic
+//    volume itself is the giveaway (request-rate anomaly detection) and
+//    elastic scaling absorbs it.
+//
+// The ablation_baselines bench runs all three through the same damage and
+// stealth metrics.
+#pragma once
+
+#include <memory>
+
+#include "cloud/attack_program.h"
+#include "cloud/host.h"
+#include "workload/openloop.h"
+#include "workload/router.h"
+
+namespace memca::core {
+
+class BruteForceMemoryAttack {
+ public:
+  BruteForceMemoryAttack(Simulator& sim, cloud::Host& host, cloud::VmId adversary_vm,
+                         cloud::MemoryAttackType type, double intensity = 1.0);
+
+  void start() { program_->start(); }
+  void stop() { program_->stop(); }
+  bool running() const { return program_->running(); }
+  cloud::MemoryAttackProgram& program() { return *program_; }
+
+ private:
+  std::unique_ptr<cloud::MemoryAttackProgram> program_;
+};
+
+class FloodingAttack {
+ public:
+  /// Floods the target with `rate_per_sec` requests of the profile's
+  /// heaviest page class.
+  FloodingAttack(Simulator& sim, workload::RequestRouter& target, double rate_per_sec,
+                 const workload::WorkloadProfile& victim_profile, Rng rng);
+
+  void start() { source_->start(); }
+  void stop() { source_->stop(); }
+  workload::OpenLoopSource& source() { return *source_; }
+
+ private:
+  std::unique_ptr<workload::OpenLoopSource> source_;
+};
+
+}  // namespace memca::core

@@ -1,0 +1,63 @@
+#include "core/burst_scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::core {
+
+BurstScheduler::BurstScheduler(Simulator& sim, cloud::MemoryAttackProgram& program,
+                               AttackParams params, Rng rng, double interval_jitter)
+    : sim_(sim), program_(program), params_(params), rng_(std::move(rng)),
+      jitter_(interval_jitter) {
+  MEMCA_CHECK_MSG(params_.burst_length > 0, "burst length must be positive");
+  MEMCA_CHECK_MSG(params_.burst_interval > params_.burst_length,
+                  "interval must exceed burst length (ON-OFF pattern)");
+  MEMCA_CHECK_MSG(jitter_ >= 0.0 && jitter_ < 1.0, "jitter must be in [0, 1)");
+}
+
+BurstScheduler::~BurstScheduler() { stop(); }
+
+void BurstScheduler::start() {
+  if (running_) return;
+  running_ = true;
+  fire_burst();
+}
+
+void BurstScheduler::stop() {
+  running_ = false;
+  next_burst_.cancel();
+  burst_end_.cancel();
+  if (program_.running()) program_.stop();
+}
+
+void BurstScheduler::set_params(AttackParams params) {
+  MEMCA_CHECK_MSG(params.burst_length > 0, "burst length must be positive");
+  MEMCA_CHECK_MSG(params.burst_interval > params.burst_length,
+                  "interval must exceed burst length");
+  params_ = params;
+}
+
+void BurstScheduler::fire_burst() {
+  if (!running_) return;
+  ++bursts_;
+  program_.set_type(params_.type);
+  program_.set_intensity(params_.intensity);
+  program_.start();
+  burst_end_ = sim_.schedule_in(params_.burst_length, [this] {
+    if (program_.running()) program_.stop();
+  });
+  schedule_next();
+}
+
+void BurstScheduler::schedule_next() {
+  SimTime interval = params_.burst_interval;
+  if (jitter_ > 0.0) {
+    const double factor = rng_.uniform(1.0 - jitter_, 1.0 + jitter_);
+    interval = static_cast<SimTime>(static_cast<double>(interval) * factor);
+    interval = std::max(interval, params_.burst_length + kMillisecond);
+  }
+  next_burst_ = sim_.schedule_in(interval, [this] { fire_burst(); });
+}
+
+}  // namespace memca::core

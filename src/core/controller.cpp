@@ -1,0 +1,116 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::core {
+
+MemcaController::MemcaController(Simulator& sim, BurstScheduler& scheduler,
+                                 workload::Prober& prober, AttackGoals goals,
+                                 ControllerConfig config)
+    : sim_(sim),
+      scheduler_(scheduler),
+      prober_(prober),
+      goals_(goals),
+      config_(config),
+      filter_(config.process_variance, config.measurement_variance,
+              /*initial_estimate=*/0.0, /*initial_variance=*/1e12) {
+  MEMCA_CHECK_MSG(config_.epoch > 0, "control epoch must be positive");
+  MEMCA_CHECK_MSG(goals_.damage_quantile > 0.0 && goals_.damage_quantile < 1.0,
+                  "damage quantile must be in (0, 1)");
+}
+
+void MemcaController::start() {
+  MEMCA_CHECK_MSG(task_ == nullptr, "controller already started");
+  task_ = std::make_unique<PeriodicTask>(sim_, config_.epoch, [this] { control_epoch(); });
+}
+
+void MemcaController::stop() {
+  if (task_) task_->stop();
+}
+
+SimTime MemcaController::filtered_rt() const {
+  return static_cast<SimTime>(filter_.estimate());
+}
+
+bool MemcaController::goal_met() const {
+  if (history_.empty()) return false;
+  return history_.back().damage_ok && history_.back().stealth_ok;
+}
+
+SimTime MemcaController::stealth_estimate() const {
+  // MemCA-FE reports the attack program's execution windows; the commander
+  // takes the longest window observed this epoch and applies a safety
+  // factor for the fade-off drain the attacker cannot observe. Before any
+  // window completes, fall back to the configured burst length.
+  const auto& windows = scheduler_.program().windows();
+  SimTime observed = scheduler_.params().burst_length;
+  const SimTime epoch_start = sim_.now() - config_.epoch;
+  for (auto it = windows.rbegin(); it != windows.rend() && it->end >= epoch_start; ++it) {
+    observed = std::max(observed, it->length());
+  }
+  return static_cast<SimTime>(static_cast<double>(observed) * config_.stealth_safety);
+}
+
+void MemcaController::escalate(AttackParams& p) const {
+  const ParamBounds& b = config_.bounds;
+  // Escalation ladder: intensity first (cheapest, least visible), then
+  // burst length (bounded by stealth), then frequency.
+  if (p.intensity + 1e-9 < b.max_intensity) {
+    p.intensity = std::min(b.max_intensity, p.intensity + config_.intensity_step);
+    return;
+  }
+  const auto stealth_cap = static_cast<SimTime>(
+      static_cast<double>(goals_.stealth_bound) / config_.stealth_safety);
+  const SimTime max_len = std::min(b.max_burst_length, stealth_cap);
+  if (p.burst_length < max_len) {
+    auto grown = static_cast<SimTime>(static_cast<double>(p.burst_length) *
+                                      config_.length_growth);
+    p.burst_length = std::clamp(grown, b.min_burst_length, max_len);
+    return;
+  }
+  if (p.burst_interval > b.min_interval) {
+    auto shrunk = static_cast<SimTime>(static_cast<double>(p.burst_interval) *
+                                       config_.interval_shrink);
+    p.burst_interval = std::max({shrunk, b.min_interval, p.burst_length + kMillisecond});
+  }
+}
+
+void MemcaController::control_epoch() {
+  EpochRecord rec;
+  rec.time = sim_.now();
+  rec.measured_rt =
+      prober_.quantile_in_window(goals_.damage_quantile, config_.measure_window);
+  rec.filtered_rt = static_cast<SimTime>(
+      filter_.update(static_cast<double>(rec.measured_rt)));
+  rec.stealth_estimate = stealth_estimate();
+
+  AttackParams p = scheduler_.params();
+  rec.damage_ok = rec.filtered_rt >= goals_.damage_target;
+  rec.stealth_ok = rec.stealth_estimate <= goals_.stealth_bound;
+
+  const ParamBounds& b = config_.bounds;
+  if (!rec.stealth_ok) {
+    // Stealth first: shrink the burst until the FE estimate fits the bound.
+    auto shrunk = static_cast<SimTime>(static_cast<double>(p.burst_length) *
+                                       config_.length_backoff);
+    p.burst_length = std::max(shrunk, b.min_burst_length);
+  } else if (!rec.damage_ok) {
+    escalate(p);
+  } else if (rec.filtered_rt >
+             static_cast<SimTime>(static_cast<double>(goals_.damage_target) *
+                                  config_.overshoot_margin)) {
+    // Comfortably above goal: trade damage for stealth by spacing bursts.
+    auto relaxed = static_cast<SimTime>(static_cast<double>(p.burst_interval) *
+                                        config_.interval_relax);
+    p.burst_interval = std::min(relaxed, b.max_interval);
+  }
+  p.burst_interval = std::max(p.burst_interval, p.burst_length + kMillisecond);
+
+  rec.params = p;
+  scheduler_.set_params(p);
+  history_.push_back(rec);
+}
+
+}  // namespace memca::core

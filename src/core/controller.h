@@ -1,0 +1,101 @@
+// The MemCA commander (MemCA-BE, Section IV-C).
+//
+// The attacker cannot see the target's internal parameters (service times,
+// utilizations, thread-pool sizes), so the commander closes the loop purely
+// on what the adversary can observe:
+//   * damage — percentile response time of the prober's lightweight HTTP
+//     requests, smoothed by a scalar Kalman filter;
+//   * stealth — the attack program's own execution-window lengths (the
+//     conservative millibottleneck estimate of MemCA-FE).
+//
+// Each control epoch, the commander escalates (intensity → burst length →
+// burst frequency) while the damage goal is unmet, backs burst length off
+// whenever the stealth estimate breaches its bound, and relaxes frequency
+// when damage overshoots — keeping the attack just above its goal with the
+// smallest observable footprint.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/burst_scheduler.h"
+#include "core/kalman.h"
+#include "core/params.h"
+#include "sim/simulator.h"
+#include "workload/prober.h"
+
+namespace memca::core {
+
+struct ControllerConfig {
+  /// Control epoch: how often parameters are re-evaluated.
+  SimTime epoch = sec(std::int64_t{10});
+  /// Window over which the prober percentile is computed. Longer than the
+  /// epoch so the closed-loop workload's self-throttling oscillation (damage
+  /// -> clients back off -> system recovers) is averaged out.
+  SimTime measure_window = sec(std::int64_t{30});
+  ParamBounds bounds;
+  /// Kalman filter tuning for the percentile-RT signal (microseconds²).
+  double process_variance = 1e10;      // allow ~100 ms drift per epoch
+  double measurement_variance = 4e10;  // ~200 ms sensor noise
+  /// Additive intensity escalation step.
+  double intensity_step = 0.15;
+  /// Multiplicative burst-length / interval steps.
+  double length_growth = 1.25;
+  double length_backoff = 0.80;
+  double interval_shrink = 0.80;
+  double interval_relax = 1.15;
+  /// Damage overshoot margin that triggers de-escalation.
+  double overshoot_margin = 1.8;
+  /// Safety factor applied to the execution-time stealth estimate to leave
+  /// headroom for the fade-off drain the attacker cannot observe.
+  double stealth_safety = 1.2;
+};
+
+struct EpochRecord {
+  SimTime time = 0;
+  /// Raw prober percentile over the epoch.
+  SimTime measured_rt = 0;
+  /// Kalman-filtered percentile.
+  SimTime filtered_rt = 0;
+  /// Conservative millibottleneck estimate (exec window × safety).
+  SimTime stealth_estimate = 0;
+  AttackParams params;
+  bool damage_ok = false;
+  bool stealth_ok = false;
+};
+
+class MemcaController {
+ public:
+  MemcaController(Simulator& sim, BurstScheduler& scheduler, workload::Prober& prober,
+                  AttackGoals goals, ControllerConfig config = {});
+  MemcaController(const MemcaController&) = delete;
+  MemcaController& operator=(const MemcaController&) = delete;
+
+  void start();
+  void stop();
+
+  /// Kalman-filtered percentile response time, microseconds.
+  SimTime filtered_rt() const;
+  /// True when the last epoch met both damage and stealth goals.
+  bool goal_met() const;
+  int epochs() const { return static_cast<int>(history_.size()); }
+  const std::vector<EpochRecord>& history() const { return history_; }
+  const AttackGoals& goals() const { return goals_; }
+
+ private:
+  void control_epoch();
+  SimTime stealth_estimate() const;
+  void escalate(AttackParams& p) const;
+
+  Simulator& sim_;
+  BurstScheduler& scheduler_;
+  workload::Prober& prober_;
+  AttackGoals goals_;
+  ControllerConfig config_;
+  KalmanFilter1D filter_;
+  std::unique_ptr<PeriodicTask> task_;
+  std::vector<EpochRecord> history_;
+  std::size_t windows_seen_ = 0;
+};
+
+}  // namespace memca::core

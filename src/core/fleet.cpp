@@ -1,0 +1,90 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::core {
+
+const char* to_string(FleetPhase phase) {
+  switch (phase) {
+    case FleetPhase::kSynchronized:
+      return "synchronized";
+    case FleetPhase::kStaggered:
+      return "staggered";
+  }
+  return "?";
+}
+
+AdversaryFleet::AdversaryFleet(Simulator& sim, cloud::Host& host,
+                               std::vector<cloud::VmId> adversary_vms, AttackParams params,
+                               FleetPhase phase, Rng rng)
+    : sim_(sim), phase_(phase), params_(params) {
+  MEMCA_CHECK_MSG(!adversary_vms.empty(), "a fleet needs at least one adversary VM");
+  for (std::size_t i = 0; i < adversary_vms.size(); ++i) {
+    programs_.push_back(std::make_unique<cloud::MemoryAttackProgram>(
+        sim, host, adversary_vms[i], params.type, params.intensity));
+    schedulers_.push_back(std::make_unique<BurstScheduler>(
+        sim, *programs_.back(), params,
+        rng.fork("fleet-member-" + std::to_string(i))));
+  }
+}
+
+void AdversaryFleet::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t i = 0; i < schedulers_.size(); ++i) {
+    SimTime offset = 0;
+    if (phase_ == FleetPhase::kStaggered) {
+      offset = static_cast<SimTime>(i) * params_.burst_interval /
+               static_cast<SimTime>(schedulers_.size());
+    }
+    if (offset == 0) {
+      schedulers_[i]->start();
+    } else {
+      BurstScheduler* scheduler = schedulers_[i].get();
+      pending_starts_.push_back(sim_.schedule_in(offset, [this, scheduler] {
+        if (running_) scheduler->start();
+      }));
+    }
+  }
+}
+
+void AdversaryFleet::stop() {
+  running_ = false;
+  for (EventHandle& handle : pending_starts_) handle.cancel();
+  pending_starts_.clear();
+  for (auto& scheduler : schedulers_) scheduler->stop();
+}
+
+cloud::MemoryAttackProgram& AdversaryFleet::program(std::size_t i) {
+  MEMCA_CHECK(i < programs_.size());
+  return *programs_[i];
+}
+
+BurstScheduler& AdversaryFleet::scheduler(std::size_t i) {
+  MEMCA_CHECK(i < schedulers_.size());
+  return *schedulers_[i];
+}
+
+SimTime AdversaryFleet::total_on_time() const {
+  SimTime total = 0;
+  for (const auto& program : programs_) total += program->total_on_time();
+  return total;
+}
+
+SimTime AdversaryFleet::max_member_on_time() const {
+  SimTime max_time = 0;
+  for (const auto& program : programs_) {
+    max_time = std::max(max_time, program->total_on_time());
+  }
+  return max_time;
+}
+
+std::int64_t AdversaryFleet::bursts_fired() const {
+  std::int64_t total = 0;
+  for (const auto& scheduler : schedulers_) total += scheduler->bursts_fired();
+  return total;
+}
+
+}  // namespace memca::core

@@ -1,0 +1,67 @@
+// Multi-VM adversary fleet (Section II-B: "one or a few adversary VMs").
+//
+// Coordinates the same ON-OFF attack across several co-located adversary
+// VMs. Two coordination modes:
+//   * kSynchronized — all VMs burst together. Lock duties compose as
+//     1 - Π(1 - d_i), so even two lockers push the combined duty to
+//     ~99.75% and the degradation index to its floor: deeper damage per
+//     burst at unchanged per-VM footprint.
+//   * kStaggered — VMs burst in round-robin phase offsets of I/N. Each
+//     VM's ON-time is unchanged but the *victim* sees N times as many
+//     millibottlenecks per interval — equivalent to I' = I/N without any
+//     single VM looking more active.
+//
+// The fleet is the natural escalation beyond the single-VM attack once a
+// defender starts per-VM anomaly scoring.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cloud/attack_program.h"
+#include "core/burst_scheduler.h"
+#include "core/params.h"
+
+namespace memca::core {
+
+enum class FleetPhase {
+  kSynchronized,
+  kStaggered,
+};
+
+const char* to_string(FleetPhase phase);
+
+class AdversaryFleet {
+ public:
+  /// One attack program per adversary VM, all driven with `params`.
+  AdversaryFleet(Simulator& sim, cloud::Host& host, std::vector<cloud::VmId> adversary_vms,
+                 AttackParams params, FleetPhase phase, Rng rng);
+  AdversaryFleet(const AdversaryFleet&) = delete;
+  AdversaryFleet& operator=(const AdversaryFleet&) = delete;
+
+  /// Starts every member (staggered members start at their phase offset).
+  void start();
+  void stop();
+
+  std::size_t size() const { return programs_.size(); }
+  FleetPhase phase() const { return phase_; }
+  cloud::MemoryAttackProgram& program(std::size_t i);
+  BurstScheduler& scheduler(std::size_t i);
+
+  /// Total ON-time across the fleet (the aggregate footprint).
+  SimTime total_on_time() const;
+  /// Largest single-VM ON-time (what a per-VM anomaly scorer sees).
+  SimTime max_member_on_time() const;
+  std::int64_t bursts_fired() const;
+
+ private:
+  Simulator& sim_;
+  FleetPhase phase_;
+  AttackParams params_;
+  std::vector<std::unique_ptr<cloud::MemoryAttackProgram>> programs_;
+  std::vector<std::unique_ptr<BurstScheduler>> schedulers_;
+  std::vector<EventHandle> pending_starts_;
+  bool running_ = false;
+};
+
+}  // namespace memca::core

@@ -1,0 +1,29 @@
+#include "core/kalman.h"
+
+#include "common/check.h"
+
+namespace memca::core {
+
+KalmanFilter1D::KalmanFilter1D(double process_variance, double measurement_variance,
+                               double initial_estimate, double initial_variance)
+    : q_(process_variance),
+      r_(measurement_variance),
+      estimate_(initial_estimate),
+      variance_(initial_variance) {
+  MEMCA_CHECK_MSG(q_ >= 0.0, "process variance must be non-negative");
+  MEMCA_CHECK_MSG(r_ > 0.0, "measurement variance must be positive");
+  MEMCA_CHECK_MSG(initial_variance >= 0.0, "initial variance must be non-negative");
+}
+
+double KalmanFilter1D::update(double measurement) {
+  // Predict: the state is modelled as a random walk.
+  variance_ += q_;
+  // Update.
+  gain_ = variance_ / (variance_ + r_);
+  estimate_ += gain_ * (measurement - estimate_);
+  variance_ *= (1.0 - gain_);
+  ++updates_;
+  return estimate_;
+}
+
+}  // namespace memca::core

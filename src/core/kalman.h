@@ -1,0 +1,35 @@
+// Scalar Kalman filter (Kalman 1960), used by the MemCA commander to track
+// the noisy percentile-response-time signal coming off the prober without
+// over-reacting to single-burst variance (Section IV-C).
+#pragma once
+
+namespace memca::core {
+
+class KalmanFilter1D {
+ public:
+  /// `process_variance` (q): how fast the true state drifts per step.
+  /// `measurement_variance` (r): sensor noise.
+  /// `initial_estimate` / `initial_variance`: prior.
+  KalmanFilter1D(double process_variance, double measurement_variance,
+                 double initial_estimate = 0.0, double initial_variance = 1.0);
+
+  /// Incorporates one measurement; returns the posterior estimate.
+  double update(double measurement);
+
+  double estimate() const { return estimate_; }
+  double variance() const { return variance_; }
+  /// The most recent Kalman gain (diagnostic; in [0, 1]).
+  double gain() const { return gain_; }
+  /// Number of measurements incorporated.
+  long updates() const { return updates_; }
+
+ private:
+  double q_;
+  double r_;
+  double estimate_;
+  double variance_;
+  double gain_ = 0.0;
+  long updates_ = 0;
+};
+
+}  // namespace memca::core

@@ -1,0 +1,39 @@
+#include "core/memca.h"
+
+#include "common/check.h"
+
+namespace memca::core {
+
+MemcaAttack::MemcaAttack(Simulator& sim, cloud::Host& host, cloud::VmId adversary_vm,
+                         workload::RequestRouter& target_entry, MemcaConfig config, Rng rng)
+    : config_(std::move(config)) {
+  program_ = std::make_unique<cloud::MemoryAttackProgram>(
+      sim, host, adversary_vm, config_.params.type, config_.params.intensity);
+  scheduler_ = std::make_unique<BurstScheduler>(sim, *program_, config_.params,
+                                                rng.fork("burst-scheduler"),
+                                                config_.interval_jitter);
+  prober_ = std::make_unique<workload::Prober>(sim, target_entry, config_.prober,
+                                               rng.fork("prober"));
+  if (config_.enable_controller) {
+    controller_ = std::make_unique<MemcaController>(sim, *scheduler_, *prober_,
+                                                    config_.goals, config_.controller);
+  }
+}
+
+void MemcaAttack::start() {
+  if (running_) return;
+  running_ = true;
+  prober_->start();
+  scheduler_->start();
+  if (controller_) controller_->start();
+}
+
+void MemcaAttack::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (controller_) controller_->stop();
+  scheduler_->stop();
+  prober_->stop();
+}
+
+}  // namespace memca::core

@@ -1,0 +1,71 @@
+// MemCA attack facade: wires MemCA-FE and MemCA-BE together (Fig. 8).
+//
+//   MemCA-FE (frontend) — runs in the co-located adversary VM: the memory
+//     attack program plus the ON-OFF burst scheduler, reporting resource
+//     consumption and execution windows.
+//   MemCA-BE (backend) — runs anywhere with HTTP reach to the target: the
+//     prober (lightweight requests measuring the victim's response time)
+//     and the commander (feedback control of R, L, I).
+//
+// This is the library's main public entry point for launching the paper's
+// attack against a simulated deployment:
+//
+//   MemcaAttack attack(sim, host, adversary_vm, router, config, rng);
+//   attack.start();
+//   sim.run_for(minutes);
+//   report(attack.prober().observations(), attack.scheduler().bursts_fired());
+#pragma once
+
+#include <memory>
+
+#include "cloud/attack_program.h"
+#include "cloud/host.h"
+#include "core/burst_scheduler.h"
+#include "core/controller.h"
+#include "core/params.h"
+#include "workload/prober.h"
+#include "workload/router.h"
+
+namespace memca::core {
+
+struct MemcaConfig {
+  AttackParams params;
+  AttackGoals goals;
+  workload::ProberConfig prober;
+  ControllerConfig controller;
+  /// Run the feedback commander; if false, params stay fixed (the
+  /// open-loop configuration used by most figure reproductions).
+  bool enable_controller = true;
+  /// Interval jitter for the burst scheduler (0 = strictly periodic).
+  double interval_jitter = 0.0;
+};
+
+class MemcaAttack {
+ public:
+  /// `target_entry` is the router of the *target system* — the prober's
+  /// requests enter through the same front tier as legitimate traffic.
+  MemcaAttack(Simulator& sim, cloud::Host& host, cloud::VmId adversary_vm,
+              workload::RequestRouter& target_entry, MemcaConfig config, Rng rng);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  cloud::MemoryAttackProgram& program() { return *program_; }
+  BurstScheduler& scheduler() { return *scheduler_; }
+  workload::Prober& prober() { return *prober_; }
+  /// Null when the controller is disabled.
+  MemcaController* controller() { return controller_.get(); }
+
+  const MemcaConfig& config() const { return config_; }
+
+ private:
+  MemcaConfig config_;
+  bool running_ = false;
+  std::unique_ptr<cloud::MemoryAttackProgram> program_;
+  std::unique_ptr<BurstScheduler> scheduler_;
+  std::unique_ptr<workload::Prober> prober_;
+  std::unique_ptr<MemcaController> controller_;
+};
+
+}  // namespace memca::core

@@ -1,0 +1,50 @@
+// MemCA attack parameters and goals (Section IV-A).
+//
+// The paper formalises the attack as Effect = A(R, L, I):
+//   R — intensity of resource consumption per burst,
+//   L — burst length (must be short enough to dodge coarse monitors),
+//   I — interval between consecutive bursts (sets attack frequency).
+#pragma once
+
+#include "cloud/attack_program.h"
+#include "common/time.h"
+
+namespace memca::core {
+
+struct AttackParams {
+  /// Burst intensity R, in (0, 1]: scales the attack program's pressure.
+  double intensity = 1.0;
+  /// Burst length L.
+  SimTime burst_length = msec(500);
+  /// Interval I between burst starts.
+  SimTime burst_interval = sec(std::int64_t{2});
+  /// Which memory attack kernel to run during ON windows.
+  cloud::MemoryAttackType type = cloud::MemoryAttackType::kMemoryLock;
+
+  /// Duty cycle L / I of the ON-OFF pattern.
+  double duty_cycle() const {
+    return static_cast<double>(burst_length) / static_cast<double>(burst_interval);
+  }
+};
+
+struct AttackGoals {
+  /// Damage goal: the `damage_quantile` response time should exceed
+  /// `damage_target` (paper: 95th percentile > 1 s).
+  double damage_quantile = 0.95;
+  SimTime damage_target = sec(std::int64_t{1});
+  /// Stealth goal: each millibottleneck must stay below this bound
+  /// (paper: sub-second, under the monitors' granularity).
+  SimTime stealth_bound = sec(std::int64_t{1});
+};
+
+/// Bounds the controller must respect while tuning parameters.
+struct ParamBounds {
+  double min_intensity = 0.1;
+  double max_intensity = 1.0;
+  SimTime min_burst_length = msec(50);
+  SimTime max_burst_length = msec(900);
+  SimTime min_interval = sec(std::int64_t{1});
+  SimTime max_interval = sec(std::int64_t{10});
+};
+
+}  // namespace memca::core

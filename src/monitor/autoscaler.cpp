@@ -1,0 +1,29 @@
+#include "monitor/autoscaler.h"
+
+#include "common/check.h"
+
+namespace memca::monitor {
+
+ScaleDecision evaluate_autoscaler(const TimeSeries& fine_utilization,
+                                  const AutoScalerConfig& config) {
+  MEMCA_CHECK_MSG(config.sampling_period > 0, "sampling period must be positive");
+  MEMCA_CHECK_MSG(config.consecutive_periods >= 1, "need at least one period");
+  ScaleDecision decision;
+  decision.observed = fine_utilization.resample_mean(config.sampling_period);
+  int streak = 0;
+  for (const Sample& s : decision.observed.samples()) {
+    if (s.value > config.cpu_threshold) {
+      decision.breaching_windows.push_back(s.time);
+      ++streak;
+      if (streak >= config.consecutive_periods && !decision.triggered) {
+        decision.triggered = true;
+        decision.trigger_time = s.time + config.sampling_period;
+      }
+    } else {
+      streak = 0;
+    }
+  }
+  return decision;
+}
+
+}  // namespace memca::monitor

@@ -1,0 +1,33 @@
+#include "monitor/cusum.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::monitor {
+
+CusumDetection detect_cusum(const TimeSeries& series, const CusumConfig& config) {
+  MEMCA_CHECK_MSG(config.baseline_samples >= 2, "need at least two baseline samples");
+  MEMCA_CHECK_MSG(config.threshold > 0.0, "threshold must be positive");
+  CusumDetection result;
+  const auto& samples = series.samples();
+  if (samples.size() <= config.baseline_samples) return result;
+
+  double baseline = 0.0;
+  for (std::size_t i = 0; i < config.baseline_samples; ++i) baseline += samples[i].value;
+  baseline /= static_cast<double>(config.baseline_samples);
+  result.baseline_mean = baseline;
+
+  double s = 0.0;
+  for (std::size_t i = config.baseline_samples; i < samples.size(); ++i) {
+    s = std::max(0.0, s + samples[i].value - baseline - config.allowance);
+    result.peak_statistic = std::max(result.peak_statistic, s);
+    if (s > config.threshold && !result.detected) {
+      result.detected = true;
+      result.alarm_time = samples[i].time;
+    }
+  }
+  return result;
+}
+
+}  // namespace memca::monitor

@@ -1,0 +1,46 @@
+// CUSUM change-point detection on utilization series.
+//
+// The paper argues (Section V-B) that simple threshold monitors at coarse
+// granularity cannot see MemCA, and that effective detection "requires
+// significant future research". CUSUM is the natural next step a defender
+// would try: instead of asking "is any window above 85%?", it accumulates
+// small persistent deviations from a learned baseline, so an ON-OFF attack
+// that only shifts the *mean* by 15-20 percentage points is eventually
+// caught even when no single window breaches.
+//
+// Included as a defense-evaluation substrate: the ablation benches show
+// which attack schedules CUSUM catches, at which detection latency, and
+// what false-alarm rate the defender pays for that sensitivity.
+#pragma once
+
+#include <cstddef>
+
+#include "common/timeseries.h"
+
+namespace memca::monitor {
+
+struct CusumConfig {
+  /// Samples used to learn the baseline mean (must precede the attack).
+  std::size_t baseline_samples = 30;
+  /// Allowance k: deviations below baseline+k are ignored (in value units,
+  /// e.g. utilization fraction).
+  double allowance = 0.05;
+  /// Decision threshold h on the accumulated statistic.
+  double threshold = 1.0;
+};
+
+struct CusumDetection {
+  bool detected = false;
+  /// Time of the first alarm (valid when detected).
+  SimTime alarm_time = 0;
+  /// Peak value of the CUSUM statistic.
+  double peak_statistic = 0.0;
+  /// Learned baseline mean.
+  double baseline_mean = 0.0;
+};
+
+/// One-sided (upward) CUSUM over the series values.
+/// S_0 = 0;  S_t = max(0, S_{t-1} + x_t - mean0 - k);  alarm when S_t > h.
+CusumDetection detect_cusum(const TimeSeries& series, const CusumConfig& config = {});
+
+}  // namespace memca::monitor

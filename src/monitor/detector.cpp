@@ -1,0 +1,62 @@
+#include "monitor/detector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace memca::monitor {
+
+ThresholdDetection detect_threshold(const TimeSeries& fine, SimTime granularity,
+                                    double threshold) {
+  ThresholdDetection result;
+  const TimeSeries coarse = fine.resample_mean(granularity);
+  result.total_windows = coarse.size();
+  for (const Sample& s : coarse.samples()) {
+    result.max_observed = std::max(result.max_observed, s.value);
+    if (s.value > threshold) {
+      if (!result.detected) {
+        result.detected = true;
+        result.first_alarm = s.time;
+      }
+      ++result.alarm_windows;
+    }
+  }
+  return result;
+}
+
+PeriodicityDetection detect_periodicity(const TimeSeries& series, SimTime sample_period,
+                                        std::size_t min_lag, std::size_t max_lag,
+                                        double score_threshold) {
+  MEMCA_CHECK_MSG(min_lag >= 1 && min_lag <= max_lag, "invalid lag range");
+  MEMCA_CHECK_MSG(sample_period > 0, "sample period must be positive");
+  PeriodicityDetection result;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    const double score = series.autocorrelation(lag);
+    if (score > result.score) {
+      result.score = score;
+      result.best_lag = lag;
+    }
+  }
+  if (result.score > score_threshold && result.best_lag > 0) {
+    result.periodic = true;
+    result.best_period = static_cast<SimTime>(result.best_lag) * sample_period;
+  }
+  return result;
+}
+
+double burstiness_index(const TimeSeries& series, double q) {
+  MEMCA_CHECK(q > 0.0 && q < 1.0);
+  if (series.size() < 4) return 1.0;
+  std::vector<double> values;
+  values.reserve(series.size());
+  for (const Sample& s : series.samples()) values.push_back(s.value);
+  std::sort(values.begin(), values.end());
+  const double median = values[values.size() / 2];
+  const auto qidx = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  const double upper = values[qidx];
+  if (median <= 0.0) return upper > 0.0 ? 1e9 : 1.0;
+  return upper / median;
+}
+
+}  // namespace memca::monitor

@@ -1,0 +1,61 @@
+// Performance-interference detectors (Section V-B).
+//
+// Models the two classes of detection the paper evaluates MemCA against:
+//
+//  * Threshold detection on sampled utilization — the user-centric
+//    approach: alarm when a window's average utilization exceeds a bound.
+//    Whether a millibottleneck is visible depends entirely on the sampling
+//    granularity (Fig. 10): at 50 ms the transient saturations stand out,
+//    at 1 s they blur, at 1 min they vanish.
+//
+//  * Periodicity detection on host-level LLC-miss counts — the
+//    provider-centric approach (OProfile in the paper): an ON-OFF attack
+//    with a fixed interval leaves an autocorrelation peak at its period
+//    (Fig. 11a, bus saturation). The memory-lock variant leaves no LLC
+//    footprint, so this detector stays blind (Fig. 11b).
+#pragma once
+
+#include <cstddef>
+
+#include "common/timeseries.h"
+
+namespace memca::monitor {
+
+struct ThresholdDetection {
+  bool detected = false;
+  /// Windows whose value breached the threshold.
+  std::size_t alarm_windows = 0;
+  std::size_t total_windows = 0;
+  /// Window start of the first alarm (valid when detected).
+  SimTime first_alarm = 0;
+  double max_observed = 0.0;
+};
+
+/// Resamples `fine` (mean per window of `granularity`) and alarms on any
+/// window whose average exceeds `threshold`.
+ThresholdDetection detect_threshold(const TimeSeries& fine, SimTime granularity,
+                                    double threshold);
+
+struct PeriodicityDetection {
+  bool periodic = false;
+  /// Best lag, in samples (valid when periodic).
+  std::size_t best_lag = 0;
+  /// Best lag converted to time using the series' sampling period.
+  SimTime best_period = 0;
+  /// Autocorrelation score at the best lag.
+  double score = 0.0;
+};
+
+/// Scans lags in [min_lag, max_lag] for an autocorrelation peak.
+/// `sample_period` is the spacing of the (uniformly sampled) series.
+/// Declares periodicity when the peak score exceeds `score_threshold`.
+PeriodicityDetection detect_periodicity(const TimeSeries& series, SimTime sample_period,
+                                        std::size_t min_lag, std::size_t max_lag,
+                                        double score_threshold = 0.35);
+
+/// Burstiness index: ratio of the p-quantile to the median of the sample
+/// values. Near 1 for steady series; large for ON-OFF patterns. A cheap
+/// secondary statistic used by the defense-evaluation example.
+double burstiness_index(const TimeSeries& series, double q = 0.95);
+
+}  // namespace memca::monitor

@@ -1,0 +1,63 @@
+#include "monitor/sampler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::monitor {
+
+GaugeSampler::GaugeSampler(Simulator& sim, std::function<double()> gauge, SimTime period)
+    : sim_(sim), gauge_(std::move(gauge)), period_(period) {
+  MEMCA_CHECK_MSG(static_cast<bool>(gauge_), "GaugeSampler needs a gauge callback");
+  MEMCA_CHECK_MSG(period_ > 0, "sampling period must be positive");
+}
+
+void GaugeSampler::start() {
+  MEMCA_CHECK_MSG(task_ == nullptr, "sampler already started");
+  task_ = std::make_unique<PeriodicTask>(sim_, period_,
+                                         [this] { series_.append(sim_.now(), gauge_()); });
+}
+
+void GaugeSampler::stop() {
+  if (task_) task_->stop();
+}
+
+UtilizationSampler::UtilizationSampler(Simulator& sim, std::function<double()> busy_time_us,
+                                       int capacity, SimTime period)
+    : UtilizationSampler(sim, std::move(busy_time_us),
+                         std::function<int()>([capacity] { return capacity; }), period) {
+  MEMCA_CHECK_MSG(capacity >= 1, "capacity must be at least 1");
+}
+
+UtilizationSampler::UtilizationSampler(Simulator& sim, std::function<double()> busy_time_us,
+                                       std::function<int()> capacity, SimTime period)
+    : sim_(sim),
+      busy_time_us_(std::move(busy_time_us)),
+      capacity_(std::move(capacity)),
+      period_(period) {
+  MEMCA_CHECK_MSG(static_cast<bool>(busy_time_us_), "UtilizationSampler needs an integral");
+  MEMCA_CHECK_MSG(static_cast<bool>(capacity_), "UtilizationSampler needs a capacity");
+  MEMCA_CHECK_MSG(period_ > 0, "sampling period must be positive");
+}
+
+void UtilizationSampler::start() {
+  MEMCA_CHECK_MSG(task_ == nullptr, "sampler already started");
+  last_integral_ = busy_time_us_();
+  task_ = std::make_unique<PeriodicTask>(sim_, period_, [this] { sample(); });
+}
+
+void UtilizationSampler::stop() {
+  if (task_) task_->stop();
+}
+
+void UtilizationSampler::sample() {
+  const double integral = busy_time_us_();
+  const double delta = integral - last_integral_;
+  last_integral_ = integral;
+  const double denom = static_cast<double>(capacity_()) * static_cast<double>(period_);
+  const double util = std::clamp(delta / denom, 0.0, 1.0);
+  // Timestamp at the window start, matching how monitors report intervals.
+  series_.append(sim_.now() - period_, util);
+}
+
+}  // namespace memca::monitor

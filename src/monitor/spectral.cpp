@@ -1,0 +1,62 @@
+#include "monitor/spectral.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace memca::monitor {
+
+double goertzel_power(const TimeSeries& series, std::size_t period_samples) {
+  MEMCA_CHECK_MSG(period_samples >= 2, "period must be at least two samples");
+  const auto& samples = series.samples();
+  const std::size_t n = samples.size();
+  if (n < period_samples) return 0.0;
+  const double mean = series.mean();
+  const double omega = 2.0 * std::numbers::pi / static_cast<double>(period_samples);
+  const double coeff = 2.0 * std::cos(omega);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (const Sample& sample : samples) {
+    const double s = (sample.value - mean) + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const double power =
+      s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+  return power / static_cast<double>(n);
+}
+
+SpectralDetection detect_spectral(const TimeSeries& series, SimTime sample_period,
+                                  std::size_t min_period, std::size_t max_period,
+                                  double peak_threshold) {
+  MEMCA_CHECK_MSG(min_period >= 2 && min_period <= max_period, "invalid period range");
+  MEMCA_CHECK_MSG(sample_period > 0, "sample period must be positive");
+  SpectralDetection result;
+  if (series.size() < max_period) return result;
+
+  double total = 0.0;
+  std::size_t count = 0;
+  double peak = 0.0;
+  std::size_t peak_period = 0;
+  for (std::size_t period = min_period; period <= max_period; ++period) {
+    const double power = goertzel_power(series, period);
+    total += power;
+    ++count;
+    if (power > peak) {
+      peak = power;
+      peak_period = period;
+    }
+  }
+  if (count == 0 || total <= 0.0) return result;
+  const double mean_power = total / static_cast<double>(count);
+  result.peak_to_mean = mean_power > 0.0 ? peak / mean_power : 0.0;
+  if (result.peak_to_mean > peak_threshold) {
+    result.periodic = true;
+    result.best_period_samples = peak_period;
+    result.best_period = static_cast<SimTime>(peak_period) * sample_period;
+  }
+  return result;
+}
+
+}  // namespace memca::monitor

@@ -1,0 +1,35 @@
+// Spectral (Goertzel) periodicity detection.
+//
+// A frequency-domain alternative to the autocorrelation detector: evaluates
+// the DFT power at every candidate attack period and compares the peak to
+// the broadband average. More robust than autocorrelation when the series
+// carries heavy wideband noise, and degrades more gracefully under schedule
+// jitter — used by the jitter ablation to show both detectors' blind spots.
+#pragma once
+
+#include <cstddef>
+
+#include "common/timeseries.h"
+
+namespace memca::monitor {
+
+struct SpectralDetection {
+  bool periodic = false;
+  /// Dominant period in samples (valid when periodic).
+  std::size_t best_period_samples = 0;
+  SimTime best_period = 0;
+  /// Peak power / mean power over the scanned band.
+  double peak_to_mean = 0.0;
+};
+
+/// Scans candidate periods in [min_period, max_period] (in samples) over a
+/// uniformly sampled series; declares periodicity when the peak band power
+/// exceeds `peak_threshold` times the band mean.
+SpectralDetection detect_spectral(const TimeSeries& series, SimTime sample_period,
+                                  std::size_t min_period, std::size_t max_period,
+                                  double peak_threshold = 8.0);
+
+/// DFT power of `series` values at period `period_samples` (Goertzel).
+double goertzel_power(const TimeSeries& series, std::size_t period_samples);
+
+}  // namespace memca::monitor

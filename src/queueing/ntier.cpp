@@ -1,0 +1,75 @@
+#include "queueing/ntier.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace memca::queueing {
+
+NTierSystem::NTierSystem(Simulator& sim, std::vector<TierConfig> tiers) : sim_(sim) {
+  MEMCA_CHECK_MSG(!tiers.empty(), "an n-tier system needs at least one tier");
+  tiers_.reserve(tiers.size());
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    tiers_.push_back(std::make_unique<TierServer>(sim_, tiers[i], i));
+  }
+  for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
+    tiers_[i]->set_downstream(tiers_[i + 1].get());
+  }
+  tiers_.front()->set_reply_sink([this](Request* r) { on_reply(r); });
+  if (!satisfies_condition1()) {
+    MEMCA_LOG(kInfo) << "tier thread limits are not strictly decreasing; the analytic "
+                        "fill-up equations (Condition 1) will not apply";
+  }
+}
+
+void NTierSystem::set_on_complete(std::function<void(const Request&)> fn) {
+  on_complete_ = std::move(fn);
+}
+
+void NTierSystem::set_on_drop(std::function<void(const Request&)> fn) {
+  on_drop_ = std::move(fn);
+}
+
+bool NTierSystem::submit(std::unique_ptr<Request> req) {
+  MEMCA_CHECK(req != nullptr);
+  MEMCA_CHECK_MSG(req->demand_us.size() == tiers_.size(),
+                  "request needs one demand entry per tier");
+  req->trace.assign(tiers_.size(), TierTrace{});
+  ++submitted_;
+  Request* raw = req.get();
+  if (!tiers_.front()->try_submit(raw)) {
+    ++dropped_;
+    if (on_drop_) on_drop_(*raw);
+    return false;
+  }
+  in_flight_.emplace(raw->id, std::move(req));
+  return true;
+}
+
+TierServer& NTierSystem::tier(std::size_t i) {
+  MEMCA_CHECK(i < tiers_.size());
+  return *tiers_[i];
+}
+
+const TierServer& NTierSystem::tier(std::size_t i) const {
+  MEMCA_CHECK(i < tiers_.size());
+  return *tiers_[i];
+}
+
+bool NTierSystem::satisfies_condition1() const {
+  for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
+    if (tiers_[i]->threads() <= tiers_[i + 1]->threads()) return false;
+  }
+  return true;
+}
+
+void NTierSystem::on_reply(Request* req) {
+  ++completed_;
+  auto it = in_flight_.find(req->id);
+  MEMCA_CHECK_MSG(it != in_flight_.end(), "reply for unknown request");
+  // Move ownership out before the callback so reentrant submits are safe.
+  std::unique_ptr<Request> owned = std::move(it->second);
+  in_flight_.erase(it);
+  if (on_complete_) on_complete_(*owned);
+}
+
+}  // namespace memca::queueing

@@ -1,0 +1,60 @@
+// The n-tier system: a chain of TierServers with synchronous RPC coupling.
+//
+// Owns the requests in flight, delivers completion/drop callbacks to the
+// workload layer, and exposes per-tier handles for monitoring and for the
+// attack coupling (set_speed_multiplier on the bottleneck tier).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "queueing/system.h"
+#include "queueing/tier.h"
+
+namespace memca::queueing {
+
+class NTierSystem : public RequestSystem {
+ public:
+  NTierSystem(Simulator& sim, std::vector<TierConfig> tiers);
+
+  /// Completion callback: fires when a reply reaches the client side.
+  void set_on_complete(std::function<void(const Request&)> fn) override;
+  /// Drop callback: fires when the front tier rejects (TCP will retransmit).
+  void set_on_drop(std::function<void(const Request&)> fn) override;
+
+  /// Submits a request. Sizes trace to the tier count (demand_us must
+  /// already have one entry per tier). Returns false if dropped.
+  bool submit(std::unique_ptr<Request> req) override;
+
+  std::size_t num_tiers() const { return tiers_.size(); }
+  std::size_t depth() const override { return tiers_.size(); }
+  TierServer& tier(std::size_t i);
+  const TierServer& tier(std::size_t i) const;
+  /// The last tier (the usual bottleneck — MySQL in the RUBBoS topology).
+  TierServer& back_tier() { return tier(tiers_.size() - 1); }
+
+  /// Paper Condition 1: Q_1 > Q_2 > ... > Q_n.
+  bool satisfies_condition1() const;
+
+  std::int64_t submitted() const { return submitted_; }
+  std::int64_t completed() const { return completed_; }
+  std::int64_t dropped() const { return dropped_; }
+  std::int64_t in_flight() const { return static_cast<std::int64_t>(in_flight_.size()); }
+
+ private:
+  void on_reply(Request* req);
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<TierServer>> tiers_;
+  std::unordered_map<Request::Id, std::unique_ptr<Request>> in_flight_;
+  std::function<void(const Request&)> on_complete_;
+  std::function<void(const Request&)> on_drop_;
+  std::int64_t submitted_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace memca::queueing

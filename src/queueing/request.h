@@ -1,0 +1,49 @@
+// A client request travelling through the n-tier system.
+//
+// Service demands are pre-sampled by the workload generator (one work amount
+// per tier, in microseconds of work at nominal speed 1.0). Pre-sampling keeps
+// all randomness in the workload layer, so the same request stream can be
+// replayed through different system models (n-tier vs tandem) for an
+// apples-to-apples comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace memca::queueing {
+
+struct TierTrace {
+  SimTime enter = -1;
+  SimTime leave = -1;
+};
+
+struct Request {
+  using Id = std::int64_t;
+
+  Id id = 0;
+  /// Workload page class (index into the page profile table), -1 if n/a.
+  int page_class = -1;
+  /// Client/user index that issued the request, -1 if n/a.
+  int user = -1;
+  /// TCP retransmission attempt (0 = first transmission).
+  int attempt = 0;
+  /// Time the *first* transmission of this logical request left the client.
+  SimTime first_sent = 0;
+  /// Time this attempt left the client.
+  SimTime sent = 0;
+
+  /// Per-tier service demand: microseconds of work at speed 1.0.
+  std::vector<double> demand_us;
+  /// Per-tier enter/leave timestamps, filled by the tiers.
+  std::vector<TierTrace> trace;
+
+  /// Tier residence time (leave - enter), -1 if the request never left.
+  SimTime tier_time(std::size_t tier) const {
+    if (tier >= trace.size() || trace[tier].enter < 0 || trace[tier].leave < 0) return -1;
+    return trace[tier].leave - trace[tier].enter;
+  }
+};
+
+}  // namespace memca::queueing

@@ -1,0 +1,24 @@
+// Minimal surface shared by the two system models (n-tier and tandem), so
+// workload generators, probers and routers can drive either interchangeably.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "queueing/request.h"
+
+namespace memca::queueing {
+
+class RequestSystem {
+ public:
+  virtual ~RequestSystem() = default;
+
+  /// Number of tiers/stations a request passes through (demand_us size).
+  virtual std::size_t depth() const = 0;
+  /// Submits a request; returns false if it was dropped immediately.
+  virtual bool submit(std::unique_ptr<Request> req) = 0;
+  virtual void set_on_complete(std::function<void(const Request&)> fn) = 0;
+  virtual void set_on_drop(std::function<void(const Request&)> fn) = 0;
+};
+
+}  // namespace memca::queueing

@@ -1,0 +1,129 @@
+#include "queueing/tandem.h"
+
+#include "common/check.h"
+
+namespace memca::queueing {
+
+TandemQueueSystem::TandemQueueSystem(Simulator& sim, std::vector<StationConfig> stations)
+    : sim_(sim) {
+  MEMCA_CHECK_MSG(!stations.empty(), "a tandem system needs at least one station");
+  stations_.reserve(stations.size());
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    Station st;
+    st.config = stations[i];
+    MEMCA_CHECK_MSG(st.config.workers >= 1, "a station needs at least one worker");
+    st.workers = std::make_unique<WorkStation>(
+        sim_, st.config.workers, [this, i](Request* r) { on_service_done(i, r); });
+    stations_.push_back(std::move(st));
+  }
+}
+
+void TandemQueueSystem::set_on_complete(std::function<void(const Request&)> fn) {
+  on_complete_ = std::move(fn);
+}
+
+void TandemQueueSystem::set_on_drop(std::function<void(const Request&)> fn) {
+  on_drop_ = std::move(fn);
+}
+
+bool TandemQueueSystem::submit(std::unique_ptr<Request> req) {
+  MEMCA_CHECK(req != nullptr);
+  MEMCA_CHECK_MSG(req->demand_us.size() == stations_.size(),
+                  "request needs one demand entry per station");
+  req->trace.assign(stations_.size(), TierTrace{});
+  ++submitted_;
+  Request* raw = req.get();
+  in_flight_.emplace(raw->id, std::move(req));
+  const Station& st = stations_.front();
+  if (st.config.queue_capacity != StationConfig::kUnbounded &&
+      queue_length(0) >= st.config.queue_capacity && !st.workers->has_free_worker()) {
+    drop(raw);
+    return false;
+  }
+  offer(0, raw);
+  return true;
+}
+
+void TandemQueueSystem::set_speed_multiplier(std::size_t station, double multiplier) {
+  MEMCA_CHECK(station < stations_.size());
+  stations_[station].workers->set_speed(multiplier);
+}
+
+int TandemQueueSystem::queue_length(std::size_t station) const {
+  MEMCA_CHECK(station < stations_.size());
+  return static_cast<int>(stations_[station].queue.size());
+}
+
+int TandemQueueSystem::in_service(std::size_t station) const {
+  MEMCA_CHECK(station < stations_.size());
+  return stations_[station].workers->busy();
+}
+
+int TandemQueueSystem::resident(std::size_t station) const {
+  return queue_length(station) + in_service(station);
+}
+
+const LatencyHistogram& TandemQueueSystem::residence_time(std::size_t station) const {
+  MEMCA_CHECK(station < stations_.size());
+  return stations_[station].residence_time;
+}
+
+const std::string& TandemQueueSystem::station_name(std::size_t station) const {
+  MEMCA_CHECK(station < stations_.size());
+  return stations_[station].config.name;
+}
+
+void TandemQueueSystem::offer(std::size_t index, Request* req) {
+  Station& st = stations_[index];
+  req->trace[index].enter = sim_.now();
+  st.queue.push_back(req);
+  pump(index);
+}
+
+void TandemQueueSystem::pump(std::size_t index) {
+  Station& st = stations_[index];
+  while (st.workers->has_free_worker() && !st.queue.empty()) {
+    Request* req = st.queue.front();
+    st.queue.pop_front();
+    st.workers->start(req, req->demand_us[index]);
+  }
+}
+
+void TandemQueueSystem::on_service_done(std::size_t index, Request* req) {
+  Station& st = stations_[index];
+  req->trace[index].leave = sim_.now();
+  st.residence_time.record(req->tier_time(index));
+  if (index + 1 == stations_.size()) {
+    finish(req);
+  } else {
+    const Station& next = stations_[index + 1];
+    if (next.config.queue_capacity != StationConfig::kUnbounded &&
+        queue_length(index + 1) >= next.config.queue_capacity &&
+        !next.workers->has_free_worker()) {
+      drop(req);
+    } else {
+      offer(index + 1, req);
+    }
+  }
+  pump(index);
+}
+
+void TandemQueueSystem::finish(Request* req) {
+  ++completed_;
+  auto it = in_flight_.find(req->id);
+  MEMCA_CHECK(it != in_flight_.end());
+  std::unique_ptr<Request> owned = std::move(it->second);
+  in_flight_.erase(it);
+  if (on_complete_) on_complete_(*owned);
+}
+
+void TandemQueueSystem::drop(Request* req) {
+  ++dropped_;
+  auto it = in_flight_.find(req->id);
+  MEMCA_CHECK(it != in_flight_.end());
+  std::unique_ptr<Request> owned = std::move(it->second);
+  in_flight_.erase(it);
+  if (on_drop_) on_drop_(*owned);
+}
+
+}  // namespace memca::queueing

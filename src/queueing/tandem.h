@@ -1,0 +1,85 @@
+// Classic tandem queue model (the paper's comparison baseline, Fig. 6a/7a).
+//
+// In a tandem queue, stations are decoupled: a request waits only in front
+// of the station currently serving it, and upstream stations are oblivious
+// to downstream congestion. Under a back-end millibottleneck, all queueing
+// accumulates in the last station (given an infinite buffer) and every
+// tier's observed residence time is essentially the back-end queueing time —
+// no cross-tier amplification. Contrasting this with NTierSystem is how the
+// paper isolates the RPC thread-holding effect.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "queueing/system.h"
+#include "queueing/workstation.h"
+
+namespace memca::queueing {
+
+struct StationConfig {
+  std::string name;
+  int workers = 2;
+  /// Waiting-room capacity (excludes in-service); kUnbounded = infinite.
+  int queue_capacity = -1;
+
+  static constexpr int kUnbounded = -1;
+};
+
+class TandemQueueSystem : public RequestSystem {
+ public:
+  TandemQueueSystem(Simulator& sim, std::vector<StationConfig> stations);
+
+  void set_on_complete(std::function<void(const Request&)> fn) override;
+  /// Fires when a station with finite capacity overflows (request lost).
+  void set_on_drop(std::function<void(const Request&)> fn) override;
+
+  /// Submits a request (demand_us must have one entry per station).
+  bool submit(std::unique_ptr<Request> req) override;
+
+  std::size_t num_stations() const { return stations_.size(); }
+  std::size_t depth() const override { return stations_.size(); }
+  /// Scales a station's service speed (attack coupling).
+  void set_speed_multiplier(std::size_t station, double multiplier);
+
+  int queue_length(std::size_t station) const;
+  int in_service(std::size_t station) const;
+  /// Waiting + in service at the station.
+  int resident(std::size_t station) const;
+  const LatencyHistogram& residence_time(std::size_t station) const;
+  const std::string& station_name(std::size_t station) const;
+
+  std::int64_t submitted() const { return submitted_; }
+  std::int64_t completed() const { return completed_; }
+  std::int64_t dropped() const { return dropped_; }
+
+ private:
+  struct Station {
+    StationConfig config;
+    std::unique_ptr<WorkStation> workers;
+    std::deque<Request*> queue;
+    LatencyHistogram residence_time;
+  };
+
+  void offer(std::size_t index, Request* req);
+  void pump(std::size_t index);
+  void on_service_done(std::size_t index, Request* req);
+  void finish(Request* req);
+  void drop(Request* req);
+
+  Simulator& sim_;
+  std::vector<Station> stations_;
+  std::unordered_map<Request::Id, std::unique_ptr<Request>> in_flight_;
+  std::function<void(const Request&)> on_complete_;
+  std::function<void(const Request&)> on_drop_;
+  std::int64_t submitted_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace memca::queueing

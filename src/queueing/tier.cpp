@@ -1,0 +1,143 @@
+#include "queueing/tier.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::queueing {
+
+TierServer::TierServer(Simulator& sim, TierConfig config, std::size_t tier_index)
+    : sim_(sim),
+      config_(std::move(config)),
+      index_(tier_index),
+      station_(sim, config_.workers, [this](Request* r) { on_service_done(r); }) {
+  MEMCA_CHECK_MSG(config_.threads >= 1, "a tier needs at least one thread");
+  MEMCA_CHECK_MSG(config_.workers >= 1, "a tier needs at least one worker");
+}
+
+void TierServer::set_downstream(TierServer* downstream) {
+  MEMCA_CHECK_MSG(downstream_ == nullptr, "downstream already wired");
+  MEMCA_CHECK(downstream != nullptr && downstream != this);
+  downstream_ = downstream;
+  MEMCA_CHECK_MSG(downstream->upstream_ == nullptr, "downstream already has an upstream");
+  downstream->upstream_ = this;
+}
+
+void TierServer::set_speed_multiplier(double multiplier) { station_.set_speed(multiplier); }
+
+void TierServer::add_capacity(int workers, int extra_threads) {
+  MEMCA_CHECK_MSG(extra_threads >= 0, "cannot shrink the thread limit");
+  station_.add_workers(workers);
+  config_.threads += extra_threads;
+  pump();
+  // New threads may also unblock requests parked in the upstream tier.
+  pull_blocked_from_upstream();
+}
+
+void TierServer::remove_capacity(int workers, int fewer_threads) {
+  MEMCA_CHECK_MSG(fewer_threads >= 0, "thread reduction must be non-negative");
+  station_.remove_workers(workers);
+  config_.threads = std::max({1, station_.workers(), config_.threads - fewer_threads});
+}
+
+void TierServer::set_reply_sink(std::function<void(Request*)> sink) {
+  MEMCA_CHECK(static_cast<bool>(sink));
+  reply_sink_ = std::move(sink);
+}
+
+bool TierServer::try_submit(Request* req) {
+  MEMCA_CHECK(req != nullptr);
+  ++offered_;
+  if (full()) {
+    ++rejected_;
+    return false;
+  }
+  admit(req);
+  return true;
+}
+
+bool TierServer::accept_from_upstream(Request* req) {
+  ++offered_;
+  if (full()) {
+    ++rejected_;
+    return false;
+  }
+  admit(req);
+  return true;
+}
+
+void TierServer::admit(Request* req) {
+  ++resident_;
+  ++admitted_;
+  MEMCA_CHECK_MSG(index_ < req->trace.size(), "request trace not sized for this system");
+  req->trace[index_].enter = sim_.now();
+  wait_queue_.push_back(req);
+  pump();
+}
+
+void TierServer::pump() {
+  while (station_.has_free_worker() && !wait_queue_.empty()) {
+    Request* req = wait_queue_.front();
+    wait_queue_.pop_front();
+    MEMCA_CHECK_MSG(index_ < req->demand_us.size(), "request demand not sized for this system");
+    station_.start(req, req->demand_us[index_]);
+  }
+}
+
+void TierServer::on_service_done(Request* req) {
+  if (downstream_ == nullptr) {
+    depart(req);
+  } else {
+    forward_downstream(req);
+  }
+  // The worker that finished is free; take the next waiting request.
+  pump();
+}
+
+void TierServer::forward_downstream(Request* req) {
+  if (downstream_->accept_from_upstream(req)) {
+    ++awaiting_reply_;
+  } else {
+    // Downstream thread pool exhausted: hold our thread and wait to be
+    // pulled. This is the cross-tier overflow propagation step.
+    blocked_.push_back(req);
+  }
+}
+
+void TierServer::on_reply_from_downstream(Request* req) {
+  MEMCA_CHECK(awaiting_reply_ > 0);
+  --awaiting_reply_;
+  depart(req);
+}
+
+void TierServer::depart(Request* req) {
+  req->trace[index_].leave = sim_.now();
+  MEMCA_CHECK(resident_ > 0);
+  --resident_;
+  ++completed_;
+  residence_time_.record(req->tier_time(index_));
+
+  // Deliver the reply upstream first (it departs every upstream tier at the
+  // same instant — the response path is negligible), then backfill the
+  // thread we just freed from the upstream blocked queue.
+  if (upstream_ != nullptr) {
+    upstream_->on_reply_from_downstream(req);
+  } else {
+    MEMCA_CHECK_MSG(static_cast<bool>(reply_sink_), "front tier needs a reply sink");
+    reply_sink_(req);
+  }
+  pull_blocked_from_upstream();
+}
+
+void TierServer::pull_blocked_from_upstream() {
+  if (upstream_ == nullptr) return;
+  while (!full() && !upstream_->blocked_.empty()) {
+    Request* req = upstream_->blocked_.front();
+    upstream_->blocked_.pop_front();
+    ++upstream_->awaiting_reply_;
+    ++offered_;
+    admit(req);
+  }
+}
+
+}  // namespace memca::queueing

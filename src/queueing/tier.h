@@ -1,0 +1,133 @@
+// One tier of an n-tier system with RPC thread-holding semantics.
+//
+// A tier has a hard thread limit Q (the paper's queue size: server threads /
+// connection-pool slots) and a bank of workers (vCPUs). A request occupies
+// one thread from admission until its *reply* leaves the tier — including
+// the whole time it is queued or served in any downstream tier. That is the
+// synchronous-RPC coupling the paper identifies as the amplification
+// mechanism: queued requests in MySQL pin threads in Tomcat and Apache, so
+// a millibottleneck in the back end exhausts every upstream thread pool
+// (cross-tier queue overflow, Fig. 6b).
+//
+// Within a tier, a request's lifecycle is:
+//   waiting  -> in service -> [blocked on downstream ->] awaiting reply -> departs
+// The "blocked" state holds requests whose local service finished but whose
+// downstream tier has no free thread; the downstream tier pulls the oldest
+// blocked request the moment one of its threads frees.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "queueing/workstation.h"
+
+namespace memca::queueing {
+
+struct TierConfig {
+  std::string name;
+  /// Thread limit Q_i: max requests resident in this tier at once.
+  int threads = 100;
+  /// Parallel service slots (vCPUs).
+  int workers = 2;
+};
+
+class TierServer {
+ public:
+  TierServer(Simulator& sim, TierConfig config, std::size_t tier_index);
+  TierServer(const TierServer&) = delete;
+  TierServer& operator=(const TierServer&) = delete;
+
+  /// Wires this tier's downstream neighbour (and its upstream back-pointer).
+  void set_downstream(TierServer* downstream);
+  /// Front tier only: where completed replies are delivered.
+  void set_reply_sink(std::function<void(Request*)> sink);
+
+  /// External entry (front tier): admits or rejects. A rejection is a
+  /// dropped request — the client's TCP layer will retransmit.
+  bool try_submit(Request* req);
+
+  /// Scales this tier's service speed (the attack coupling sets this to the
+  /// degradation index D during ON bursts; 1.0 when OFF).
+  void set_speed_multiplier(double multiplier);
+  double speed_multiplier() const { return station_.speed(); }
+
+  /// Elastic scale-out: adds `workers` service slots (and grows the thread
+  /// limit by `extra_threads`, since a scaled-out replica also brings its
+  /// own connection capacity). Waiting requests start immediately.
+  void add_capacity(int workers, int extra_threads = 0);
+
+  /// Elastic scale-in: retires `workers` slots (busy ones finish first) and
+  /// shrinks the thread limit by `fewer_threads` (never below the larger of
+  /// one and the current worker count).
+  void remove_capacity(int workers, int fewer_threads = 0);
+
+  // -- introspection -------------------------------------------------------
+  const std::string& name() const { return config_.name; }
+  std::size_t index() const { return index_; }
+  int threads() const { return config_.threads; }
+  int workers() const { return station_.workers(); }
+  /// Requests currently occupying a thread in this tier.
+  int resident() const { return resident_; }
+  /// Waiting for a local worker.
+  int waiting() const { return static_cast<int>(wait_queue_.size()); }
+  /// Being served locally right now.
+  int in_service() const { return station_.busy(); }
+  /// Local service done, waiting for a downstream thread.
+  int blocked_on_downstream() const { return static_cast<int>(blocked_.size()); }
+  /// Resident in some downstream tier.
+  int awaiting_reply() const { return awaiting_reply_; }
+  bool full() const { return resident_ >= config_.threads; }
+
+  std::int64_t offered() const { return offered_; }
+  std::int64_t admitted() const { return admitted_; }
+  std::int64_t rejected() const { return rejected_; }
+  std::int64_t completed() const { return completed_; }
+
+  /// Per-tier residence-time (enter→leave) distribution.
+  const LatencyHistogram& residence_time() const { return residence_time_; }
+
+  /// Busy-worker time integral (worker-microseconds), for CPU utilization
+  /// sampling. See WorkStation::busy_worker_time_us.
+  double busy_worker_time_us() const { return station_.busy_worker_time_us(); }
+
+ private:
+  friend class NTierSystem;
+
+  void admit(Request* req);
+  void pump();
+  void on_service_done(Request* req);
+  void forward_downstream(Request* req);
+  /// Called by the downstream tier when our request's reply returns.
+  void on_reply_from_downstream(Request* req);
+  /// Request departs this tier; propagates the reply upstream.
+  void depart(Request* req);
+  /// Called by `this` after freeing a thread: pulls the oldest request
+  /// blocked in the upstream tier, if any.
+  void pull_blocked_from_upstream();
+  /// Upstream-facing admission used by forward/pull paths.
+  bool accept_from_upstream(Request* req);
+
+  Simulator& sim_;
+  TierConfig config_;
+  std::size_t index_;
+  WorkStation station_;
+
+  TierServer* downstream_ = nullptr;
+  TierServer* upstream_ = nullptr;
+  std::function<void(Request*)> reply_sink_;
+
+  std::deque<Request*> wait_queue_;
+  std::deque<Request*> blocked_;
+  int awaiting_reply_ = 0;
+  int resident_ = 0;
+
+  std::int64_t offered_ = 0;
+  std::int64_t admitted_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t completed_ = 0;
+  LatencyHistogram residence_time_;
+};
+
+}  // namespace memca::queueing

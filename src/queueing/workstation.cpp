@@ -1,0 +1,131 @@
+#include "queueing/workstation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace memca::queueing {
+
+WorkStation::WorkStation(Simulator& sim, int workers, std::function<void(Request*)> on_done)
+    : sim_(sim), on_done_(std::move(on_done)), slots_(static_cast<std::size_t>(workers)) {
+  MEMCA_CHECK_MSG(workers >= 1, "a station needs at least one worker");
+  MEMCA_CHECK_MSG(static_cast<bool>(on_done_), "WorkStation needs a completion callback");
+  busy_last_change_ = sim_.now();
+}
+
+void WorkStation::accrue_busy_time() {
+  const SimTime now = sim_.now();
+  busy_time_us_ += static_cast<double>(busy_) * static_cast<double>(now - busy_last_change_);
+  busy_last_change_ = now;
+}
+
+double WorkStation::busy_worker_time_us() const {
+  return busy_time_us_ +
+         static_cast<double>(busy_) * static_cast<double>(sim_.now() - busy_last_change_);
+}
+
+void WorkStation::add_workers(int n) {
+  MEMCA_CHECK_MSG(n > 0, "must add at least one worker");
+  // Settle the busy-time integral first: utilization normalisation changes
+  // capacity from here on and the integral must stay exact.
+  accrue_busy_time();
+  // Revive retired slots first, then grow.
+  for (Slot& s : slots_) {
+    if (n == 0) break;
+    if (s.retired) {
+      s.retired = false;
+      --retired_;
+      --n;
+    }
+  }
+  if (pending_retire_ > 0) {
+    const int cancel = std::min(pending_retire_, n);
+    pending_retire_ -= cancel;
+    n -= cancel;
+  }
+  if (n > 0) slots_.resize(slots_.size() + static_cast<std::size_t>(n));
+}
+
+void WorkStation::remove_workers(int n) {
+  MEMCA_CHECK_MSG(n > 0, "must remove at least one worker");
+  MEMCA_CHECK_MSG(workers() - pending_retire_ - n >= 1,
+                  "a station must keep at least one worker");
+  accrue_busy_time();
+  for (Slot& s : slots_) {
+    if (n == 0) break;
+    if (!s.busy && !s.retired) {
+      s.retired = true;
+      ++retired_;
+      --n;
+    }
+  }
+  // The remainder retires as busy workers finish their current request.
+  pending_retire_ += n;
+}
+
+void WorkStation::start(Request* req, double work_us) {
+  MEMCA_CHECK_MSG(has_free_worker(), "WorkStation::start requires a free worker");
+  MEMCA_CHECK_MSG(work_us >= 0.0, "work must be non-negative");
+  MEMCA_CHECK(req != nullptr);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.busy || s.retired) continue;
+    accrue_busy_time();
+    s.busy = true;
+    s.req = req;
+    s.remaining_work = work_us;
+    s.last_update = sim_.now();
+    ++busy_;
+    schedule_completion(i);
+    return;
+  }
+}
+
+void WorkStation::schedule_completion(std::size_t slot_index) {
+  Slot& s = slots_[slot_index];
+  const double duration_us = s.remaining_work / speed_;
+  // Ceil so non-zero work always takes at least one tick: guarantees progress
+  // and preserves event-order determinism.
+  const SimTime delay = static_cast<SimTime>(std::ceil(duration_us));
+  s.done = sim_.schedule_in(delay, [this, slot_index] { complete(slot_index); });
+}
+
+void WorkStation::complete(std::size_t slot_index) {
+  Slot& s = slots_[slot_index];
+  MEMCA_CHECK(s.busy);
+  Request* req = s.req;
+  accrue_busy_time();
+  s.busy = false;
+  s.req = nullptr;
+  s.remaining_work = 0.0;
+  --busy_;
+  ++completed_;
+  if (pending_retire_ > 0) {
+    s.retired = true;
+    ++retired_;
+    --pending_retire_;
+  }
+  on_done_(req);
+}
+
+void WorkStation::set_speed(double speed) {
+  MEMCA_CHECK_MSG(speed > 0.0, "speed must be positive");
+  if (speed == speed_) return;
+  const SimTime now = sim_.now();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (!s.busy) continue;
+    // Progress already made at the old speed.
+    const double elapsed_us = static_cast<double>(now - s.last_update);
+    s.remaining_work = std::max(0.0, s.remaining_work - elapsed_us * speed_);
+    s.last_update = now;
+    s.done.cancel();
+  }
+  speed_ = speed;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].busy) schedule_completion(i);
+  }
+}
+
+}  // namespace memca::queueing

@@ -1,0 +1,87 @@
+// A bank of workers executing work-based service with live speed scaling.
+//
+// Each worker serves one request at a time; the request carries an amount of
+// work (microseconds at speed 1.0) and the station runs at a global speed
+// multiplier. When the speed changes — the MemCA burst throttling the victim
+// tier — remaining work of every in-flight request is re-scaled and its
+// completion event rescheduled. This is what makes a 100 ms capacity dip
+// interact correctly with millisecond-scale services.
+//
+// The station also integrates busy-worker time, which is exactly what an
+// OS-level CPU utilization monitor sees: a memory-stalled core counts as
+// busy, so during a burst utilization shows transient saturation (Fig. 9b)
+// even though throughput has collapsed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "queueing/request.h"
+#include "sim/simulator.h"
+
+namespace memca::queueing {
+
+class WorkStation {
+ public:
+  /// `on_done` fires when a request's service completes; the worker is
+  /// already free when it runs.
+  WorkStation(Simulator& sim, int workers, std::function<void(Request*)> on_done);
+  WorkStation(const WorkStation&) = delete;
+  WorkStation& operator=(const WorkStation&) = delete;
+
+  int workers() const { return static_cast<int>(slots_.size()) - retired_; }
+  int busy() const { return busy_; }
+  bool has_free_worker() const { return busy_ < workers(); }
+
+  /// Adds `n` idle workers (elastic scale-out). The caller is responsible
+  /// for re-pumping its wait queue afterwards.
+  void add_workers(int n);
+
+  /// Retires `n` workers (elastic scale-in). Idle workers retire
+  /// immediately; busy ones finish their current request first, so
+  /// `workers()` may exceed the target transiently.
+  void remove_workers(int n);
+
+  /// Starts serving `req` with `work_us` microseconds of speed-1 work.
+  /// Requires a free worker.
+  void start(Request* req, double work_us);
+
+  /// Changes the station speed (must be > 0); rescales in-flight services.
+  void set_speed(double speed);
+  double speed() const { return speed_; }
+
+  /// Integral of busy workers over time, in worker-microseconds. Divide a
+  /// delta by (workers * window) to get utilization over that window.
+  double busy_worker_time_us() const;
+
+  /// Total services completed.
+  std::int64_t completed() const { return completed_; }
+
+ private:
+  struct Slot {
+    bool busy = false;
+    bool retired = false;
+    Request* req = nullptr;
+    double remaining_work = 0.0;  // microseconds at speed 1.0
+    SimTime last_update = 0;
+    EventHandle done;
+  };
+
+  void accrue_busy_time();
+  void schedule_completion(std::size_t slot_index);
+  void complete(std::size_t slot_index);
+
+  Simulator& sim_;
+  std::function<void(Request*)> on_done_;
+  std::vector<Slot> slots_;
+  double speed_ = 1.0;
+  int busy_ = 0;
+  int retired_ = 0;
+  int pending_retire_ = 0;
+  std::int64_t completed_ = 0;
+  // busy-time integral
+  double busy_time_us_ = 0.0;
+  SimTime busy_last_change_ = 0;
+};
+
+}  // namespace memca::queueing

@@ -1,0 +1,80 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace memca {
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  MEMCA_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  MEMCA_CHECK_MSG(static_cast<bool>(fn), "cannot schedule an empty callback");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
+  MEMCA_CHECK_MSG(delay >= 0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::run_until(SimTime end) {
+  MEMCA_CHECK_MSG(end >= now_, "cannot run backwards");
+  while (!queue_.empty() && queue_.top().time <= end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (*ev.alive) {
+      *ev.alive = false;  // marks it fired so handles report !pending()
+      ++executed_;
+      ev.fn();
+    }
+  }
+  now_ = end;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (*ev.alive) {
+      *ev.alive = false;
+      ++executed_;
+      ev.fn();
+    }
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime period, std::function<void()> fn,
+                           bool fire_immediately)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  MEMCA_CHECK_MSG(period_ > 0, "period must be positive");
+  MEMCA_CHECK_MSG(static_cast<bool>(fn_), "PeriodicTask needs a callback");
+  arm(fire_immediately ? 0 : period_);
+}
+
+void PeriodicTask::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void PeriodicTask::set_period(SimTime period) {
+  MEMCA_CHECK_MSG(period > 0, "period must be positive");
+  period_ = period;
+}
+
+void PeriodicTask::arm(SimTime delay) {
+  next_ = sim_.schedule_in(delay, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm(period_);
+  });
+}
+
+}  // namespace memca

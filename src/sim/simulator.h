@@ -1,0 +1,112 @@
+// Deterministic discrete-event simulator.
+//
+// Single-threaded event loop over a priority queue keyed by (time, sequence
+// number): ties at the same instant fire in scheduling order, which makes
+// every run bit-reproducible. Components schedule closures; an EventHandle
+// lets a holder cancel a pending event (used e.g. to preempt an in-flight
+// service completion when the server's speed changes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace memca {
+
+class Simulator;
+
+/// Cancellation token for a scheduled event. Default-constructed handles are
+/// inert. Cancelling an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call at any time.
+  void cancel();
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or the clock would pass `end`;
+  /// afterwards now() == end (events exactly at `end` do fire).
+  void run_until(SimTime end);
+  /// Runs for `duration` from the current time.
+  void run_for(SimTime duration) { run_until(now_ + duration); }
+  /// Runs until the event queue is fully drained.
+  void run_all();
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+  /// Number of events currently pending (including cancelled-but-unswept).
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Repeats a callback at a fixed period until stopped. The first invocation
+/// happens at `start + period` (or at `start` if fire_immediately).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, SimTime period, std::function<void()> fn,
+               bool fire_immediately = false);
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+  SimTime period() const { return period_; }
+  /// Changes the period; takes effect after the next firing.
+  void set_period(SimTime period);
+
+ private:
+  void arm(SimTime delay);
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void()> fn_;
+  bool running_ = true;
+  EventHandle next_;
+};
+
+}  // namespace memca

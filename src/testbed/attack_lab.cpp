@@ -1,0 +1,76 @@
+#include "testbed/attack_lab.h"
+
+namespace memca::testbed {
+
+AttackLabResult run_attack_lab(const AttackLabConfig& config) {
+  RubbosTestbed bed(config.testbed);
+  bed.start();
+
+  AttackLabResult result;
+  std::unique_ptr<core::MemcaAttack> attack;
+  if (config.attack_enabled) {
+    core::MemcaConfig memca;
+    memca.enable_controller = false;
+    memca.params = config.params;
+    memca.interval_jitter = config.jitter;
+    attack = bed.make_attack(memca);
+    attack->start();
+    bed.sim().run_for(0);  // the first burst is ON now
+    result.d_on = bed.coupling().capacity_multiplier();
+  }
+  bed.sim().run_for(config.duration);
+  if (attack) {
+    result.bursts = attack->scheduler().bursts_fired();
+    attack->stop();
+  }
+
+  const auto& rt = bed.clients().response_times();
+  result.client_p50 = rt.quantile(0.50);
+  result.client_p95 = rt.quantile(0.95);
+  result.client_p98 = rt.quantile(0.98);
+  result.client_p99 = rt.quantile(0.99);
+  for (std::size_t i = 0; i < bed.system().num_tiers(); ++i) {
+    result.tier_p95.push_back(bed.system().tier(i).residence_time().quantile(0.95));
+  }
+  result.throughput = bed.clients().throughput();
+  result.drops = bed.clients().dropped_attempts();
+  const double attempts =
+      static_cast<double>(bed.clients().completed() + bed.clients().dropped_attempts());
+  result.drop_fraction =
+      attempts > 0 ? static_cast<double>(result.drops) / attempts : 0.0;
+
+  const TimeSeries& cpu = bed.mysql_cpu().series();
+  result.cpu_mean = cpu.mean();
+  result.cpu_max_50ms = cpu.max();
+  result.cpu_max_1s = cpu.resample_mean(sec(std::int64_t{1})).max();
+  result.cpu_max_1min = cpu.resample_mean(kMinute).max();
+  result.autoscaler_triggered =
+      monitor::evaluate_autoscaler(cpu, monitor::AutoScalerConfig{}).triggered;
+
+  // Mean contiguous saturation run (>98% busy windows).
+  double sat_sum = 0.0;
+  int sat_runs = 0;
+  int run_len = 0;
+  for (const Sample& s : cpu.samples()) {
+    if (s.value > 0.98) {
+      ++run_len;
+    } else if (run_len > 0) {
+      sat_sum += static_cast<double>(run_len) * to_seconds(bed.config().fine_granularity);
+      ++sat_runs;
+      run_len = 0;
+    }
+  }
+  if (sat_runs > 0) result.mean_saturation_s = sat_sum / sat_runs;
+
+  if (config.attack_enabled) {
+    core::AttackModelInputs inputs;
+    inputs.tiers = bed.model_params();
+    inputs.degradation_index = result.d_on;
+    inputs.burst_length = config.params.burst_length;
+    inputs.burst_interval = config.params.burst_interval;
+    result.model = core::evaluate_attack_model(inputs);
+  }
+  return result;
+}
+
+}  // namespace memca::testbed

@@ -1,0 +1,52 @@
+// Measurement harness shared by the figure benches: runs a configured
+// attack against a fresh testbed and collects the metrics the paper's
+// evaluation reports (percentile RTs, drop fractions, CPU series, burst
+// telemetry, analytic-model predictions for the same run).
+#pragma once
+
+#include <memory>
+
+#include "core/analytic_model.h"
+#include "monitor/autoscaler.h"
+#include "monitor/detector.h"
+#include "testbed/rubbos_testbed.h"
+
+namespace memca::testbed {
+
+struct AttackLabConfig {
+  TestbedConfig testbed;
+  core::AttackParams params;
+  /// Interval jitter passed to the burst scheduler.
+  double jitter = 0.0;
+  SimTime duration = 3 * kMinute;
+  bool attack_enabled = true;
+};
+
+struct AttackLabResult {
+  /// Degradation index observed while a burst is ON.
+  double d_on = 1.0;
+  /// Client response-time quantiles (µs).
+  SimTime client_p50 = 0, client_p95 = 0, client_p98 = 0, client_p99 = 0;
+  /// Per-tier p95 residence times, front first (µs).
+  std::vector<SimTime> tier_p95;
+  double throughput = 0.0;
+  std::int64_t drops = 0;
+  double drop_fraction = 0.0;
+  /// MySQL CPU utilization statistics.
+  double cpu_mean = 0.0;
+  double cpu_max_50ms = 0.0;
+  double cpu_max_1s = 0.0;
+  double cpu_max_1min = 0.0;
+  bool autoscaler_triggered = false;
+  /// Mean contiguous MySQL CPU saturation length, seconds (the measured
+  /// millibottleneck), 0 if none observed.
+  double mean_saturation_s = 0.0;
+  /// Analytic prediction for the same run (valid when attack_enabled).
+  core::AttackModelOutputs model;
+  std::int64_t bursts = 0;
+};
+
+/// Runs one experiment cell. Deterministic given config.testbed.seed.
+AttackLabResult run_attack_lab(const AttackLabConfig& config);
+
+}  // namespace memca::testbed

@@ -1,0 +1,128 @@
+#include "testbed/rubbos_testbed.h"
+
+#include "common/check.h"
+
+namespace memca::testbed {
+
+const char* to_string(CloudProfile profile) {
+  switch (profile) {
+    case CloudProfile::kPrivateCloud:
+      return "private-cloud";
+    case CloudProfile::kAmazonEc2:
+      return "amazon-ec2";
+  }
+  return "?";
+}
+
+namespace {
+cloud::HostSpec host_spec_for(CloudProfile profile) {
+  return profile == CloudProfile::kPrivateCloud ? cloud::xeon_e5_2603_v3()
+                                                : cloud::ec2_dedicated_node();
+}
+}  // namespace
+
+RubbosTestbed::RubbosTestbed(TestbedConfig config)
+    : config_(config), root_rng_(config.seed), profile_(workload::rubbos_profile()) {
+  MEMCA_CHECK_MSG(config_.num_users > 0, "testbed needs users");
+  MEMCA_CHECK_MSG(config_.target_tier >= 0 && config_.target_tier < 3,
+                  "target tier must name one of the three tiers");
+  MEMCA_CHECK_MSG(config_.background_neighbors >= 0, "neighbor count must be non-negative");
+
+  const std::vector<queueing::TierConfig> tier_configs = {config_.apache, config_.tomcat,
+                                                          config_.mysql};
+
+  // One dedicated host per tier (the paper's Fig. 8 topology).
+  for (std::size_t i = 0; i < tier_configs.size(); ++i) {
+    hosts_.push_back(std::make_unique<cloud::Host>(host_spec_for(config_.cloud)));
+    const cloud::VmId vm = hosts_.back()->add_vm(
+        cloud::VmSpec{tier_configs[i].name + "-vm", tier_configs[i].workers,
+                      cloud::Placement::kPinnedPackage, 0});
+    if (static_cast<int>(i) == config_.target_tier) target_vm_ = vm;
+  }
+  // The adversary rents a VM co-located on the target tier's host, same
+  // package — the co-location step itself is out of scope (Section II-B).
+  adversary_vm_ = target_host().add_vm(cloud::VmSpec{
+      "adversary-vm", config_.adversary_vcpus, cloud::Placement::kPinnedPackage, 0});
+  // Optional multi-tenant noise on the same host.
+  for (int i = 0; i < config_.background_neighbors; ++i) {
+    const cloud::VmId vm = target_host().add_vm(cloud::VmSpec{
+        "neighbor-" + std::to_string(i), 1, cloud::Placement::kPinnedPackage, 0});
+    neighbors_.push_back(std::make_unique<cloud::NoisyNeighbor>(
+        sim_, target_host(), vm, config_.neighbor_profile,
+        root_rng_.fork("neighbor-" + std::to_string(i))));
+  }
+
+  system_ = std::make_unique<queueing::NTierSystem>(sim_, tier_configs);
+  MEMCA_CHECK_MSG(system_->satisfies_condition1(),
+                  "testbed calibration must satisfy Condition 1");
+
+  // Cross-resource coupling: target-host memory contention throttles the
+  // target tier's service speed (C_on = D * C_off).
+  cloud::CrossResourceParams coupling_params;
+  coupling_params.victim_demand_gbps = config_.target_bandwidth_demand_gbps;
+  coupling_ = std::make_unique<cloud::CrossResourceModel>(target_host(), target_vm_,
+                                                          coupling_params);
+  coupling_->on_multiplier_change(
+      [this](double multiplier) { target_tier().set_speed_multiplier(multiplier); });
+
+  router_ = std::make_unique<workload::RequestRouter>(*system_);
+
+  workload::ClientConfig client_config;
+  client_config.num_users = config_.num_users;
+  client_config.stats_warmup = config_.stats_warmup;
+  clients_ = std::make_unique<workload::ClosedLoopClients>(
+      sim_, *router_, profile_, client_config, root_rng_.fork("clients"));
+
+  target_cpu_ = std::make_unique<monitor::UtilizationSampler>(
+      sim_, [this] { return target_tier().busy_worker_time_us(); },
+      std::function<int()>([this] { return target_tier().workers(); }),
+      config_.fine_granularity);
+  for (std::size_t i = 0; i < system_->num_tiers(); ++i) {
+    queue_gauges_.push_back(std::make_unique<monitor::GaugeSampler>(
+        sim_, [this, i] { return static_cast<double>(system_->tier(i).resident()); },
+        config_.fine_granularity));
+  }
+}
+
+void RubbosTestbed::start() {
+  MEMCA_CHECK_MSG(!started_, "testbed already started");
+  started_ = true;
+  clients_->start();
+  target_cpu_->start();
+  for (auto& gauge : queue_gauges_) gauge->start();
+  for (auto& neighbor : neighbors_) neighbor->start();
+}
+
+cloud::Host& RubbosTestbed::host(std::size_t tier) {
+  MEMCA_CHECK(tier < hosts_.size());
+  return *hosts_[tier];
+}
+
+monitor::GaugeSampler& RubbosTestbed::queue_gauge(std::size_t tier) {
+  MEMCA_CHECK(tier < queue_gauges_.size());
+  return *queue_gauges_[tier];
+}
+
+std::unique_ptr<core::MemcaAttack> RubbosTestbed::make_attack(core::MemcaConfig config) {
+  return std::make_unique<core::MemcaAttack>(sim_, target_host(), adversary_vm_, *router_,
+                                             std::move(config), root_rng_.fork("memca"));
+}
+
+std::vector<core::TierModelParams> RubbosTestbed::model_params() const {
+  // λ_i in the paper is the traffic *terminating* at tier i. In the RUBBoS
+  // workload every request traverses all three tiers, so all legitimate
+  // traffic terminates at MySQL: λ_mysql = N / Z (closed-loop approximation
+  // with think time Z), upstream λ_i = 0.
+  const double lambda =
+      static_cast<double>(config_.num_users) / to_seconds(profile_.think_time_mean);
+  auto capacity = [this](const queueing::TierConfig& tier, std::size_t index) {
+    return static_cast<double>(tier.workers) * 1e6 / profile_.mean_demand_us(index);
+  };
+  std::vector<core::TierModelParams> params(3);
+  params[0] = {static_cast<double>(config_.apache.threads), capacity(config_.apache, 0), 0.0};
+  params[1] = {static_cast<double>(config_.tomcat.threads), capacity(config_.tomcat, 1), 0.0};
+  params[2] = {static_cast<double>(config_.mysql.threads), capacity(config_.mysql, 2), lambda};
+  return params;
+}
+
+}  // namespace memca::testbed

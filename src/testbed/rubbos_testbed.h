@@ -1,0 +1,137 @@
+// One-call construction of the paper's full evaluation scenario (Fig. 8):
+//
+//   3 hosts, one per tier; the host of the *target tier* (MySQL by default)
+//   additionally carries the co-located adversary VM and, optionally,
+//   noisy-neighbor tenant VMs. A CrossResourceModel couples that host's
+//   memory contention into the target tier's service speed. 3500
+//   closed-loop RUBBoS users drive the 3-tier system; fine-grained (50 ms)
+//   monitors sample the target tier's CPU utilization and per-tier queue
+//   lengths.
+//
+// Used by the examples, the figure benches and the integration tests, so
+// every consumer sees the same calibration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/background.h"
+#include "cloud/contention.h"
+#include "cloud/host.h"
+#include "core/analytic_model.h"
+#include "core/memca.h"
+#include "monitor/sampler.h"
+#include "queueing/ntier.h"
+#include "workload/clients.h"
+#include "workload/profile.h"
+#include "workload/router.h"
+
+namespace memca::testbed {
+
+enum class CloudProfile {
+  /// The paper's private OpenStack/KVM cloud (Xeon E5-2603 v3 hosts).
+  kPrivateCloud,
+  /// Amazon EC2 dedicated nodes (two ten-core E5-2680, c3.large VMs).
+  kAmazonEc2,
+};
+
+const char* to_string(CloudProfile profile);
+
+struct TestbedConfig {
+  CloudProfile cloud = CloudProfile::kAmazonEc2;
+  int num_users = 3500;
+  /// Tier thread limits and vCPUs (paper Condition 1: decreasing threads).
+  queueing::TierConfig apache{"apache", 100, 8};
+  queueing::TierConfig tomcat{"tomcat", 60, 6};
+  queueing::TierConfig mysql{"mysql", 30, 2};
+  /// Which tier the adversary co-locates with (2 = MySQL, the paper's
+  /// setup; 0/1 for the target-position ablation).
+  int target_tier = 2;
+  /// Memory bandwidth the target tier's VM needs at full capacity, GB/s
+  /// (sets how deep a memory attack cuts: D = achieved / needed).
+  double target_bandwidth_demand_gbps = 12.0;
+  /// vCPUs of the rented adversary VM (bus-saturation pressure scales with
+  /// it; the lock kernel needs only one core).
+  int adversary_vcpus = 1;
+  /// Extra multi-tenant neighbor VMs on the target host, each running an
+  /// ON-OFF noisy memory workload.
+  int background_neighbors = 0;
+  cloud::NoisyNeighborConfig neighbor_profile;
+  /// Fine monitoring granularity (the paper's 50 ms tooling).
+  SimTime fine_granularity = msec(50);
+  /// Statistics warm-up: client RTs before this are discarded.
+  SimTime stats_warmup = sec(std::int64_t{10});
+  std::uint64_t seed = 42;
+};
+
+class RubbosTestbed {
+ public:
+  explicit RubbosTestbed(TestbedConfig config = {});
+  RubbosTestbed(const RubbosTestbed&) = delete;
+  RubbosTestbed& operator=(const RubbosTestbed&) = delete;
+
+  /// Starts clients, monitors and background neighbors. Call once, then run
+  /// the simulator.
+  void start();
+
+  Simulator& sim() { return sim_; }
+  queueing::NTierSystem& system() { return *system_; }
+  workload::RequestRouter& router() { return *router_; }
+  workload::ClosedLoopClients& clients() { return *clients_; }
+  const workload::WorkloadProfile& profile() const { return profile_; }
+
+  /// The host carrying the target-tier VM and the adversary VM.
+  cloud::Host& target_host() { return *hosts_[static_cast<std::size_t>(config_.target_tier)]; }
+  cloud::Host& host(std::size_t tier);
+  cloud::VmId target_vm() const { return target_vm_; }
+  cloud::VmId adversary_vm() const { return adversary_vm_; }
+  queueing::TierServer& target_tier() {
+    return system_->tier(static_cast<std::size_t>(config_.target_tier));
+  }
+  cloud::CrossResourceModel& coupling() { return *coupling_; }
+
+  /// Compatibility aliases for the default (MySQL-targeted) topology.
+  cloud::Host& mysql_host() { return target_host(); }
+  cloud::VmId mysql_vm() const { return target_vm_; }
+
+  /// Fine-grained target-tier CPU utilization (50 ms windows).
+  monitor::UtilizationSampler& mysql_cpu() { return *target_cpu_; }
+  monitor::UtilizationSampler& target_cpu() { return *target_cpu_; }
+  /// Fine-grained queue-length gauges, one per tier (front first).
+  monitor::GaugeSampler& queue_gauge(std::size_t tier);
+
+  /// Builds a MemCA attack against this testbed (adversary VM + router
+  /// already wired). Caller owns it.
+  std::unique_ptr<core::MemcaAttack> make_attack(core::MemcaConfig config);
+
+  /// Analytic-model inputs matching this calibration (for model-vs-sim
+  /// comparisons): per-tier Q, C_OFF, λ.
+  std::vector<core::TierModelParams> model_params() const;
+
+  const TestbedConfig& config() const { return config_; }
+  /// Fresh RNG stream derived from the testbed seed.
+  Rng fork_rng(std::string_view label) const { return root_rng_.fork(label); }
+
+ private:
+  TestbedConfig config_;
+  Simulator sim_;
+  Rng root_rng_;
+  workload::WorkloadProfile profile_;
+
+  std::vector<std::unique_ptr<cloud::Host>> hosts_;
+  cloud::VmId target_vm_ = cloud::kInvalidVm;
+  cloud::VmId adversary_vm_ = cloud::kInvalidVm;
+  std::unique_ptr<cloud::CrossResourceModel> coupling_;
+  std::vector<std::unique_ptr<cloud::NoisyNeighbor>> neighbors_;
+
+  std::unique_ptr<queueing::NTierSystem> system_;
+  std::unique_ptr<workload::RequestRouter> router_;
+  std::unique_ptr<workload::ClosedLoopClients> clients_;
+
+  std::unique_ptr<monitor::UtilizationSampler> target_cpu_;
+  std::vector<std::unique_ptr<monitor::GaugeSampler>> queue_gauges_;
+  bool started_ = false;
+};
+
+}  // namespace memca::testbed

@@ -1,0 +1,105 @@
+#include "workload/clients.h"
+
+#include "common/check.h"
+
+namespace memca::workload {
+
+ClosedLoopClients::ClosedLoopClients(Simulator& sim, RequestRouter& router,
+                                     WorkloadProfile profile, ClientConfig config, Rng rng)
+    : sim_(sim),
+      router_(router),
+      profile_(std::move(profile)),
+      chain_(profile_.transitions, profile_.initial),
+      config_(config),
+      rng_(std::move(rng)),
+      users_(static_cast<std::size_t>(config.num_users)) {
+  MEMCA_CHECK_MSG(config_.num_users > 0, "need at least one user");
+  MEMCA_CHECK_MSG(config_.min_rto > 0, "min RTO must be positive");
+  MEMCA_CHECK_MSG(config_.max_retries >= 0, "max_retries must be non-negative");
+  profile_.validate();
+  MEMCA_CHECK_MSG(profile_.num_tiers() == router_.depth(),
+                  "profile tier count must match the target system");
+  source_ = router_.register_source([this](const queueing::Request& r) { on_complete(r); },
+                                    [this](const queueing::Request& r) { on_drop(r); });
+}
+
+void ClosedLoopClients::start() {
+  MEMCA_CHECK_MSG(!started_, "clients already started");
+  started_ = true;
+  start_time_ = sim_.now();
+  for (int u = 0; u < config_.num_users; ++u) {
+    users_[static_cast<std::size_t>(u)].page = chain_.initial_state(rng_);
+    // Uniform initial offset over one think period spreads arrivals out.
+    const SimTime offset =
+        static_cast<SimTime>(rng_.uniform(0.0, to_seconds(profile_.think_time_mean)) *
+                             static_cast<double>(kSecond));
+    sim_.schedule_in(offset, [this, u] {
+      User& user = users_[static_cast<std::size_t>(u)];
+      send_request(u, user.page, sim_.now(), 0);
+    });
+  }
+}
+
+void ClosedLoopClients::schedule_think(int user) {
+  const SimTime think = rng_.exponential_time(profile_.think_time_mean);
+  sim_.schedule_in(think, [this, user] {
+    User& u = users_[static_cast<std::size_t>(user)];
+    u.page = chain_.next(u.page, rng_);
+    send_request(user, u.page, sim_.now(), 0);
+  });
+}
+
+void ClosedLoopClients::send_request(int user, int page, SimTime first_sent, int attempt) {
+  User& u = users_[static_cast<std::size_t>(user)];
+  u.busy = true;
+  auto req = router_.make_request(source_);
+  req->user = user;
+  req->page_class = page;
+  req->attempt = attempt;
+  req->first_sent = first_sent;
+  req->sent = sim_.now();
+  req->demand_us = profile_.sample_demands(page, rng_);
+  router_.submit(std::move(req));
+}
+
+void ClosedLoopClients::on_complete(const queueing::Request& req) {
+  User& u = users_[static_cast<std::size_t>(req.user)];
+  u.busy = false;
+  ++completed_;
+  if (req.attempt > 0) ++retransmitted_completions_;
+  const SimTime rt = sim_.now() - req.first_sent;
+  if (sim_.now() >= config_.stats_warmup) {
+    response_times_.record(rt);
+    response_series_.append(sim_.now(), static_cast<double>(rt));
+    recent_.record(sim_.now(), rt);
+  }
+  schedule_think(req.user);
+}
+
+void ClosedLoopClients::on_drop(const queueing::Request& req) {
+  ++dropped_attempts_;
+  if (req.attempt >= config_.max_retries) {
+    // Abandon: the user gives up on this page and thinks again.
+    ++failed_;
+    users_[static_cast<std::size_t>(req.user)].busy = false;
+    schedule_think(req.user);
+    return;
+  }
+  // RFC 6298: RTO floor of 1 s, exponential backoff per retry.
+  const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt);
+  const int user = req.user;
+  const int page = req.page_class;
+  const SimTime first_sent = req.first_sent;
+  const int next_attempt = req.attempt + 1;
+  sim_.schedule_in(rto, [this, user, page, first_sent, next_attempt] {
+    send_request(user, page, first_sent, next_attempt);
+  });
+}
+
+double ClosedLoopClients::throughput() const {
+  const SimTime elapsed = sim_.now() - start_time_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(completed_) / to_seconds(elapsed);
+}
+
+}  // namespace memca::workload

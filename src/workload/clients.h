@@ -1,0 +1,100 @@
+// Closed-loop client population with TCP retransmission semantics.
+//
+// Reproduces the paper's RUBBoS workload generator: N concurrent users, each
+// navigating page classes through a Markov chain with exponentially
+// distributed think time (mean 7 s) between consecutive requests.
+//
+// TCP behaviour on a front-tier drop follows RFC 6298's floor: the client
+// retransmits after max(1 s, backoff), doubling per retry. The *client-
+// observed* response time spans the first transmission to the final
+// completion — this is the 1 s+ tail the paper's Fig. 2/9d measures, and
+// the reason finite front-tier queues amplify the tail so dramatically.
+#pragma once
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/timeseries.h"
+#include "common/windowed_quantile.h"
+#include "sim/simulator.h"
+#include "workload/markov.h"
+#include "workload/profile.h"
+#include "workload/router.h"
+
+namespace memca::workload {
+
+struct ClientConfig {
+  int num_users = 3500;
+  /// RFC 6298 minimum retransmission timeout.
+  SimTime min_rto = sec(std::int64_t{1});
+  /// Give up after this many retransmissions (the request counts as failed).
+  int max_retries = 6;
+  /// Response times before this instant are not recorded (warm-up).
+  SimTime stats_warmup = 0;
+};
+
+class ClosedLoopClients {
+ public:
+  ClosedLoopClients(Simulator& sim, RequestRouter& router, WorkloadProfile profile,
+                    ClientConfig config, Rng rng);
+  ClosedLoopClients(const ClosedLoopClients&) = delete;
+  ClosedLoopClients& operator=(const ClosedLoopClients&) = delete;
+
+  /// Launches all users; each issues its first request after a uniformly
+  /// random initial think (desynchronises the population).
+  void start();
+
+  // -- statistics ----------------------------------------------------------
+  /// End-to-end (first send -> completion) response times, post-warmup.
+  const LatencyHistogram& response_times() const { return response_times_; }
+  /// (completion time, response time µs) samples, post-warmup (Fig. 9d).
+  const TimeSeries& response_series() const { return response_series_; }
+  /// Quantile of response times over roughly the last 30 seconds — the
+  /// live SLO-dashboard view of the client experience.
+  SimTime recent_quantile(double q) const { return recent_.quantile(sim_.now(), q); }
+  std::int64_t completed() const { return completed_; }
+  /// Front-tier drops observed (each triggers a retransmission).
+  std::int64_t dropped_attempts() const { return dropped_attempts_; }
+  /// Requests abandoned after max_retries.
+  std::int64_t failed() const { return failed_; }
+  /// Completed requests that needed at least one retransmission.
+  std::int64_t retransmitted_completions() const { return retransmitted_completions_; }
+  /// Observed throughput since start, requests/second.
+  double throughput() const;
+
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  struct User {
+    int page = 0;
+    /// Page class and demands of the attempt currently in flight.
+    bool busy = false;
+  };
+
+  void schedule_think(int user);
+  void send_request(int user, int page, SimTime first_sent, int attempt);
+  void on_complete(const queueing::Request& req);
+  void on_drop(const queueing::Request& req);
+
+  Simulator& sim_;
+  RequestRouter& router_;
+  WorkloadProfile profile_;
+  MarkovChain chain_;
+  ClientConfig config_;
+  Rng rng_;
+  int source_ = -1;
+  std::vector<User> users_;
+  bool started_ = false;
+  SimTime start_time_ = 0;
+
+  LatencyHistogram response_times_;
+  TimeSeries response_series_;
+  WindowedQuantile recent_{sec(std::int64_t{10}), 3};
+  std::int64_t completed_ = 0;
+  std::int64_t dropped_attempts_ = 0;
+  std::int64_t failed_ = 0;
+  std::int64_t retransmitted_completions_ = 0;
+};
+
+}  // namespace memca::workload

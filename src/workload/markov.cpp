@@ -1,0 +1,46 @@
+#include "workload/markov.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace memca::workload {
+
+MarkovChain::MarkovChain(std::vector<std::vector<double>> transitions,
+                         std::vector<double> initial)
+    : transitions_(std::move(transitions)), initial_(std::move(initial)) {
+  MEMCA_CHECK_MSG(!transitions_.empty(), "chain needs at least one state");
+  for (const auto& row : transitions_) {
+    MEMCA_CHECK_MSG(row.size() == transitions_.size(), "transition matrix must be square");
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    MEMCA_CHECK_MSG(std::abs(sum - 1.0) < 1e-9, "transition rows must sum to 1");
+  }
+  MEMCA_CHECK_MSG(initial_.size() == transitions_.size(), "initial distribution size mismatch");
+}
+
+int MarkovChain::initial_state(Rng& rng) const {
+  return static_cast<int>(rng.weighted_index(initial_));
+}
+
+int MarkovChain::next(int current, Rng& rng) const {
+  MEMCA_CHECK(current >= 0 && current < static_cast<int>(transitions_.size()));
+  return static_cast<int>(rng.weighted_index(transitions_[static_cast<std::size_t>(current)]));
+}
+
+std::vector<double> MarkovChain::stationary(int iterations) const {
+  const std::size_t n = transitions_.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) next[j] += pi[i] * transitions_[i][j];
+    }
+    pi.swap(next);
+  }
+  return pi;
+}
+
+}  // namespace memca::workload

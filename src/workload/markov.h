@@ -1,0 +1,31 @@
+// Discrete Markov chain for user navigation between page classes.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace memca::workload {
+
+class MarkovChain {
+ public:
+  /// `transitions[i][j]` = P(next = j | current = i); `initial` is the
+  /// distribution of a fresh session's first state. Rows must sum to 1.
+  MarkovChain(std::vector<std::vector<double>> transitions, std::vector<double> initial);
+
+  std::size_t num_states() const { return transitions_.size(); }
+  /// Samples a fresh session's first state.
+  int initial_state(Rng& rng) const;
+  /// Samples the successor of `current`.
+  int next(int current, Rng& rng) const;
+
+  /// Stationary distribution by power iteration (chains used here are
+  /// irreducible and aperiodic; iteration converges fast).
+  std::vector<double> stationary(int iterations = 200) const;
+
+ private:
+  std::vector<std::vector<double>> transitions_;
+  std::vector<double> initial_;
+};
+
+}  // namespace memca::workload

@@ -1,0 +1,85 @@
+// MemCA-BE's prober (Section IV-C, Fig. 8).
+//
+// Periodically sends a lightweight HTTP request to the target system and
+// records its response time. The commander reads windowed percentiles off
+// this stream to steer the attack parameters — the attacker has no inside
+// visibility into the target, so this is its only damage sensor.
+//
+// A dropped probe retransmits after the minimum RTO (1 s), exactly like a
+// legitimate client's TCP stack, so the prober's latency distribution
+// matches what real users experience — including the 1 s+ retransmission
+// tail that is the attack's damage signal.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.h"
+#include "common/timeseries.h"
+#include "sim/simulator.h"
+#include "workload/router.h"
+
+namespace memca::workload {
+
+struct ProberConfig {
+  /// Probe period.
+  SimTime period = msec(200);
+  /// Per-tier demand of one probe, microseconds (a lightweight page).
+  std::vector<double> demand_us = {100.0, 200.0, 300.0};
+  /// RFC 6298 minimum RTO for probe retransmission.
+  SimTime min_rto = sec(std::int64_t{1});
+  /// Retransmissions before a probe is abandoned.
+  int max_retries = 2;
+  /// Value recorded for an abandoned probe.
+  SimTime drop_penalty = sec(std::int64_t{3});
+  /// How many recent observations to keep for windowed statistics.
+  std::size_t window_capacity = 4096;
+};
+
+class Prober {
+ public:
+  Prober(Simulator& sim, RequestRouter& router, ProberConfig config, Rng rng);
+  Prober(const Prober&) = delete;
+  Prober& operator=(const Prober&) = delete;
+
+  void start();
+  void stop();
+
+  /// Quantile of probe response times observed in the last `window`
+  /// (0 if no observations).
+  SimTime quantile_in_window(double q, SimTime window) const;
+  /// Mean probe response time in the last `window` (0 if none).
+  double mean_in_window(SimTime window) const;
+  /// Observations in the last `window`.
+  std::size_t observations_in_window(SimTime window) const;
+  /// Dropped probes in the last `window`.
+  std::size_t drops_in_window(SimTime window) const;
+
+  std::int64_t probes_sent() const { return sent_; }
+  std::int64_t probes_dropped() const { return dropped_; }
+  const TimeSeries& observations() const { return series_; }
+
+ private:
+  struct Observation {
+    SimTime time;
+    SimTime rt;
+    bool dropped;
+  };
+
+  void send_probe();
+  void transmit(SimTime first_sent, int attempt);
+  void record(SimTime rt, bool dropped);
+
+  Simulator& sim_;
+  RequestRouter& router_;
+  ProberConfig config_;
+  Rng rng_;
+  int source_ = -1;
+  std::unique_ptr<PeriodicTask> task_;
+
+  std::deque<Observation> window_;
+  TimeSeries series_;
+  std::int64_t sent_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace memca::workload

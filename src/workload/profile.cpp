@@ -1,0 +1,89 @@
+#include "workload/profile.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "workload/markov.h"
+
+namespace memca::workload {
+
+std::vector<double> WorkloadProfile::sample_demands(int page, Rng& rng) const {
+  MEMCA_CHECK(page >= 0 && page < static_cast<int>(pages.size()));
+  const PageProfile& p = pages[static_cast<std::size_t>(page)];
+  std::vector<double> out;
+  out.reserve(p.demand_mean_us.size());
+  for (double mean : p.demand_mean_us) out.push_back(rng.exponential(mean));
+  return out;
+}
+
+double WorkloadProfile::mean_demand_us(std::size_t tier) const {
+  MEMCA_CHECK(tier < num_tiers());
+  MarkovChain chain(transitions, initial);
+  const std::vector<double> pi = chain.stationary();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    mean += pi[i] * pages[i].demand_mean_us[tier];
+  }
+  return mean;
+}
+
+void WorkloadProfile::validate() const {
+  MEMCA_CHECK_MSG(!pages.empty(), "profile needs at least one page");
+  const std::size_t tiers = pages[0].demand_mean_us.size();
+  MEMCA_CHECK_MSG(tiers > 0, "pages need at least one tier demand");
+  for (const PageProfile& p : pages) {
+    MEMCA_CHECK_MSG(p.demand_mean_us.size() == tiers, "all pages must cover the same tiers");
+    for (double d : p.demand_mean_us) MEMCA_CHECK_MSG(d > 0.0, "demands must be positive");
+  }
+  MEMCA_CHECK_MSG(transitions.size() == pages.size(), "transition matrix must be square");
+  for (const auto& row : transitions) {
+    MEMCA_CHECK_MSG(row.size() == pages.size(), "transition matrix must be square");
+    double sum = 0.0;
+    for (double p : row) {
+      MEMCA_CHECK_MSG(p >= 0.0, "transition probabilities must be non-negative");
+      sum += p;
+    }
+    MEMCA_CHECK_MSG(std::abs(sum - 1.0) < 1e-9, "transition rows must sum to 1");
+  }
+  MEMCA_CHECK_MSG(initial.size() == pages.size(), "initial distribution size mismatch");
+  MEMCA_CHECK_MSG(think_time_mean > 0, "think time must be positive");
+}
+
+WorkloadProfile rubbos_profile() {
+  WorkloadProfile p;
+  //                     name                 Apache  Tomcat  MySQL   (us)
+  p.pages = {
+      PageProfile{"StoriesOfTheDay", {200.0, 800.0, 1250.0}},
+      PageProfile{"ViewStory", {200.0, 1000.0, 1800.0}},
+      PageProfile{"ViewComment", {150.0, 900.0, 1650.0}},
+      PageProfile{"BrowseCategories", {150.0, 700.0, 1000.0}},
+      PageProfile{"Search", {250.0, 1500.0, 2900.0}},
+      PageProfile{"PostComment", {300.0, 1800.0, 2450.0}},
+  };
+  // Browse-heavy navigation, modelled on the default RUBBoS read-mostly mix
+  // (~10% writes).            SotD   View   Cmnt   Brws   Srch   Post
+  p.transitions = {
+      /*StoriesOfTheDay*/ {0.10, 0.45, 0.10, 0.15, 0.15, 0.05},
+      /*ViewStory      */ {0.20, 0.20, 0.30, 0.10, 0.10, 0.10},
+      /*ViewComment    */ {0.15, 0.25, 0.25, 0.10, 0.10, 0.15},
+      /*BrowseCategories*/{0.15, 0.40, 0.10, 0.20, 0.10, 0.05},
+      /*Search         */ {0.10, 0.50, 0.10, 0.10, 0.15, 0.05},
+      /*PostComment    */ {0.30, 0.30, 0.20, 0.10, 0.05, 0.05},
+  };
+  p.initial = {0.50, 0.15, 0.05, 0.20, 0.08, 0.02};
+  p.think_time_mean = sec(std::int64_t{7});
+  p.validate();
+  return p;
+}
+
+WorkloadProfile uniform_profile(std::vector<double> demand_mean_us, SimTime think_time_mean) {
+  WorkloadProfile p;
+  p.pages = {PageProfile{"uniform", std::move(demand_mean_us)}};
+  p.transitions = {{1.0}};
+  p.initial = {1.0};
+  p.think_time_mean = think_time_mean;
+  p.validate();
+  return p;
+}
+
+}  // namespace memca::workload

@@ -1,0 +1,57 @@
+// Workload profiles: page classes, per-tier service demands, navigation.
+//
+// Mirrors the RUBBoS benchmark the paper evaluates on: a news site modelled
+// after Slashdot, where each user session follows a Markov chain over page
+// types and each page type has a characteristic per-tier service demand
+// (Apache does cheap static work, Tomcat renders, MySQL dominates).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace memca::workload {
+
+struct PageProfile {
+  std::string name;
+  /// Mean service demand per tier, microseconds at speed 1.0.
+  std::vector<double> demand_mean_us;
+};
+
+struct WorkloadProfile {
+  std::vector<PageProfile> pages;
+  /// Markov transition matrix: transitions[i][j] = P(next = j | current = i).
+  std::vector<std::vector<double>> transitions;
+  /// Initial page distribution for a fresh session.
+  std::vector<double> initial;
+  /// Mean think time between consecutive requests of one user.
+  SimTime think_time_mean = sec(std::int64_t{7});
+
+  std::size_t num_pages() const { return pages.size(); }
+  std::size_t num_tiers() const { return pages.empty() ? 0 : pages[0].demand_mean_us.size(); }
+
+  /// Samples the per-tier work of one request of class `page`
+  /// (exponentially distributed around the page's means).
+  std::vector<double> sample_demands(int page, Rng& rng) const;
+
+  /// Mean demand of the stationary page mix at `tier` (used to calibrate
+  /// tier capacities analytically).
+  double mean_demand_us(std::size_t tier) const;
+
+  /// Validates shapes and row sums; aborts on inconsistency.
+  void validate() const;
+};
+
+/// The RUBBoS-like 3-tier profile used throughout the reproduction
+/// (Apache -> Tomcat -> MySQL demands, browse-heavy Markov mix, 7 s think).
+WorkloadProfile rubbos_profile();
+
+/// A minimal single-page profile with the given per-tier means (tests and
+/// model-validation benches, where a fixed-class stream is easier to reason
+/// about analytically).
+WorkloadProfile uniform_profile(std::vector<double> demand_mean_us,
+                                SimTime think_time_mean = sec(std::int64_t{7}));
+
+}  // namespace memca::workload

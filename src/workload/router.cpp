@@ -1,0 +1,49 @@
+#include "workload/router.h"
+
+namespace memca::workload {
+
+namespace {
+// Ids are allocated as (serial << 8) | source, so the router can dispatch a
+// completion to its source without growing the Request struct.
+constexpr int kSourceBits = 8;
+constexpr queueing::Request::Id kSourceMask = (queueing::Request::Id{1} << kSourceBits) - 1;
+}  // namespace
+
+RequestRouter::RequestRouter(queueing::RequestSystem& system) : system_(system) {
+  system_.set_on_complete([this](const queueing::Request& r) {
+    const auto source = static_cast<std::size_t>(r.id & kSourceMask);
+    MEMCA_CHECK_MSG(source < sources_.size(), "completion for unregistered source");
+    for (const auto& observer : completion_observers_) observer(r);
+    if (sources_[source].on_complete) sources_[source].on_complete(r);
+  });
+  system_.set_on_drop([this](const queueing::Request& r) {
+    const auto source = static_cast<std::size_t>(r.id & kSourceMask);
+    MEMCA_CHECK_MSG(source < sources_.size(), "drop for unregistered source");
+    if (sources_[source].on_drop) sources_[source].on_drop(r);
+  });
+}
+
+void RequestRouter::add_completion_observer(CompleteFn fn) {
+  MEMCA_CHECK(static_cast<bool>(fn));
+  completion_observers_.push_back(std::move(fn));
+}
+
+int RequestRouter::register_source(CompleteFn on_complete, DropFn on_drop) {
+  MEMCA_CHECK_MSG(sources_.size() < (std::size_t{1} << kSourceBits),
+                  "too many traffic sources");
+  sources_.push_back(Source{std::move(on_complete), std::move(on_drop)});
+  return static_cast<int>(sources_.size() - 1);
+}
+
+std::unique_ptr<queueing::Request> RequestRouter::make_request(int source) {
+  MEMCA_CHECK(source >= 0 && source < static_cast<int>(sources_.size()));
+  auto req = std::make_unique<queueing::Request>();
+  req->id = (next_id_++ << kSourceBits) | static_cast<queueing::Request::Id>(source);
+  return req;
+}
+
+bool RequestRouter::submit(std::unique_ptr<queueing::Request> req) {
+  return system_.submit(std::move(req));
+}
+
+}  // namespace memca::workload

@@ -1,0 +1,56 @@
+// Multiplexes one RequestSystem's completion/drop callbacks across several
+// traffic sources (the closed-loop client population and the MemCA prober
+// share the target system, exactly as in the paper's Figure 8 topology).
+//
+// Each source registers once and receives only its own requests back; the
+// router also allocates globally unique request ids and stamps the source.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "queueing/system.h"
+
+namespace memca::workload {
+
+class RequestRouter {
+ public:
+  using CompleteFn = std::function<void(const queueing::Request&)>;
+  using DropFn = std::function<void(const queueing::Request&)>;
+
+  explicit RequestRouter(queueing::RequestSystem& system);
+  RequestRouter(const RequestRouter&) = delete;
+  RequestRouter& operator=(const RequestRouter&) = delete;
+
+  /// Registers a traffic source; returns its source id.
+  int register_source(CompleteFn on_complete, DropFn on_drop);
+
+  /// Registers an observer invoked for EVERY completion (any source),
+  /// before the owning source's callback. For measurement taps that need
+  /// the full per-tier trace (e.g. the Fig. 7 observed-time histograms).
+  void add_completion_observer(CompleteFn fn);
+
+  /// Creates a fresh request stamped with `source` and a unique id.
+  std::unique_ptr<queueing::Request> make_request(int source);
+
+  /// Submits to the underlying system. Returns false if dropped (the
+  /// source's drop callback has already run in that case).
+  bool submit(std::unique_ptr<queueing::Request> req);
+
+  queueing::RequestSystem& system() { return system_; }
+  std::size_t depth() const { return system_.depth(); }
+
+ private:
+  struct Source {
+    CompleteFn on_complete;
+    DropFn on_drop;
+  };
+
+  queueing::RequestSystem& system_;
+  std::vector<Source> sources_;
+  std::vector<CompleteFn> completion_observers_;
+  queueing::Request::Id next_id_ = 1;
+};
+
+}  // namespace memca::workload

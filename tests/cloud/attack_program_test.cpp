@@ -1,0 +1,106 @@
+#include "cloud/attack_program.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::cloud {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Host host{xeon_e5_2603_v3()};
+  VmId victim = host.add_vm({"victim", 2, Placement::kPinnedPackage, 0});
+  VmId attacker = host.add_vm({"attacker", 1, Placement::kPinnedPackage, 0});
+};
+
+TEST(MemoryAttackProgram, BusSaturateRegistersStreamDemand) {
+  Fixture f;
+  MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kBusSaturate);
+  program.start();
+  EXPECT_TRUE(program.running());
+  EXPECT_DOUBLE_EQ(f.host.demand(f.attacker), 10.5);
+  EXPECT_DOUBLE_EQ(f.host.lock_duty(f.attacker), 0.0);
+  program.stop();
+  EXPECT_DOUBLE_EQ(f.host.demand(f.attacker), 0.0);
+}
+
+TEST(MemoryAttackProgram, LockRegistersDuty) {
+  Fixture f;
+  MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kMemoryLock);
+  program.start();
+  EXPECT_DOUBLE_EQ(f.host.lock_duty(f.attacker),
+                   MemoryAttackProgram::kMaxLockDuty);
+  program.stop();
+  EXPECT_DOUBLE_EQ(f.host.lock_duty(f.attacker), 0.0);
+}
+
+TEST(MemoryAttackProgram, IntensityScalesActivity) {
+  Fixture f;
+  MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kMemoryLock, 0.5);
+  program.start();
+  EXPECT_DOUBLE_EQ(f.host.lock_duty(f.attacker),
+                   0.5 * MemoryAttackProgram::kMaxLockDuty);
+  program.set_intensity(1.0);  // live re-parameterisation
+  EXPECT_DOUBLE_EQ(f.host.lock_duty(f.attacker),
+                   MemoryAttackProgram::kMaxLockDuty);
+}
+
+TEST(MemoryAttackProgram, StartStopIdempotent) {
+  Fixture f;
+  MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kMemoryLock);
+  program.stop();  // not running: no-op
+  program.start();
+  program.start();  // no-op
+  program.stop();
+  EXPECT_EQ(program.windows().size(), 1u);
+}
+
+TEST(MemoryAttackProgram, RecordsExecutionWindows) {
+  Fixture f;
+  MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kMemoryLock);
+  f.sim.schedule_at(msec(100), [&] { program.start(); });
+  f.sim.schedule_at(msec(600), [&] { program.stop(); });
+  f.sim.schedule_at(msec(2100), [&] { program.start(); });
+  f.sim.schedule_at(msec(2600), [&] { program.stop(); });
+  f.sim.run_until(sec(std::int64_t{3}));
+  ASSERT_EQ(program.windows().size(), 2u);
+  EXPECT_EQ(program.windows()[0].start, msec(100));
+  EXPECT_EQ(program.windows()[0].length(), msec(500));
+  EXPECT_EQ(program.windows()[1].start, msec(2100));
+  EXPECT_EQ(program.total_on_time(), sec(std::int64_t{1}));
+}
+
+TEST(MemoryAttackProgram, TotalOnTimeIncludesOpenWindow) {
+  Fixture f;
+  MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kMemoryLock);
+  f.sim.schedule_at(msec(100), [&] { program.start(); });
+  f.sim.run_until(msec(400));
+  EXPECT_EQ(program.total_on_time(), msec(300));
+}
+
+TEST(MemoryAttackProgram, SwitchTypeWhileRunning) {
+  Fixture f;
+  MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kBusSaturate);
+  program.start();
+  EXPECT_GT(f.host.demand(f.attacker), 0.0);
+  program.set_type(MemoryAttackType::kMemoryLock);
+  EXPECT_DOUBLE_EQ(f.host.demand(f.attacker), 0.0);
+  EXPECT_GT(f.host.lock_duty(f.attacker), 0.0);
+}
+
+TEST(MemoryAttackProgram, DestructorClearsHostActivity) {
+  Fixture f;
+  {
+    MemoryAttackProgram program(f.sim, f.host, f.attacker, MemoryAttackType::kMemoryLock);
+    program.start();
+    EXPECT_TRUE(f.host.any_lock_active());
+  }
+  EXPECT_FALSE(f.host.any_lock_active());
+}
+
+TEST(MemoryAttackProgram, TypeNames) {
+  EXPECT_STREQ(to_string(MemoryAttackType::kBusSaturate), "bus-saturate");
+  EXPECT_STREQ(to_string(MemoryAttackType::kMemoryLock), "memory-lock");
+}
+
+}  // namespace
+}  // namespace memca::cloud

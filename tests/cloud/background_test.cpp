@@ -1,0 +1,87 @@
+#include "cloud/background.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/contention.h"
+
+namespace memca::cloud {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Host host{xeon_e5_2603_v3()};
+  VmId victim = host.add_vm({"victim", 2, Placement::kPinnedPackage, 0});
+  VmId neighbor_vm = host.add_vm({"neighbor", 1, Placement::kPinnedPackage, 0});
+};
+
+TEST(NoisyNeighbor, AlternatesOnOffPhases) {
+  Fixture f;
+  NoisyNeighborConfig config;
+  config.on_mean = sec(std::int64_t{2});
+  config.off_mean = sec(std::int64_t{2});
+  NoisyNeighbor neighbor(f.sim, f.host, f.neighbor_vm, config, Rng(1));
+  neighbor.start();
+  f.sim.run_for(kMinute);
+  // ~15 ON phases in a minute at 4 s mean cycle.
+  EXPECT_GT(neighbor.phases(), 5);
+  EXPECT_LT(neighbor.phases(), 40);
+}
+
+TEST(NoisyNeighbor, RegistersDemandWhileActive) {
+  Fixture f;
+  NoisyNeighborConfig config;
+  config.off_mean = msec(1);  // enters ON almost immediately
+  config.on_mean = sec(std::int64_t{100});
+  config.demand_cv = 0.0;
+  NoisyNeighbor neighbor(f.sim, f.host, f.neighbor_vm, config, Rng(2));
+  neighbor.start();
+  f.sim.run_for(sec(std::int64_t{1}));
+  EXPECT_TRUE(neighbor.active());
+  EXPECT_NEAR(f.host.demand(f.neighbor_vm), config.demand_mean_gbps, 1e-9);
+}
+
+TEST(NoisyNeighbor, StopClearsActivity) {
+  Fixture f;
+  NoisyNeighborConfig config;
+  config.off_mean = msec(1);
+  config.on_mean = sec(std::int64_t{100});
+  NoisyNeighbor neighbor(f.sim, f.host, f.neighbor_vm, config, Rng(3));
+  neighbor.start();
+  f.sim.run_for(sec(std::int64_t{1}));
+  neighbor.stop();
+  EXPECT_FALSE(neighbor.active());
+  EXPECT_DOUBLE_EQ(f.host.demand(f.neighbor_vm), 0.0);
+  const auto phases = neighbor.phases();
+  f.sim.run_for(kMinute);
+  EXPECT_EQ(neighbor.phases(), phases);
+}
+
+TEST(NoisyNeighbor, DestructorClearsHost) {
+  Fixture f;
+  {
+    NoisyNeighborConfig config;
+    config.off_mean = msec(1);
+    NoisyNeighbor neighbor(f.sim, f.host, f.neighbor_vm, config, Rng(4));
+    neighbor.start();
+    f.sim.run_for(sec(std::int64_t{1}));
+  }
+  EXPECT_DOUBLE_EQ(f.host.demand(f.neighbor_vm), 0.0);
+}
+
+TEST(NoisyNeighbor, ModestNoiseBarelyDentsVictim) {
+  // A 2 GB/s neighbor on a 21 GB/s bus should leave the victim's capacity
+  // multiplier near 1 — ordinary multi-tenant noise is not an attack.
+  Fixture f;
+  CrossResourceModel coupling(f.host, f.victim, {12.0, 0.05});
+  NoisyNeighborConfig config;
+  config.off_mean = msec(1);
+  config.on_mean = sec(std::int64_t{100});
+  config.demand_cv = 0.0;
+  NoisyNeighbor neighbor(f.sim, f.host, f.neighbor_vm, config, Rng(5));
+  neighbor.start();
+  f.sim.run_for(sec(std::int64_t{1}));
+  EXPECT_GT(coupling.capacity_multiplier(), 0.85);
+}
+
+}  // namespace
+}  // namespace memca::cloud

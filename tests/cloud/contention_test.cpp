@@ -1,0 +1,86 @@
+#include "cloud/contention.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::cloud {
+namespace {
+
+struct Fixture {
+  Host host{xeon_e5_2603_v3()};
+  VmId victim = host.add_vm({"victim", 2, Placement::kPinnedPackage, 0});
+  VmId attacker = host.add_vm({"attacker", 1, Placement::kPinnedPackage, 0});
+};
+
+TEST(CrossResourceModel, FullMultiplierWhenUnattacked) {
+  Fixture f;
+  CrossResourceModel model(f.host, f.victim, {8.0, 0.05});
+  EXPECT_DOUBLE_EQ(model.capacity_multiplier(), 1.0);
+}
+
+TEST(CrossResourceModel, RegistersVictimDemandOnHost) {
+  Fixture f;
+  CrossResourceModel model(f.host, f.victim, {8.0, 0.05});
+  EXPECT_DOUBLE_EQ(f.host.demand(f.victim), 8.0);
+}
+
+TEST(CrossResourceModel, LockAttackCollapsesMultiplier) {
+  Fixture f;
+  CrossResourceModel model(f.host, f.victim, {12.0, 0.05});
+  f.host.set_memory_activity(f.attacker, 0.0, 0.95 * 0.95);
+  const double d = model.capacity_multiplier();
+  EXPECT_LT(d, 0.20);  // the paper's D ~ 0.1 regime
+  EXPECT_GE(d, 0.05);  // floor
+}
+
+TEST(CrossResourceModel, BusSaturationBarelyDentsSingleVictim) {
+  // Paper finding: one bus-saturating VM cannot hurt a single co-located
+  // victim much — the bus fits both.
+  Fixture f;
+  CrossResourceModel model(f.host, f.victim, {8.0, 0.05});
+  f.host.set_memory_activity(f.attacker, 10.5, 0.0);
+  EXPECT_GT(model.capacity_multiplier(), 0.9);
+}
+
+TEST(CrossResourceModel, MultiplierRecoversWhenAttackStops) {
+  Fixture f;
+  CrossResourceModel model(f.host, f.victim, {12.0, 0.05});
+  f.host.set_memory_activity(f.attacker, 0.0, 0.9);
+  EXPECT_LT(model.capacity_multiplier(), 0.2);
+  f.host.clear_memory_activity(f.attacker);
+  EXPECT_DOUBLE_EQ(model.capacity_multiplier(), 1.0);
+}
+
+TEST(CrossResourceModel, ObserverPushesMultiplier) {
+  Fixture f;
+  CrossResourceModel model(f.host, f.victim, {12.0, 0.05});
+  std::vector<double> seen;
+  model.on_multiplier_change([&](double m) { seen.push_back(m); });
+  f.host.set_memory_activity(f.attacker, 0.0, 0.9);
+  f.host.clear_memory_activity(f.attacker);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_LT(seen[0], 0.2);
+  EXPECT_DOUBLE_EQ(seen[1], 1.0);
+}
+
+TEST(CrossResourceModel, FloorIsRespected) {
+  Fixture f;
+  CrossResourceModel model(f.host, f.victim, {100.0, 0.25});
+  f.host.set_memory_activity(f.attacker, 0.0, 0.95);
+  EXPECT_DOUBLE_EQ(model.capacity_multiplier(), 0.25);
+}
+
+TEST(CrossResourceModel, DeeperDemandMeansDeeperDegradation) {
+  // The hungrier the victim workload, the harder a given attack bites.
+  double prev = 1.0;
+  for (double demand : {4.0, 8.0, 16.0}) {
+    Fixture f;
+    CrossResourceModel model(f.host, f.victim, {demand, 0.01});
+    f.host.set_memory_activity(f.attacker, 0.0, 0.9);
+    const double d = model.capacity_multiplier();
+    EXPECT_LE(d, prev + 1e-12) << "demand=" << demand;
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace memca::cloud

@@ -1,0 +1,104 @@
+#include "cloud/host.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::cloud {
+namespace {
+
+TEST(Host, AddAndInspectVms) {
+  Host host(xeon_e5_2603_v3());
+  const VmId a = host.add_vm({"a", 1, Placement::kPinnedPackage, 0});
+  const VmId b = host.add_vm({"b", 2, Placement::kFloating, 0});
+  EXPECT_EQ(host.vm_count(), 2u);
+  EXPECT_EQ(host.vm(a).name, "a");
+  EXPECT_EQ(host.vm(b).vcpus, 2);
+}
+
+TEST(Host, ActivityBookkeeping) {
+  Host host(xeon_e5_2603_v3());
+  const VmId a = host.add_vm({"a", 1, Placement::kPinnedPackage, 0});
+  EXPECT_DOUBLE_EQ(host.demand(a), 0.0);
+  host.set_memory_activity(a, 4.0, 0.0);
+  EXPECT_DOUBLE_EQ(host.demand(a), 4.0);
+  EXPECT_DOUBLE_EQ(host.total_demand(), 4.0);
+  EXPECT_FALSE(host.any_lock_active());
+  host.set_memory_activity(a, 0.0, 0.5);
+  EXPECT_TRUE(host.any_lock_active());
+  host.clear_memory_activity(a);
+  EXPECT_FALSE(host.any_lock_active());
+  EXPECT_DOUBLE_EQ(host.total_demand(), 0.0);
+}
+
+TEST(Host, SoloVmAchievesItsDemand) {
+  Host host(xeon_e5_2603_v3());
+  const VmId a = host.add_vm({"a", 1, Placement::kPinnedPackage, 0});
+  host.set_memory_activity(a, 6.0, 0.0);
+  EXPECT_NEAR(host.achieved_bandwidth(a), 6.0, 1e-9);
+}
+
+TEST(Host, PinnedVmsOnDifferentPackagesDoNotContend) {
+  Host host(xeon_e5_2603_v3());
+  const VmId a = host.add_vm({"a", 1, Placement::kPinnedPackage, 0});
+  const VmId b = host.add_vm({"b", 1, Placement::kPinnedPackage, 1});
+  host.set_memory_activity(a, 10.5, 0.0);
+  host.set_memory_activity(b, 0.0, 0.9);  // locker on the other package
+  EXPECT_NEAR(host.achieved_bandwidth(a), 10.5, 1e-9);
+}
+
+TEST(Host, PinnedVmsOnSamePackageContend) {
+  Host host(xeon_e5_2603_v3());
+  const VmId a = host.add_vm({"a", 1, Placement::kPinnedPackage, 0});
+  const VmId b = host.add_vm({"b", 1, Placement::kPinnedPackage, 0});
+  host.set_memory_activity(a, 8.0, 0.0);
+  host.set_memory_activity(b, 0.0, 0.9);
+  EXPECT_LT(host.achieved_bandwidth(a), 2.5);
+}
+
+TEST(Host, FloatingAttackerDegradesLessThanPinned) {
+  // "Random package" placement dilutes the attack (paper Fig. 3).
+  Host pinned_host(xeon_e5_2603_v3());
+  const VmId v1 = pinned_host.add_vm({"victim", 1, Placement::kPinnedPackage, 0});
+  const VmId a1 = pinned_host.add_vm({"attacker", 1, Placement::kPinnedPackage, 0});
+  pinned_host.set_memory_activity(v1, 8.0, 0.0);
+  pinned_host.set_memory_activity(a1, 0.0, 0.9);
+
+  Host floating_host(xeon_e5_2603_v3());
+  const VmId v2 = floating_host.add_vm({"victim", 1, Placement::kPinnedPackage, 0});
+  const VmId a2 = floating_host.add_vm({"attacker", 1, Placement::kFloating, 0});
+  floating_host.set_memory_activity(v2, 8.0, 0.0);
+  floating_host.set_memory_activity(a2, 0.0, 0.9);
+
+  EXPECT_GT(floating_host.achieved_bandwidth(v2), pinned_host.achieved_bandwidth(v1));
+}
+
+TEST(Host, FloatingVmSumsAcrossPackages) {
+  Host host(xeon_e5_2603_v3());
+  const VmId a = host.add_vm({"a", 1, Placement::kFloating, 0});
+  host.set_memory_activity(a, 10.0, 0.0);
+  // Demand splits 5+5 over two idle packages and is fully satisfied.
+  EXPECT_NEAR(host.achieved_bandwidth(a), 10.0, 1e-9);
+}
+
+TEST(Host, ObserversFireOnChange) {
+  Host host(xeon_e5_2603_v3());
+  const VmId a = host.add_vm({"a", 1, Placement::kPinnedPackage, 0});
+  int calls = 0;
+  host.on_contention_change([&] { ++calls; });
+  host.set_memory_activity(a, 1.0, 0.0);
+  EXPECT_EQ(calls, 1);
+  host.set_memory_activity(a, 1.0, 0.0);  // no change: no notification
+  EXPECT_EQ(calls, 1);
+  host.clear_memory_activity(a);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Host, Ec2SpecHasMoreHeadroom) {
+  const HostSpec ec2 = ec2_dedicated_node();
+  const HostSpec priv = xeon_e5_2603_v3();
+  EXPECT_GT(ec2.packages[0].mem_bw_gbps, priv.packages[0].mem_bw_gbps);
+  EXPECT_EQ(ec2.total_cores(), 20);
+  EXPECT_EQ(priv.total_cores(), 12);
+}
+
+}  // namespace
+}  // namespace memca::cloud

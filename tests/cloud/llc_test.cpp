@@ -1,0 +1,95 @@
+#include "cloud/llc.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::cloud {
+namespace {
+
+TEST(LlcModel, BaselineMissesScaleWithWindow) {
+  LlcModel model;
+  const double w100 = model.expected_misses(msec(100), 0.0, 0.0);
+  const double w200 = model.expected_misses(msec(200), 0.0, 0.0);
+  EXPECT_NEAR(w200, 2.0 * w100, 1e-6);
+  EXPECT_NEAR(w100, model.params().base_miss_rate * 0.1, 1e-6);
+}
+
+TEST(LlcModel, BusAttackMultipliesMisses) {
+  LlcModel model;
+  const double idle = model.expected_misses(msec(100), 0.0, 0.0);
+  const double full_bus = model.expected_misses(msec(100), 1.0, 0.0);
+  EXPECT_NEAR(full_bus / idle, model.params().bus_attack_multiplier, 1e-9);
+}
+
+TEST(LlcModel, LockAttackLeavesMissesFlat) {
+  // The stealth mechanism of Fig. 11b: locks bypass the cache hierarchy.
+  LlcModel model;
+  const double idle = model.expected_misses(msec(100), 0.0, 0.0);
+  const double full_lock = model.expected_misses(msec(100), 0.0, 1.0);
+  EXPECT_LT(full_lock / idle, 1.10);
+}
+
+TEST(LlcModel, PartialBurstFractionInterpolates) {
+  LlcModel model;
+  const double idle = model.expected_misses(msec(100), 0.0, 0.0);
+  const double quarter = model.expected_misses(msec(100), 0.25, 0.0);
+  const double half = model.expected_misses(msec(100), 0.5, 0.0);
+  EXPECT_GT(quarter, idle);
+  EXPECT_GT(half, quarter);
+  const double m = model.params().bus_attack_multiplier;
+  EXPECT_NEAR(half / idle, 0.5 + 0.5 * m, 1e-9);
+}
+
+TEST(LlcModel, OverlapTakesStrongerMultiplier) {
+  LlcModel model;
+  const double both = model.expected_misses(msec(100), 1.0, 1.0);
+  const double bus = model.expected_misses(msec(100), 1.0, 0.0);
+  EXPECT_NEAR(both, bus, 1e-9);
+}
+
+TEST(LlcModel, ObservationsAreNoisyButUnbiased) {
+  LlcModel model;
+  Rng rng(3);
+  const double expected = model.expected_misses(msec(100), 0.0, 0.0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += model.observe(msec(100), 0.0, 0.0, rng);
+  EXPECT_NEAR(sum / n / expected, 1.0, 0.01);
+}
+
+TEST(LlcModel, ObservationsNeverNegative) {
+  LlcModelParams params;
+  params.noise_cv = 2.0;  // absurd noise to force the clamp
+  LlcModel model(params);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.observe(msec(100), 0.0, 0.0, rng), 0.0);
+  }
+}
+
+TEST(LlcModel, SampleSeriesShape) {
+  LlcModel model;
+  Rng rng(7);
+  const TimeSeries series = model.sample_series(
+      sec(std::int64_t{10}), msec(100), [](SimTime, SimTime) { return 0.0; },
+      [](SimTime, SimTime) { return 0.0; }, rng);
+  EXPECT_EQ(series.size(), 100u);
+  EXPECT_EQ(series.front().time, 0);
+  EXPECT_EQ(series.back().time, msec(9900));
+}
+
+TEST(LlcModel, PeriodicBusScheduleYieldsPeriodicSpikes) {
+  LlcModel model;
+  Rng rng(9);
+  // ON for the first 100 ms of every 2 s interval.
+  auto bus = [](SimTime start, SimTime) {
+    return (start % sec(std::int64_t{2})) < msec(100) ? 1.0 : 0.0;
+  };
+  auto none = [](SimTime, SimTime) { return 0.0; };
+  const TimeSeries series =
+      model.sample_series(sec(std::int64_t{60}), msec(100), bus, none, rng);
+  // Lag of one attack interval (20 samples of 100 ms) correlates strongly.
+  EXPECT_GT(series.autocorrelation(20), 0.5);
+}
+
+}  // namespace
+}  // namespace memca::cloud

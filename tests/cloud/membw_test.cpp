@@ -1,0 +1,159 @@
+#include "cloud/membw.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::cloud {
+namespace {
+
+PackageSpec package() { return PackageSpec{6, 15.0, 21.0, 10.5}; }
+
+double achieved(const std::vector<StreamResult>& results, VmId vm) {
+  for (const StreamResult& r : results) {
+    if (r.vm == vm) return r.achieved_gbps;
+  }
+  ADD_FAILURE() << "vm " << vm << " not in results";
+  return 0.0;
+}
+
+TEST(MemoryBandwidthModel, SingleStreamGetsItsDemand) {
+  MemoryBandwidthModel model;
+  const auto results = model.share_package(package(), {{0, 5.0, 0.0}});
+  EXPECT_NEAR(achieved(results, 0), 5.0, 1e-9);
+}
+
+TEST(MemoryBandwidthModel, SingleStreamCappedBySingleStreamCeiling) {
+  MemoryBandwidthModel model;
+  const auto results = model.share_package(package(), {{0, 50.0, 0.0}});
+  EXPECT_NEAR(achieved(results, 0), 10.5, 1e-9);
+}
+
+TEST(MemoryBandwidthModel, TwoHungryStreamsFitWithinBus) {
+  // Paper finding 1: one attacker cannot saturate the bus — two full
+  // streams (2 x 10.5 = 21 demanded vs 20 usable) both get close to max.
+  MemoryBandwidthModel model;
+  const auto results =
+      model.share_package(package(), {{0, 10.5, 0.0}, {1, 10.5, 0.0}});
+  EXPECT_GT(achieved(results, 0), 9.0);
+  EXPECT_GT(achieved(results, 1), 9.0);
+}
+
+TEST(MemoryBandwidthModel, PerStreamBandwidthDecreasesWithVmCount) {
+  // Paper finding 2: as co-located VMs increase, per-VM bandwidth drops.
+  MemoryBandwidthModel model;
+  double prev = 1e9;
+  for (int k = 1; k <= 6; ++k) {
+    std::vector<StreamDemand> streams;
+    for (int i = 0; i < k; ++i) streams.push_back({i, 10.5, 0.0});
+    const double per_vm = achieved(model.share_package(package(), streams), 0);
+    EXPECT_LE(per_vm, prev + 1e-9) << "k=" << k;
+    prev = per_vm;
+  }
+  // With 6 hungry VMs each gets roughly a sixth of the (degraded) bus.
+  EXPECT_LT(prev, 21.0 / 6.0 + 0.5);
+}
+
+TEST(MemoryBandwidthModel, TotalNeverExceedsUsableBandwidth) {
+  MemoryBandwidthModel model;
+  for (int k = 1; k <= 8; ++k) {
+    std::vector<StreamDemand> streams;
+    for (int i = 0; i < k; ++i) streams.push_back({i, 10.5, 0.0});
+    const auto results = model.share_package(package(), streams);
+    double total = 0.0;
+    for (const auto& r : results) total += r.achieved_gbps;
+    EXPECT_LE(total, 21.0 + 1e-6) << "k=" << k;
+  }
+}
+
+TEST(MemoryBandwidthModel, WaterFillingRedistributesSurplus) {
+  // A small stream takes what it needs; the big one gets the rest.
+  MemoryBandwidthModel model;
+  const auto results =
+      model.share_package(package(), {{0, 1.0, 0.0}, {1, 10.5, 0.0}});
+  EXPECT_NEAR(achieved(results, 0), 1.0, 1e-9);
+  EXPECT_GT(achieved(results, 1), 9.5);
+}
+
+TEST(MemoryBandwidthModel, LockStarvesCoLocatedStreams) {
+  // Paper finding 3: locking is far more effective than saturating.
+  MemoryBandwidthModel model;
+  const auto saturate =
+      model.share_package(package(), {{0, 10.5, 0.0}, {1, 8.0, 0.0}});
+  const auto lock =
+      model.share_package(package(), {{0, 0.0, 0.9}, {1, 8.0, 0.0}});
+  EXPECT_LT(achieved(lock, 1), 0.5 * achieved(saturate, 1));
+}
+
+TEST(MemoryBandwidthModel, LockDutyScalesStarvation) {
+  // A victim hungry enough to need the whole bus loses bandwidth
+  // monotonically as the locker's duty cycle grows.
+  MemoryBandwidthModel model;
+  double prev = 1e9;
+  for (double duty : {0.2, 0.5, 0.8, 0.95}) {
+    const auto results =
+        model.share_package(package(), {{0, 0.0, duty, 1}, {1, 10.5, 0.0, 1}});
+    const double victim = achieved(results, 1);
+    EXPECT_LT(victim, prev) << "duty=" << duty;
+    prev = victim;
+  }
+}
+
+TEST(MemoryBandwidthModel, ParallelismRaisesTheCap) {
+  MemoryBandwidthModel model;
+  const auto one = model.share_package(package(), {{0, 21.0, 0.0, 1}});
+  const auto two = model.share_package(package(), {{0, 21.0, 0.0, 2}});
+  EXPECT_NEAR(achieved(one, 0), 10.5, 1e-9);
+  EXPECT_NEAR(achieved(two, 0), 21.0, 1e-9);
+}
+
+TEST(MemoryBandwidthModel, LockerItselfMovesLittleData) {
+  MemoryBandwidthModel model;
+  const auto results =
+      model.share_package(package(), {{0, 0.0, 0.9}, {1, 8.0, 0.0}});
+  EXPECT_LT(achieved(results, 0), 1.5);
+}
+
+TEST(MemoryBandwidthModel, CombinedLockDuty) {
+  EXPECT_DOUBLE_EQ(MemoryBandwidthModel::combined_lock_duty({}), 0.0);
+  EXPECT_DOUBLE_EQ(MemoryBandwidthModel::combined_lock_duty({{0, 0.0, 0.5}}), 0.5);
+  EXPECT_NEAR(
+      MemoryBandwidthModel::combined_lock_duty({{0, 0.0, 0.5}, {1, 0.0, 0.5}}), 0.75,
+      1e-12);
+}
+
+TEST(MemoryBandwidthModel, IdleStreamsAchieveNothing) {
+  MemoryBandwidthModel model;
+  const auto results = model.share_package(package(), {{0, 0.0, 0.0}, {1, 5.0, 0.0}});
+  EXPECT_DOUBLE_EQ(achieved(results, 0), 0.0);
+  EXPECT_NEAR(achieved(results, 1), 5.0, 1e-9);
+}
+
+TEST(MemoryBandwidthModel, EmptyPackage) {
+  MemoryBandwidthModel model;
+  EXPECT_TRUE(model.share_package(package(), {}).empty());
+}
+
+class LockVsSaturateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockVsSaturateSweep, LockAlwaysBeatsSaturateAtEqualVmCount) {
+  // For any number of measuring VMs, a single locking attacker degrades
+  // them more than a single bus-saturating attacker (paper Fig. 3).
+  const int measuring = GetParam();
+  MemoryBandwidthModel model;
+  std::vector<StreamDemand> base;
+  for (int i = 0; i < measuring; ++i) base.push_back({i, 10.5, 0.0});
+
+  auto with_attacker = [&](StreamDemand attacker) {
+    std::vector<StreamDemand> streams = base;
+    attacker.vm = 100;
+    streams.push_back(attacker);
+    return achieved(model.share_package(package(), streams), 0);
+  };
+  const double under_saturate = with_attacker({100, 10.5, 0.0});
+  const double under_lock = with_attacker({100, 0.0, 0.9});
+  EXPECT_LT(under_lock, under_saturate) << "measuring=" << measuring;
+}
+
+INSTANTIATE_TEST_SUITE_P(VmCounts, LockVsSaturateSweep, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace memca::cloud

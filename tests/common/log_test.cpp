@@ -1,0 +1,56 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace memca {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The project default keeps bench output clean.
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kWarn));
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kDebug));
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kError));
+}
+
+TEST(Log, StreamingMacroDoesNotCrashAtAnyLevel) {
+  LogLevelGuard guard;
+  for (LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError}) {
+    set_log_level(level);
+    MEMCA_LOG(kDebug) << "debug " << 1;
+    MEMCA_LOG(kInfo) << "info " << 2.5;
+    MEMCA_LOG(kWarn) << "warn " << "text";
+    MEMCA_LOG(kError) << "error";
+  }
+}
+
+TEST(Log, FilteredMessagesAreSuppressed) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // Captures stderr around a filtered and an emitted message.
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "should not appear");
+  log_message(LogLevel::kError, "should appear");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memca

@@ -1,0 +1,40 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace memca {
+namespace {
+
+TEST(Time, UnitBuilders) {
+  EXPECT_EQ(usec(5), 5);
+  EXPECT_EQ(msec(5), 5000);
+  EXPECT_EQ(sec(std::int64_t{5}), 5000000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+}
+
+TEST(Time, FractionalSeconds) {
+  EXPECT_EQ(sec(0.5), 500000);
+  EXPECT_EQ(sec(0.0000015), 2);  // rounds to nearest microsecond
+  EXPECT_EQ(sec(-0.5), -500000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(msec(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_seconds(msec(1500)), 1.5);
+}
+
+TEST(Time, FormatPicksUnit) {
+  EXPECT_EQ(format_time(sec(std::int64_t{2})), "2.000s");
+  EXPECT_EQ(format_time(msec(250)), "250.00ms");
+  EXPECT_EQ(format_time(usec(42)), "42us");
+}
+
+TEST(Time, RoundTrip) {
+  for (SimTime t : {usec(1), msec(3), sec(std::int64_t{7}), kMinute}) {
+    EXPECT_EQ(sec(to_seconds(t)), t);
+  }
+}
+
+}  // namespace
+}  // namespace memca

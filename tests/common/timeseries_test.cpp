@@ -1,0 +1,123 @@
+#include "common/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memca {
+namespace {
+
+TEST(TimeSeries, EmptyDefaults) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 0.0);
+}
+
+TEST(TimeSeries, AppendAndBasicStats) {
+  TimeSeries ts;
+  ts.append(0, 1.0);
+  ts.append(msec(10), 3.0);
+  ts.append(msec(20), 2.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 3.0);
+  EXPECT_EQ(ts.front().time, 0);
+  EXPECT_EQ(ts.back().time, msec(20));
+}
+
+TEST(TimeSeries, MaxHandlesNegativeValues) {
+  TimeSeries ts;
+  ts.append(0, -5.0);
+  ts.append(1, -2.0);
+  EXPECT_DOUBLE_EQ(ts.max(), -2.0);
+}
+
+TEST(TimeSeries, WindowedStats) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.append(msec(i * 10), static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(ts.mean_in(msec(20), msec(50)), 3.0);  // samples 2,3,4
+  EXPECT_DOUBLE_EQ(ts.max_in(msec(20), msec(50)), 4.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(msec(500), msec(600)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max_in(msec(500), msec(600)), 0.0);
+}
+
+TEST(TimeSeries, CountAbove) {
+  TimeSeries ts;
+  ts.append(0, 0.5);
+  ts.append(1, 0.9);
+  ts.append(2, 0.95);
+  EXPECT_EQ(ts.count_above(0.85), 2u);
+  EXPECT_EQ(ts.count_above(1.0), 0u);
+}
+
+TEST(TimeSeries, ResampleMeanBuckets) {
+  TimeSeries ts;
+  // Two samples in the first 100 ms window, one in the second.
+  ts.append(msec(10), 2.0);
+  ts.append(msec(60), 4.0);
+  ts.append(msec(150), 10.0);
+  const TimeSeries coarse = ts.resample_mean(msec(100));
+  ASSERT_EQ(coarse.size(), 2u);
+  EXPECT_EQ(coarse.samples()[0].time, 0);
+  EXPECT_DOUBLE_EQ(coarse.samples()[0].value, 3.0);
+  EXPECT_EQ(coarse.samples()[1].time, msec(100));
+  EXPECT_DOUBLE_EQ(coarse.samples()[1].value, 10.0);
+}
+
+TEST(TimeSeries, ResampleMaxBuckets) {
+  TimeSeries ts;
+  ts.append(msec(10), 2.0);
+  ts.append(msec(60), 4.0);
+  ts.append(msec(150), 1.0);
+  const TimeSeries coarse = ts.resample_max(msec(100));
+  ASSERT_EQ(coarse.size(), 2u);
+  EXPECT_DOUBLE_EQ(coarse.samples()[0].value, 4.0);
+  EXPECT_DOUBLE_EQ(coarse.samples()[1].value, 1.0);
+}
+
+TEST(TimeSeries, ResamplePreservesGlobalMean) {
+  // With equal samples per bucket, the resampled mean equals the raw mean.
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.append(msec(i * 10), static_cast<double>(i % 7));
+  const TimeSeries coarse = ts.resample_mean(msec(100));  // 10 samples/bucket
+  EXPECT_NEAR(coarse.mean(), ts.mean(), 1e-9);
+}
+
+TEST(TimeSeries, ResampleSkipsEmptyWindows) {
+  TimeSeries ts;
+  ts.append(msec(10), 1.0);
+  ts.append(msec(510), 2.0);  // 4 empty windows between
+  const TimeSeries coarse = ts.resample_mean(msec(100));
+  ASSERT_EQ(coarse.size(), 2u);
+  EXPECT_EQ(coarse.samples()[1].time, msec(500));
+}
+
+TEST(TimeSeries, AutocorrelationOfPeriodicSignal) {
+  TimeSeries ts;
+  for (int i = 0; i < 400; ++i) {
+    ts.append(msec(i * 50), (i % 40) < 10 ? 1.0 : 0.0);  // period 40 samples
+  }
+  EXPECT_GT(ts.autocorrelation(40), 0.8);
+  EXPECT_LT(ts.autocorrelation(20), 0.3);
+}
+
+TEST(TimeSeries, AutocorrelationDegenerateCases) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.autocorrelation(1), 0.0);
+  ts.append(0, 5.0);
+  ts.append(1, 5.0);
+  ts.append(2, 5.0);
+  ts.append(3, 5.0);
+  EXPECT_DOUBLE_EQ(ts.autocorrelation(1), 0.0);  // zero variance
+}
+
+TEST(TimeSeries, AutocorrelationLagOneOfSmoothSignal) {
+  TimeSeries ts;
+  for (int i = 0; i < 200; ++i) ts.append(i, std::sin(i * 0.05));
+  EXPECT_GT(ts.autocorrelation(1), 0.9);
+}
+
+}  // namespace
+}  // namespace memca

@@ -1,0 +1,73 @@
+#include "common/windowed_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memca {
+namespace {
+
+TEST(WindowedQuantile, EmptyReturnsZero) {
+  WindowedQuantile wq(sec(std::int64_t{1}), 5);
+  EXPECT_EQ(wq.quantile(0, 0.95), 0);
+  EXPECT_EQ(wq.count(0), 0);
+}
+
+TEST(WindowedQuantile, SingleWindowBasics) {
+  WindowedQuantile wq(sec(std::int64_t{1}), 5);
+  for (int i = 0; i < 100; ++i) wq.record(msec(10 * i), msec(i < 95 ? 10 : 2000));
+  EXPECT_EQ(wq.count(msec(990)), 100);
+  EXPECT_GE(wq.quantile(msec(990), 0.99), sec(std::int64_t{1}));
+  EXPECT_LT(wq.quantile(msec(990), 0.50), msec(20));
+}
+
+TEST(WindowedQuantile, OldWindowsExpire) {
+  WindowedQuantile wq(sec(std::int64_t{1}), 3);
+  wq.record(0, sec(std::int64_t{5}));  // a spike in window 0
+  EXPECT_GE(wq.quantile(msec(100), 1.0), sec(std::int64_t{5}));
+  // Still retained at t = 2.5 s (window 0 within the last 3 windows).
+  wq.record(sec(0.5) + sec(std::int64_t{2}), msec(1));
+  EXPECT_GE(wq.quantile(sec(0.5) + sec(std::int64_t{2}), 1.0), sec(std::int64_t{5}));
+  // Gone at t = 3.5 s.
+  wq.record(sec(0.5) + sec(std::int64_t{3}), msec(1));
+  EXPECT_LT(wq.quantile(sec(0.5) + sec(std::int64_t{3}), 1.0), msec(2));
+}
+
+TEST(WindowedQuantile, CountTracksRetention) {
+  WindowedQuantile wq(sec(std::int64_t{1}), 2);
+  wq.record(msec(100), msec(1));
+  wq.record(msec(1100), msec(1));
+  EXPECT_EQ(wq.count(msec(1100)), 2);
+  wq.record(msec(2100), msec(1));
+  // Window 0 rotated out; windows 1 and 2 remain.
+  EXPECT_EQ(wq.count(msec(2100)), 2);
+}
+
+TEST(WindowedQuantile, SlotReuseClearsStaleData) {
+  WindowedQuantile wq(sec(std::int64_t{1}), 2);
+  for (int i = 0; i < 50; ++i) wq.record(msec(i), sec(std::int64_t{9}));
+  // Jump far ahead: the ring slot for this epoch is reused and must not
+  // leak the old spike.
+  wq.record(sec(std::int64_t{100}), msec(5));
+  EXPECT_EQ(wq.count(sec(std::int64_t{100})), 1);
+  EXPECT_LT(wq.quantile(sec(std::int64_t{100}), 1.0), msec(6));
+}
+
+TEST(WindowedQuantile, MatchesGlobalHistogramWhenAllRetained) {
+  WindowedQuantile wq(sec(std::int64_t{10}), 4);
+  LatencyHistogram reference;
+  Rng rng(5);
+  SimTime now = 0;
+  for (int i = 0; i < 20000; ++i) {
+    now += usec(1500);  // stays within 40 s of retention
+    const SimTime v = rng.exponential_time(msec(30));
+    wq.record(now, v);
+    reference.record(v);
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(wq.quantile(now, q), reference.quantile(q)) << q;
+  }
+}
+
+}  // namespace
+}  // namespace memca

@@ -1,0 +1,212 @@
+#include "core/analytic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memca::core {
+namespace {
+
+/// The RUBBoS-like 3-tier calibration used in the paper's simulation
+/// analysis: front queue largest, back tier the bottleneck.
+AttackModelInputs rubbos_inputs() {
+  AttackModelInputs in;
+  in.tiers = {
+      {100.0, 10000.0, 0.0},  // Apache
+      {60.0, 3000.0, 0.0},    // Tomcat
+      {30.0, 1000.0, 500.0},  // MySQL: lambda = 500/s, C_off = 1000/s
+  };
+  in.degradation_index = 0.1;
+  in.burst_length = msec(500);
+  in.burst_interval = sec(std::int64_t{2});
+  return in;
+}
+
+TEST(DegradationIndex, Equation2) {
+  EXPECT_DOUBLE_EQ(degradation_index(0.0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(degradation_index(900.0, 1000.0), 0.1);
+  EXPECT_DOUBLE_EQ(degradation_index(1000.0, 1000.0), 0.0);
+}
+
+TEST(AnalyticModel, Equation3CapacityOn) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  EXPECT_DOUBLE_EQ(out.capacity_on, 100.0);
+}
+
+TEST(AnalyticModel, ConditionsHoldForCalibration) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  EXPECT_TRUE(out.condition1);
+  EXPECT_TRUE(out.condition2);
+}
+
+TEST(AnalyticModel, Equation4BackTierFillTime) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  // l_n,UP = Q_n / (lambda_n - C_on) = 30 / (500 - 100) = 75 ms.
+  EXPECT_NEAR(out.fill_time_s[2], 0.075, 1e-9);
+}
+
+TEST(AnalyticModel, Equations5And6UpstreamFillTimes) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  // l_2,UP = (Q_2 - Q_3) / (lambda_2 + lambda_3 - C_on) = 30 / 400 = 75 ms.
+  EXPECT_NEAR(out.fill_time_s[1], 0.075, 1e-9);
+  // l_1,UP = (Q_1 - Q_2) / (sum lambda - C_on) = 40 / 400 = 100 ms.
+  EXPECT_NEAR(out.fill_time_s[0], 0.100, 1e-9);
+  EXPECT_NEAR(out.total_fill_time_s, 0.250, 1e-9);
+}
+
+TEST(AnalyticModel, Equation7DamagePeriod) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  // P_D = L - sum l_i = 0.5 - 0.25 = 0.25 s.
+  EXPECT_NEAR(out.damage_period_s, 0.25, 1e-9);
+}
+
+TEST(AnalyticModel, Equation8Rho) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  EXPECT_NEAR(out.rho, 0.125, 1e-9);
+  EXPECT_NEAR(predicted_drop_fraction(out), 0.125, 1e-9);
+}
+
+TEST(AnalyticModel, Equation9DrainTime) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  // l_n,DOWN = Q_n / (C_off - lambda) = 30 / 500 = 60 ms.
+  EXPECT_NEAR(out.drain_time_s, 0.060, 1e-9);
+}
+
+TEST(AnalyticModel, Equation10Millibottleneck) {
+  const auto out = evaluate_attack_model(rubbos_inputs());
+  // P_MB = L + l_n,DOWN = 0.56 s < 1 s: stealthy.
+  EXPECT_NEAR(out.millibottleneck_s, 0.560, 1e-9);
+}
+
+TEST(AnalyticModel, ShortBurstNeverReachesHoldOn) {
+  auto in = rubbos_inputs();
+  in.burst_length = msec(100);  // < 250 ms total fill time
+  const auto out = evaluate_attack_model(in);
+  EXPECT_DOUBLE_EQ(out.damage_period_s, 0.0);
+  EXPECT_DOUBLE_EQ(out.rho, 0.0);
+}
+
+TEST(AnalyticModel, WeakAttackViolatesCondition2) {
+  auto in = rubbos_inputs();
+  in.degradation_index = 0.8;  // C_on = 800 > lambda = 500
+  const auto out = evaluate_attack_model(in);
+  EXPECT_FALSE(out.condition2);
+  EXPECT_TRUE(std::isinf(out.fill_time_s[2]));
+  EXPECT_DOUBLE_EQ(out.damage_period_s, 0.0);
+}
+
+TEST(AnalyticModel, Condition1ViolationDetected) {
+  auto in = rubbos_inputs();
+  in.tiers[0].queue_size = 20.0;  // front smaller than middle
+  const auto out = evaluate_attack_model(in);
+  EXPECT_FALSE(out.condition1);
+}
+
+TEST(AnalyticModel, OverloadedSystemNeverDrains) {
+  auto in = rubbos_inputs();
+  in.tiers[2].arrival_rate = 1200.0;  // above C_off
+  const auto out = evaluate_attack_model(in);
+  EXPECT_TRUE(std::isinf(out.drain_time_s));
+}
+
+TEST(AnalyticModel, DeeperDegradationFillsFasterAndHurtsMore) {
+  // rho is non-increasing in D; the weakest attacks (large D) never reach
+  // hold-on within the burst (rho = 0), the deepest clearly do.
+  double prev_rho = 1.0;
+  for (double d : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    auto in = rubbos_inputs();
+    in.degradation_index = d;
+    const auto out = evaluate_attack_model(in);
+    EXPECT_LE(out.rho, prev_rho) << "D=" << d;
+    prev_rho = out.rho;
+  }
+  auto deep = rubbos_inputs();
+  deep.degradation_index = 0.05;
+  auto shallow = rubbos_inputs();
+  shallow.degradation_index = 0.4;
+  EXPECT_GT(evaluate_attack_model(deep).rho, evaluate_attack_model(shallow).rho);
+}
+
+TEST(AnalyticModel, LongerBurstMoreDamageButLongerMillibottleneck) {
+  double prev_rho = -1.0;
+  double prev_mb = -1.0;
+  for (SimTime l : {msec(300), msec(400), msec(500), msec(700)}) {
+    auto in = rubbos_inputs();
+    in.burst_length = l;
+    const auto out = evaluate_attack_model(in);
+    EXPECT_GT(out.rho, prev_rho);
+    EXPECT_GT(out.millibottleneck_s, prev_mb);
+    prev_rho = out.rho;
+    prev_mb = out.millibottleneck_s;
+  }
+}
+
+TEST(AnalyticModel, ShorterIntervalMoreDamage) {
+  auto in = rubbos_inputs();
+  in.burst_interval = sec(std::int64_t{4});
+  const double rho4 = evaluate_attack_model(in).rho;
+  in.burst_interval = sec(std::int64_t{1});
+  const double rho1 = evaluate_attack_model(in).rho;
+  EXPECT_NEAR(rho1, 4.0 * rho4, 1e-9);
+}
+
+TEST(AnalyticModel, RequiredBurstLengthInvertsRho) {
+  auto in = rubbos_inputs();
+  const SimTime needed = required_burst_length(in, 0.125);
+  EXPECT_NEAR(static_cast<double>(needed), static_cast<double>(msec(500)), 1000.0);
+  // Plugging the answer back reproduces the target rho.
+  in.burst_length = needed;
+  EXPECT_NEAR(evaluate_attack_model(in).rho, 0.125, 0.01);
+}
+
+TEST(AnalyticModel, RequiredBurstLengthUnreachable) {
+  auto in = rubbos_inputs();
+  in.degradation_index = 0.9;  // condition 2 fails
+  EXPECT_EQ(required_burst_length(in, 0.1), 0);
+}
+
+TEST(AnalyticModel, TwoTierSystem) {
+  AttackModelInputs in;
+  in.tiers = {{50.0, 5000.0, 0.0}, {20.0, 1000.0, 600.0}};
+  in.degradation_index = 0.1;
+  in.burst_length = msec(400);
+  in.burst_interval = sec(std::int64_t{2});
+  const auto out = evaluate_attack_model(in);
+  // l_2 = 20/(600-100) = 40 ms; l_1 = 30/(600-100) = 60 ms.
+  EXPECT_NEAR(out.fill_time_s[1], 0.040, 1e-9);
+  EXPECT_NEAR(out.fill_time_s[0], 0.060, 1e-9);
+  EXPECT_NEAR(out.damage_period_s, 0.300, 1e-9);
+}
+
+TEST(AnalyticModel, SingleTierSystem) {
+  AttackModelInputs in;
+  in.tiers = {{10.0, 1000.0, 500.0}};
+  in.degradation_index = 0.1;
+  in.burst_length = msec(200);
+  in.burst_interval = sec(std::int64_t{2});
+  const auto out = evaluate_attack_model(in);
+  EXPECT_NEAR(out.fill_time_s[0], 10.0 / 400.0, 1e-9);
+  EXPECT_GT(out.damage_period_s, 0.0);
+}
+
+class RhoSweep : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(RhoSweep, DamageAndStealthTradeoffConsistent) {
+  const double d = std::get<0>(GetParam());
+  const int l_ms = std::get<1>(GetParam());
+  auto in = rubbos_inputs();
+  in.degradation_index = d;
+  in.burst_length = msec(l_ms);
+  const auto out = evaluate_attack_model(in);
+  // rho never exceeds the duty cycle, and P_MB always exceeds L.
+  EXPECT_LE(out.rho, to_seconds(in.burst_length) / to_seconds(in.burst_interval) + 1e-12);
+  EXPECT_GE(out.millibottleneck_s, to_seconds(in.burst_length));
+  EXPECT_GE(out.damage_period_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RhoSweep,
+                         ::testing::Combine(::testing::Values(0.05, 0.1, 0.2, 0.4),
+                                            ::testing::Values(100, 300, 500, 800)));
+
+}  // namespace
+}  // namespace memca::core

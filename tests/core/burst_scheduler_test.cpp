@@ -1,0 +1,119 @@
+#include "core/burst_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::core {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  cloud::Host host{cloud::xeon_e5_2603_v3()};
+  cloud::VmId attacker = host.add_vm({"attacker", 1, cloud::Placement::kPinnedPackage, 0});
+  cloud::MemoryAttackProgram program{sim, host, attacker,
+                                     cloud::MemoryAttackType::kMemoryLock};
+  AttackParams params() {
+    AttackParams p;
+    p.burst_length = msec(500);
+    p.burst_interval = sec(std::int64_t{2});
+    return p;
+  }
+};
+
+TEST(BurstScheduler, FiresOnOffPattern) {
+  Fixture f;
+  BurstScheduler scheduler(f.sim, f.program, f.params(), Rng(1));
+  scheduler.start();
+  f.sim.run_until(sec(std::int64_t{7}));
+  // Bursts at 0, 2, 4, 6 s.
+  EXPECT_EQ(scheduler.bursts_fired(), 4);
+  const auto& windows = f.program.windows();
+  ASSERT_GE(windows.size(), 3u);
+  EXPECT_EQ(windows[0].start, 0);
+  EXPECT_EQ(windows[0].length(), msec(500));
+  EXPECT_EQ(windows[1].start, sec(std::int64_t{2}));
+}
+
+TEST(BurstScheduler, HostActivityMatchesSchedule) {
+  Fixture f;
+  BurstScheduler scheduler(f.sim, f.program, f.params(), Rng(1));
+  scheduler.start();
+  f.sim.run_until(msec(100));
+  EXPECT_TRUE(f.host.any_lock_active());
+  f.sim.run_until(msec(700));
+  EXPECT_FALSE(f.host.any_lock_active());
+  f.sim.run_until(msec(2100));
+  EXPECT_TRUE(f.host.any_lock_active());
+}
+
+TEST(BurstScheduler, StopTerminatesInProgressBurst) {
+  Fixture f;
+  BurstScheduler scheduler(f.sim, f.program, f.params(), Rng(1));
+  scheduler.start();
+  f.sim.run_until(msec(100));
+  scheduler.stop();
+  EXPECT_FALSE(f.program.running());
+  f.sim.run_until(sec(std::int64_t{10}));
+  EXPECT_EQ(scheduler.bursts_fired(), 1);
+}
+
+TEST(BurstScheduler, ParamUpdateTakesEffectNextBurst) {
+  Fixture f;
+  BurstScheduler scheduler(f.sim, f.program, f.params(), Rng(1));
+  scheduler.start();
+  f.sim.run_until(msec(100));  // first burst in progress
+  AttackParams p = f.params();
+  p.burst_length = msec(200);
+  p.intensity = 0.5;
+  scheduler.set_params(p);
+  f.sim.run_until(sec(std::int64_t{3}));  // second burst done
+  const auto& windows = f.program.windows();
+  ASSERT_GE(windows.size(), 2u);
+  EXPECT_EQ(windows[0].length(), msec(500));  // old params
+  EXPECT_EQ(windows[1].length(), msec(200));  // new params
+}
+
+TEST(BurstScheduler, TypeSwitchAppliesPerBurst) {
+  Fixture f;
+  AttackParams p = f.params();
+  p.type = cloud::MemoryAttackType::kBusSaturate;
+  BurstScheduler scheduler(f.sim, f.program, p, Rng(1));
+  scheduler.start();
+  f.sim.run_until(msec(100));
+  EXPECT_GT(f.host.demand(f.attacker), 0.0);
+  EXPECT_DOUBLE_EQ(f.host.lock_duty(f.attacker), 0.0);
+}
+
+TEST(BurstScheduler, JitterVariesIntervals) {
+  Fixture f;
+  BurstScheduler scheduler(f.sim, f.program, f.params(), Rng(42), 0.3);
+  scheduler.start();
+  f.sim.run_until(sec(std::int64_t{60}));
+  const auto& windows = f.program.windows();
+  ASSERT_GE(windows.size(), 10u);
+  // Consecutive burst gaps must not all be equal.
+  bool varied = false;
+  const SimTime first_gap = windows[1].start - windows[0].start;
+  for (std::size_t i = 2; i < windows.size(); ++i) {
+    if (windows[i].start - windows[i - 1].start != first_gap) varied = true;
+  }
+  EXPECT_TRUE(varied);
+  // Average interval stays near the nominal 2 s.
+  const double avg_gap = to_seconds(windows.back().start - windows.front().start) /
+                         static_cast<double>(windows.size() - 1);
+  EXPECT_NEAR(avg_gap, 2.0, 0.25);
+}
+
+TEST(BurstScheduler, RestartAfterStop) {
+  Fixture f;
+  BurstScheduler scheduler(f.sim, f.program, f.params(), Rng(1));
+  scheduler.start();
+  f.sim.run_until(sec(std::int64_t{1}));
+  scheduler.stop();
+  f.sim.run_until(sec(std::int64_t{5}));
+  scheduler.start();
+  f.sim.run_until(sec(std::int64_t{6}));
+  EXPECT_EQ(scheduler.bursts_fired(), 2);
+}
+
+}  // namespace
+}  // namespace memca::core

@@ -1,0 +1,136 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/rubbos_testbed.h"
+
+namespace memca::core {
+namespace {
+
+std::unique_ptr<MemcaAttack> make_attack(testbed::RubbosTestbed& bed, AttackParams params,
+                                         AttackGoals goals, SimTime epoch = sec(std::int64_t{5})) {
+  MemcaConfig config;
+  config.params = params;
+  config.goals = goals;
+  config.enable_controller = true;
+  config.controller.epoch = epoch;
+  return bed.make_attack(config);
+}
+
+TEST(MemcaController, EscalatesUntilDamageGoalMet) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  AttackParams weak;
+  weak.intensity = 0.3;
+  weak.burst_length = msec(100);
+  weak.burst_interval = sec(std::int64_t{2});
+  AttackGoals goals;  // p95 > 1 s, millibottleneck < 1 s
+  auto attack = make_attack(bed, weak, goals);
+  attack->start();
+  bed.sim().run_for(4 * kMinute);
+
+  MemcaController& ctl = *attack->controller();
+  ASSERT_GT(ctl.epochs(), 10);
+  const AttackParams final_params = ctl.history().back().params;
+  // The commander had to escalate beyond the weak start.
+  EXPECT_GT(final_params.intensity, weak.intensity);
+  EXPECT_GT(final_params.burst_length, weak.burst_length);
+  EXPECT_TRUE(ctl.goal_met());
+  EXPECT_GE(ctl.filtered_rt(), goals.damage_target);
+}
+
+TEST(MemcaController, StealthBoundShrinksBurstLength) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  AttackParams loud;
+  loud.intensity = 1.0;
+  loud.burst_length = msec(900);
+  loud.burst_interval = sec(std::int64_t{2});
+  AttackGoals goals;
+  goals.stealth_bound = msec(600);  // tight bound: 900 ms bursts violate it
+  auto attack = make_attack(bed, loud, goals);
+  attack->start();
+  bed.sim().run_for(2 * kMinute);
+
+  MemcaController& ctl = *attack->controller();
+  const AttackParams final_params = ctl.history().back().params;
+  // 600 ms / 1.2 safety = 500 ms is the largest compliant burst.
+  EXPECT_LE(final_params.burst_length, msec(500));
+  EXPECT_TRUE(ctl.history().back().stealth_ok);
+}
+
+TEST(MemcaController, OvershootRelaxesInterval) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  AttackParams strong;
+  strong.intensity = 1.0;
+  strong.burst_length = msec(600);
+  strong.burst_interval = sec(std::int64_t{1});
+  AttackGoals goals;
+  goals.damage_target = msec(100);  // trivially exceeded -> overshoot
+  auto attack = make_attack(bed, strong, goals);
+  attack->start();
+  bed.sim().run_for(3 * kMinute);
+
+  const AttackParams final_params = attack->controller()->history().back().params;
+  EXPECT_GT(final_params.burst_interval, strong.burst_interval);
+}
+
+TEST(MemcaController, HistoryRecordsEveryEpoch) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  auto attack = make_attack(bed, AttackParams{}, AttackGoals{}, sec(std::int64_t{10}));
+  attack->start();
+  bed.sim().run_for(kMinute);
+  EXPECT_EQ(attack->controller()->epochs(), 6);
+  for (const EpochRecord& rec : attack->controller()->history()) {
+    EXPECT_GT(rec.params.intensity, 0.0);
+    EXPECT_GT(rec.params.burst_interval, rec.params.burst_length);
+    EXPECT_GE(rec.stealth_estimate, 0);
+  }
+}
+
+TEST(MemcaController, RespectsParameterBounds) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  AttackParams weak;
+  weak.intensity = 0.2;
+  weak.burst_length = msec(100);
+  weak.burst_interval = sec(std::int64_t{8});
+  AttackGoals goals;
+  goals.damage_target = sec(std::int64_t{30});  // unreachable: escalate forever
+  MemcaConfig config;
+  config.params = weak;
+  config.goals = goals;
+  config.enable_controller = true;
+  config.controller.epoch = sec(std::int64_t{5});
+  auto attack = bed.make_attack(config);
+  attack->start();
+  bed.sim().run_for(5 * kMinute);
+
+  const ParamBounds bounds;  // defaults used by the controller config
+  for (const EpochRecord& rec : attack->controller()->history()) {
+    EXPECT_LE(rec.params.intensity, bounds.max_intensity);
+    EXPECT_GE(rec.params.intensity, 0.2);
+    EXPECT_LE(rec.params.burst_length, bounds.max_burst_length);
+    EXPECT_GE(rec.params.burst_interval, bounds.min_interval);
+  }
+}
+
+TEST(MemcaController, FilterSmoothsProbeNoise) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  auto attack = make_attack(bed, AttackParams{}, AttackGoals{});
+  attack->start();
+  bed.sim().run_for(3 * kMinute);
+  // Filtered estimate stays within the envelope of raw measurements.
+  SimTime max_raw = 0;
+  for (const EpochRecord& rec : attack->controller()->history()) {
+    max_raw = std::max(max_raw, rec.measured_rt);
+  }
+  EXPECT_LE(attack->controller()->filtered_rt(), max_raw);
+  EXPECT_GT(attack->controller()->filtered_rt(), 0);
+}
+
+}  // namespace
+}  // namespace memca::core

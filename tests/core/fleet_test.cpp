@@ -1,0 +1,127 @@
+#include "core/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/contention.h"
+
+namespace memca::core {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  cloud::Host host{cloud::xeon_e5_2603_v3()};
+  cloud::VmId victim = host.add_vm({"victim", 2, cloud::Placement::kPinnedPackage, 0});
+  cloud::CrossResourceModel coupling{host, victim, {12.0, 0.02}};
+  std::vector<cloud::VmId> adversaries;
+
+  explicit Fixture(int n) {
+    for (int i = 0; i < n; ++i) {
+      adversaries.push_back(host.add_vm(
+          {"adversary-" + std::to_string(i), 1, cloud::Placement::kPinnedPackage, 0}));
+    }
+  }
+
+  AttackParams params() {
+    AttackParams p;
+    p.burst_length = msec(500);
+    p.burst_interval = sec(std::int64_t{2});
+    return p;
+  }
+};
+
+TEST(AdversaryFleet, SynchronizedMembersBurstTogether) {
+  Fixture f(3);
+  AdversaryFleet fleet(f.sim, f.host, f.adversaries, f.params(),
+                       FleetPhase::kSynchronized, Rng(1));
+  fleet.start();
+  f.sim.run_until(msec(100));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fleet.program(i).running()) << i;
+  }
+  f.sim.run_until(msec(700));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fleet.program(i).running()) << i;
+  }
+}
+
+TEST(AdversaryFleet, StaggeredMembersSpreadOverTheInterval) {
+  Fixture f(4);
+  AdversaryFleet fleet(f.sim, f.host, f.adversaries, f.params(), FleetPhase::kStaggered,
+                       Rng(1));
+  fleet.start();
+  f.sim.run_until(sec(std::int64_t{10}));
+  // Member i's first window starts at i * I/4 = i * 500 ms.
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_FALSE(fleet.program(i).windows().empty()) << i;
+    EXPECT_EQ(fleet.program(i).windows().front().start,
+              static_cast<SimTime>(i) * msec(500))
+        << i;
+  }
+}
+
+TEST(AdversaryFleet, SynchronizedLockersDeepenDegradation) {
+  Fixture one(1);
+  AdversaryFleet solo(one.sim, one.host, one.adversaries, one.params(),
+                      FleetPhase::kSynchronized, Rng(1));
+  solo.start();
+  one.sim.run_until(msec(10));
+  const double d_solo = one.coupling.capacity_multiplier();
+
+  Fixture three(3);
+  AdversaryFleet trio(three.sim, three.host, three.adversaries, three.params(),
+                      FleetPhase::kSynchronized, Rng(1));
+  trio.start();
+  three.sim.run_until(msec(10));
+  const double d_trio = three.coupling.capacity_multiplier();
+
+  EXPECT_LT(d_trio, d_solo / 3.0);
+}
+
+TEST(AdversaryFleet, StaggeredVictimSeesMoreBursts) {
+  // With 4 staggered members, the victim is throttled 4x per interval even
+  // though each member keeps the original schedule.
+  Fixture f(4);
+  AdversaryFleet fleet(f.sim, f.host, f.adversaries, f.params(), FleetPhase::kStaggered,
+                       Rng(1));
+  fleet.start();
+  int throttled_edges = 0;
+  f.coupling.on_multiplier_change([&](double m) {
+    if (m < 0.5) ++throttled_edges;
+  });
+  f.sim.run_until(sec(std::int64_t{10}));
+  // 5 intervals x 4 members = ~20 ON edges.
+  EXPECT_GE(throttled_edges, 18);
+}
+
+TEST(AdversaryFleet, FootprintAccounting) {
+  Fixture f(2);
+  AdversaryFleet fleet(f.sim, f.host, f.adversaries, f.params(),
+                       FleetPhase::kSynchronized, Rng(1));
+  fleet.start();
+  f.sim.run_until(sec(std::int64_t{10}));
+  // Bursts at t = 0, 2, ..., 10 s (the one at t=10 just opened): 5 full
+  // 500 ms windows of ON time per member, 6 bursts fired per member.
+  EXPECT_EQ(fleet.total_on_time(), 2 * 5 * msec(500));
+  EXPECT_EQ(fleet.max_member_on_time(), 5 * msec(500));
+  EXPECT_EQ(fleet.bursts_fired(), 12);
+}
+
+TEST(AdversaryFleet, StopSilencesEveryMember) {
+  Fixture f(3);
+  AdversaryFleet fleet(f.sim, f.host, f.adversaries, f.params(), FleetPhase::kStaggered,
+                       Rng(1));
+  fleet.start();
+  f.sim.run_until(msec(100));
+  fleet.stop();
+  f.sim.run_until(sec(std::int64_t{10}));
+  EXPECT_FALSE(f.host.any_lock_active());
+  EXPECT_EQ(fleet.bursts_fired(), 1);  // only member 0 had started
+}
+
+TEST(AdversaryFleet, PhaseNames) {
+  EXPECT_STREQ(to_string(FleetPhase::kSynchronized), "synchronized");
+  EXPECT_STREQ(to_string(FleetPhase::kStaggered), "staggered");
+}
+
+}  // namespace
+}  // namespace memca::core

@@ -1,0 +1,96 @@
+#include "core/kalman.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memca::core {
+namespace {
+
+TEST(KalmanFilter1D, ConvergesToConstantSignal) {
+  KalmanFilter1D filter(0.0, 1.0, 0.0, 100.0);
+  for (int i = 0; i < 100; ++i) filter.update(5.0);
+  EXPECT_NEAR(filter.estimate(), 5.0, 1e-2);
+  EXPECT_LT(filter.variance(), 0.05);
+}
+
+TEST(KalmanFilter1D, FirstUpdateJumpsTowardMeasurementWithWidePrior) {
+  KalmanFilter1D filter(0.0, 1.0, 0.0, 1e6);
+  filter.update(10.0);
+  EXPECT_NEAR(filter.estimate(), 10.0, 0.01);
+  EXPECT_NEAR(filter.gain(), 1.0, 0.01);
+}
+
+TEST(KalmanFilter1D, SmoothsNoise) {
+  KalmanFilter1D filter(0.01, 4.0, 0.0, 100.0);
+  Rng rng(3);
+  double sum_sq_err = 0.0;
+  double sum_sq_raw = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal(20.0, 2.0);
+    const double est = filter.update(z);
+    if (i > 100) {
+      sum_sq_err += (est - 20.0) * (est - 20.0);
+      sum_sq_raw += (z - 20.0) * (z - 20.0);
+    }
+  }
+  // The filtered estimate has far less variance than the raw signal.
+  EXPECT_LT(sum_sq_err, 0.2 * sum_sq_raw);
+}
+
+TEST(KalmanFilter1D, TracksDriftingSignal) {
+  KalmanFilter1D filter(1.0, 4.0, 0.0, 100.0);
+  Rng rng(5);
+  double truth = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    truth += 0.5;  // steady ramp
+    filter.update(rng.normal(truth, 1.0));
+  }
+  // Tracks with bounded lag.
+  EXPECT_NEAR(filter.estimate(), truth, 5.0);
+}
+
+TEST(KalmanFilter1D, GainBetweenZeroAndOne) {
+  KalmanFilter1D filter(0.5, 2.0, 0.0, 10.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    filter.update(rng.normal(0.0, 1.0));
+    EXPECT_GT(filter.gain(), 0.0);
+    EXPECT_LT(filter.gain(), 1.0);
+  }
+}
+
+TEST(KalmanFilter1D, ZeroProcessNoiseVarianceMonotonicallyShrinks) {
+  KalmanFilter1D filter(0.0, 1.0, 0.0, 10.0);
+  double prev = 1e9;
+  for (int i = 0; i < 50; ++i) {
+    filter.update(1.0);
+    EXPECT_LT(filter.variance(), prev);
+    prev = filter.variance();
+  }
+}
+
+TEST(KalmanFilter1D, CountsUpdates) {
+  KalmanFilter1D filter(0.1, 1.0);
+  EXPECT_EQ(filter.updates(), 0);
+  filter.update(1.0);
+  filter.update(2.0);
+  EXPECT_EQ(filter.updates(), 2);
+}
+
+TEST(KalmanFilter1D, SteadyStateGainMatchesTheory) {
+  // For a random-walk model, steady-state covariance P solves
+  // P = (P + q) r / (P + q + r).
+  const double q = 0.5;
+  const double r = 2.0;
+  KalmanFilter1D filter(q, r, 0.0, 1.0);
+  for (int i = 0; i < 1000; ++i) filter.update(0.0);
+  const double p_pred = filter.variance() + q;
+  const double expected_gain = p_pred / (p_pred + r);
+  filter.update(0.0);
+  EXPECT_NEAR(filter.gain(), expected_gain, 1e-6);
+}
+
+}  // namespace
+}  // namespace memca::core

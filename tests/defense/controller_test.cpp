@@ -1,0 +1,139 @@
+#include "defense/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "core/memca.h"
+#include "testbed/rubbos_testbed.h"
+
+namespace memca::defense {
+namespace {
+
+DefenseConfig fast_defense() {
+  DefenseConfig config;
+  config.cusum.baseline_samples = 20;
+  config.attribution_window = sec(std::int64_t{8});
+  return config;
+}
+
+TEST(HostIsolation, CapsEffectiveActivity) {
+  cloud::Host host(cloud::xeon_e5_2603_v3());
+  const cloud::VmId victim = host.add_vm({"victim", 2, cloud::Placement::kPinnedPackage, 0});
+  const cloud::VmId attacker =
+      host.add_vm({"attacker", 1, cloud::Placement::kPinnedPackage, 0});
+  host.set_memory_activity(victim, 12.0, 0.0);
+  host.set_memory_activity(attacker, 0.0, 0.9);
+  const double starved = host.achieved_bandwidth(victim);
+  EXPECT_LT(starved, 3.0);
+  host.set_memory_isolation(attacker, 0.05, 2.0);
+  EXPECT_TRUE(host.isolated(attacker));
+  EXPECT_GT(host.achieved_bandwidth(victim), 10.0);
+  host.clear_memory_isolation(attacker);
+  EXPECT_FALSE(host.isolated(attacker));
+  EXPECT_LT(host.achieved_bandwidth(victim), 3.0);
+}
+
+TEST(HostIsolation, NotifiesContentionObservers) {
+  cloud::Host host(cloud::xeon_e5_2603_v3());
+  const cloud::VmId attacker =
+      host.add_vm({"attacker", 1, cloud::Placement::kPinnedPackage, 0});
+  host.set_memory_activity(attacker, 0.0, 0.9);
+  int notifications = 0;
+  host.on_contention_change([&] { ++notifications; });
+  host.set_memory_isolation(attacker, 0.05, 2.0);
+  EXPECT_EQ(notifications, 1);
+  host.clear_memory_isolation(attacker);
+  EXPECT_EQ(notifications, 2);
+  host.clear_memory_isolation(attacker);  // idempotent: no extra notify
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(DefenseController, StaysQuietWithoutAttack) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  DefenseController defense(bed.sim(), bed.target_tier(), bed.target_host(),
+                            bed.target_vm(), fast_defense());
+  defense.start();
+  bed.sim().run_for(5 * kMinute);
+  EXPECT_EQ(defense.stage(), DefenseStage::kMonitoring);
+  EXPECT_EQ(defense.timeline().alarm, -1);
+  EXPECT_EQ(defense.attribution_samples(), 0);
+}
+
+TEST(DefenseController, DetectsAttributesAndMitigatesMemca) {
+  testbed::RubbosTestbed bed;
+  bed.start();
+  DefenseController defense(bed.sim(), bed.target_tier(), bed.target_host(),
+                            bed.target_vm(), fast_defense());
+  defense.start();
+
+  core::MemcaConfig attack_config;
+  attack_config.enable_controller = false;
+  attack_config.params.burst_length = msec(500);
+  attack_config.params.burst_interval = sec(std::int64_t{2});
+  auto attack = bed.make_attack(attack_config);
+  // Give the CUSUM a clean baseline first.
+  bed.sim().schedule_at(kMinute, [&] { attack->start(); });
+  bed.sim().run_for(6 * kMinute);
+
+  EXPECT_EQ(defense.stage(), DefenseStage::kMitigated);
+  EXPECT_EQ(defense.timeline().suspect, bed.adversary_vm());
+  EXPECT_GE(defense.timeline().alarm, kMinute);
+  // Mitigation latency = CUSUM latency-free attribution window + margin.
+  EXPECT_GT(defense.time_to_mitigate(), 0);
+  EXPECT_LE(defense.time_to_mitigate(), kMinute);
+  // Isolation restores the tier's capacity during subsequent bursts.
+  bed.sim().run_for(sec(std::int64_t{1}));
+  EXPECT_GT(bed.coupling().capacity_multiplier(), 0.8);
+}
+
+TEST(DefenseController, MitigationRestoresTailLatency) {
+  auto run = [](bool defended) {
+    testbed::RubbosTestbed bed;
+    bed.start();
+    std::unique_ptr<DefenseController> defense;
+    if (defended) {
+      defense = std::make_unique<DefenseController>(bed.sim(), bed.target_tier(),
+                                                    bed.target_host(), bed.target_vm(),
+                                                    fast_defense());
+      defense->start();
+    }
+    core::MemcaConfig attack_config;
+    attack_config.enable_controller = false;
+    auto attack = bed.make_attack(attack_config);
+    bed.sim().schedule_at(kMinute, [&] { attack->start(); });
+    bed.sim().run_for(8 * kMinute);
+    // Tail over the final 3 minutes (post-mitigation steady state).
+    SimTime worst_late_rt = 0;
+    for (const Sample& s : bed.clients().response_series().samples()) {
+      if (s.time >= 5 * kMinute) {
+        worst_late_rt = std::max(worst_late_rt, static_cast<SimTime>(s.value));
+      }
+    }
+    return worst_late_rt;
+  };
+  const SimTime undefended = run(false);
+  const SimTime defended = run(true);
+  EXPECT_GE(undefended, sec(std::int64_t{1}));  // attack still biting
+  EXPECT_LT(defended, msec(400));               // isolated attacker is toothless
+}
+
+TEST(DefenseController, DoesNotAccuseSteadyNeighbors) {
+  // A host with only steady neighbors and no attacker: even if load pushes
+  // utilization up, attribution finds no bursty suspect.
+  testbed::TestbedConfig config;
+  config.background_neighbors = 2;
+  config.num_users = 5200;  // push utilization up to force a CUSUM alarm
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+  DefenseConfig defense_config = fast_defense();
+  defense_config.cusum.threshold = 0.3;  // hair-trigger
+  DefenseController defense(bed.sim(), bed.target_tier(), bed.target_host(),
+                            bed.target_vm(), defense_config);
+  defense.start();
+  bed.sim().run_for(6 * kMinute);
+  // Whatever happened, no neighbor got isolated.
+  EXPECT_NE(defense.stage(), DefenseStage::kMitigated);
+}
+
+}  // namespace
+}  // namespace memca::defense

@@ -1,0 +1,100 @@
+#include "monitor/cusum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memca::monitor {
+namespace {
+
+TimeSeries flat_series(double level, std::size_t n, double noise = 0.0,
+                       std::uint64_t seed = 1) {
+  TimeSeries ts;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    ts.append(sec(static_cast<std::int64_t>(i)), rng.normal(level, noise));
+  }
+  return ts;
+}
+
+TEST(Cusum, FlatSeriesNeverAlarms) {
+  const CusumDetection d = detect_cusum(flat_series(0.5, 300, 0.02));
+  EXPECT_FALSE(d.detected);
+  EXPECT_NEAR(d.baseline_mean, 0.5, 0.01);
+  EXPECT_LT(d.peak_statistic, 1.0);
+}
+
+TEST(Cusum, StepChangeIsDetected) {
+  TimeSeries ts;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const double level = i < 100 ? 0.45 : 0.65;  // +20pp mean shift at t=100
+    ts.append(sec(static_cast<std::int64_t>(i)), rng.normal(level, 0.03));
+  }
+  const CusumDetection d = detect_cusum(ts);
+  EXPECT_TRUE(d.detected);
+  EXPECT_GE(d.alarm_time, sec(std::int64_t{100}));
+  EXPECT_LE(d.alarm_time, sec(std::int64_t{130}));  // detection latency bounded
+}
+
+TEST(Cusum, OnOffAttackShiftsMeanEnough) {
+  // MemCA raises 1-second average utilization from ~45% to ~65%: invisible
+  // to an 85% threshold, but CUSUM accumulates the persistent +20pp shift.
+  TimeSeries ts;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    double level = 0.45;
+    if (i >= 100) level = (i % 2 == 0) ? 0.80 : 0.50;  // attacked: mean 0.65
+    ts.append(sec(static_cast<std::int64_t>(i)), rng.normal(level, 0.03));
+  }
+  const CusumDetection d = detect_cusum(ts);
+  EXPECT_TRUE(d.detected);
+}
+
+TEST(Cusum, AllowanceSuppressesSmallDrift) {
+  TimeSeries ts;
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const double level = i < 100 ? 0.50 : 0.53;  // +3pp, below the 5pp allowance
+    ts.append(sec(static_cast<std::int64_t>(i)), rng.normal(level, 0.01));
+  }
+  EXPECT_FALSE(detect_cusum(ts).detected);
+}
+
+TEST(Cusum, ThresholdControlsSensitivity) {
+  TimeSeries ts;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double level = i < 100 ? 0.5 : 0.62;
+    ts.append(sec(static_cast<std::int64_t>(i)), rng.normal(level, 0.02));
+  }
+  CusumConfig loose;
+  loose.threshold = 0.5;
+  CusumConfig strict;
+  strict.threshold = 50.0;
+  EXPECT_TRUE(detect_cusum(ts, loose).detected);
+  EXPECT_FALSE(detect_cusum(ts, strict).detected);
+}
+
+TEST(Cusum, TooFewSamplesIsSilent) {
+  const CusumDetection d = detect_cusum(flat_series(0.9, 10));
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(Cusum, StatisticResetsAfterExcursion) {
+  // A brief excursion that subsides leaves the statistic back near zero.
+  TimeSeries ts;
+  for (int i = 0; i < 300; ++i) {
+    double level = 0.5;
+    if (i >= 100 && i < 105) level = 0.7;  // 5-sample blip
+    ts.append(sec(static_cast<std::int64_t>(i)), level);
+  }
+  CusumConfig config;
+  config.threshold = 2.0;
+  const CusumDetection d = detect_cusum(ts, config);
+  EXPECT_FALSE(d.detected);
+  EXPECT_NEAR(d.peak_statistic, 5 * (0.2 - 0.05), 0.01);
+}
+
+}  // namespace
+}  // namespace memca::monitor

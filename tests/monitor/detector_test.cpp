@@ -1,0 +1,107 @@
+#include "monitor/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memca::monitor {
+namespace {
+
+TimeSeries burst_series(SimTime duration, SimTime period, SimTime on, double peak,
+                        double base, double noise_cv = 0.0, std::uint64_t seed = 1) {
+  TimeSeries ts;
+  Rng rng(seed);
+  for (SimTime t = 0; t < duration; t += msec(50)) {
+    double v = (t % period) < on ? peak : base;
+    if (noise_cv > 0.0) v = std::max(0.0, rng.normal(v, noise_cv * v));
+    ts.append(t, v);
+  }
+  return ts;
+}
+
+TEST(ThresholdDetector, GranularityDecidesVisibility) {
+  const TimeSeries fine = burst_series(2 * kMinute, sec(std::int64_t{2}), msec(500), 1.0, 0.5);
+  EXPECT_TRUE(detect_threshold(fine, msec(50), 0.85).detected);
+  EXPECT_FALSE(detect_threshold(fine, kMinute, 0.85).detected);
+}
+
+TEST(ThresholdDetector, OneSecondGranularityIsBorderline) {
+  // 500 ms at 100% + 500 ms at 50% in a second: 75% average — invisible at
+  // an 85% threshold even at 1 s granularity (the Fig. 10b observation).
+  const TimeSeries fine = burst_series(2 * kMinute, sec(std::int64_t{2}), msec(500), 1.0, 0.5);
+  EXPECT_FALSE(detect_threshold(fine, sec(std::int64_t{1}), 0.85).detected);
+}
+
+TEST(ThresholdDetector, CountsAlarmWindows) {
+  const TimeSeries fine = burst_series(sec(std::int64_t{10}), sec(std::int64_t{2}),
+                                       msec(500), 1.0, 0.2);
+  const ThresholdDetection d = detect_threshold(fine, msec(50), 0.9);
+  EXPECT_TRUE(d.detected);
+  // 10 samples per 500 ms burst, 5 bursts.
+  EXPECT_EQ(d.alarm_windows, 50u);
+  EXPECT_EQ(d.total_windows, 200u);
+  EXPECT_EQ(d.first_alarm, 0);
+  EXPECT_DOUBLE_EQ(d.max_observed, 1.0);
+}
+
+TEST(ThresholdDetector, BruteForceVisibleAtAnyGranularity) {
+  TimeSeries fine;
+  for (SimTime t = 0; t < 3 * kMinute; t += msec(50)) fine.append(t, 0.97);
+  EXPECT_TRUE(detect_threshold(fine, msec(50), 0.85).detected);
+  EXPECT_TRUE(detect_threshold(fine, sec(std::int64_t{1}), 0.85).detected);
+  EXPECT_TRUE(detect_threshold(fine, kMinute, 0.85).detected);
+}
+
+TEST(PeriodicityDetector, FindsAttackInterval) {
+  // 2 s burst interval, 50 ms samples -> lag 40.
+  const TimeSeries series = burst_series(2 * kMinute, sec(std::int64_t{2}), msec(500),
+                                         16.0, 2.0, 0.1, 3);
+  const PeriodicityDetection d = detect_periodicity(series, msec(50), 5, 100);
+  EXPECT_TRUE(d.periodic);
+  EXPECT_EQ(d.best_lag, 40u);
+  EXPECT_EQ(d.best_period, sec(std::int64_t{2}));
+}
+
+TEST(PeriodicityDetector, FlatNoiseIsNotPeriodic) {
+  TimeSeries series;
+  Rng rng(5);
+  for (SimTime t = 0; t < 2 * kMinute; t += msec(50)) {
+    series.append(t, rng.normal(10.0, 1.0));
+  }
+  const PeriodicityDetection d = detect_periodicity(series, msec(50), 5, 100);
+  EXPECT_FALSE(d.periodic);
+}
+
+TEST(PeriodicityDetector, ShortSeriesIsNotPeriodic) {
+  // Fewer than lag+2 samples cannot support an autocorrelation estimate.
+  TimeSeries series;
+  for (int i = 0; i < 3; ++i) series.append(msec(50 * i), static_cast<double>(i % 2));
+  const PeriodicityDetection d = detect_periodicity(series, msec(50), 2, 100);
+  EXPECT_FALSE(d.periodic);
+}
+
+TEST(PeriodicityDetector, ThresholdTunesSensitivity) {
+  const TimeSeries series = burst_series(2 * kMinute, sec(std::int64_t{2}), msec(500),
+                                         16.0, 2.0, 0.5, 7);
+  const PeriodicityDetection loose = detect_periodicity(series, msec(50), 5, 100, 0.1);
+  const PeriodicityDetection strict = detect_periodicity(series, msec(50), 5, 100, 0.99);
+  EXPECT_TRUE(loose.periodic);
+  EXPECT_FALSE(strict.periodic);
+}
+
+TEST(BurstinessIndex, DistinguishesOnOffFromSteady) {
+  const TimeSeries bursty = burst_series(kMinute, sec(std::int64_t{2}), msec(200), 16.0, 2.0);
+  TimeSeries steady;
+  for (SimTime t = 0; t < kMinute; t += msec(50)) steady.append(t, 5.0);
+  EXPECT_GT(burstiness_index(bursty), 3.0);
+  EXPECT_NEAR(burstiness_index(steady), 1.0, 1e-9);
+}
+
+TEST(BurstinessIndex, TinySeriesDefaultsToOne) {
+  TimeSeries ts;
+  ts.append(0, 1.0);
+  EXPECT_DOUBLE_EQ(burstiness_index(ts), 1.0);
+}
+
+}  // namespace
+}  // namespace memca::monitor

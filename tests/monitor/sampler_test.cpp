@@ -1,0 +1,106 @@
+#include "monitor/sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::monitor {
+namespace {
+
+TEST(GaugeSampler, SamplesAtPeriod) {
+  Simulator sim;
+  double value = 1.0;
+  GaugeSampler sampler(sim, [&] { return value; }, msec(100));
+  sampler.start();
+  sim.run_until(msec(250));
+  ASSERT_EQ(sampler.series().size(), 2u);
+  EXPECT_EQ(sampler.series().samples()[0].time, msec(100));
+  EXPECT_DOUBLE_EQ(sampler.series().samples()[0].value, 1.0);
+}
+
+TEST(GaugeSampler, SeesValueChanges) {
+  Simulator sim;
+  double value = 0.0;
+  GaugeSampler sampler(sim, [&] { return value; }, msec(10));
+  sampler.start();
+  sim.schedule_at(msec(25), [&] { value = 7.0; });
+  sim.run_until(msec(40));
+  const auto& s = sampler.series().samples();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[1].value, 0.0);  // t=20
+  EXPECT_DOUBLE_EQ(s[2].value, 7.0);  // t=30
+}
+
+TEST(GaugeSampler, StopHaltsSampling) {
+  Simulator sim;
+  GaugeSampler sampler(sim, [] { return 1.0; }, msec(10));
+  sampler.start();
+  sim.run_until(msec(50));
+  sampler.stop();
+  const auto n = sampler.series().size();
+  sim.run_until(msec(100));
+  EXPECT_EQ(sampler.series().size(), n);
+}
+
+TEST(UtilizationSampler, ComputesWindowAverages) {
+  Simulator sim;
+  // Synthetic busy-time integral: 1 resource busy from t=0 to t=50ms,
+  // then idle.
+  auto integral = [&]() -> double {
+    return static_cast<double>(std::min(sim.now(), msec(50)));
+  };
+  UtilizationSampler sampler(sim, integral, 1, msec(100));
+  sampler.start();
+  sim.run_until(msec(300));
+  const auto& s = sampler.series().samples();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_NEAR(s[0].value, 0.5, 1e-9);  // busy half of [0, 100ms)
+  EXPECT_NEAR(s[1].value, 0.0, 1e-9);
+  EXPECT_EQ(s[0].time, 0);  // window-start timestamps
+}
+
+TEST(UtilizationSampler, MultiWorkerNormalisation) {
+  Simulator sim;
+  // 2 workers, both busy the whole time: integral = 2 * now.
+  auto integral = [&]() -> double { return 2.0 * static_cast<double>(sim.now()); };
+  UtilizationSampler sampler(sim, integral, 2, msec(100));
+  sampler.start();
+  sim.run_until(msec(200));
+  for (const Sample& s : sampler.series().samples()) {
+    EXPECT_NEAR(s.value, 1.0, 1e-9);
+  }
+}
+
+TEST(UtilizationSampler, ClampsToOne) {
+  Simulator sim;
+  auto integral = [&]() -> double { return 5.0 * static_cast<double>(sim.now()); };
+  UtilizationSampler sampler(sim, integral, 1, msec(100));
+  sampler.start();
+  sim.run_until(msec(200));
+  for (const Sample& s : sampler.series().samples()) {
+    EXPECT_DOUBLE_EQ(s.value, 1.0);
+  }
+}
+
+TEST(UtilizationSampler, FineAndCoarseAgreeOnAverage) {
+  // The core sampling-theory fact the paper's stealthiness rests on: mean
+  // utilization is granularity-invariant, peaks are not.
+  Simulator sim;
+  // ON-OFF busy signal: busy 100 ms out of every 1 s.
+  auto integral = [&]() -> double {
+    const SimTime t = sim.now();
+    const SimTime full = (t / kSecond) * msec(100);
+    const SimTime partial = std::min(t % kSecond, msec(100));
+    return static_cast<double>(full + partial);
+  };
+  UtilizationSampler fine(sim, integral, 1, msec(50));
+  UtilizationSampler coarse(sim, integral, 1, sec(std::int64_t{1}));
+  fine.start();
+  coarse.start();
+  sim.run_until(sec(std::int64_t{10}));
+  EXPECT_NEAR(fine.series().mean(), 0.1, 0.01);
+  EXPECT_NEAR(coarse.series().mean(), 0.1, 0.01);
+  EXPECT_NEAR(fine.series().max(), 1.0, 1e-9);
+  EXPECT_NEAR(coarse.series().max(), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace memca::monitor

@@ -1,0 +1,95 @@
+#include "monitor/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace memca::monitor {
+namespace {
+
+TimeSeries sinusoid(std::size_t period, std::size_t n, double amplitude = 1.0,
+                    double noise = 0.0, std::uint64_t seed = 1) {
+  TimeSeries ts;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = amplitude * std::sin(2.0 * std::numbers::pi *
+                                          static_cast<double>(i) / static_cast<double>(period));
+    ts.append(msec(static_cast<std::int64_t>(50 * i)), v + rng.normal(0.0, noise));
+  }
+  return ts;
+}
+
+TEST(Spectral, GoertzelPeaksAtTruePeriod) {
+  const TimeSeries ts = sinusoid(40, 2000);
+  const double at_truth = goertzel_power(ts, 40);
+  EXPECT_GT(at_truth, 10.0 * goertzel_power(ts, 20));
+  EXPECT_GT(at_truth, 10.0 * goertzel_power(ts, 55));
+}
+
+TEST(Spectral, DetectsCleanPeriodicSignal) {
+  const TimeSeries ts = sinusoid(40, 2000, 1.0, 0.1, 2);
+  const SpectralDetection d = detect_spectral(ts, msec(50), 10, 80);
+  EXPECT_TRUE(d.periodic);
+  EXPECT_EQ(d.best_period_samples, 40u);
+  EXPECT_EQ(d.best_period, sec(std::int64_t{2}));
+}
+
+TEST(Spectral, DetectsOnOffBurstTrain) {
+  // MemCA-like rectangular pulses, 500 ms ON every 2 s at 50 ms sampling.
+  TimeSeries ts;
+  Rng rng(3);
+  for (int i = 0; i < 3600; ++i) {
+    const double v = (i % 40) < 10 ? 1.0 : 0.0;
+    ts.append(msec(50 * i), v + rng.normal(0.0, 0.05));
+  }
+  const SpectralDetection d = detect_spectral(ts, msec(50), 10, 80);
+  EXPECT_TRUE(d.periodic);
+  EXPECT_EQ(d.best_period_samples, 40u);
+}
+
+TEST(Spectral, WhiteNoiseIsNotPeriodic) {
+  TimeSeries ts;
+  Rng rng(4);
+  for (int i = 0; i < 3600; ++i) ts.append(msec(50 * i), rng.normal(1.0, 0.3));
+  const SpectralDetection d = detect_spectral(ts, msec(50), 10, 80);
+  EXPECT_FALSE(d.periodic);
+}
+
+TEST(Spectral, ShortSeriesIsNotPeriodic) {
+  const TimeSeries ts = sinusoid(40, 30);
+  EXPECT_FALSE(detect_spectral(ts, msec(50), 10, 80).periodic);
+}
+
+TEST(Spectral, HeavyJitterDefeatsDetection) {
+  // Pulses with uniformly jittered gaps (+/- 50%) lose their spectral line.
+  TimeSeries ts;
+  Rng rng(5);
+  std::int64_t next_on = 0;
+  std::int64_t remaining_on = 0;
+  for (int i = 0; i < 3600; ++i) {
+    if (i >= next_on && remaining_on == 0) {
+      remaining_on = 10;
+      next_on = i + rng.uniform_int(20, 60);
+    }
+    double v = 0.0;
+    if (remaining_on > 0) {
+      v = 1.0;
+      --remaining_on;
+    }
+    ts.append(msec(50 * i), v + rng.normal(0.0, 0.05));
+  }
+  const SpectralDetection d = detect_spectral(ts, msec(50), 10, 80);
+  EXPECT_FALSE(d.periodic);
+}
+
+TEST(Spectral, ThresholdControlsSensitivity) {
+  const TimeSeries ts = sinusoid(40, 2000, 1.0, 0.5, 6);
+  EXPECT_TRUE(detect_spectral(ts, msec(50), 10, 80, 2.0).periodic);
+  EXPECT_FALSE(detect_spectral(ts, msec(50), 10, 80, 1e9).periodic);
+}
+
+}  // namespace
+}  // namespace memca::monitor

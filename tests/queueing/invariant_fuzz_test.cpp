@@ -1,0 +1,162 @@
+// Randomized invariant tests: drive the n-tier system with random traffic,
+// random burst throttling and random capacity changes, checking structural
+// invariants continuously. These are the guards against subtle accounting
+// bugs in the thread-holding state machine (the kind that would silently
+// corrupt every figure).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "queueing/ntier.h"
+#include "test_util.h"
+
+namespace memca::queueing {
+namespace {
+
+struct FuzzHarness {
+  Simulator sim;
+  NTierSystem system{sim, {{"t0", 40, 4}, {"t1", 25, 3}, {"t2", 12, 2}}};
+  Rng rng{12345};
+  std::int64_t completed = 0;
+  std::int64_t dropped = 0;
+
+  FuzzHarness() {
+    system.set_on_complete([this](const Request&) { ++completed; });
+    system.set_on_drop([this](const Request&) { ++dropped; });
+  }
+
+  void submit_random(Request::Id id) {
+    std::vector<double> demand = {rng.exponential(50.0), rng.exponential(300.0),
+                                  rng.exponential(800.0)};
+    system.submit(test::make_request(id, std::move(demand), sim.now()));
+  }
+
+  void check_invariants(const char* context) {
+    std::int64_t resident_total = 0;
+    for (std::size_t i = 0; i < system.num_tiers(); ++i) {
+      const TierServer& tier = system.tier(i);
+      // Residents decompose exactly into the four lifecycle states.
+      EXPECT_EQ(tier.resident(), tier.waiting() + tier.in_service() +
+                                     tier.blocked_on_downstream() + tier.awaiting_reply())
+          << context << " tier " << i;
+      // Thread limits are hard.
+      EXPECT_LE(tier.resident(), tier.threads()) << context << " tier " << i;
+      EXPECT_GE(tier.resident(), 0) << context << " tier " << i;
+      // A tier's downstream residents == its own awaiting_reply.
+      if (i + 1 < system.num_tiers()) {
+        EXPECT_EQ(tier.awaiting_reply(), system.tier(i + 1).resident())
+            << context << " tier " << i;
+      } else {
+        EXPECT_EQ(tier.awaiting_reply(), 0) << context << " tier " << i;
+      }
+      resident_total += tier.resident();
+    }
+    // Front-tier residents account for every in-flight request.
+    EXPECT_EQ(system.in_flight(), system.tier(0).resident()) << context;
+    // Conservation.
+    EXPECT_EQ(system.submitted(), system.completed() + system.dropped() + system.in_flight())
+        << context;
+    EXPECT_EQ(system.completed(), completed) << context;
+    EXPECT_EQ(system.dropped(), dropped) << context;
+  }
+};
+
+TEST(InvariantFuzz, RandomTrafficWithRandomBursts) {
+  FuzzHarness h;
+  Request::Id next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const double action = h.rng.uniform();
+    if (action < 0.55) {
+      h.submit_random(next_id++);
+    } else if (action < 0.70) {
+      // Random throttle of a random tier (attack ON/OFF edges).
+      const auto tier = static_cast<std::size_t>(h.rng.uniform_int(0, 2));
+      h.system.tier(tier).set_speed_multiplier(h.rng.uniform(0.05, 1.0));
+    } else if (action < 0.75) {
+      // Restore full speed everywhere.
+      for (std::size_t i = 0; i < 3; ++i) h.system.tier(i).set_speed_multiplier(1.0);
+    } else {
+      h.sim.run_for(h.rng.exponential_time(msec(2)));
+    }
+    h.check_invariants("mid-run");
+  }
+  for (std::size_t i = 0; i < 3; ++i) h.system.tier(i).set_speed_multiplier(1.0);
+  h.sim.run_all();
+  h.check_invariants("after drain");
+  EXPECT_EQ(h.system.in_flight(), 0);
+  EXPECT_GT(h.completed, 0);
+}
+
+TEST(InvariantFuzz, BurstStormWithCapacityChanges) {
+  FuzzHarness h;
+  Request::Id next_id = 0;
+  for (int step = 0; step < 1500; ++step) {
+    const double action = h.rng.uniform();
+    if (action < 0.5) {
+      h.submit_random(next_id++);
+    } else if (action < 0.6) {
+      // Elastic scale-out of a random tier mid-chaos.
+      const auto tier = static_cast<std::size_t>(h.rng.uniform_int(0, 2));
+      if (h.system.tier(tier).workers() < 16) {
+        h.system.tier(tier).add_capacity(1, 2);
+      }
+    } else if (action < 0.8) {
+      h.system.back_tier().set_speed_multiplier(h.rng.uniform(0.02, 0.2));
+    } else if (action < 0.9) {
+      h.system.back_tier().set_speed_multiplier(1.0);
+    } else {
+      h.sim.run_for(h.rng.exponential_time(msec(5)));
+    }
+    h.check_invariants("storm");
+  }
+  h.system.back_tier().set_speed_multiplier(1.0);
+  h.sim.run_all();
+  h.check_invariants("storm drained");
+  EXPECT_EQ(h.system.in_flight(), 0);
+}
+
+TEST(InvariantFuzz, FifoPreservedUnderChaos) {
+  // Same-class requests must complete in submission order even across
+  // bursts and scale-outs (single chain, FIFO queues everywhere).
+  Simulator sim;
+  NTierSystem system(sim, {{"t0", 30, 1}, {"t1", 20, 1}, {"t2", 10, 1}});
+  std::vector<Request::Id> completions;
+  system.set_on_complete([&](const Request& r) { completions.push_back(r.id); });
+  Rng rng(777);
+  Request::Id next_id = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (rng.chance(0.6)) {
+      system.submit(test::make_request(next_id++, {30.0, 60.0, 120.0}, sim.now()));
+    }
+    if (rng.chance(0.1)) {
+      system.back_tier().set_speed_multiplier(rng.uniform(0.05, 1.0));
+    }
+    sim.run_for(rng.exponential_time(usec(300)));
+  }
+  system.back_tier().set_speed_multiplier(1.0);
+  sim.run_all();
+  for (std::size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_LT(completions[i - 1], completions[i]);
+  }
+}
+
+TEST(InvariantFuzz, DeterministicUnderIdenticalSeeds) {
+  auto run_once = [] {
+    FuzzHarness h;
+    Request::Id next_id = 0;
+    for (int step = 0; step < 1000; ++step) {
+      if (h.rng.chance(0.6)) h.submit_random(next_id++);
+      if (h.rng.chance(0.1)) {
+        h.system.back_tier().set_speed_multiplier(h.rng.uniform(0.05, 1.0));
+      }
+      h.sim.run_for(h.rng.exponential_time(msec(1)));
+    }
+    h.system.back_tier().set_speed_multiplier(1.0);
+    h.sim.run_all();
+    return std::tuple<std::int64_t, std::int64_t, std::uint64_t>(
+        h.completed, h.dropped, h.sim.events_executed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace memca::queueing

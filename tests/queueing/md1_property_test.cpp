@@ -1,0 +1,63 @@
+// M/D/1 property tests: the WorkStation is work-based, not
+// distribution-based, so deterministic service must also match textbook
+// queueing theory (Pollaczek–Khinchine with zero service variance):
+//
+//   W_q = rho / (2 (1 - rho)) * S,    W = W_q + S.
+//
+// Together with the M/M/1 suite this pins both moments of the service
+// process handling.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "queueing/ntier.h"
+#include "test_util.h"
+
+namespace memca::queueing {
+namespace {
+
+double run_md1_mean_rt_us(double rho, double service_us, SimTime duration,
+                          std::uint64_t seed) {
+  Simulator sim;
+  NTierSystem system(sim, {{"station", 1000000, 1}});
+  Rng rng(seed);
+  double rt_sum = 0.0;
+  std::int64_t rt_count = 0;
+  system.set_on_complete([&](const Request& r) {
+    rt_sum += static_cast<double>(r.tier_time(0));
+    ++rt_count;
+  });
+  const double lambda_per_us = rho / service_us;
+  std::int64_t next_id = 0;
+  std::function<void()> arrive = [&] {
+    system.submit(test::make_request(next_id++, {service_us}, sim.now()));
+    sim.schedule_in(static_cast<SimTime>(rng.exponential(1.0 / lambda_per_us)), arrive);
+  };
+  sim.schedule_in(0, arrive);
+  sim.run_until(duration);
+  return rt_sum / static_cast<double>(rt_count);
+}
+
+class Md1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Md1Sweep, PollaczekKhinchineMeanHolds) {
+  const double rho = GetParam();
+  const double service_us = 1000.0;
+  const double measured = run_md1_mean_rt_us(rho, service_us, sec(std::int64_t{300}), 17);
+  const double theory = service_us * (1.0 + rho / (2.0 * (1.0 - rho)));
+  EXPECT_NEAR(measured / theory, 1.0, 0.06) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Md1Sweep, ::testing::Values(0.3, 0.5, 0.7, 0.85));
+
+TEST(Md1VsMm1, DeterministicServiceHalvesQueueing) {
+  // P-K: M/D/1 queueing delay is exactly half of M/M/1's at equal rho.
+  const double rho = 0.7;
+  const double service_us = 1000.0;
+  const double md1 = run_md1_mean_rt_us(rho, service_us, sec(std::int64_t{300}), 23);
+  const double md1_wq = md1 - service_us;
+  const double mm1_wq_theory = service_us * rho / (1.0 - rho);
+  EXPECT_NEAR(md1_wq / (mm1_wq_theory / 2.0), 1.0, 0.10);
+}
+
+}  // namespace
+}  // namespace memca::queueing

@@ -1,0 +1,129 @@
+// Property tests pinning the queueing substrate to textbook theory:
+// an NTierSystem with one tier, one worker and an effectively infinite
+// thread pool is an M/M/1 queue; with c workers it is M/M/c. Mean response
+// time and queue length must match the analytic results within sampling
+// tolerance — this validates service sampling, FIFO discipline, the event
+// engine and the busy-time accounting all at once.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "queueing/ntier.h"
+#include "test_util.h"
+
+namespace memca::queueing {
+namespace {
+
+struct Mm1Result {
+  double mean_rt_us = 0.0;
+  double mean_resident = 0.0;
+  double utilization = 0.0;
+  std::int64_t completed = 0;
+};
+
+Mm1Result run_mmc(double lambda_per_sec, double service_mean_us, int workers,
+                  SimTime duration, std::uint64_t seed) {
+  Simulator sim;
+  NTierSystem system(sim, {{"station", 1000000, workers}});
+  Rng rng(seed);
+
+  double rt_sum = 0.0;
+  std::int64_t rt_count = 0;
+  system.set_on_complete([&](const Request& r) {
+    rt_sum += static_cast<double>(r.tier_time(0));
+    ++rt_count;
+  });
+
+  std::int64_t next_id = 0;
+  std::function<void()> arrive = [&] {
+    auto req = test::make_request(next_id++, {rng.exponential(service_mean_us)}, sim.now());
+    system.submit(std::move(req));
+    sim.schedule_in(static_cast<SimTime>(rng.exponential(1e6 / lambda_per_sec)), arrive);
+  };
+  sim.schedule_in(0, arrive);
+
+  // Sample resident count for Little's-law checking.
+  double resident_sum = 0.0;
+  std::int64_t resident_samples = 0;
+  PeriodicTask sampler(sim, msec(1), [&] {
+    resident_sum += static_cast<double>(system.tier(0).resident());
+    ++resident_samples;
+  });
+
+  sim.run_until(duration);
+  Mm1Result result;
+  result.mean_rt_us = rt_sum / static_cast<double>(rt_count);
+  result.mean_resident = resident_sum / static_cast<double>(resident_samples);
+  result.utilization = system.tier(0).busy_worker_time_us() /
+                       (static_cast<double>(workers) * static_cast<double>(duration));
+  result.completed = rt_count;
+  return result;
+}
+
+class Mm1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1Sweep, MeanResponseTimeMatchesTheory) {
+  const double rho = GetParam();
+  const double service_mean_us = 1000.0;  // mu = 1000/s
+  const double mu = 1e6 / service_mean_us;
+  const double lambda = rho * mu;
+  const auto r = run_mmc(lambda, service_mean_us, 1, sec(std::int64_t{200}), 42);
+  const double theory_us = service_mean_us / (1.0 - rho);  // W = 1/(mu - lambda)
+  EXPECT_NEAR(r.mean_rt_us / theory_us, 1.0, 0.08) << "rho=" << rho;
+}
+
+TEST_P(Mm1Sweep, UtilizationMatchesRho) {
+  const double rho = GetParam();
+  const double service_mean_us = 1000.0;
+  const double lambda = rho * 1e6 / service_mean_us;
+  const auto r = run_mmc(lambda, service_mean_us, 1, sec(std::int64_t{100}), 7);
+  EXPECT_NEAR(r.utilization, rho, 0.03) << "rho=" << rho;
+}
+
+TEST_P(Mm1Sweep, LittlesLawHolds) {
+  const double rho = GetParam();
+  const double service_mean_us = 1000.0;
+  const double lambda_per_sec = rho * 1e6 / service_mean_us;
+  const auto r = run_mmc(lambda_per_sec, service_mean_us, 1, sec(std::int64_t{200}), 11);
+  // L = lambda * W (W in seconds).
+  const double expected_l = lambda_per_sec * r.mean_rt_us / 1e6;
+  EXPECT_NEAR(r.mean_resident / expected_l, 1.0, 0.10) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Mm1Sweep, ::testing::Values(0.3, 0.5, 0.7));
+
+TEST(MmcQueue, TwoServersBeatOneFastViaLowerWaiting) {
+  // Classic check: at equal total capacity, M/M/2 has lower mean RT than
+  // M/M/1 only below moderate load... here we check the simpler property
+  // that M/M/2 with the same per-server rate halves utilization.
+  const auto one = run_mmc(600.0, 1000.0, 1, sec(std::int64_t{100}), 3);
+  const auto two = run_mmc(600.0, 1000.0, 2, sec(std::int64_t{100}), 3);
+  EXPECT_NEAR(two.utilization, one.utilization / 2.0, 0.03);
+  EXPECT_LT(two.mean_rt_us, one.mean_rt_us);
+}
+
+TEST(MmcQueue, MM2ResponseTimeMatchesErlangTheory) {
+  const double service_mean_us = 1000.0;
+  const double mu = 1e6 / service_mean_us;  // per server
+  const double lambda = 1200.0;             // rho = 0.6 with 2 servers
+  const auto r = run_mmc(lambda, service_mean_us, 2, sec(std::int64_t{200}), 5);
+  // M/M/c with c=2, rho=0.6: P(wait) via Erlang C, W = Pw/(c*mu - lambda) + 1/mu.
+  const double rho = lambda / (2.0 * mu);
+  const double a = lambda / mu;  // offered load = 1.2
+  const double p0 = 1.0 / (1.0 + a + a * a / (2.0 * (1.0 - rho)));
+  const double erlang_c = (a * a / (2.0 * (1.0 - rho))) * p0;
+  const double w_s = erlang_c / (2.0 * mu - lambda) + 1.0 / mu;
+  EXPECT_NEAR(r.mean_rt_us / (w_s * 1e6), 1.0, 0.08);
+}
+
+TEST(MmcQueue, DeterministicRerunsAreIdentical) {
+  const auto a = run_mmc(500.0, 1000.0, 1, sec(std::int64_t{20}), 99);
+  const auto b = run_mmc(500.0, 1000.0, 1, sec(std::int64_t{20}), 99);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_rt_us, b.mean_rt_us);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+}  // namespace
+}  // namespace memca::queueing

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "monitor/elastic.h"
+#include "queueing/ntier.h"
+#include "test_util.h"
+#include "workload/openloop.h"
+#include "workload/router.h"
+
+namespace memca::queueing {
+namespace {
+
+using test::make_request;
+
+TEST(ScaleIn, IdleWorkersRetireImmediately) {
+  Simulator sim;
+  int done = 0;
+  WorkStation station(sim, 4, [&](Request*) { ++done; });
+  station.remove_workers(2);
+  EXPECT_EQ(station.workers(), 2);
+  EXPECT_TRUE(station.has_free_worker());
+}
+
+TEST(ScaleIn, BusyWorkersFinishBeforeRetiring) {
+  Simulator sim;
+  int done = 0;
+  WorkStation station(sim, 2, [&](Request*) { ++done; });
+  auto r1 = make_request(1, {10000.0});
+  auto r2 = make_request(2, {10000.0});
+  station.start(r1.get(), 10000.0);
+  station.start(r2.get(), 10000.0);
+  station.remove_workers(1);
+  // Both still busy: the retirement is pending, capacity unchanged yet.
+  EXPECT_EQ(station.workers(), 2);
+  sim.run_until(msec(20));
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(station.workers(), 1);
+}
+
+TEST(ScaleIn, CannotRemoveLastWorker) {
+  Simulator sim;
+  WorkStation station(sim, 3, [](Request*) {});
+  station.remove_workers(2);
+  EXPECT_EQ(station.workers(), 1);
+  EXPECT_DEATH(station.remove_workers(1), "at least one worker");
+}
+
+TEST(ScaleIn, AddWorkersRevivesRetiredSlots) {
+  Simulator sim;
+  WorkStation station(sim, 4, [](Request*) {});
+  station.remove_workers(3);
+  EXPECT_EQ(station.workers(), 1);
+  station.add_workers(2);
+  EXPECT_EQ(station.workers(), 3);
+  station.add_workers(5);
+  EXPECT_EQ(station.workers(), 8);
+}
+
+TEST(ScaleIn, AddCancelsPendingRetirement) {
+  Simulator sim;
+  int done = 0;
+  WorkStation station(sim, 2, [&](Request*) { ++done; });
+  auto r1 = make_request(1, {50000.0});
+  auto r2 = make_request(2, {50000.0});
+  station.start(r1.get(), 50000.0);
+  station.start(r2.get(), 50000.0);
+  station.remove_workers(1);  // pending (both busy)
+  station.add_workers(1);     // cancels the pending retirement
+  sim.run_until(msec(100));
+  EXPECT_EQ(station.workers(), 2);
+}
+
+TEST(ScaleIn, RetiredSlotsNeverPickUpWork) {
+  Simulator sim;
+  std::vector<Request::Id> done;
+  WorkStation station(sim, 3, [&](Request* r) { done.push_back(r->id); });
+  station.remove_workers(2);
+  std::vector<std::unique_ptr<Request>> reqs;
+  // Only one worker: two sequential 1 ms services take 2 ms, not 1.
+  auto r1 = make_request(1, {1000.0});
+  station.start(r1.get(), 1000.0);
+  EXPECT_FALSE(station.has_free_worker());
+  sim.run_until(usec(1000));
+  EXPECT_EQ(done.size(), 1u);
+}
+
+TEST(ScaleIn, TierRemoveCapacityShrinksThreads) {
+  Simulator sim;
+  TierServer tier(sim, TierConfig{"t", 40, 4}, 0);
+  tier.set_reply_sink([](Request*) {});
+  tier.remove_capacity(2, 20);
+  EXPECT_EQ(tier.workers(), 2);
+  EXPECT_EQ(tier.threads(), 20);
+  // Thread limit never drops below the worker count or one.
+  tier.remove_capacity(1, 100);
+  EXPECT_EQ(tier.threads(), 1);
+}
+
+TEST(ScaleIn, ElasticControllerScalesBackAfterLoadSubsides) {
+  Simulator sim;
+  NTierSystem system(sim, {{"front", 200, 8}, {"back", 100, 2}});
+  workload::RequestRouter router(system);
+  monitor::ElasticPolicy policy;
+  policy.evaluation_period = sec(std::int64_t{10});
+  policy.provisioning_delay = sec(std::int64_t{10});
+  policy.cooldown = sec(std::int64_t{10});
+  policy.threads_per_scaleout = 0;
+  policy.scale_in_threshold = 0.30;
+  policy.scale_in_consecutive = 2;
+  monitor::ElasticController controller(sim, system.tier(1), policy);
+  controller.start();
+
+  // Hot phase: overload triggers a scale-out.
+  {
+    workload::OpenLoopConfig config;
+    config.rate_per_sec = 1800.0;
+    workload::OpenLoopSource hot(sim, router, workload::uniform_profile({100.0, 1500.0}),
+                                 config, Rng(1));
+    hot.start();
+    sim.run_for(2 * kMinute);
+    hot.stop();
+    sim.run_for(sec(std::int64_t{5}));
+  }
+  EXPECT_GE(controller.scaleouts(), 1);
+  const int peak_workers = system.tier(1).workers();
+  EXPECT_GT(peak_workers, 2);
+
+  // Quiet phase: utilization collapses, capacity is reclaimed.
+  sim.run_for(3 * kMinute);
+  EXPECT_GE(controller.scaleins(), 1);
+  EXPECT_LT(system.tier(1).workers(), peak_workers);
+}
+
+}  // namespace
+}  // namespace memca::queueing

@@ -1,0 +1,123 @@
+#include "queueing/tandem.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace memca::queueing {
+namespace {
+
+using test::make_request;
+
+struct Fixture {
+  Simulator sim;
+  TandemQueueSystem system{
+      sim, {{"s1", 2, StationConfig::kUnbounded}, {"s2", 1, StationConfig::kUnbounded}}};
+  int completed = 0;
+  int dropped = 0;
+  Fixture() {
+    system.set_on_complete([this](const Request&) { ++completed; });
+    system.set_on_drop([this](const Request&) { ++dropped; });
+  }
+};
+
+TEST(TandemQueueSystem, RequestFlowsThroughStations) {
+  Fixture f;
+  f.system.submit(make_request(1, {100.0, 200.0}));
+  f.sim.run_all();
+  EXPECT_EQ(f.completed, 1);
+  EXPECT_EQ(f.system.completed(), 1);
+}
+
+TEST(TandemQueueSystem, StationResidenceExcludesDownstream) {
+  // The defining difference from the n-tier model: station 1's residence
+  // time does NOT include station 2's queueing.
+  Fixture f;
+  SimTime t0 = -1;
+  SimTime t1 = -1;
+  f.system.set_on_complete([&](const Request& r) {
+    t0 = r.tier_time(0);
+    t1 = r.tier_time(1);
+  });
+  f.system.submit(make_request(1, {100.0, 50000.0}));
+  f.sim.run_all();
+  EXPECT_EQ(t0, usec(100));
+  EXPECT_EQ(t1, usec(50000));
+}
+
+TEST(TandemQueueSystem, BacklogAccumulatesAtSlowStation) {
+  Fixture f;
+  f.system.set_speed_multiplier(1, 0.001);
+  for (int i = 0; i < 20; ++i) f.system.submit(make_request(i, {10.0, 100.0}));
+  f.sim.run_until(msec(10));
+  // Upstream is oblivious: everything piles at station 2.
+  EXPECT_EQ(f.system.resident(0), 0);
+  EXPECT_EQ(f.system.resident(1), 20);
+}
+
+TEST(TandemQueueSystem, InfiniteQueueNeverDrops) {
+  Fixture f;
+  f.system.set_speed_multiplier(1, 0.001);
+  for (int i = 0; i < 500; ++i) f.system.submit(make_request(i, {1.0, 100.0}));
+  f.sim.run_until(msec(10));
+  EXPECT_EQ(f.dropped, 0);
+  f.system.set_speed_multiplier(1, 1.0);
+  f.sim.run_all();
+  EXPECT_EQ(f.completed, 500);
+}
+
+TEST(TandemQueueSystem, FiniteFrontQueueDrops) {
+  Simulator sim;
+  TandemQueueSystem system(sim, {{"s1", 1, 2}});
+  int dropped = 0;
+  system.set_on_drop([&](const Request&) { ++dropped; });
+  std::vector<std::unique_ptr<Request>> pending;
+  // 1 in service + 2 waiting fit; the 4th drops.
+  for (int i = 0; i < 4; ++i) system.submit(make_request(i, {100000.0}));
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(system.dropped(), 1);
+}
+
+TEST(TandemQueueSystem, FiniteInterStationQueueDropsMidstream) {
+  Simulator sim;
+  TandemQueueSystem system(sim, {{"s1", 4, StationConfig::kUnbounded}, {"s2", 1, 1}});
+  int completed = 0;
+  int dropped = 0;
+  system.set_on_complete([&](const Request&) { ++completed; });
+  system.set_on_drop([&](const Request&) { ++dropped; });
+  for (int i = 0; i < 6; ++i) system.submit(make_request(i, {10.0, 100000.0}));
+  sim.run_until(msec(1));
+  // Station 2 holds 1 in service + 1 waiting; the rest were lost in transit.
+  EXPECT_EQ(dropped, 4);
+  sim.run_all();
+  EXPECT_EQ(completed, 2);
+}
+
+TEST(TandemQueueSystem, FifoWithinStation) {
+  Fixture f;
+  std::vector<Request::Id> order;
+  f.system.set_on_complete([&](const Request& r) { order.push_back(r.id); });
+  for (int i = 0; i < 5; ++i) f.system.submit(make_request(i, {100.0, 100.0}));
+  f.sim.run_all();
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TandemQueueSystem, NamesAndAccessors) {
+  Fixture f;
+  EXPECT_EQ(f.system.num_stations(), 2u);
+  EXPECT_EQ(f.system.depth(), 2u);
+  EXPECT_EQ(f.system.station_name(0), "s1");
+  EXPECT_EQ(f.system.station_name(1), "s2");
+}
+
+TEST(TandemQueueSystem, ResidenceHistogramPopulated) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) f.system.submit(make_request(i, {100.0, 100.0}));
+  f.sim.run_all();
+  EXPECT_EQ(f.system.residence_time(0).count(), 10);
+  EXPECT_EQ(f.system.residence_time(1).count(), 10);
+}
+
+}  // namespace
+}  // namespace memca::queueing

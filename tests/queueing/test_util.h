@@ -1,0 +1,25 @@
+// Shared helpers for queueing-layer tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "queueing/request.h"
+
+namespace memca::queueing::test {
+
+/// Builds a request with fixed (deterministic) per-tier demands.
+inline std::unique_ptr<Request> make_request(Request::Id id, std::vector<double> demand_us,
+                                             SimTime now = 0) {
+  auto req = std::make_unique<Request>();
+  req->id = id;
+  req->first_sent = now;
+  req->sent = now;
+  req->demand_us = std::move(demand_us);
+  // NTierSystem sizes the trace on submit; direct TierServer tests need it
+  // pre-sized.
+  req->trace.assign(req->demand_us.size(), TierTrace{});
+  return req;
+}
+
+}  // namespace memca::queueing::test

@@ -1,0 +1,190 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memca {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(msec(30), [&] { order.push_back(3); });
+  sim.schedule_at(msec(10), [&] { order.push_back(1); });
+  sim.schedule_at(msec(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(msec(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(msec(42), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, msec(42));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(msec(10), [&] { ++fired; });
+  sim.schedule_at(msec(20), [&] { ++fired; });
+  sim.schedule_at(msec(21), [&] { ++fired; });
+  sim.run_until(msec(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), msec(20));
+  sim.run_until(msec(30));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(msec(10));
+  EXPECT_EQ(sim.now(), msec(10));
+  sim.run_for(msec(10));
+  EXPECT_EQ(sim.now(), msec(20));
+}
+
+TEST(Simulator, ScheduleInIsRelativeToNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(msec(10), [&] {
+    sim.schedule_in(msec(5), [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, msec(15));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(msec(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(msec(10), [&] { ++fired; });
+  sim.run_all();
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(msec(1), recurse);
+  };
+  sim.schedule_in(msec(1), recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), msec(5));
+}
+
+TEST(Simulator, ZeroDelayFiresAtSameTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(msec(7), [&] {
+    sim.schedule_in(0, [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, msec(7));
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) sim.schedule_at(msec(i), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 17u);
+}
+
+TEST(PeriodicTask, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, msec(100), [&] { fires.push_back(sim.now()); });
+  sim.run_until(msec(350));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], msec(100));
+  EXPECT_EQ(fires[1], msec(200));
+  EXPECT_EQ(fires[2], msec(300));
+}
+
+TEST(PeriodicTask, FireImmediatelyOption) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, msec(100), [&] { fires.push_back(sim.now()); },
+                    /*fire_immediately=*/true);
+  sim.run_until(msec(250));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], 0);
+}
+
+TEST(PeriodicTask, StopHaltsFiring) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task(sim, msec(100), [&] {
+    if (++fires == 2) task.stop();
+  });
+  sim.run_until(sec(std::int64_t{1}));
+  EXPECT_EQ(fires, 2);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, SetPeriodTakesEffectAfterNextFiring) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, msec(100), [&] { fires.push_back(sim.now()); });
+  sim.run_until(msec(100));
+  task.set_period(msec(50));
+  sim.run_until(msec(260));
+  // The firing at 200 was already armed with the old period; the new 50 ms
+  // period applies from there on: 100, 200, 250.
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[1], msec(200));
+  EXPECT_EQ(fires[2], msec(250));
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTask task(sim, msec(10), [&] { ++fires; });
+  }
+  sim.run_until(msec(100));
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace memca

@@ -1,0 +1,71 @@
+#include "testbed/attack_lab.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::testbed {
+namespace {
+
+TEST(AttackLab, CleanRunHasNoDamage) {
+  AttackLabConfig config;
+  config.attack_enabled = false;
+  config.duration = kMinute;
+  const AttackLabResult r = run_attack_lab(config);
+  EXPECT_DOUBLE_EQ(r.d_on, 1.0);
+  EXPECT_EQ(r.drops, 0);
+  EXPECT_LT(r.client_p95, msec(100));
+  EXPECT_EQ(r.bursts, 0);
+  EXPECT_FALSE(r.autoscaler_triggered);
+  EXPECT_NEAR(r.throughput, 500.0, 50.0);
+}
+
+TEST(AttackLab, PaperParametersProduceHeadlineNumbers) {
+  AttackLabConfig config;
+  config.params.burst_length = msec(500);
+  config.params.burst_interval = sec(std::int64_t{2});
+  config.duration = 2 * kMinute;
+  const AttackLabResult r = run_attack_lab(config);
+  EXPECT_LT(r.d_on, 0.2);
+  EXPECT_GE(r.client_p95, sec(std::int64_t{1}));
+  EXPECT_GT(r.drop_fraction, 0.03);
+  EXPECT_FALSE(r.autoscaler_triggered);
+  EXPECT_GT(r.mean_saturation_s, 0.4);
+  EXPECT_LT(r.mean_saturation_s, 1.0);
+  EXPECT_TRUE(r.model.condition1);
+  EXPECT_TRUE(r.model.condition2);
+  ASSERT_EQ(r.tier_p95.size(), 3u);
+  EXPECT_LE(r.tier_p95[2], r.tier_p95[1]);
+  EXPECT_LE(r.tier_p95[1], r.tier_p95[0]);
+}
+
+TEST(AttackLab, DeterministicAcrossCalls) {
+  AttackLabConfig config;
+  config.duration = kMinute;
+  const AttackLabResult a = run_attack_lab(config);
+  const AttackLabResult b = run_attack_lab(config);
+  EXPECT_EQ(a.client_p95, b.client_p95);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_DOUBLE_EQ(a.cpu_mean, b.cpu_mean);
+}
+
+TEST(AttackLab, JitterChangesBurstTimesNotDamage) {
+  AttackLabConfig plain;
+  plain.duration = 2 * kMinute;
+  AttackLabConfig jittered = plain;
+  jittered.jitter = 0.3;
+  const AttackLabResult a = run_attack_lab(plain);
+  const AttackLabResult b = run_attack_lab(jittered);
+  // Similar damage envelope (within a factor of two in drop fraction).
+  EXPECT_GT(b.drop_fraction, 0.3 * a.drop_fraction);
+  EXPECT_LT(b.drop_fraction, 3.0 * a.drop_fraction);
+}
+
+TEST(AttackLab, CountsBursts) {
+  AttackLabConfig config;
+  config.duration = kMinute;
+  config.params.burst_interval = sec(std::int64_t{4});
+  const AttackLabResult r = run_attack_lab(config);
+  EXPECT_NEAR(static_cast<double>(r.bursts), 16.0, 1.0);
+}
+
+}  // namespace
+}  // namespace memca::testbed

@@ -1,0 +1,148 @@
+// Tests for the testbed extensions beyond the paper's baseline setup:
+// target-tier selection, noisy neighbors, adversary sizing, and live
+// elastic scaling against the attacks.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "monitor/elastic.h"
+#include "testbed/rubbos_testbed.h"
+
+namespace memca::testbed {
+namespace {
+
+core::MemcaConfig paper_attack() {
+  core::MemcaConfig config;
+  config.enable_controller = false;
+  config.params.burst_length = msec(500);
+  config.params.burst_interval = sec(std::int64_t{2});
+  return config;
+}
+
+TEST(TargetTier, DefaultTargetsMysql) {
+  RubbosTestbed bed;
+  EXPECT_EQ(&bed.target_tier(), &bed.system().tier(2));
+  EXPECT_EQ(&bed.target_host(), &bed.host(2));
+}
+
+TEST(TargetTier, AttackingTheBottleneckHurtsMost) {
+  std::vector<SimTime> p95(3);
+  for (int tier = 0; tier < 3; ++tier) {
+    TestbedConfig config;
+    config.target_tier = tier;
+    RubbosTestbed bed(config);
+    bed.start();
+    auto attack = bed.make_attack(paper_attack());
+    attack->start();
+    bed.sim().run_for(2 * kMinute);
+    p95[static_cast<std::size_t>(tier)] = bed.clients().response_times().quantile(0.95);
+  }
+  // MySQL (the provisioning bottleneck) is by far the most damaging target:
+  // Apache and Tomcat have enough headroom that D ~ 0.1 leaves C_on above
+  // the offered load (Condition 2 fails there).
+  EXPECT_GT(p95[2], 4 * p95[0]);
+  EXPECT_GT(p95[2], 4 * p95[1]);
+}
+
+TEST(TargetTier, NonBottleneckCouplingStillWired) {
+  TestbedConfig config;
+  config.target_tier = 1;
+  RubbosTestbed bed(config);
+  bed.target_host().set_memory_activity(bed.adversary_vm(), 0.0, 0.9);
+  EXPECT_LT(bed.system().tier(1).speed_multiplier(), 0.5);
+  EXPECT_DOUBLE_EQ(bed.system().tier(2).speed_multiplier(), 1.0);
+}
+
+TEST(NoisyNeighbors, BaselineSurvivesOrdinaryTenants) {
+  TestbedConfig config;
+  config.background_neighbors = 2;
+  RubbosTestbed bed(config);
+  bed.start();
+  bed.sim().run_for(kMinute);
+  // Neighbor noise alone must not create a long tail.
+  EXPECT_LT(bed.clients().response_times().quantile(0.95), msec(100));
+  EXPECT_EQ(bed.clients().dropped_attempts(), 0);
+}
+
+TEST(NoisyNeighbors, AttackStillMeetsGoalUnderNoise) {
+  TestbedConfig config;
+  config.background_neighbors = 2;
+  RubbosTestbed bed(config);
+  bed.start();
+  auto attack = bed.make_attack(paper_attack());
+  attack->start();
+  bed.sim().run_for(3 * kMinute);
+  EXPECT_GE(bed.clients().response_times().quantile(0.95), sec(std::int64_t{1}));
+}
+
+TEST(AdversarySizing, MoreVcpusDeepenBusSaturation) {
+  auto d_on_with_vcpus = [](int vcpus) {
+    TestbedConfig config;
+    config.adversary_vcpus = vcpus;
+    config.cloud = CloudProfile::kPrivateCloud;
+    RubbosTestbed bed(config);
+    core::MemcaConfig attack_config = paper_attack();
+    attack_config.params.type = cloud::MemoryAttackType::kBusSaturate;
+    auto attack = bed.make_attack(attack_config);
+    bed.start();
+    attack->start();
+    bed.sim().run_for(0);
+    return bed.coupling().capacity_multiplier();
+  };
+  const double d1 = d_on_with_vcpus(1);
+  const double d4 = d_on_with_vcpus(4);
+  EXPECT_LT(d4, d1);
+  // Even a 4-vCPU streamer cannot starve the victim like the lock kernel:
+  // the memory scheduler still grants the victim its weighted share.
+  EXPECT_GT(d4, 0.3);
+}
+
+TEST(ElasticScaling, FloodingIsAbsorbedByScaleOut) {
+  // Berkeley's prediction: elasticity serves the attack traffic. With live
+  // scaling the flood's damage shrinks substantially vs the fixed fleet.
+  auto run_flood = [](bool scaling) {
+    RubbosTestbed bed;
+    bed.start();
+    monitor::ElasticPolicy policy;
+    policy.provisioning_delay = sec(std::int64_t{30});
+    policy.cooldown = sec(std::int64_t{30});
+    policy.workers_per_scaleout = 2;
+    policy.threads_per_scaleout = 0;
+    std::unique_ptr<monitor::ElasticController> controller;
+    if (scaling) {
+      controller =
+          std::make_unique<monitor::ElasticController>(bed.sim(), bed.system().tier(2));
+      controller->start();
+    }
+    core::FloodingAttack flood(bed.sim(), bed.router(), 500.0, bed.profile(),
+                               bed.fork_rng("flood"));
+    flood.start();
+    bed.sim().run_for(6 * kMinute);
+    struct Out {
+      SimTime p95;
+      int scaleouts;
+    };
+    return Out{bed.clients().response_times().quantile(0.95),
+               controller ? controller->scaleouts() : 0};
+  };
+  const auto fixed = run_flood(false);
+  const auto elastic = run_flood(true);
+  EXPECT_GT(elastic.scaleouts, 0);
+  EXPECT_LT(elastic.p95, fixed.p95 / 2);
+}
+
+TEST(ElasticScaling, MemcaBypassesLiveScaling) {
+  // The paper's headline: the same elastic policy that absorbs a flood
+  // never even fires against MemCA, and the damage is unchanged.
+  RubbosTestbed bed;
+  bed.start();
+  monitor::ElasticController controller(bed.sim(), bed.system().tier(2));
+  controller.start();
+  auto attack = bed.make_attack(paper_attack());
+  attack->start();
+  bed.sim().run_for(6 * kMinute);
+  EXPECT_EQ(controller.scaleouts(), 0);
+  EXPECT_GE(bed.clients().response_times().quantile(0.95), sec(std::int64_t{1}));
+}
+
+}  // namespace
+}  // namespace memca::testbed

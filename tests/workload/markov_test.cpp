@@ -1,0 +1,76 @@
+#include "workload/markov.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memca::workload {
+namespace {
+
+TEST(MarkovChain, SingleStateChain) {
+  MarkovChain chain({{1.0}}, {1.0});
+  Rng rng(1);
+  EXPECT_EQ(chain.initial_state(rng), 0);
+  EXPECT_EQ(chain.next(0, rng), 0);
+  EXPECT_NEAR(chain.stationary()[0], 1.0, 1e-12);
+}
+
+TEST(MarkovChain, DeterministicCycle) {
+  MarkovChain chain({{0.0, 1.0}, {1.0, 0.0}}, {1.0, 0.0});
+  Rng rng(2);
+  EXPECT_EQ(chain.next(0, rng), 1);
+  EXPECT_EQ(chain.next(1, rng), 0);
+}
+
+TEST(MarkovChain, StationaryOfSymmetricChain) {
+  MarkovChain chain({{0.5, 0.5}, {0.5, 0.5}}, {1.0, 0.0});
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(pi[0], 0.5, 1e-9);
+  EXPECT_NEAR(pi[1], 0.5, 1e-9);
+}
+
+TEST(MarkovChain, StationaryOfBiasedChain) {
+  // pi solves pi = pi P: for P = [[0.9, 0.1], [0.5, 0.5]] -> pi = (5/6, 1/6).
+  MarkovChain chain({{0.9, 0.1}, {0.5, 0.5}}, {0.5, 0.5});
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(pi[0], 5.0 / 6.0, 1e-9);
+  EXPECT_NEAR(pi[1], 1.0 / 6.0, 1e-9);
+}
+
+TEST(MarkovChain, StationarySumsToOne) {
+  MarkovChain chain({{0.2, 0.3, 0.5}, {0.6, 0.2, 0.2}, {0.1, 0.8, 0.1}}, {1.0, 0.0, 0.0});
+  const auto pi = chain.stationary();
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MarkovChain, EmpiricalVisitsMatchStationary) {
+  MarkovChain chain({{0.2, 0.3, 0.5}, {0.6, 0.2, 0.2}, {0.1, 0.8, 0.1}}, {1.0, 0.0, 0.0});
+  Rng rng(7);
+  std::vector<int> visits(3, 0);
+  int state = chain.initial_state(rng);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    state = chain.next(state, rng);
+    ++visits[static_cast<std::size_t>(state)];
+  }
+  const auto pi = chain.stationary();
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(static_cast<double>(visits[s]) / n, pi[s], 0.01) << "state " << s;
+  }
+}
+
+TEST(MarkovChain, InitialDistributionRespected) {
+  MarkovChain chain({{1.0, 0.0}, {0.0, 1.0}}, {0.2, 0.8});
+  Rng rng(9);
+  int first = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (chain.initial_state(rng) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.2, 0.01);
+}
+
+}  // namespace
+}  // namespace memca::workload

@@ -1,0 +1,71 @@
+#include "workload/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace memca::workload {
+namespace {
+
+TEST(WorkloadProfile, RubbosProfileIsValid) {
+  const WorkloadProfile p = rubbos_profile();
+  EXPECT_EQ(p.num_pages(), 6u);
+  EXPECT_EQ(p.num_tiers(), 3u);
+  EXPECT_EQ(p.think_time_mean, sec(std::int64_t{7}));
+}
+
+TEST(WorkloadProfile, RubbosDemandsIncreaseTowardBackend) {
+  // MySQL dominates every page's cost — the structural reason the back
+  // tier is the bottleneck.
+  const WorkloadProfile p = rubbos_profile();
+  for (const PageProfile& page : p.pages) {
+    EXPECT_LT(page.demand_mean_us[0], page.demand_mean_us[2]) << page.name;
+  }
+  EXPECT_GT(p.mean_demand_us(2), p.mean_demand_us(1));
+  EXPECT_GT(p.mean_demand_us(1), p.mean_demand_us(0));
+}
+
+TEST(WorkloadProfile, MeanDemandMatchesStationaryMix) {
+  const WorkloadProfile p = rubbos_profile();
+  // The stationary-weighted MySQL demand calibrates the bottleneck near
+  // 1.7 ms (capacity ~ 1200 req/s with 2 workers, ~42% clean utilization).
+  const double mysql = p.mean_demand_us(2);
+  EXPECT_GT(mysql, 1300.0);
+  EXPECT_LT(mysql, 2200.0);
+}
+
+TEST(WorkloadProfile, SampleDemandsShape) {
+  const WorkloadProfile p = rubbos_profile();
+  Rng rng(3);
+  const auto d = p.sample_demands(0, rng);
+  ASSERT_EQ(d.size(), 3u);
+  for (double v : d) EXPECT_GT(v, 0.0);
+}
+
+TEST(WorkloadProfile, SampleDemandsMeanConverges) {
+  const WorkloadProfile p = rubbos_profile();
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += p.sample_demands(1, rng)[2];
+  EXPECT_NEAR(sum / n, p.pages[1].demand_mean_us[2], 30.0);
+}
+
+TEST(WorkloadProfile, UniformProfile) {
+  const WorkloadProfile p = uniform_profile({100.0, 200.0}, sec(std::int64_t{3}));
+  EXPECT_EQ(p.num_pages(), 1u);
+  EXPECT_EQ(p.num_tiers(), 2u);
+  EXPECT_EQ(p.think_time_mean, sec(std::int64_t{3}));
+  EXPECT_DOUBLE_EQ(p.mean_demand_us(0), 100.0);
+  EXPECT_DOUBLE_EQ(p.mean_demand_us(1), 200.0);
+}
+
+TEST(WorkloadProfile, TransitionRowsSumToOne) {
+  const WorkloadProfile p = rubbos_profile();
+  for (const auto& row : p.transitions) {
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace memca::workload

@@ -1,0 +1,84 @@
+#include "workload/router.h"
+
+#include <gtest/gtest.h>
+
+#include "queueing/ntier.h"
+
+namespace memca::workload {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  queueing::NTierSystem system{sim, {{"front", 4, 2}, {"back", 2, 1}}};
+  RequestRouter router{system};
+};
+
+TEST(RequestRouter, RoutesCompletionsToOwningSource) {
+  Fixture f;
+  int a_done = 0;
+  int b_done = 0;
+  const int a = f.router.register_source(
+      [&](const queueing::Request&) { ++a_done; }, nullptr);
+  const int b = f.router.register_source(
+      [&](const queueing::Request&) { ++b_done; }, nullptr);
+
+  auto ra = f.router.make_request(a);
+  ra->demand_us = {10.0, 10.0};
+  auto rb = f.router.make_request(b);
+  rb->demand_us = {10.0, 10.0};
+  f.router.submit(std::move(ra));
+  f.router.submit(std::move(rb));
+  f.sim.run_all();
+  EXPECT_EQ(a_done, 1);
+  EXPECT_EQ(b_done, 1);
+}
+
+TEST(RequestRouter, RoutesDropsToOwningSource) {
+  Fixture f;
+  int a_drops = 0;
+  int b_drops = 0;
+  const int a = f.router.register_source(nullptr, [&](const queueing::Request&) { ++a_drops; });
+  const int b = f.router.register_source(nullptr, [&](const queueing::Request&) { ++b_drops; });
+
+  // Fill the system so the next submissions drop.
+  for (int i = 0; i < 4; ++i) {
+    auto r = f.router.make_request(a);
+    r->demand_us = {10.0, 1e9};
+    f.router.submit(std::move(r));
+  }
+  auto rb = f.router.make_request(b);
+  rb->demand_us = {10.0, 10.0};
+  EXPECT_FALSE(f.router.submit(std::move(rb)));
+  EXPECT_EQ(b_drops, 1);
+  EXPECT_EQ(a_drops, 0);
+}
+
+TEST(RequestRouter, IdsAreUnique) {
+  Fixture f;
+  const int a = f.router.register_source(nullptr, nullptr);
+  const int b = f.router.register_source(nullptr, nullptr);
+  auto r1 = f.router.make_request(a);
+  auto r2 = f.router.make_request(b);
+  auto r3 = f.router.make_request(a);
+  EXPECT_NE(r1->id, r2->id);
+  EXPECT_NE(r1->id, r3->id);
+  EXPECT_NE(r2->id, r3->id);
+}
+
+TEST(RequestRouter, DepthForwarded) {
+  Fixture f;
+  EXPECT_EQ(f.router.depth(), 2u);
+}
+
+TEST(RequestRouter, NullCallbacksAreSafe) {
+  Fixture f;
+  const int a = f.router.register_source(nullptr, nullptr);
+  auto r = f.router.make_request(a);
+  r->demand_us = {10.0, 10.0};
+  f.router.submit(std::move(r));
+  f.sim.run_all();  // must not crash
+  EXPECT_EQ(f.system.completed(), 1);
+}
+
+}  // namespace
+}  // namespace memca::workload
