@@ -7,10 +7,12 @@
 //                   sees N millibottlenecks per interval (I' = I/N) while
 //                   each VM's own activity pattern is unchanged.
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "core/fleet.h"
 #include "monitor/autoscaler.h"
+#include "sweep/sweep_runner.h"
 #include "testbed/rubbos_testbed.h"
 
 using namespace memca;
@@ -72,12 +74,14 @@ int main() {
     int vms;
     core::FleetPhase phase;
   };
-  for (const Cell& cell : {Cell{1, core::FleetPhase::kSynchronized},
-                           Cell{2, core::FleetPhase::kSynchronized},
-                           Cell{4, core::FleetPhase::kSynchronized},
-                           Cell{2, core::FleetPhase::kStaggered},
-                           Cell{4, core::FleetPhase::kStaggered}}) {
-    const Row row = run(cell.vms, cell.phase);
+  const std::vector<Cell> cells = {{1, core::FleetPhase::kSynchronized},
+                                   {2, core::FleetPhase::kSynchronized},
+                                   {4, core::FleetPhase::kSynchronized},
+                                   {2, core::FleetPhase::kStaggered},
+                                   {4, core::FleetPhase::kStaggered}};
+  const std::vector<Row> rows = sweep::SweepRunner().map(
+      cells, [](const Cell& cell) { return run(cell.vms, cell.phase); });
+  for (const Row& row : rows) {
     table.add_row({
         Table::num(std::int64_t{row.vms}),
         to_string(row.phase),

@@ -6,10 +6,12 @@
 // a retransmission's arrival, lengthening the p98/p99 tail.
 #include <functional>
 #include <iostream>
+#include <vector>
 
 #include "cloud/llc.h"
 #include "common/table.h"
 #include "monitor/detector.h"
+#include "sweep/sweep_runner.h"
 #include "testbed/attack_lab.h"
 
 using namespace memca;
@@ -71,8 +73,10 @@ int main() {
   print_banner(std::cout,
                "Interval jitter vs periodicity detection (bus-saturate kernel, private cloud)");
   Table table({"jitter", "periodicity detector", "best score", "p95 (ms)", "p98 (ms)"});
-  for (double jitter : {0.0, 0.1, 0.2, 0.35, 0.5}) {
-    const JitterRow row = run(jitter);
+  const std::vector<double> jitters = {0.0, 0.1, 0.2, 0.35, 0.5};
+  const std::vector<JitterRow> rows =
+      sweep::SweepRunner().map(jitters, [](double jitter) { return run(jitter); });
+  for (const JitterRow& row : rows) {
     table.add_row({
         Table::num(row.jitter, 2),
         row.detector_fires ? "DETECTED" : "blind",

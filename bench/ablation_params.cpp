@@ -2,7 +2,12 @@
 // A(R, L, I) — the design space of Section IV-A. For each cell: damage
 // (client p95/p98), stealth (mean saturation length, coarse-monitor
 // visibility, auto-scaling verdict).
+//
+// All three sweeps run their cells through run_attack_lab_sweep, which
+// fans them out across hardware threads (MEMCA_SWEEP_THREADS overrides);
+// tables are printed in cell order, bit-identical to a sequential run.
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "testbed/attack_lab.h"
@@ -13,8 +18,7 @@ namespace {
 
 void sweep_length_interval() {
   print_banner(std::cout, "Sweep L x I (memory-lock, intensity 1.0)");
-  Table table({"L (ms)", "I (s)", "p95 (ms)", "p98 (ms)", "drop %", "CPU mean %",
-               "sat (ms)", "autoscale?"});
+  std::vector<testbed::AttackLabConfig> cells;
   for (SimTime interval : {sec(std::int64_t{1}), sec(std::int64_t{2}), sec(std::int64_t{4})}) {
     for (SimTime length : {msec(100), msec(300), msec(500), msec(800)}) {
       if (length >= interval) continue;
@@ -22,34 +26,48 @@ void sweep_length_interval() {
       config.params.burst_length = length;
       config.params.burst_interval = interval;
       config.duration = 2 * kMinute;
-      const auto r = testbed::run_attack_lab(config);
-      table.add_row({
-          Table::num(to_millis(length), 0),
-          Table::num(to_seconds(interval), 0),
-          Table::num(to_millis(r.client_p95), 0),
-          Table::num(to_millis(r.client_p98), 0),
-          Table::num(r.drop_fraction * 100.0, 1),
-          Table::num(r.cpu_mean * 100.0, 0),
-          Table::num(r.mean_saturation_s * 1000.0, 0),
-          r.autoscaler_triggered ? "YES" : "no",
-      });
+      cells.push_back(config);
     }
+  }
+  const auto results = testbed::run_attack_lab_sweep(cells);
+
+  Table table({"L (ms)", "I (s)", "p95 (ms)", "p98 (ms)", "drop %", "CPU mean %",
+               "sat (ms)", "autoscale?"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({
+        Table::num(to_millis(cells[i].params.burst_length), 0),
+        Table::num(to_seconds(cells[i].params.burst_interval), 0),
+        Table::num(to_millis(r.client_p95), 0),
+        Table::num(to_millis(r.client_p98), 0),
+        Table::num(r.drop_fraction * 100.0, 1),
+        Table::num(r.cpu_mean * 100.0, 0),
+        Table::num(r.mean_saturation_s * 1000.0, 0),
+        r.autoscaler_triggered ? "YES" : "no",
+    });
   }
   table.print(std::cout);
 }
 
 void sweep_intensity() {
   print_banner(std::cout, "Sweep intensity R (L=500ms, I=2s, memory-lock)");
-  Table table({"R", "D(on)", "p95 (ms)", "drop %", "CPU mean %"});
-  for (double r_int : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+  const std::vector<double> intensities = {0.3, 0.5, 0.7, 0.9, 1.0};
+  std::vector<testbed::AttackLabConfig> cells;
+  for (double r_int : intensities) {
     testbed::AttackLabConfig config;
     config.params.intensity = r_int;
     config.params.burst_length = msec(500);
     config.params.burst_interval = sec(std::int64_t{2});
     config.duration = 2 * kMinute;
-    const auto r = testbed::run_attack_lab(config);
+    cells.push_back(config);
+  }
+  const auto results = testbed::run_attack_lab_sweep(cells);
+
+  Table table({"R", "D(on)", "p95 (ms)", "drop %", "CPU mean %"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = results[i];
     table.add_row({
-        Table::num(r_int, 2),
+        Table::num(intensities[i], 2),
         Table::num(r.d_on, 3),
         Table::num(to_millis(r.client_p95), 0),
         Table::num(r.drop_fraction * 100.0, 1),
@@ -61,17 +79,24 @@ void sweep_intensity() {
 
 void sweep_attack_type() {
   print_banner(std::cout, "Attack kernel: memory-lock vs bus-saturate (L=500ms, I=2s)");
-  Table table({"kernel", "D(on)", "p95 (ms)", "drop %"});
-  for (auto type :
-       {cloud::MemoryAttackType::kMemoryLock, cloud::MemoryAttackType::kBusSaturate}) {
+  const std::vector<cloud::MemoryAttackType> types = {
+      cloud::MemoryAttackType::kMemoryLock, cloud::MemoryAttackType::kBusSaturate};
+  std::vector<testbed::AttackLabConfig> cells;
+  for (auto type : types) {
     testbed::AttackLabConfig config;
     config.params.type = type;
     config.params.burst_length = msec(500);
     config.params.burst_interval = sec(std::int64_t{2});
     config.duration = 2 * kMinute;
-    const auto r = testbed::run_attack_lab(config);
+    cells.push_back(config);
+  }
+  const auto results = testbed::run_attack_lab_sweep(cells);
+
+  Table table({"kernel", "D(on)", "p95 (ms)", "drop %"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = results[i];
     table.add_row({
-        to_string(type),
+        to_string(types[i]),
         Table::num(r.d_on, 3),
         Table::num(to_millis(r.client_p95), 0),
         Table::num(r.drop_fraction * 100.0, 1),

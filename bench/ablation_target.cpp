@@ -8,47 +8,75 @@
 // have so much headroom that the same burst leaves C_on above λ and no
 // queue ever fills.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "core/analytic_model.h"
+#include "sweep/sweep_runner.h"
 #include "testbed/rubbos_testbed.h"
 
 using namespace memca;
+
+namespace {
+
+struct TargetRow {
+  std::string tier_name;
+  double d_on = 1.0;
+  double c_on = 0.0;
+  double lambda = 0.0;
+  SimTime p95 = 0, p98 = 0;
+  double drop_pct = 0.0;
+};
+
+TargetRow run(int tier) {
+  testbed::TestbedConfig config;
+  config.target_tier = tier;
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+  core::MemcaConfig memca;
+  memca.enable_controller = false;
+  memca.params.burst_length = msec(500);
+  memca.params.burst_interval = sec(std::int64_t{2});
+  auto attack = bed.make_attack(memca);
+  attack->start();
+  bed.sim().run_for(0);
+  const double d_on = bed.coupling().capacity_multiplier();
+  bed.sim().run_for(3 * kMinute);
+
+  const auto params = bed.model_params();
+  TargetRow row;
+  row.tier_name = bed.system().tier(static_cast<std::size_t>(tier)).name();
+  row.d_on = d_on;
+  row.c_on = d_on * params[static_cast<std::size_t>(tier)].capacity_off;
+  row.lambda = params[2].arrival_rate;  // all traffic hits every tier
+  row.p95 = bed.clients().response_times().quantile(0.95);
+  row.p98 = bed.clients().response_times().quantile(0.98);
+  const double attempts = static_cast<double>(bed.clients().completed() +
+                                              bed.clients().dropped_attempts());
+  row.drop_pct = 100.0 * static_cast<double>(bed.clients().dropped_attempts()) / attempts;
+  return row;
+}
+
+}  // namespace
 
 int main() {
   print_banner(std::cout, "Target-position ablation (memory-lock, L=500ms, I=2s, 3-min runs)");
   Table table({"target tier", "D(on)", "C_on (req/s)", "lambda (req/s)", "Condition 2",
                "p95 (ms)", "p98 (ms)", "drop %"});
-  for (int tier = 0; tier < 3; ++tier) {
-    testbed::TestbedConfig config;
-    config.target_tier = tier;
-    testbed::RubbosTestbed bed(config);
-    bed.start();
-    core::MemcaConfig memca;
-    memca.enable_controller = false;
-    memca.params.burst_length = msec(500);
-    memca.params.burst_interval = sec(std::int64_t{2});
-    auto attack = bed.make_attack(memca);
-    attack->start();
-    bed.sim().run_for(0);
-    const double d_on = bed.coupling().capacity_multiplier();
-    bed.sim().run_for(3 * kMinute);
-
-    const auto params = bed.model_params();
-    const double c_on = d_on * params[static_cast<std::size_t>(tier)].capacity_off;
-    const double lambda = params[2].arrival_rate;  // all traffic hits every tier
-    const double attempts = static_cast<double>(bed.clients().completed() +
-                                                bed.clients().dropped_attempts());
+  const std::vector<int> tiers = {0, 1, 2};
+  const std::vector<TargetRow> rows =
+      sweep::SweepRunner().map(tiers, [](int tier) { return run(tier); });
+  for (const TargetRow& row : rows) {
     table.add_row({
-        bed.system().tier(static_cast<std::size_t>(tier)).name(),
-        Table::num(d_on, 3),
-        Table::num(c_on, 0),
-        Table::num(lambda, 0),
-        lambda > c_on ? "holds" : "fails",
-        Table::num(to_millis(bed.clients().response_times().quantile(0.95)), 0),
-        Table::num(to_millis(bed.clients().response_times().quantile(0.98)), 0),
-        Table::num(100.0 * static_cast<double>(bed.clients().dropped_attempts()) / attempts,
-                   1),
+        row.tier_name,
+        Table::num(row.d_on, 3),
+        Table::num(row.c_on, 0),
+        Table::num(row.lambda, 0),
+        row.lambda > row.c_on ? "holds" : "fails",
+        Table::num(to_millis(row.p95), 0),
+        Table::num(to_millis(row.p98), 0),
+        Table::num(row.drop_pct, 1),
     });
   }
   table.print(std::cout);

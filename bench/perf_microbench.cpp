@@ -2,7 +2,12 @@
 // simulation substrate. These guard the property that a 3-minute, 3500-user
 // scenario runs in well under a second of wall-clock, which is what makes
 // the parameter sweeps in the other benches affordable.
+//
+// To record a trackable snapshot (EXPERIMENTS.md "Performance"):
+//   ./build/bench/perf_microbench --benchmark_format=json > BENCH_<rev>.json
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "cloud/membw.h"
 #include "common/histogram.h"
@@ -26,6 +31,28 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  // 10k scheduled events of which 80% are cancelled before they fire:
+  // exercises slot recycling and the lazy heap compaction that sweeps
+  // cancelled entries once they outnumber live ones.
+  for (auto _ : state) {
+    Simulator sim;
+    int sink = 0;
+    std::vector<EventHandle> handles;
+    handles.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      handles.push_back(sim.schedule_at(usec(i), [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < 10000; ++i) {
+      if (i % 5 != 0) handles[static_cast<std::size_t>(i)].cancel();
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
 
 void BM_PeriodicTaskTick(benchmark::State& state) {
   for (auto _ : state) {
@@ -96,6 +123,28 @@ void BM_FullTestbedSecond(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
 BENCHMARK(BM_FullTestbedSecond)->Unit(benchmark::kMillisecond);
+
+void BM_SweepRunnerScaling(benchmark::State& state) {
+  // An 8-cell attack-parameter grid per iteration, Arg = worker threads.
+  // On a multi-core machine real time drops near-linearly up to the core
+  // count while CPU time stays flat; results are bit-identical across
+  // thread counts (enforced by the sweep determinism test).
+  for (auto _ : state) {
+    std::vector<testbed::AttackLabConfig> cells;
+    for (int i = 0; i < 8; ++i) {
+      testbed::AttackLabConfig config;
+      config.duration = sec(std::int64_t{15});
+      config.params.burst_length = msec(500);
+      config.params.burst_interval = sec(std::int64_t{2});
+      cells.push_back(config);
+    }
+    benchmark::DoNotOptimize(
+        testbed::run_attack_lab_sweep(std::move(cells), static_cast<int>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SweepRunnerScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace memca

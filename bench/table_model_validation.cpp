@@ -4,8 +4,11 @@
 // the shared RUBBoS calibration.
 //
 // Columns: model fill time / damage period / rho / millibottleneck vs the
-// simulated drop fraction and measured mean CPU-saturation length.
+// simulated drop fraction and measured mean CPU-saturation length. The
+// grid cells run in parallel via run_attack_lab_sweep; row order and values
+// are bit-identical to a sequential run.
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "testbed/attack_lab.h"
@@ -15,28 +18,34 @@ using namespace memca;
 int main() {
   print_banner(std::cout,
                "Analytic model (Eq. 4-10) vs simulation — RUBBoS calibration, EC2 host");
-  Table table({"L (ms)", "I (s)", "D(on)", "fill (ms)", "P_D (ms)", "rho", "drop frac (sim)",
-               "P_MB (ms)", "saturation (sim ms)", "p95 (ms)"});
+  std::vector<testbed::AttackLabConfig> cells;
   for (SimTime interval : {sec(std::int64_t{2}), sec(std::int64_t{4})}) {
     for (SimTime length : {msec(200), msec(350), msec(500), msec(700)}) {
       testbed::AttackLabConfig config;
       config.params.burst_length = length;
       config.params.burst_interval = interval;
       config.duration = 2 * kMinute;
-      const auto r = testbed::run_attack_lab(config);
-      table.add_row({
-          Table::num(to_millis(length), 0),
-          Table::num(to_seconds(interval), 0),
-          Table::num(r.d_on, 3),
-          Table::num(r.model.total_fill_time_s * 1000.0, 0),
-          Table::num(r.model.damage_period_s * 1000.0, 0),
-          Table::num(r.model.rho, 3),
-          Table::num(r.drop_fraction, 3),
-          Table::num(r.model.millibottleneck_s * 1000.0, 0),
-          Table::num(r.mean_saturation_s * 1000.0, 0),
-          Table::num(to_millis(r.client_p95), 0),
-      });
+      cells.push_back(config);
     }
+  }
+  const auto results = testbed::run_attack_lab_sweep(cells);
+
+  Table table({"L (ms)", "I (s)", "D(on)", "fill (ms)", "P_D (ms)", "rho", "drop frac (sim)",
+               "P_MB (ms)", "saturation (sim ms)", "p95 (ms)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({
+        Table::num(to_millis(cells[i].params.burst_length), 0),
+        Table::num(to_seconds(cells[i].params.burst_interval), 0),
+        Table::num(r.d_on, 3),
+        Table::num(r.model.total_fill_time_s * 1000.0, 0),
+        Table::num(r.model.damage_period_s * 1000.0, 0),
+        Table::num(r.model.rho, 3),
+        Table::num(r.drop_fraction, 3),
+        Table::num(r.model.millibottleneck_s * 1000.0, 0),
+        Table::num(r.mean_saturation_s * 1000.0, 0),
+        Table::num(to_millis(r.client_p95), 0),
+    });
   }
   table.print(std::cout);
   std::cout

@@ -1,8 +1,10 @@
 // Minimal leveled logging.
 //
 // Quiet by default (warnings and errors only) so bench output stays clean;
-// tests and examples can raise verbosity. Not thread-safe by design — the
-// simulator is single-threaded and deterministic.
+// tests and examples can raise verbosity. The level filter is atomic so
+// parallel sweep cells may log concurrently; each simulator itself remains
+// single-threaded and deterministic. Lines from concurrent cells may
+// interleave — set the level before starting a sweep.
 #pragma once
 
 #include <sstream>

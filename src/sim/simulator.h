@@ -1,18 +1,36 @@
 // Deterministic discrete-event simulator.
 //
-// Single-threaded event loop over a priority queue keyed by (time, sequence
+// Single-threaded event loop over a binary heap keyed by (time, sequence
 // number): ties at the same instant fire in scheduling order, which makes
 // every run bit-reproducible. Components schedule closures; an EventHandle
 // lets a holder cancel a pending event (used e.g. to preempt an in-flight
 // service completion when the server's speed changes).
+//
+// Hot-path design: closures live in a pooled slot arena (fixed-size chunks
+// recycled through a free list — chunks are never relocated, so growing the
+// pool never moves a live closure) as allocation-free InlineCallbacks. The
+// pending queue holds trivially-copyable 24-byte (time, seq, slot) records
+// in two stages: new events enter an 8-ary arrival heap, and the run loop
+// drains through a sorted run consumed by a bare cursor increment. When the
+// arrival heap outgrows half of the sorted remainder it is flushed — sorted
+// (near-sorted input, so effectively linear) and merged into the run — so a
+// bulk-scheduled workload pays O(log) once per event at the flush instead of
+// a full-depth sift per pop, while fine-grained interleaved scheduling (a
+// periodic tick, a self-rescheduling server) keeps the tiny heap and never
+// flushes. The scheduling sequence number doubles as the slot generation: a
+// handle (or a stale queue entry) matches its slot only while the slot still
+// carries the same seq, which makes cancellation O(1) and slot reuse safe.
+// Cancelled events are dropped lazily — either when their entry surfaces or
+// in a bulk compaction pass once they outnumber the live entries.
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <memory>
-#include <queue>
+#include <new>
 #include <vector>
 
 #include "common/check.h"
+#include "common/inline_callback.h"
 #include "common/time.h"
 
 namespace memca {
@@ -21,6 +39,7 @@ class Simulator;
 
 /// Cancellation token for a scheduled event. Default-constructed handles are
 /// inert. Cancelling an already-fired or already-cancelled event is a no-op.
+/// Handles are cheap to copy and must not outlive their Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -32,23 +51,60 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t seq)
+      : sim_(sim), slot_(slot), seq_(seq) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute time `when` (>= now).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// Schedules `fn` to run at absolute time `when` (>= now). The callable is
+  /// constructed directly inside its event slot (no intermediate move), so
+  /// this is defined inline; see InlineCallback for the storage rules.
+  template <typename F>
+  EventHandle schedule_at(SimTime when, F&& fn) {
+    static_assert(std::is_invocable_r_v<void, std::decay_t<F>&>,
+                  "scheduled callback must be invocable as void()");
+    MEMCA_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineCallback>) {
+      MEMCA_CHECK_MSG(static_cast<bool>(fn), "cannot schedule an empty callback");
+    }
+    const std::uint64_t seq = next_seq_++;
+    std::uint32_t index;
+    if (!free_slots_.empty()) {
+      index = free_slots_.back();
+      free_slots_.pop_back();
+      Slot& s = slot(index);
+      if constexpr (std::is_same_v<std::decay_t<F>, InlineCallback>) {
+        s.fn = std::forward<F>(fn);
+      } else {
+        s.fn.emplace(std::forward<F>(fn));
+      }
+      s.seq_live = occupant_key(seq);
+    } else {
+      index = grow_slot(std::forward<F>(fn), seq);
+    }
+    heap_push(Event{when, seq, index});
+    ++live_pending_;
+    return EventHandle(this, index, seq);
+  }
   /// Schedules `fn` to run `delay` from now (delay >= 0).
-  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  EventHandle schedule_in(SimTime delay, F&& fn) {
+    MEMCA_CHECK_MSG(delay >= 0, "delay must be non-negative");
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Runs events until the queue is empty or the clock would pass `end`;
   /// afterwards now() == end (events exactly at `end` do fire).
@@ -60,34 +116,127 @@ class Simulator {
 
   /// Number of events executed so far.
   std::uint64_t events_executed() const { return executed_; }
-  /// Number of events currently pending (including cancelled-but-unswept).
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Number of live (non-cancelled) events currently pending.
+  std::size_t pending_events() const { return live_pending_; }
+  /// Cancelled events not yet swept from the queue; the raw entry count is
+  /// pending_events() + cancelled_pending().
+  std::size_t cancelled_pending() const { return cancelled_pending_; }
 
  private:
+  friend class EventHandle;
+
   struct Event {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  /// Min-heap order: earliest time first, scheduling order within a tie.
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  /// One pooled event: the closure plus the occupant's generation word
+  /// (seq << 1 | live). Exactly one cache line, so scheduling or firing an
+  /// event touches a single line of the arena.
+  struct Slot {
+    InlineCallback fn;
+    std::uint64_t seq_live;
+  };
+  static_assert(sizeof(Slot) == 64, "event slot should be one cache line");
+
+  static constexpr std::uint64_t occupant_key(std::uint64_t seq) {
+    return (seq << 1) | 1u;
+  }
+
+  Slot& slot(std::uint32_t index) {
+    return *std::launder(reinterpret_cast<Slot*>(
+        chunks_[index >> kChunkShift].get() + sizeof(Slot) * (index & kChunkMask)));
+  }
+  const Slot& slot(std::uint32_t index) const {
+    return *std::launder(reinterpret_cast<const Slot*>(
+        chunks_[index >> kChunkShift].get() + sizeof(Slot) * (index & kChunkMask)));
+  }
+  bool event_pending(std::uint32_t index, std::uint64_t seq) const {
+    return index < num_slots_ && slot(index).seq_live == occupant_key(seq);
+  }
+  void cancel_event(std::uint32_t slot, std::uint64_t seq);
+  void release_slot(std::uint32_t slot);
+
+  /// Pool-growth slow path: appends a slot (allocating a chunk when the last
+  /// one fills) and constructs the callable in it.
+  template <typename F>
+  std::uint32_t grow_slot(F&& fn, std::uint64_t seq) {
+    MEMCA_CHECK_MSG(num_slots_ < 0xffffffffu, "event slot pool exhausted");
+    const std::uint32_t index = num_slots_++;
+    if ((index & kChunkMask) == 0) add_chunk();
+    unsigned char* raw =
+        chunks_[index >> kChunkShift].get() + sizeof(Slot) * (index & kChunkMask);
+    ::new (static_cast<void*>(raw))
+        Slot{InlineCallback(std::forward<F>(fn)), occupant_key(seq)};
+    return index;
+  }
+  void add_chunk();
+  /// Sweeps cancelled entries out of the queue once they outnumber live ones.
+  void maybe_compact();
+  /// Fires the already-popped queue entry's callback in place (stale entries
+  /// are dropped); returns true iff a live event executed.
+  bool fire(const Event& ev);
+  /// Fires events in (time, seq) order while their time is <= limit.
+  void drain(SimTime limit);
+  /// Sorts the arrival heap and merges it into the sorted run.
+  void flush_arrivals();
+
+  // 8-ary heap primitives over heap_. Push (the scheduling hot path) is
+  // inline; the sift-down loops for pop/rebuild live in the .cpp.
+  void heap_push(const Event& ev) {
+    heap_.push_back(ev);
+    std::size_t i = heap_.size() - 1;
+    Event* h = heap_.data();
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 3;
+      if (!earlier(ev, h[parent])) break;
+      h[i] = h[parent];
+      i = parent;
     }
-  };
+    h[i] = ev;
+  }
+  void heap_pop();
+  void heap_rebuild();
+  static std::size_t min_child(const Event* h, std::size_t first, std::size_t end);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_pending_ = 0;
+  std::size_t cancelled_pending_ = 0;
+  /// Arrival stage: 8-ary heap of events not yet merged into sorted_.
+  std::vector<Event> heap_;
+  /// Drain stage: globally ordered run; sorted_[cursor_..] is still pending.
+  std::vector<Event> sorted_;
+  std::size_t cursor_ = 0;
+  std::vector<Event> scratch_;  // merge target, recycled across flushes
+  /// Slot arena: fixed raw-byte chunks, so growth never relocates a live
+  /// closure and fresh chunks are not pre-touched — slots [0, num_slots_)
+  /// are placement-constructed one at a time as the pool first grows.
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  std::uint32_t num_slots_ = 0;
+  /// LIFO recycling stack of released slot indices.
+  std::vector<std::uint32_t> free_slots_;
+
+  static constexpr std::uint32_t kChunkShift = 9;  // 512 slots/chunk, 32 KB
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+  /// Below this queue size compaction is not worth the rebuild.
+  static constexpr std::size_t kCompactionMinimum = 64;
+  /// Arrival heaps at or below this size are never flushed: the sort+merge
+  /// bookkeeping only pays off once sifts get deep.
+  static constexpr std::size_t kFlushMinimum = 64;
 };
 
 /// Repeats a callback at a fixed period until stopped. The first invocation
 /// happens at `start + period` (or at `start` if fire_immediately).
 class PeriodicTask {
  public:
-  PeriodicTask(Simulator& sim, SimTime period, std::function<void()> fn,
+  PeriodicTask(Simulator& sim, SimTime period, InlineCallback fn,
                bool fire_immediately = false);
   ~PeriodicTask() { stop(); }
   PeriodicTask(const PeriodicTask&) = delete;
@@ -96,7 +245,9 @@ class PeriodicTask {
   void stop();
   bool running() const { return running_; }
   SimTime period() const { return period_; }
-  /// Changes the period; takes effect after the next firing.
+  /// Changes the period to `period` (must be > 0, checked). The firing that
+  /// is already armed keeps its old deadline; the new period applies when
+  /// that firing re-arms, i.e. from the next firing onwards.
   void set_period(SimTime period);
 
  private:
@@ -104,7 +255,7 @@ class PeriodicTask {
 
   Simulator& sim_;
   SimTime period_;
-  std::function<void()> fn_;
+  InlineCallback fn_;
   bool running_ = true;
   EventHandle next_;
 };

@@ -1,0 +1,99 @@
+// Deterministic parallel execution of independent scenario cells.
+//
+// Every figure and ablation reduces to evaluating an embarrassingly-parallel
+// grid of attack parameters, one full Simulator/RubbosTestbed per cell.
+// SweepRunner executes such a batch on a thread pool and returns results in
+// cell order regardless of completion order. Because each cell owns its
+// entire simulation (simulator, RNG streams forked from the cell's own seed,
+// monitors), per-seed results are bit-identical to running the cells
+// sequentially — a property the sweep determinism test enforces.
+//
+// Cells must be independent: no shared mutable state, each builds its own
+// world. Result types must be default-constructible and movable.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sweep/thread_pool.h"
+
+namespace memca::sweep {
+
+struct SweepOptions {
+  /// Worker threads; 0 = default_thread_count() (see thread_pool.h).
+  /// 1 runs the cells inline on the calling thread, spawning nothing.
+  int threads = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {})
+      : threads_(options.threads > 0 ? options.threads : default_thread_count()) {}
+
+  int threads() const { return threads_; }
+
+  /// Runs every cell, returning results[i] == cells[i]() in cell order.
+  /// If a cell throws, the remaining cells still run and the first exception
+  /// (in completion order) is rethrown after the batch drains.
+  template <typename Result>
+  std::vector<Result> run(std::vector<std::function<Result()>> cells) const {
+    std::vector<Result> results(cells.size());
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                                               cells.size()));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < cells.size(); ++i) results[i] = cells[i]();
+      return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    {
+      ThreadPool pool(workers);
+      for (int w = 0; w < workers; ++w) {
+        pool.post([&] {
+          for (std::size_t i = next.fetch_add(1); i < cells.size();
+               i = next.fetch_add(1)) {
+            try {
+              results[i] = cells[i]();
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (!first_error) first_error = std::current_exception();
+            }
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
+  /// Maps `fn` over `cells` in parallel, preserving order:
+  /// returns {fn(cells[0]), fn(cells[1]), ...}.
+  template <typename Cell, typename Fn>
+  auto map(std::vector<Cell> cells, Fn fn) const
+      -> std::vector<decltype(fn(std::declval<const Cell&>()))> {
+    using Result = decltype(fn(std::declval<const Cell&>()));
+    std::vector<std::function<Result()>> thunks;
+    thunks.reserve(cells.size());
+    auto shared_cells = std::make_shared<std::vector<Cell>>(std::move(cells));
+    for (std::size_t i = 0; i < shared_cells->size(); ++i) {
+      thunks.push_back([shared_cells, fn, i] { return fn((*shared_cells)[i]); });
+    }
+    return run(std::move(thunks));
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace memca::sweep

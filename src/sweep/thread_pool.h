@@ -1,0 +1,52 @@
+// Fixed-size worker pool backing the sweep runner.
+//
+// Deliberately minimal: jobs are fire-and-forget void() closures, there is
+// no futures machinery, and the pool is meant to be fed a batch of jobs and
+// then drained with wait_idle(). Simulators stay single-threaded; the pool
+// only ever runs *whole independent simulations* side by side.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memca::sweep {
+
+/// Worker count used when a caller passes 0: the MEMCA_SWEEP_THREADS
+/// environment variable if set (useful on shared CI machines), otherwise
+/// std::thread::hardware_concurrency(), always at least 1.
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = default_thread_count()).
+  explicit ThreadPool(int threads = 0);
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a job. Jobs must not throw (wrap exception capture yourself).
+  void post(std::function<void()> job);
+  /// Blocks until every posted job has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace memca::sweep

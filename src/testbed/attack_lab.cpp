@@ -1,5 +1,10 @@
 #include "testbed/attack_lab.h"
 
+#include <functional>
+#include <utility>
+
+#include "sweep/sweep_runner.h"
+
 namespace memca::testbed {
 
 AttackLabResult run_attack_lab(const AttackLabConfig& config) {
@@ -71,6 +76,13 @@ AttackLabResult run_attack_lab(const AttackLabConfig& config) {
     result.model = core::evaluate_attack_model(inputs);
   }
   return result;
+}
+
+std::vector<AttackLabResult> run_attack_lab_sweep(std::vector<AttackLabConfig> configs,
+                                                  int threads) {
+  sweep::SweepRunner runner({threads});
+  return runner.map(std::move(configs),
+                    [](const AttackLabConfig& config) { return run_attack_lab(config); });
 }
 
 }  // namespace memca::testbed

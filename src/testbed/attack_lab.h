@@ -49,4 +49,12 @@ struct AttackLabResult {
 /// Runs one experiment cell. Deterministic given config.testbed.seed.
 AttackLabResult run_attack_lab(const AttackLabConfig& config);
 
+/// Runs a batch of independent cells on a thread pool (`threads` workers;
+/// 0 = hardware concurrency / MEMCA_SWEEP_THREADS, 1 = inline sequential)
+/// and returns results in cell order. Each cell builds its own testbed from
+/// its own seed, so per-seed results are bit-identical to calling
+/// run_attack_lab sequentially — regardless of thread count.
+std::vector<AttackLabResult> run_attack_lab_sweep(std::vector<AttackLabConfig> configs,
+                                                  int threads = 0);
+
 }  // namespace memca::testbed

@@ -1,0 +1,142 @@
+#include "common/inline_callback.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace memca {
+namespace {
+
+TEST(InlineCallback, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.is_inline());
+}
+
+TEST(InlineCallback, SmallLambdaStoresInline) {
+  int count = 0;
+  InlineCallback cb([&count] { ++count; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  cb();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(InlineCallback, CaptureAtInlineLimitStaysInline) {
+  std::array<char, InlineCallback::kInlineSize> payload{};
+  payload[0] = 7;
+  char sink = 0;
+  // Capturing the array by value plus nothing else would exceed the limit
+  // with the sink pointer; capture exactly the array into a static-sink
+  // callable sized at the boundary instead.
+  struct AtLimit {
+    std::array<char, InlineCallback::kInlineSize - sizeof(char*)> data;
+    char* out;
+    void operator()() { *out = data[0]; }
+  };
+  static_assert(sizeof(AtLimit) <= InlineCallback::kInlineSize);
+  AtLimit fn{{}, &sink};
+  fn.data[0] = 7;
+  InlineCallback cb(fn);
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(sink, 7);
+}
+
+TEST(InlineCallback, LargeCaptureFallsBackToHeap) {
+  std::array<char, 128> big{};
+  big[100] = 42;
+  char seen = 0;
+  InlineCallback cb([big, &seen] { seen = big[100]; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallback, MoveOnlyCallable) {
+  auto owned = std::make_unique<int>(5);
+  int seen = 0;
+  InlineCallback cb([owned = std::move(owned), &seen] { seen = *owned; });
+  cb();
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(InlineCallback, MoveConstructionTransfersInlinePayload) {
+  int count = 0;
+  InlineCallback a([&count] { ++count; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): moved-from state is defined
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InlineCallback, MoveConstructionTransfersHeapPayload) {
+  std::array<char, 128> big{};
+  big[0] = 9;
+  char seen = 0;
+  InlineCallback a([big, &seen] { seen = big[0]; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(b.is_inline());
+  b();
+  EXPECT_EQ(seen, 9);
+}
+
+struct DtorCounter {
+  int* destroyed;
+  DtorCounter(int* d) : destroyed(d) {}
+  DtorCounter(DtorCounter&& other) noexcept : destroyed(other.destroyed) {
+    other.destroyed = nullptr;
+  }
+  ~DtorCounter() {
+    if (destroyed != nullptr) ++*destroyed;
+  }
+  void operator()() {}
+};
+
+TEST(InlineCallback, DestructorRunsPayloadDestructor) {
+  int destroyed = 0;
+  {
+    InlineCallback cb{DtorCounter(&destroyed)};
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineCallback, MoveAssignmentDestroysPreviousPayload) {
+  int first = 0;
+  int second = 0;
+  InlineCallback cb{DtorCounter(&first)};
+  cb = InlineCallback(DtorCounter(&second));
+  EXPECT_EQ(first, 1);   // replaced payload destroyed by the assignment
+  EXPECT_EQ(second, 0);  // new payload alive inside cb
+  cb = InlineCallback();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineCallback, ReassignedCallableIsTheOneInvoked) {
+  int a = 0;
+  int b = 0;
+  InlineCallback cb([&a] { ++a; });
+  cb = InlineCallback([&b] { ++b; });
+  cb();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(InlineCallback, FunctionPointerWorks) {
+  static int calls;
+  calls = 0;
+  InlineCallback cb(+[] { ++calls; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace memca

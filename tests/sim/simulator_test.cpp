@@ -130,6 +130,116 @@ TEST(Simulator, CountsExecutedEvents) {
   EXPECT_EQ(sim.events_executed(), 17u);
 }
 
+TEST(Simulator, PendingEventsCountsOnlyLiveEvents) {
+  Simulator sim;
+  EventHandle a = sim.schedule_at(msec(10), [] {});
+  sim.schedule_at(msec(20), [] {});
+  sim.schedule_at(msec(30), [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  a.cancel();
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_EQ(sim.cancelled_pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, SlotReuseAfterCancelKeepsHandlesDistinct) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  EventHandle a = sim.schedule_at(msec(10), [&first] { ++first; });
+  a.cancel();
+  // The new event recycles the cancelled event's slot; the old handle must
+  // not alias it (the generation/seq check distinguishes occupants).
+  EventHandle b = sim.schedule_at(msec(20), [&second] { ++second; });
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  a.cancel();  // must not cancel b
+  EXPECT_TRUE(b.pending());
+  sim.run_all();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_FALSE(b.pending());
+}
+
+TEST(Simulator, HandleFromFiredEventDoesNotAliasSlotReuse) {
+  Simulator sim;
+  int late = 0;
+  EventHandle a = sim.schedule_at(msec(10), [] {});
+  sim.run_all();  // `a` fired; its slot is free
+  EventHandle b = sim.schedule_at(msec(20), [&late] { ++late; });
+  EXPECT_FALSE(a.pending());
+  a.cancel();  // stale handle: must not touch b's event
+  EXPECT_TRUE(b.pending());
+  sim.run_all();
+  EXPECT_EQ(late, 1);
+}
+
+TEST(Simulator, CompactionSweepsCancelledHeapEntries) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(sim.schedule_at(msec(i + 1), [&fired] { ++fired; }));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 10 != 0) handles[static_cast<std::size_t>(i)].cancel();
+  }
+  // 900 of 1000 entries were cancelled; lazy compaction must have swept the
+  // heap once cancelled entries outnumbered live ones.
+  EXPECT_EQ(sim.pending_events(), 100u);
+  EXPECT_LT(sim.cancelled_pending(), 500u);
+  sim.run_all();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, CompactionPreservesFiringOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(sim.schedule_at(msec(200 - i), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    if (i % 2 == 0) handles[static_cast<std::size_t>(i)].cancel();  // forces a compaction
+  }
+  sim.run_all();
+  // Survivors are the odd i, scheduled at time 200 - i: they must fire in
+  // decreasing i (increasing time) despite the heap rebuild.
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) EXPECT_GT(order[k], order[k + 1]);
+}
+
+TEST(Simulator, ManyCancelScheduleCyclesRecycleSlots) {
+  Simulator sim;
+  for (int i = 0; i < 10000; ++i) {
+    EventHandle h = sim.schedule_at(msec(1), [] {});
+    h.cancel();
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  int fired = 0;
+  sim.schedule_at(msec(2), [&fired] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelDuringCallbackAffectsLaterEvent) {
+  Simulator sim;
+  bool second_fired = false;
+  EventHandle second;
+  sim.schedule_at(msec(10), [&] { second.cancel(); });
+  second = sim.schedule_at(msec(20), [&] { second_fired = true; });
+  sim.run_all();
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
 TEST(PeriodicTask, FiresAtFixedPeriod) {
   Simulator sim;
   std::vector<SimTime> fires;
@@ -174,6 +284,13 @@ TEST(PeriodicTask, SetPeriodTakesEffectAfterNextFiring) {
   ASSERT_EQ(fires.size(), 3u);
   EXPECT_EQ(fires[1], msec(200));
   EXPECT_EQ(fires[2], msec(250));
+}
+
+TEST(PeriodicTaskDeathTest, SetPeriodRejectsNonPositive) {
+  Simulator sim;
+  PeriodicTask task(sim, msec(100), [] {});
+  EXPECT_DEATH(task.set_period(0), "period must be positive");
+  EXPECT_DEATH(task.set_period(-msec(5)), "period must be positive");
 }
 
 TEST(PeriodicTask, DestructorCancels) {

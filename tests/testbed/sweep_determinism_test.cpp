@@ -1,0 +1,79 @@
+// Sweep determinism: running a grid of attack-lab cells through the parallel
+// sweep runner must produce results bit-identical to the sequential baseline,
+// for every thread count. Each cell owns its whole world (simulator, RNG
+// streams, monitors), so any diff here means a cell leaked state.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testbed/attack_lab.h"
+
+namespace memca::testbed {
+namespace {
+
+std::vector<AttackLabConfig> test_grid() {
+  std::vector<AttackLabConfig> cells;
+  for (SimTime length : {msec(200), msec(500)}) {
+    for (std::uint64_t seed : {42ull, 1234ull}) {
+      AttackLabConfig config;
+      config.params.burst_length = length;
+      config.params.burst_interval = sec(std::int64_t{2});
+      config.duration = sec(std::int64_t{30});
+      config.testbed.seed = seed;
+      cells.push_back(config);
+    }
+  }
+  return cells;
+}
+
+void expect_identical(const AttackLabResult& a, const AttackLabResult& b,
+                      std::size_t cell) {
+  EXPECT_EQ(a.d_on, b.d_on) << "cell " << cell;
+  EXPECT_EQ(a.client_p50, b.client_p50) << "cell " << cell;
+  EXPECT_EQ(a.client_p95, b.client_p95) << "cell " << cell;
+  EXPECT_EQ(a.client_p98, b.client_p98) << "cell " << cell;
+  EXPECT_EQ(a.client_p99, b.client_p99) << "cell " << cell;
+  EXPECT_EQ(a.tier_p95, b.tier_p95) << "cell " << cell;
+  EXPECT_EQ(a.throughput, b.throughput) << "cell " << cell;
+  EXPECT_EQ(a.drops, b.drops) << "cell " << cell;
+  EXPECT_EQ(a.drop_fraction, b.drop_fraction) << "cell " << cell;
+  EXPECT_EQ(a.cpu_mean, b.cpu_mean) << "cell " << cell;
+  EXPECT_EQ(a.cpu_max_50ms, b.cpu_max_50ms) << "cell " << cell;
+  EXPECT_EQ(a.cpu_max_1s, b.cpu_max_1s) << "cell " << cell;
+  EXPECT_EQ(a.cpu_max_1min, b.cpu_max_1min) << "cell " << cell;
+  EXPECT_EQ(a.autoscaler_triggered, b.autoscaler_triggered) << "cell " << cell;
+  EXPECT_EQ(a.mean_saturation_s, b.mean_saturation_s) << "cell " << cell;
+  EXPECT_EQ(a.bursts, b.bursts) << "cell " << cell;
+  EXPECT_EQ(a.model.capacity_on, b.model.capacity_on) << "cell " << cell;
+  EXPECT_EQ(a.model.rho, b.model.rho) << "cell " << cell;
+  EXPECT_EQ(a.model.damage_period_s, b.model.damage_period_s) << "cell " << cell;
+  EXPECT_EQ(a.model.millibottleneck_s, b.model.millibottleneck_s) << "cell " << cell;
+}
+
+TEST(SweepDeterminism, ParallelMatchesSequentialBitForBit) {
+  const std::vector<AttackLabConfig> grid = test_grid();
+
+  // Sequential baseline: plain run_attack_lab calls, no runner involved.
+  std::vector<AttackLabResult> baseline;
+  for (const AttackLabConfig& config : grid) baseline.push_back(run_attack_lab(config));
+
+  for (int threads : {1, 2, 4}) {
+    const std::vector<AttackLabResult> swept = run_attack_lab_sweep(grid, threads);
+    ASSERT_EQ(swept.size(), baseline.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      expect_identical(baseline[i], swept[i], i);
+    }
+  }
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
+  const std::vector<AttackLabConfig> grid = test_grid();
+  const std::vector<AttackLabResult> first = run_attack_lab_sweep(grid, 4);
+  const std::vector<AttackLabResult> second = run_attack_lab_sweep(grid, 4);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) expect_identical(first[i], second[i], i);
+}
+
+}  // namespace
+}  // namespace memca::testbed
