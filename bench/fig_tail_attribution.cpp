@@ -1,0 +1,94 @@
+// Tail attribution of the Fig. 2 attack scenario: per-request causal
+// breakdown of where the >1 s client tail comes from.
+//
+// Runs the calibrated 3-tier EC2 scenario twice — no attack, then the
+// memory-lock attack (L=500 ms, I=2 s) — with per-request tracing on, and
+// attributes every completed logical request's latency to queue wait,
+// (degraded) service, RPC thread-holding, TCP RTO wait and slack. Paper
+// claim reproduced here: the vast majority of >1 s client responses are
+// retransmission-dominated — the tail is manufactured by front-tier drops
+// plus the 1 s TCP minimum RTO, not by slow service.
+//
+// Side effects: writes fig_tail_attribution.csv (one row per tail request)
+// and fig_tail_attribution_trace.json (Chrome trace-event / Perfetto
+// timeline of the attacked run) into the working directory.
+#include <fstream>
+#include <iostream>
+
+#include "common/table.h"
+#include "testbed/rubbos_testbed.h"
+#include "trace/attributor.h"
+#include "trace/exporters.h"
+
+using namespace memca;
+
+namespace {
+
+constexpr SimTime kDuration = 3 * kMinute;
+
+struct RunOutput {
+  trace::TailSummary summary;
+  std::vector<trace::TailAttributor::CauseRow> rows;
+};
+
+RunOutput run_scenario(bool attack_enabled, bool export_files) {
+  testbed::TestbedConfig config;
+  config.trace = true;
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+
+  std::unique_ptr<core::MemcaAttack> attack;
+  if (attack_enabled) {
+    core::MemcaConfig memca;
+    memca.enable_controller = false;
+    memca.params.burst_length = msec(500);
+    memca.params.burst_interval = sec(std::int64_t{2});
+    memca.params.type = cloud::MemoryAttackType::kMemoryLock;
+    attack = bed.make_attack(memca);
+    attack->start();
+  }
+  bed.sim().run_for(kDuration);
+  if (attack) attack->stop();
+
+  trace::TailAttributor attributor(*bed.trace(), bed.system().depth());
+  if (export_files) {
+    std::ofstream csv("fig_tail_attribution.csv");
+    trace::write_attribution_csv(csv, attributor);
+    std::ofstream json("fig_tail_attribution_trace.json");
+    trace::write_chrome_trace(json, *bed.trace(),
+                              trace::ChromeTraceOptions{bed.tier_names(), 0, true});
+    std::cout << "wrote fig_tail_attribution.csv and fig_tail_attribution_trace.json ("
+              << bed.trace()->size() << " span events)\n";
+  }
+  return RunOutput{attributor.summary(), attributor.tail_rows()};
+}
+
+void print_run(const std::string& title, const RunOutput& out) {
+  print_banner(std::cout, title);
+  const trace::TailSummary& s = out.summary;
+  std::cout << "completed " << s.completed << ", abandoned " << s.abandoned
+            << ", tail (RT >= " << to_millis(s.threshold) << " ms): " << s.tail_count
+            << " requests, " << s.tail_retrans_dominated << " retransmission-dominated ("
+            << Table::num(100.0 * s.retrans_dominated_share(), 1) << "%)\n";
+  if (s.tail_count == 0) return;
+  Table table({"cause", "total (s)", "share of tail time", "requests dominated"});
+  for (const auto& row : out.rows) {
+    table.add_row({trace::to_string(row.cause), Table::num(to_seconds(row.total_us), 2),
+                   Table::num(100.0 * row.share, 1) + " %", Table::num(row.dominated)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  print_run("Tail attribution — baseline (no attack, 3 min, 3500 users)",
+            run_scenario(false, false));
+  print_run(
+      "Tail attribution — memory-lock attack L=500ms I=2s (Fig. 2 scenario)",
+      run_scenario(true, true));
+  std::cout << "\nPaper check: under attack the >1 s client tail must be dominated by\n"
+               "TCP RTO wait (front-tier drops + 1 s minimum RTO), not by service time.\n"
+               "Open fig_tail_attribution_trace.json at https://ui.perfetto.dev\n";
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "sim/simulator.h"
 #include "testbed/attack_lab.h"
+#include "trace/recorder.h"
 
 namespace memca {
 namespace {
@@ -110,19 +111,63 @@ void BM_RngExponential(benchmark::State& state) {
 }
 BENCHMARK(BM_RngExponential);
 
+void BM_TraceRecorderRecord(benchmark::State& state) {
+  // Raw recorder append cost (the per-hook price when tracing is on).
+  trace::TraceRecorder recorder;
+  trace::TraceEvent ev;
+  ev.kind = trace::EventKind::kTierSpan;
+  SimTime t = 0;
+  for (auto _ : state) {
+    ev.time = ++t;
+    recorder.record(ev);
+    if (recorder.size() >= (std::size_t{1} << 22)) recorder.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecorderRecord);
+
+void BM_TraceEmitDetached(benchmark::State& state) {
+  // The hook-site cost when tracing is compiled in but no recorder is
+  // attached: must stay a null-pointer check (the zero-cost claim for every
+  // run that doesn't opt in).
+  trace::TraceEvent ev;
+  SimTime t = 0;
+  for (auto _ : state) {
+    ev.time = ++t;
+    trace::emit(nullptr, ev);
+    benchmark::DoNotOptimize(ev);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitDetached);
+
 void BM_FullTestbedSecond(benchmark::State& state) {
   // One simulated second of the full attacked 3500-user scenario per
   // iteration (construction amortised out by measuring a long run).
+  // Arg(1) runs the same scenario with per-request tracing on; comparing
+  // the two rates measures the end-to-end recording overhead (< 5%
+  // target). The testbed is driven directly — run_attack_lab would also
+  // time the post-hoc TailAttributor analysis, which is not a tracing
+  // cost.
   for (auto _ : state) {
-    testbed::AttackLabConfig config;
-    config.duration = sec(std::int64_t{10});
-    config.params.burst_length = msec(500);
-    config.params.burst_interval = sec(std::int64_t{2});
-    benchmark::DoNotOptimize(testbed::run_attack_lab(config));
+    testbed::TestbedConfig config;
+    config.trace = state.range(0) != 0;
+    testbed::RubbosTestbed bed(config);
+    bed.start();
+    core::MemcaConfig memca;
+    memca.enable_controller = false;
+    memca.params.burst_length = msec(500);
+    memca.params.burst_interval = sec(std::int64_t{2});
+    memca.params.type = cloud::MemoryAttackType::kMemoryLock;
+    auto attack = bed.make_attack(memca);
+    attack->start();
+    bed.sim().run_for(sec(std::int64_t{10}));
+    attack->stop();
+    benchmark::DoNotOptimize(bed.clients().completed());
   }
   state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
-BENCHMARK(BM_FullTestbedSecond)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_SweepRunnerScaling(benchmark::State& state) {
   // An 8-cell attack-parameter grid per iteration, Arg = worker threads.

@@ -1,0 +1,75 @@
+// Records a per-request causal trace of a short attacked run and exports it
+// for interactive exploration.
+//
+//   ./build/examples/trace_explorer
+//   -> trace.json   open at https://ui.perfetto.dev (or chrome://tracing)
+//
+// The timeline shows one process per tier (wait / service / downstream
+// slices per request lane), a capacity counter per tier, the
+// attack kernel's burst ON/OFF counter, and a client process with RTO-wait
+// slices — the whole causal chain of one tail request is visible by
+// following its lanes across processes. The console prints the slowest
+// completed requests with their per-cause breakdown as a starting point.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "common/table.h"
+#include "testbed/rubbos_testbed.h"
+#include "trace/attributor.h"
+#include "trace/exporters.h"
+
+using namespace memca;
+
+int main() {
+  testbed::TestbedConfig config;
+  config.trace = true;
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+
+  core::MemcaConfig memca;
+  memca.enable_controller = false;
+  memca.params.burst_length = msec(500);
+  memca.params.burst_interval = sec(std::int64_t{2});
+  memca.params.type = cloud::MemoryAttackType::kMemoryLock;
+  auto attack = bed.make_attack(memca);
+  attack->start();
+  bed.sim().run_for(sec(std::int64_t{30}));
+  attack->stop();
+
+  const trace::TraceRecorder& recorder = *bed.trace();
+  {
+    std::ofstream json("trace.json");
+    trace::write_chrome_trace(json, recorder,
+                              trace::ChromeTraceOptions{bed.tier_names(), 0, true});
+  }
+  std::cout << "wrote trace.json (" << recorder.size()
+            << " span events, 30 s attacked run)\n\n";
+
+  trace::TailAttributor attributor(recorder, bed.system().depth());
+  std::vector<trace::RequestBreakdown> slowest = attributor.requests();
+  std::sort(slowest.begin(), slowest.end(),
+            [](const auto& a, const auto& b) { return a.total > b.total; });
+  if (slowest.size() > 8) slowest.resize(8);
+
+  print_banner(std::cout, "Slowest completed requests (all times ms)");
+  Table table({"request", "user", "attempts", "total", "rto-wait", "queue-wait",
+               "service", "degraded", "rpc-hold", "dominant"});
+  for (const trace::RequestBreakdown& b : slowest) {
+    table.add_row({Table::num(b.final_request), Table::num(std::int64_t{b.user}),
+                   Table::num(std::int64_t{b.attempts}), Table::num(to_millis(b.total)),
+                   Table::num(to_millis(b.rto_wait)),
+                   Table::num(to_millis(b.queue_wait_total())),
+                   Table::num(to_millis(b.of(trace::Cause::kService))),
+                   Table::num(to_millis(b.degraded_service)),
+                   Table::num(to_millis(b.rpc_hold_total())),
+                   trace::to_string(b.dominant())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTo explore: load trace.json at https://ui.perfetto.dev, find a user's\n"
+               "rto-wait slice in the clients process, then follow the same request id\n"
+               "(slice args) through apache -> tomcat -> mysql around the burst windows\n"
+               "of the attack counter track.\n";
+  return 0;
+}

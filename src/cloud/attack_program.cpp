@@ -28,6 +28,8 @@ void MemoryAttackProgram::start() {
   if (running_) return;
   running_ = true;
   window_start_ = sim_.now();
+  trace::emit(trace_, trace::TraceEvent{sim_.now(), 0, 0, intensity_, -1, -1,
+                                        trace::EventKind::kBurstOn, 0});
   apply_activity();
 }
 
@@ -35,6 +37,8 @@ void MemoryAttackProgram::stop() {
   if (!running_) return;
   running_ = false;
   windows_.push_back(ExecutionWindow{window_start_, sim_.now()});
+  trace::emit(trace_, trace::TraceEvent{sim_.now(), 0, 0, 0.0, -1, -1,
+                                        trace::EventKind::kBurstOff, 0});
   host_.clear_memory_activity(vm_);
 }
 

@@ -19,6 +19,7 @@
 #include "cloud/host.h"
 #include "common/time.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 
 namespace memca::cloud {
 
@@ -66,6 +67,9 @@ class MemoryAttackProgram {
   /// Maximum lock duty the kernel can sustain (lock/unlock overhead bound).
   static constexpr double kMaxLockDuty = 0.95;
 
+  /// Attaches a span-event recorder for burst ON/OFF marks (not owned).
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   void apply_activity();
 
@@ -74,6 +78,7 @@ class MemoryAttackProgram {
   VmId vm_;
   MemoryAttackType type_;
   double intensity_;
+  trace::TraceRecorder* trace_ = nullptr;
   bool running_ = false;
   SimTime window_start_ = 0;
   std::vector<ExecutionWindow> windows_;

@@ -29,6 +29,11 @@ void NTierSystem::set_on_drop(std::function<void(const Request&)> fn) {
   on_drop_ = std::move(fn);
 }
 
+void NTierSystem::set_trace(trace::TraceRecorder* recorder) {
+  trace_ = recorder;
+  for (auto& tier : tiers_) tier->set_trace(recorder);
+}
+
 bool NTierSystem::submit(std::unique_ptr<Request> req) {
   MEMCA_CHECK(req != nullptr);
   MEMCA_CHECK_MSG(req->demand_us.size() == tiers_.size(),
@@ -38,6 +43,9 @@ bool NTierSystem::submit(std::unique_ptr<Request> req) {
   Request* raw = req.get();
   if (!tiers_.front()->try_submit(raw)) {
     ++dropped_;
+    trace::emit(trace_, trace::TraceEvent{sim_.now(), raw->id, 0, 0.0, raw->user, 0,
+                                          trace::EventKind::kDrop,
+                                          static_cast<std::uint8_t>(raw->attempt)});
     if (on_drop_) on_drop_(*raw);
     return false;
   }

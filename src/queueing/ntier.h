@@ -39,15 +39,19 @@ class NTierSystem : public RequestSystem {
   /// Paper Condition 1: Q_1 > Q_2 > ... > Q_n.
   bool satisfies_condition1() const;
 
-  std::int64_t submitted() const { return submitted_; }
-  std::int64_t completed() const { return completed_; }
-  std::int64_t dropped() const { return dropped_; }
+  std::int64_t submitted() const override { return submitted_; }
+  std::int64_t completed() const override { return completed_; }
+  std::int64_t dropped() const override { return dropped_; }
   std::int64_t in_flight() const { return static_cast<std::int64_t>(in_flight_.size()); }
+
+  /// Attaches the recorder to the system and every tier.
+  void set_trace(trace::TraceRecorder* recorder) override;
 
  private:
   void on_reply(Request* req);
 
   Simulator& sim_;
+  trace::TraceRecorder* trace_ = nullptr;
   std::vector<std::unique_ptr<TierServer>> tiers_;
   std::unordered_map<Request::Id, std::unique_ptr<Request>> in_flight_;
   std::function<void(const Request&)> on_complete_;

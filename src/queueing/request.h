@@ -16,6 +16,9 @@ namespace memca::queueing {
 
 struct TierTrace {
   SimTime enter = -1;
+  /// First moment a local worker picked the request up; the gap from enter
+  /// is pure queue wait (distinct from downstream residence).
+  SimTime service_start = -1;
   SimTime leave = -1;
 };
 
@@ -43,6 +46,14 @@ struct Request {
   SimTime tier_time(std::size_t tier) const {
     if (tier >= trace.size() || trace[tier].enter < 0 || trace[tier].leave < 0) return -1;
     return trace[tier].leave - trace[tier].enter;
+  }
+
+  /// Queue wait at the tier (service_start - enter), -1 if never served.
+  SimTime wait_time(std::size_t tier) const {
+    if (tier >= trace.size() || trace[tier].enter < 0 || trace[tier].service_start < 0) {
+      return -1;
+    }
+    return trace[tier].service_start - trace[tier].enter;
   }
 };
 

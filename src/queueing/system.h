@@ -2,10 +2,15 @@
 // workload generators, probers and routers can drive either interchangeably.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
 #include "queueing/request.h"
+
+namespace memca::trace {
+class TraceRecorder;
+}  // namespace memca::trace
 
 namespace memca::queueing {
 
@@ -19,6 +24,17 @@ class RequestSystem {
   virtual bool submit(std::unique_ptr<Request> req) = 0;
   virtual void set_on_complete(std::function<void(const Request&)> fn) = 0;
   virtual void set_on_drop(std::function<void(const Request&)> fn) = 0;
+
+  // -- shared counters (lifetime totals) ------------------------------------
+  virtual std::int64_t submitted() const = 0;
+  virtual std::int64_t completed() const = 0;
+  /// Attempts the system rejected (each one triggers the drop callback
+  /// exactly once — the client's TCP layer retransmits).
+  virtual std::int64_t dropped() const = 0;
+
+  /// Attaches a span-event recorder to every tier/station of the system
+  /// (nullptr detaches). The system does not own the recorder.
+  virtual void set_trace(trace::TraceRecorder* recorder) = 0;
 };
 
 }  // namespace memca::queueing

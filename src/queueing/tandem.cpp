@@ -37,7 +37,7 @@ bool TandemQueueSystem::submit(std::unique_ptr<Request> req) {
   const Station& st = stations_.front();
   if (st.config.queue_capacity != StationConfig::kUnbounded &&
       queue_length(0) >= st.config.queue_capacity && !st.workers->has_free_worker()) {
-    drop(raw);
+    drop(0, raw);
     return false;
   }
   offer(0, raw);
@@ -47,6 +47,9 @@ bool TandemQueueSystem::submit(std::unique_ptr<Request> req) {
 void TandemQueueSystem::set_speed_multiplier(std::size_t station, double multiplier) {
   MEMCA_CHECK(station < stations_.size());
   stations_[station].workers->set_speed(multiplier);
+  trace::emit(trace_, trace::TraceEvent{sim_.now(), 0, 0, multiplier, -1,
+                                        static_cast<std::int16_t>(station),
+                                        trace::EventKind::kCapacity, 0});
 }
 
 int TandemQueueSystem::queue_length(std::size_t station) const {
@@ -85,6 +88,7 @@ void TandemQueueSystem::pump(std::size_t index) {
   while (st.workers->has_free_worker() && !st.queue.empty()) {
     Request* req = st.queue.front();
     st.queue.pop_front();
+    req->trace[index].service_start = sim_.now();
     st.workers->start(req, req->demand_us[index]);
   }
 }
@@ -92,6 +96,7 @@ void TandemQueueSystem::pump(std::size_t index) {
 void TandemQueueSystem::on_service_done(std::size_t index, Request* req) {
   Station& st = stations_[index];
   req->trace[index].leave = sim_.now();
+  mark_span(index, *req);
   st.residence_time.record(req->tier_time(index));
   if (index + 1 == stations_.size()) {
     finish(req);
@@ -100,7 +105,7 @@ void TandemQueueSystem::on_service_done(std::size_t index, Request* req) {
     if (next.config.queue_capacity != StationConfig::kUnbounded &&
         queue_length(index + 1) >= next.config.queue_capacity &&
         !next.workers->has_free_worker()) {
-      drop(req);
+      drop(index + 1, req);
     } else {
       offer(index + 1, req);
     }
@@ -117,8 +122,9 @@ void TandemQueueSystem::finish(Request* req) {
   if (on_complete_) on_complete_(*owned);
 }
 
-void TandemQueueSystem::drop(Request* req) {
+void TandemQueueSystem::drop(std::size_t index, Request* req) {
   ++dropped_;
+  mark(trace::EventKind::kDrop, index, *req);
   auto it = in_flight_.find(req->id);
   MEMCA_CHECK(it != in_flight_.end());
   std::unique_ptr<Request> owned = std::move(it->second);

@@ -19,6 +19,7 @@
 #include "common/histogram.h"
 #include "queueing/system.h"
 #include "queueing/workstation.h"
+#include "trace/recorder.h"
 
 namespace memca::queueing {
 
@@ -54,9 +55,12 @@ class TandemQueueSystem : public RequestSystem {
   const LatencyHistogram& residence_time(std::size_t station) const;
   const std::string& station_name(std::size_t station) const;
 
-  std::int64_t submitted() const { return submitted_; }
-  std::int64_t completed() const { return completed_; }
-  std::int64_t dropped() const { return dropped_; }
+  std::int64_t submitted() const override { return submitted_; }
+  std::int64_t completed() const override { return completed_; }
+  std::int64_t dropped() const override { return dropped_; }
+
+  /// Attaches the recorder to every station.
+  void set_trace(trace::TraceRecorder* recorder) override { trace_ = recorder; }
 
  private:
   struct Station {
@@ -70,9 +74,45 @@ class TandemQueueSystem : public RequestSystem {
   void pump(std::size_t index);
   void on_service_done(std::size_t index, Request* req);
   void finish(Request* req);
-  void drop(Request* req);
+  /// Drops at station `index` (0 = front reject, i+1 = interior overflow).
+  void drop(std::size_t index, Request* req);
+
+  /// Appends this station's consolidated kTierSpan event (queue enter +
+  /// service start + service end in one record) iff a recorder is attached.
+  /// Called at service end, when all three times are known. In the tandem
+  /// model a station's residence ends with its own service, so the span
+  /// covers the whole traversal.
+  void mark_span(std::size_t station, const Request& req) {
+#ifndef MEMCA_TRACE_DISABLED
+    if (trace_ == nullptr) return;
+    const TierTrace& span = req.trace[station];
+    trace_->record(trace::TraceEvent{sim_.now(), req.id, span.enter,
+                                     static_cast<double>(span.service_start), req.user,
+                                     static_cast<std::int16_t>(station),
+                                     trace::EventKind::kTierSpan,
+                                     static_cast<std::uint8_t>(req.attempt)});
+#else
+    (void)station;
+    (void)req;
+#endif
+  }
+
+  /// Appends a request-scoped point event (kDrop) iff a recorder is attached.
+  void mark(trace::EventKind kind, std::size_t station, const Request& req) {
+#ifndef MEMCA_TRACE_DISABLED
+    if (trace_ == nullptr) return;
+    trace_->record(trace::TraceEvent{sim_.now(), req.id, 0, 0.0, req.user,
+                                     static_cast<std::int16_t>(station), kind,
+                                     static_cast<std::uint8_t>(req.attempt)});
+#else
+    (void)kind;
+    (void)station;
+    (void)req;
+#endif
+  }
 
   Simulator& sim_;
+  trace::TraceRecorder* trace_ = nullptr;
   std::vector<Station> stations_;
   std::unordered_map<Request::Id, std::unique_ptr<Request>> in_flight_;
   std::function<void(const Request&)> on_complete_;

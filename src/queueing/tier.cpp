@@ -23,7 +23,12 @@ void TierServer::set_downstream(TierServer* downstream) {
   downstream->upstream_ = this;
 }
 
-void TierServer::set_speed_multiplier(double multiplier) { station_.set_speed(multiplier); }
+void TierServer::set_speed_multiplier(double multiplier) {
+  station_.set_speed(multiplier);
+  trace::emit(trace_, trace::TraceEvent{sim_.now(), 0, 0, multiplier, -1,
+                                        static_cast<std::int16_t>(index_),
+                                        trace::EventKind::kCapacity, 0});
+}
 
 void TierServer::add_capacity(int workers, int extra_threads) {
   MEMCA_CHECK_MSG(extra_threads >= 0, "cannot shrink the thread limit");
@@ -80,11 +85,13 @@ void TierServer::pump() {
     Request* req = wait_queue_.front();
     wait_queue_.pop_front();
     MEMCA_CHECK_MSG(index_ < req->demand_us.size(), "request demand not sized for this system");
+    req->trace[index_].service_start = sim_.now();
     station_.start(req, req->demand_us[index_]);
   }
 }
 
 void TierServer::on_service_done(Request* req) {
+  mark_span(*req);
   if (downstream_ == nullptr) {
     depart(req);
   } else {

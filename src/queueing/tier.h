@@ -22,6 +22,7 @@
 
 #include "common/histogram.h"
 #include "queueing/workstation.h"
+#include "trace/recorder.h"
 
 namespace memca::queueing {
 
@@ -92,6 +93,9 @@ class TierServer {
   /// sampling. See WorkStation::busy_worker_time_us.
   double busy_worker_time_us() const { return station_.busy_worker_time_us(); }
 
+  /// Attaches a span-event recorder (nullptr detaches; not owned).
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   friend class NTierSystem;
 
@@ -109,6 +113,23 @@ class TierServer {
   /// Upstream-facing admission used by forward/pull paths.
   bool accept_from_upstream(Request* req);
 
+  /// Appends this tier's consolidated kTierSpan event (queue enter +
+  /// service start + service end in one record) iff a recorder is attached.
+  /// Called at local-service end, when all three times are known.
+  void mark_span(const Request& req) {
+#ifndef MEMCA_TRACE_DISABLED
+    if (trace_ == nullptr) return;
+    const TierTrace& span = req.trace[index_];
+    trace_->record(trace::TraceEvent{sim_.now(), req.id, span.enter,
+                                     static_cast<double>(span.service_start), req.user,
+                                     static_cast<std::int16_t>(index_),
+                                     trace::EventKind::kTierSpan,
+                                     static_cast<std::uint8_t>(req.attempt)});
+#else
+    (void)req;
+#endif
+  }
+
   Simulator& sim_;
   TierConfig config_;
   std::size_t index_;
@@ -122,6 +143,8 @@ class TierServer {
   std::deque<Request*> blocked_;
   int awaiting_reply_ = 0;
   int resident_ = 0;
+
+  trace::TraceRecorder* trace_ = nullptr;
 
   std::int64_t offered_ = 0;
   std::int64_t admitted_ = 0;

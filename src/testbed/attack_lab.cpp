@@ -75,6 +75,12 @@ AttackLabResult run_attack_lab(const AttackLabConfig& config) {
     inputs.burst_interval = config.params.burst_interval;
     result.model = core::evaluate_attack_model(inputs);
   }
+
+  if (bed.trace() != nullptr) {
+    trace::TailAttributor attributor(*bed.trace(), bed.system().depth(),
+                                     trace::AttributorConfig{config.tail_threshold});
+    result.tail = attributor.summary();
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "monitor/autoscaler.h"
 #include "monitor/detector.h"
 #include "testbed/rubbos_testbed.h"
+#include "trace/attributor.h"
 
 namespace memca::testbed {
 
@@ -20,6 +21,9 @@ struct AttackLabConfig {
   double jitter = 0.0;
   SimTime duration = 3 * kMinute;
   bool attack_enabled = true;
+  /// Tail cutoff for the per-cause attribution (only meaningful when
+  /// config.testbed.trace is set).
+  SimTime tail_threshold = sec(std::int64_t{1});
 };
 
 struct AttackLabResult {
@@ -44,6 +48,8 @@ struct AttackLabResult {
   /// Analytic prediction for the same run (valid when attack_enabled).
   core::AttackModelOutputs model;
   std::int64_t bursts = 0;
+  /// Per-cause tail attribution (populated iff config.testbed.trace).
+  trace::TailSummary tail;
 };
 
 /// Runs one experiment cell. Deterministic given config.testbed.seed.

@@ -56,6 +56,12 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
   MEMCA_CHECK_MSG(system_->satisfies_condition1(),
                   "testbed calibration must satisfy Condition 1");
 
+  if (config_.trace) {
+    trace_ = std::make_unique<trace::TraceRecorder>(
+        trace::TraceRecorder::Config{config_.trace_max_events});
+    system_->set_trace(trace_.get());
+  }
+
   // Cross-resource coupling: target-host memory contention throttles the
   // target tier's service speed (C_on = D * C_off).
   cloud::CrossResourceParams coupling_params;
@@ -72,6 +78,7 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
   client_config.stats_warmup = config_.stats_warmup;
   clients_ = std::make_unique<workload::ClosedLoopClients>(
       sim_, *router_, profile_, client_config, root_rng_.fork("clients"));
+  if (trace_ != nullptr) clients_->set_trace(trace_.get());
 
   target_cpu_ = std::make_unique<monitor::UtilizationSampler>(
       sim_, [this] { return target_tier().busy_worker_time_us(); },
@@ -93,6 +100,15 @@ void RubbosTestbed::start() {
   for (auto& neighbor : neighbors_) neighbor->start();
 }
 
+RubbosTestbed::~RubbosTestbed() {
+  // Destroying a NoisyNeighbor clears its memory activity, which re-notifies
+  // the host and can fire the speed-coupling callback into target_tier().
+  // Members are destroyed in reverse declaration order — the system would
+  // already be gone — so tear the neighbors down first, while the whole
+  // host -> coupling -> tier chain is still alive.
+  neighbors_.clear();
+}
+
 cloud::Host& RubbosTestbed::host(std::size_t tier) {
   MEMCA_CHECK(tier < hosts_.size());
   return *hosts_[tier];
@@ -104,8 +120,15 @@ monitor::GaugeSampler& RubbosTestbed::queue_gauge(std::size_t tier) {
 }
 
 std::unique_ptr<core::MemcaAttack> RubbosTestbed::make_attack(core::MemcaConfig config) {
-  return std::make_unique<core::MemcaAttack>(sim_, target_host(), adversary_vm_, *router_,
-                                             std::move(config), root_rng_.fork("memca"));
+  auto attack = std::make_unique<core::MemcaAttack>(
+      sim_, target_host(), adversary_vm_, *router_, std::move(config),
+      root_rng_.fork("memca"));
+  if (trace_ != nullptr) attack->program().set_trace(trace_.get());
+  return attack;
+}
+
+std::vector<std::string> RubbosTestbed::tier_names() const {
+  return {config_.apache.name, config_.tomcat.name, config_.mysql.name};
 }
 
 std::vector<core::TierModelParams> RubbosTestbed::model_params() const {

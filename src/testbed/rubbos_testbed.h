@@ -23,6 +23,7 @@
 #include "core/memca.h"
 #include "monitor/sampler.h"
 #include "queueing/ntier.h"
+#include "trace/recorder.h"
 #include "workload/clients.h"
 #include "workload/profile.h"
 #include "workload/router.h"
@@ -63,11 +64,17 @@ struct TestbedConfig {
   /// Statistics warm-up: client RTs before this are discarded.
   SimTime stats_warmup = sec(std::int64_t{10});
   std::uint64_t seed = 42;
+  /// Record a per-request span-event trace (memca_trace) for the whole run.
+  /// Off by default: the recorder costs memory proportional to traffic.
+  bool trace = false;
+  /// Cap on recorded events when tracing (0 = unbounded).
+  std::size_t trace_max_events = 0;
 };
 
 class RubbosTestbed {
  public:
   explicit RubbosTestbed(TestbedConfig config = {});
+  ~RubbosTestbed();
   RubbosTestbed(const RubbosTestbed&) = delete;
   RubbosTestbed& operator=(const RubbosTestbed&) = delete;
 
@@ -113,6 +120,13 @@ class RubbosTestbed {
   /// Fresh RNG stream derived from the testbed seed.
   Rng fork_rng(std::string_view label) const { return root_rng_.fork(label); }
 
+  /// The span-event recorder, nullptr unless config.trace is set. Attacks
+  /// built through make_attack share it (burst ON/OFF marks).
+  trace::TraceRecorder* trace() { return trace_.get(); }
+  const trace::TraceRecorder* trace() const { return trace_.get(); }
+  /// Display names of the three tiers, front first (exporter input).
+  std::vector<std::string> tier_names() const;
+
  private:
   TestbedConfig config_;
   Simulator sim_;
@@ -125,6 +139,7 @@ class RubbosTestbed {
   std::unique_ptr<cloud::CrossResourceModel> coupling_;
   std::vector<std::unique_ptr<cloud::NoisyNeighbor>> neighbors_;
 
+  std::unique_ptr<trace::TraceRecorder> trace_;
   std::unique_ptr<queueing::NTierSystem> system_;
   std::unique_ptr<workload::RequestRouter> router_;
   std::unique_ptr<workload::ClosedLoopClients> clients_;

@@ -1,0 +1,307 @@
+#include "trace/attributor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace memca::trace {
+
+namespace {
+
+struct Interval {
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// Overlap of [start, end) with a sorted list of disjoint intervals.
+SimTime overlap(const std::vector<Interval>& dips, SimTime start, SimTime end) {
+  if (end <= start) return 0;
+  auto it = std::lower_bound(dips.begin(), dips.end(), start,
+                             [](const Interval& d, SimTime v) { return d.end <= v; });
+  SimTime total = 0;
+  for (; it != dips.end() && it->start < end; ++it) {
+    total += std::min(end, it->end) - std::max(start, it->start);
+  }
+  return total;
+}
+
+struct TierSpan {
+  SimTime enter = -1;
+  SimTime service_start = -1;
+  SimTime service_end = -1;
+};
+
+/// One attempt (one Request) in flight through the system.
+struct AttemptState {
+  std::vector<TierSpan> tiers;
+};
+
+struct ServiceSpan {
+  std::int16_t tier = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// Accumulator for one logical request (all attempts of one page view).
+struct LogicalState {
+  SimTime rto_wait = 0;
+  std::vector<SimTime> queue_wait;
+  std::vector<SimTime> service;
+  std::vector<SimTime> rpc_hold;
+  std::vector<ServiceSpan> spans;
+};
+
+}  // namespace
+
+const char* to_string(Cause cause) {
+  switch (cause) {
+    case Cause::kQueueWait:
+      return "queue-wait";
+    case Cause::kService:
+      return "service";
+    case Cause::kDegradedService:
+      return "degraded-service";
+    case Cause::kRpcHold:
+      return "rpc-hold";
+    case Cause::kRtoWait:
+      return "rto-wait";
+    case Cause::kSlack:
+      return "slack";
+  }
+  return "?";
+}
+
+SimTime RequestBreakdown::queue_wait_total() const {
+  SimTime total = 0;
+  for (SimTime t : queue_wait) total += t;
+  return total;
+}
+
+SimTime RequestBreakdown::service_total() const {
+  SimTime total = 0;
+  for (SimTime t : service) total += t;
+  return total;
+}
+
+SimTime RequestBreakdown::rpc_hold_total() const {
+  SimTime total = 0;
+  for (SimTime t : rpc_hold) total += t;
+  return total;
+}
+
+SimTime RequestBreakdown::of(Cause cause) const {
+  switch (cause) {
+    case Cause::kQueueWait:
+      return queue_wait_total();
+    case Cause::kService:
+      return service_total() - degraded_service;
+    case Cause::kDegradedService:
+      return degraded_service;
+    case Cause::kRpcHold:
+      return rpc_hold_total();
+    case Cause::kRtoWait:
+      return rto_wait;
+    case Cause::kSlack:
+      return slack;
+  }
+  return 0;
+}
+
+Cause RequestBreakdown::dominant() const {
+  Cause best = Cause::kQueueWait;
+  SimTime best_value = of(best);
+  for (Cause cause : kAllCauses) {
+    const SimTime value = of(cause);
+    if (value > best_value) {
+      best = cause;
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+TailAttributor::TailAttributor(const TraceRecorder& recorder, std::size_t depth,
+                               AttributorConfig config)
+    : depth_(depth), config_(config) {
+  MEMCA_CHECK_MSG(depth_ > 0, "attribution needs at least one tier");
+
+  // Pass 1: capacity-dip intervals per tier (multiplier < 1) from the
+  // kCapacity marks, closing any open dip at the end of the stream.
+  std::vector<std::vector<Interval>> dips(depth_);
+  std::vector<double> multiplier(depth_, 1.0);
+  std::vector<SimTime> dip_start(depth_, -1);
+  SimTime last_time = 0;
+  recorder.for_each([&](const TraceEvent& ev) {
+    last_time = std::max(last_time, ev.time);
+    if (ev.kind != EventKind::kCapacity) return;
+    if (ev.tier < 0 || static_cast<std::size_t>(ev.tier) >= depth_) return;
+    const auto tier = static_cast<std::size_t>(ev.tier);
+    const bool was_dip = multiplier[tier] < 1.0;
+    const bool is_dip = ev.value < 1.0;
+    if (!was_dip && is_dip) {
+      dip_start[tier] = ev.time;
+    } else if (was_dip && !is_dip) {
+      dips[tier].push_back(Interval{dip_start[tier], ev.time});
+      dip_start[tier] = -1;
+    }
+    multiplier[tier] = ev.value;
+  });
+  for (std::size_t t = 0; t < depth_; ++t) {
+    if (dip_start[t] >= 0) dips[t].push_back(Interval{dip_start[t], last_time});
+  }
+
+  // Pass 2: reconstruct attempts and fold them into logical requests.
+  std::unordered_map<std::int64_t, AttemptState> in_flight;
+  std::unordered_map<std::int32_t, LogicalState> logical;
+
+  auto attempt_of = [&](std::int64_t request) -> AttemptState& {
+    AttemptState& a = in_flight[request];
+    if (a.tiers.empty()) a.tiers.resize(depth_);
+    return a;
+  };
+  auto logical_of = [&](std::int32_t user) -> LogicalState& {
+    LogicalState& l = logical[user];
+    if (l.queue_wait.empty()) {
+      l.queue_wait.assign(depth_, 0);
+      l.service.assign(depth_, 0);
+      l.rpc_hold.assign(depth_, 0);
+    }
+    return l;
+  };
+  // Folds a finished attempt (completed or dropped at `terminal`) into its
+  // logical accumulator.
+  auto fold = [&](const AttemptState& a, LogicalState& l, SimTime terminal) {
+    for (std::size_t t = 0; t < depth_; ++t) {
+      const TierSpan& span = a.tiers[t];
+      if (span.enter < 0) continue;
+      if (span.service_start < 0) {
+        // Still waiting for a worker when the attempt ended.
+        l.queue_wait[t] += terminal - span.enter;
+        continue;
+      }
+      l.queue_wait[t] += span.service_start - span.enter;
+      const SimTime end = span.service_end >= 0 ? span.service_end : terminal;
+      l.service[t] += end - span.service_start;
+      l.spans.push_back(ServiceSpan{static_cast<std::int16_t>(t), span.service_start, end});
+      if (span.service_end >= 0 && t + 1 < depth_ && a.tiers[t + 1].enter >= 0) {
+        // rpc-hold: local service done, waiting for a downstream thread.
+        l.rpc_hold[t] += a.tiers[t + 1].enter - span.service_end;
+      }
+    }
+  };
+
+  recorder.for_each([&](const TraceEvent& ev) {
+    switch (ev.kind) {
+      case EventKind::kTierSpan:
+        // One consolidated event per tier traversal: enter rides in aux,
+        // service start in value (lossless for µs < 2^53), service end is
+        // the event's own time.
+        if (ev.tier >= 0 && static_cast<std::size_t>(ev.tier) < depth_) {
+          TierSpan& span = attempt_of(ev.request).tiers[static_cast<std::size_t>(ev.tier)];
+          span.enter = ev.aux;
+          span.service_start = static_cast<SimTime>(ev.value);
+          span.service_end = ev.time;
+        }
+        break;
+      case EventKind::kDrop: {
+        // Fold whatever the dropped attempt traversed (nothing for n-tier
+        // front-door rejections, stations 0..i-1 for an interior tandem
+        // drop) into the user's logical accumulator; user < 0 marks
+        // non-client traffic, which gets no breakdown.
+        auto it = in_flight.find(ev.request);
+        if (it != in_flight.end()) {
+          if (ev.user >= 0) fold(it->second, logical_of(ev.user), ev.time);
+          in_flight.erase(it);
+        }
+        break;
+      }
+      case EventKind::kRetransmit:
+        logical_of(ev.user).rto_wait += ev.aux;
+        break;
+      case EventKind::kAbandon:
+        ++abandoned_;
+        logical.erase(ev.user);
+        break;
+      case EventKind::kComplete: {
+        auto it = in_flight.find(ev.request);
+        if (ev.user < 0) {  // non-client traffic (prober): no breakdown
+          if (it != in_flight.end()) in_flight.erase(it);
+          break;
+        }
+        LogicalState& l = logical_of(ev.user);
+        if (it != in_flight.end()) fold(it->second, l, ev.time);
+
+        RequestBreakdown b;
+        b.final_request = ev.request;
+        b.user = ev.user;
+        b.attempts = static_cast<int>(ev.attempt) + 1;
+        b.first_sent = ev.aux;
+        b.completed = ev.time;
+        b.total = ev.time - ev.aux;
+        b.queue_wait = std::move(l.queue_wait);
+        b.service = std::move(l.service);
+        b.rpc_hold = std::move(l.rpc_hold);
+        b.rto_wait = l.rto_wait;
+        for (const ServiceSpan& span : l.spans) {
+          b.degraded_service +=
+              overlap(dips[static_cast<std::size_t>(span.tier)], span.start, span.end);
+        }
+        b.slack = b.total - (b.queue_wait_total() + b.service_total() +
+                             b.rpc_hold_total() + b.rto_wait);
+        requests_.push_back(std::move(b));
+        logical.erase(ev.user);
+        if (it != in_flight.end()) in_flight.erase(it);
+        break;
+      }
+      case EventKind::kCapacity:
+      case EventKind::kBurstOn:
+      case EventKind::kBurstOff:
+        break;  // timeline-only marks (pass 1 consumed kCapacity)
+    }
+  });
+}
+
+TailSummary TailAttributor::summary() const {
+  TailSummary s;
+  s.threshold = config_.tail_threshold;
+  s.completed = static_cast<std::int64_t>(requests_.size());
+  s.abandoned = abandoned_;
+  for (const RequestBreakdown& b : requests_) {
+    if (b.total < config_.tail_threshold) continue;
+    ++s.tail_count;
+    if (b.dominant() == Cause::kRtoWait) ++s.tail_retrans_dominated;
+    s.queue_wait_us += b.of(Cause::kQueueWait);
+    s.service_us += b.of(Cause::kService);
+    s.degraded_us += b.of(Cause::kDegradedService);
+    s.rpc_hold_us += b.of(Cause::kRpcHold);
+    s.rto_wait_us += b.of(Cause::kRtoWait);
+    s.slack_us += b.of(Cause::kSlack);
+  }
+  return s;
+}
+
+std::vector<TailAttributor::CauseRow> TailAttributor::tail_rows() const {
+  std::vector<CauseRow> rows;
+  SimTime grand_total = 0;
+  for (Cause cause : kAllCauses) {
+    CauseRow row;
+    row.cause = cause;
+    for (const RequestBreakdown& b : requests_) {
+      if (b.total < config_.tail_threshold) continue;
+      row.total_us += b.of(cause);
+      if (b.dominant() == cause) ++row.dominated;
+    }
+    grand_total += row.total_us;
+    rows.push_back(row);
+  }
+  for (CauseRow& row : rows) {
+    row.share = grand_total > 0
+                    ? static_cast<double>(row.total_us) / static_cast<double>(grand_total)
+                    : 0.0;
+  }
+  return rows;
+}
+
+}  // namespace memca::trace

@@ -1,0 +1,140 @@
+// Tail attribution: classify each logical request's end-to-end latency.
+//
+// Replays a TraceRecorder stream and reconstructs every *logical* client
+// request (all TCP attempts of one page view, linked by issuing user) into a
+// breakdown of where its wall-clock time went:
+//
+//   queue wait        per-tier time between admission and service start
+//   service           per-tier wall time in service, split into the part
+//   degraded service    overlapping a capacity dip (multiplier < 1) and the
+//                       nominal remainder
+//   rpc hold          local service done, thread held waiting for a
+//                       downstream thread (the cross-tier coupling span)
+//   RTO wait          time spent between a front-tier drop and the TCP
+//                       retransmission that follows (≥ 1 s each, RFC 6298)
+//   slack             whatever remains (network/think slack; zero in the
+//                       current instantaneous-network model)
+//
+// The dominant category of each request is the paper's request-level causal
+// verdict: in the calibrated attack scenario the >1 s client tail must be
+// retransmission-dominated (Section III/IV, "very long response times are
+// dominated by retransmissions").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "trace/recorder.h"
+
+namespace memca::trace {
+
+enum class Cause {
+  kQueueWait,
+  kService,
+  kDegradedService,
+  kRpcHold,
+  kRtoWait,
+  kSlack,
+};
+
+const char* to_string(Cause cause);
+
+/// All Cause values, in reporting order.
+inline constexpr Cause kAllCauses[] = {Cause::kQueueWait,  Cause::kService,
+                                       Cause::kDegradedService, Cause::kRpcHold,
+                                       Cause::kRtoWait,    Cause::kSlack};
+
+struct RequestBreakdown {
+  /// Id of the attempt that finally completed.
+  std::int64_t final_request = 0;
+  std::int32_t user = -1;
+  /// Transmissions of the logical request (1 = completed first try).
+  int attempts = 0;
+  SimTime first_sent = 0;
+  SimTime completed = 0;
+  /// End-to-end client-observed response time (completed - first_sent).
+  SimTime total = 0;
+  /// Per-tier spans, summed over every attempt that reached the tier.
+  std::vector<SimTime> queue_wait;
+  std::vector<SimTime> service;
+  std::vector<SimTime> rpc_hold;
+  /// Portion of the service spans overlapping capacity dips.
+  SimTime degraded_service = 0;
+  SimTime rto_wait = 0;
+  SimTime slack = 0;
+
+  SimTime queue_wait_total() const;
+  SimTime service_total() const;
+  SimTime rpc_hold_total() const;
+  SimTime of(Cause cause) const;
+  /// Largest category; ties break in kAllCauses order (deterministic).
+  Cause dominant() const;
+};
+
+/// Small aggregate suitable for sweep results (default-constructible,
+/// trivially comparable field by field for determinism tests).
+struct TailSummary {
+  SimTime threshold = 0;
+  /// Logical client requests that completed / were abandoned post-warmup.
+  std::int64_t completed = 0;
+  std::int64_t abandoned = 0;
+  /// Completed requests with total >= threshold, and how many of those are
+  /// dominated by RTO wait (the paper's retransmission-dominated tail).
+  std::int64_t tail_count = 0;
+  std::int64_t tail_retrans_dominated = 0;
+  /// Per-cause totals (µs) summed over the tail requests.
+  SimTime queue_wait_us = 0;
+  SimTime service_us = 0;
+  SimTime degraded_us = 0;
+  SimTime rpc_hold_us = 0;
+  SimTime rto_wait_us = 0;
+  SimTime slack_us = 0;
+
+  double retrans_dominated_share() const {
+    return tail_count > 0
+               ? static_cast<double>(tail_retrans_dominated) / static_cast<double>(tail_count)
+               : 0.0;
+  }
+};
+
+struct AttributorConfig {
+  /// A completed request is "tail" when total >= tail_threshold. The 1 s
+  /// default matches the paper's client-SLO framing (min RTO).
+  SimTime tail_threshold = sec(std::int64_t{1});
+};
+
+class TailAttributor {
+ public:
+  /// Replays `recorder` (depth = tier/station count of the traced system).
+  /// The stream must be causally ordered, which every recorder filled
+  /// through the instrumentation hooks is.
+  TailAttributor(const TraceRecorder& recorder, std::size_t depth,
+                 AttributorConfig config = {});
+
+  /// Completed logical requests in completion order.
+  const std::vector<RequestBreakdown>& requests() const { return requests_; }
+  std::int64_t abandoned() const { return abandoned_; }
+  std::size_t depth() const { return depth_; }
+  SimTime tail_threshold() const { return config_.tail_threshold; }
+
+  TailSummary summary() const;
+
+  /// One row per cause: total µs over tail requests, share of the summed
+  /// tail time, and how many tail requests it dominates.
+  struct CauseRow {
+    Cause cause = Cause::kQueueWait;
+    SimTime total_us = 0;
+    double share = 0.0;
+    std::int64_t dominated = 0;
+  };
+  std::vector<CauseRow> tail_rows() const;
+
+ private:
+  std::size_t depth_;
+  AttributorConfig config_;
+  std::vector<RequestBreakdown> requests_;
+  std::int64_t abandoned_ = 0;
+};
+
+}  // namespace memca::trace

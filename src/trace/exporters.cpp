@@ -1,0 +1,242 @@
+#include "trace/exporters.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace memca::trace {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Streams trace-event objects with the shared comma/newline bookkeeping.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {
+    out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  }
+  ~JsonWriter() { out_ << "\n]}\n"; }
+
+  std::ostream& begin() {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    return out_;
+  }
+
+  void process_name(int pid, const std::string& name) {
+    begin() << "{\"ph\":\"M\",\"pid\":" << pid
+            << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << json_escape(name)
+            << "\"}}";
+  }
+
+  void slice(int pid, std::int64_t tid, const char* name, SimTime start, SimTime dur,
+             std::int64_t request, std::int32_t user, int attempt) {
+    begin() << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":" << start
+            << ",\"dur\":" << dur << ",\"name\":\"" << name
+            << "\",\"args\":{\"request\":" << request << ",\"user\":" << user
+            << ",\"attempt\":" << attempt << "}}";
+  }
+
+  void instant(int pid, std::int64_t tid, const char* name, SimTime ts,
+               std::int64_t request) {
+    begin() << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid
+            << ",\"ts\":" << ts << ",\"name\":\"" << name
+            << "\",\"args\":{\"request\":" << request << "}}";
+  }
+
+  void counter(int pid, const char* name, SimTime ts, double value) {
+    begin() << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << ts
+            << ",\"name\":\"" << name << "\",\"args\":{\"value\":" << value << "}}";
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+/// Per-tier lane allocator: lanes are per-request rows inside a tier's
+/// process. A kTierSpan arrives at its service-end time but its slices
+/// reach back to the queue-enter time, so lanes are handed out first-fit
+/// against each lane's busy-until horizon: a request takes the lowest lane
+/// whose previous occupant's display interval ended at or before this
+/// request's enter. Open lanes are parked at the max horizon until the
+/// request completes (or drops) and the real end is known. First-fit keeps
+/// concurrent residents stacked compactly without overlap.
+class Lanes {
+ public:
+  std::int64_t acquire(SimTime enter) {
+    for (std::size_t i = 0; i < busy_until_.size(); ++i) {
+      if (busy_until_[i] <= enter) {
+        busy_until_[i] = kOpen;
+        return static_cast<std::int64_t>(i);
+      }
+    }
+    busy_until_.push_back(kOpen);
+    return static_cast<std::int64_t>(busy_until_.size()) - 1;
+  }
+  void release(std::int64_t lane, SimTime end) {
+    busy_until_[static_cast<std::size_t>(lane)] = end;
+  }
+
+ private:
+  static constexpr SimTime kOpen = std::numeric_limits<SimTime>::max();
+  std::vector<SimTime> busy_until_;
+};
+
+struct TierState {
+  SimTime service_end = -1;
+  std::int64_t lane = -1;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder,
+                        const ChromeTraceOptions& options) {
+  const std::size_t depth =
+      options.depth != 0 ? options.depth : options.tier_names.size();
+  MEMCA_CHECK_MSG(depth > 0, "chrome trace export needs the system depth");
+
+  auto tier_name = [&](std::size_t t) {
+    return t < options.tier_names.size() ? options.tier_names[t]
+                                         : "tier-" + std::to_string(t);
+  };
+  const int client_pid = 0;
+  const int attack_pid = static_cast<int>(depth) + 1;
+
+  JsonWriter json(out);
+  if (options.client_track) json.process_name(client_pid, "clients");
+  for (std::size_t t = 0; t < depth; ++t) {
+    json.process_name(static_cast<int>(t) + 1, tier_name(t));
+  }
+  json.process_name(attack_pid, "attack");
+
+  std::vector<Lanes> lanes(depth);
+  std::unordered_map<std::int64_t, std::vector<TierState>> in_flight;
+  auto state_of = [&](std::int64_t request) -> std::vector<TierState>& {
+    std::vector<TierState>& s = in_flight[request];
+    if (s.empty()) s.resize(depth);
+    return s;
+  };
+
+  recorder.for_each([&](const TraceEvent& ev) {
+    const bool tier_ok = ev.tier >= 0 && static_cast<std::size_t>(ev.tier) < depth;
+    const auto t = tier_ok ? static_cast<std::size_t>(ev.tier) : std::size_t{0};
+    const int tier_pid = static_cast<int>(t) + 1;
+    switch (ev.kind) {
+      case EventKind::kTierSpan: {
+        // One event per tier traversal: enter in aux, service start in
+        // value, service end is the event's time. The wait and service
+        // slices are fully known here; the downstream slice (thread pinned
+        // while the request sits in lower tiers) waits for kComplete.
+        if (!tier_ok) break;
+        const SimTime enter = ev.aux;
+        const SimTime service_start = static_cast<SimTime>(ev.value);
+        const std::int64_t lane = lanes[t].acquire(enter);
+        if (service_start > enter) {
+          json.slice(tier_pid, lane, "wait", enter, service_start - enter, ev.request,
+                     ev.user, ev.attempt);
+        }
+        json.slice(tier_pid, lane, "service", service_start, ev.time - service_start,
+                   ev.request, ev.user, ev.attempt);
+        if (options.rpc_holding) {
+          TierState& s = state_of(ev.request)[t];
+          s.service_end = ev.time;
+          s.lane = lane;
+        } else {
+          lanes[t].release(lane, ev.time);
+        }
+        break;
+      }
+      case EventKind::kDrop: {
+        auto it = in_flight.find(ev.request);
+        if (it != in_flight.end()) {
+          for (std::size_t i = 0; i < depth; ++i) {
+            if (it->second[i].lane >= 0) lanes[i].release(it->second[i].lane, ev.time);
+          }
+          in_flight.erase(it);
+        }
+        if (options.client_track && ev.user >= 0) {
+          json.instant(client_pid, ev.user, "drop", ev.time, ev.request);
+        }
+        break;
+      }
+      case EventKind::kComplete: {
+        auto it = in_flight.find(ev.request);
+        if (it != in_flight.end()) {
+          for (std::size_t i = 0; i < depth; ++i) {
+            TierState& s = it->second[i];
+            if (s.lane < 0) continue;
+            if (ev.time > s.service_end) {
+              // Local service done but the thread stayed pinned until the
+              // reply returned (RPC hold + downstream residence).
+              json.slice(static_cast<int>(i) + 1, s.lane, "downstream", s.service_end,
+                         ev.time - s.service_end, ev.request, ev.user, ev.attempt);
+            }
+            lanes[i].release(s.lane, ev.time);
+          }
+          in_flight.erase(it);
+        }
+        if (options.client_track && ev.user >= 0) {
+          json.instant(client_pid, ev.user, "complete", ev.time, ev.request);
+        }
+        break;
+      }
+      case EventKind::kRetransmit:
+        if (options.client_track && ev.user >= 0) {
+          json.slice(client_pid, ev.user, "rto-wait", ev.time, ev.aux, ev.request, ev.user,
+                     ev.attempt);
+        }
+        break;
+      case EventKind::kAbandon:
+        if (options.client_track && ev.user >= 0) {
+          json.instant(client_pid, ev.user, "abandon", ev.time, ev.request);
+        }
+        break;
+      case EventKind::kCapacity:
+        if (tier_ok) json.counter(tier_pid, "capacity", ev.time, ev.value);
+        break;
+      case EventKind::kBurstOn:
+        json.counter(attack_pid, "burst", ev.time, 1.0);
+        break;
+      case EventKind::kBurstOff:
+        json.counter(attack_pid, "burst", ev.time, 0.0);
+        break;
+    }
+  });
+}
+
+void write_attribution_csv(std::ostream& out, const TailAttributor& attributor) {
+  const std::size_t depth = attributor.depth();
+  out << "request,user,attempts,first_sent_us,completed_us,total_us,queue_wait_us,"
+         "service_us,degraded_service_us,rpc_hold_us,rto_wait_us,slack_us,dominant";
+  for (std::size_t t = 0; t < depth; ++t) {
+    out << ",wait_t" << t << "_us,service_t" << t << "_us";
+  }
+  out << "\n";
+  for (const RequestBreakdown& b : attributor.requests()) {
+    if (b.total < attributor.tail_threshold()) continue;
+    out << b.final_request << ',' << b.user << ',' << b.attempts << ',' << b.first_sent
+        << ',' << b.completed << ',' << b.total << ',' << b.queue_wait_total() << ','
+        << b.of(Cause::kService) << ',' << b.degraded_service << ',' << b.rpc_hold_total()
+        << ',' << b.rto_wait << ',' << b.slack << ',' << to_string(b.dominant());
+    for (std::size_t t = 0; t < depth; ++t) {
+      out << ',' << (t < b.queue_wait.size() ? b.queue_wait[t] : 0) << ','
+          << (t < b.service.size() ? b.service[t] : 0);
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace memca::trace

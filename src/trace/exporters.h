@@ -1,0 +1,51 @@
+// Trace exporters: Chrome trace-event JSON (Perfetto-compatible timeline)
+// and a CSV of attributed tail requests.
+//
+// The JSON exporter lays the stream out the way an engineer debugging the
+// attack wants to see it:
+//   * one process per tier, with per-request lanes holding three
+//     consecutive slices — wait / service / downstream (the span the local
+//     thread stays pinned while the request sits in lower tiers) — so queue
+//     build-up and thread-holding are visible at a glance;
+//   * a "capacity" counter track per tier (the degradation index D) and a
+//     "burst" counter for the attack kernel's ON/OFF windows;
+//   * a client process with one lane per user showing RTO-wait slices and
+//     drop/complete/abandon instants.
+// Open the file at https://ui.perfetto.dev (or chrome://tracing).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/attributor.h"
+#include "trace/recorder.h"
+
+namespace memca::trace {
+
+struct ChromeTraceOptions {
+  /// Tier/station display names, front first; missing entries fall back to
+  /// "tier-<i>".
+  std::vector<std::string> tier_names;
+  /// Tier count; 0 = tier_names.size() (at least one required overall).
+  std::size_t depth = 0;
+  /// Emit the per-user client track (RTO waits, drops, completions).
+  bool client_track = true;
+  /// True (NTierSystem): a request pins its tier thread until the reply
+  /// returns, so each non-final tier gets a "downstream" slice from local
+  /// service end to completion and its lane stays occupied that long.
+  /// False (TandemQueueSystem): residence ends with local service — no
+  /// downstream slices, lanes free at each station's service end.
+  bool rpc_holding = true;
+};
+
+/// Writes the recorder's stream as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder,
+                        const ChromeTraceOptions& options);
+
+/// Writes one CSV row per attributed *tail* request (total >= threshold):
+/// ids, attempt count, per-cause totals, per-tier wait/service splits and
+/// the dominant cause.
+void write_attribution_csv(std::ostream& out, const TailAttributor& attributor);
+
+}  // namespace memca::trace

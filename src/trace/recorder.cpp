@@ -1,0 +1,76 @@
+#include "trace/recorder.h"
+
+#include "trace/trace_event.h"
+
+namespace memca::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kComplete:
+      return "complete";
+    case EventKind::kRetransmit:
+      return "retransmit";
+    case EventKind::kAbandon:
+      return "abandon";
+    case EventKind::kTierSpan:
+      return "tier-span";
+    case EventKind::kDrop:
+      return "drop";
+    case EventKind::kCapacity:
+      return "capacity";
+    case EventKind::kBurstOn:
+      return "burst-on";
+    case EventKind::kBurstOff:
+      return "burst-off";
+  }
+  return "?";
+}
+
+namespace {
+
+// Retired arena chunks, parked per thread. Handing a warm chunk to the next
+// recorder keeps its pages resident: glibc trims freed 80 KB blocks back to
+// the OS under load, so without the pool every fresh testbed (one per sweep
+// cell, one per benchmark iteration) page-faults its whole arena in again.
+// The cap bounds idle memory at ~5 MB per thread.
+constexpr std::size_t kPoolMaxChunks = 64;
+thread_local std::vector<std::unique_ptr<TraceEvent[]>> chunk_pool;
+
+}  // namespace
+
+TraceRecorder::~TraceRecorder() {
+  for (auto& chunk : chunks_) {
+    if (chunk_pool.size() >= kPoolMaxChunks) break;
+    chunk_pool.push_back(std::move(chunk));
+  }
+}
+
+bool TraceRecorder::next_chunk() {
+  const std::size_t current = size();
+  if (config_.max_events != 0 && current >= config_.max_events) {
+    truncated_ = true;
+    return false;
+  }
+  if (used_chunks_ == chunks_.size()) {
+    if (!chunk_pool.empty()) {
+      chunks_.push_back(std::move(chunk_pool.back()));
+      chunk_pool.pop_back();
+    } else {
+      // for_overwrite: events are written before they are ever read, so the
+      // zero-fill of a plain make_unique would be pure overhead.
+      chunks_.push_back(std::make_unique_for_overwrite<TraceEvent[]>(kChunkMask + 1));
+    }
+  }
+  chunk_begin_ = chunks_[used_chunks_].get();
+  ++used_chunks_;
+  base_ = current;
+  cursor_ = chunk_begin_;
+  std::size_t room = kChunkMask + 1;
+  if (config_.max_events != 0 && config_.max_events - current < room) {
+    room = config_.max_events - current;
+  }
+  chunk_end_ = chunk_begin_ + room;
+  return true;
+}
+
+}  // namespace memca::trace

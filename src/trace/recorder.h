@@ -1,0 +1,124 @@
+// Low-overhead append-only span-event recorder.
+//
+// A TraceRecorder is an arena of fixed-size chunks of TraceEvents. Each
+// simulation (one RubbosTestbed, one sweep cell) owns exactly one recorder
+// and appends from the single thread driving that cell's Simulator, so
+// recording needs no synchronisation and a parallel sweep stays bit-
+// identical to a sequential run: a cell's stream depends only on its own
+// event order, never on which worker thread ran it.
+//
+// Hot-path cost when tracing is off is a null-pointer check at each hook
+// site (see emit()). Configuring CMake with -DMEMCA_TRACE=OFF defines
+// MEMCA_TRACE_DISABLED and compiles the hooks out to nothing.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "trace/trace_event.h"
+
+namespace memca::trace {
+
+class TraceRecorder {
+ public:
+  struct Config {
+    /// Hard cap on recorded events; once reached, further events are
+    /// dropped and truncated() turns true. 0 = unbounded.
+    std::size_t max_events = 0;
+  };
+
+  TraceRecorder() = default;
+  explicit TraceRecorder(Config config) : config_(config) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  /// Parks the arena chunks in a thread-local pool for the next recorder on
+  /// this thread (a sweep runs one testbed per cell; without the pool each
+  /// fresh cell would page-fault its whole arena back in).
+  ~TraceRecorder();
+
+  /// Appends one event. Events must be appended in causal (time-
+  /// nondecreasing) order — the attributor and exporters rely on it, and
+  /// every Simulator-driven hook satisfies it by construction.
+  ///
+  /// The fast path is one pointer compare plus the 40-byte store; chunk
+  /// turnover and the max_events cap live out of line in next_chunk().
+  void record(const TraceEvent& event) {
+#ifndef MEMCA_TRACE_DISABLED
+    if (cursor_ == chunk_end_) [[unlikely]] {
+      if (!next_chunk()) return;
+    }
+    *cursor_++ = event;
+#else
+    (void)event;
+#endif
+  }
+
+  std::size_t size() const {
+    return cursor_ == nullptr ? 0 : base_ + static_cast<std::size_t>(cursor_ - chunk_begin_);
+  }
+  bool empty() const { return size() == 0; }
+  /// True if max_events was hit and at least one event was dropped.
+  bool truncated() const { return truncated_; }
+
+  const TraceEvent& operator[](std::size_t i) const {
+    MEMCA_DCHECK(i < size());
+    return chunks_[i >> kChunkShift][i & kChunkMask];
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) fn((*this)[i]);
+  }
+
+  /// Forgets all events but keeps the allocated chunks for reuse.
+  void clear() {
+    used_chunks_ = 0;
+    base_ = 0;
+    chunk_begin_ = chunk_end_ = cursor_ = nullptr;
+    truncated_ = false;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  /// Opens the next chunk (allocating or reusing one) and repoints the
+  /// cursor at it; returns false — dropping the event — once max_events is
+  /// reached. A capped final chunk gets a shortened chunk_end_ so the fast
+  /// path stops exactly at the limit.
+  bool next_chunk();
+
+  // 2048 events (80 KB) per chunk: growth never copies recorded events, and
+  // the allocation stays under glibc's 128 KB mmap threshold so freed chunks
+  // are recycled warm from the heap instead of being unmapped — a fresh
+  // recorder per sweep cell would otherwise page-fault its whole arena in.
+  static constexpr std::size_t kChunkShift = 11;
+  static constexpr std::size_t kChunkMask = (std::size_t{1} << kChunkShift) - 1;
+
+  // Hot fields first: record() touches only cursor_ and chunk_end_, which
+  // must share the recorder's first cache line.
+  TraceEvent* cursor_ = nullptr;
+  TraceEvent* chunk_end_ = nullptr;
+  TraceEvent* chunk_begin_ = nullptr;
+  std::size_t base_ = 0;              // events in the chunks before the open one
+  std::size_t used_chunks_ = 0;       // chunks holding events (clear() reuses)
+  Config config_;
+  std::vector<std::unique_ptr<TraceEvent[]>> chunks_;
+  bool truncated_ = false;
+};
+
+/// Hook-site helper: record iff a recorder is attached. With tracing
+/// compiled out (MEMCA_TRACE_DISABLED) this is an empty inline function and
+/// the whole hook folds away.
+inline void emit(TraceRecorder* recorder, const TraceEvent& event) {
+#ifndef MEMCA_TRACE_DISABLED
+  if (recorder != nullptr) recorder->record(event);
+#else
+  (void)recorder;
+  (void)event;
+#endif
+}
+
+}  // namespace memca::trace

@@ -1,0 +1,86 @@
+// One span event of the per-request causal trace (memca_trace).
+//
+// The paper's core claim is a causal chain — memory burst → transient
+// capacity dip → queue overflow at the bottleneck tier → upstream RPC
+// thread-holding → front-tier drop → TCP retransmission (min RTO 1 s) →
+// amplified client tail. Aggregate histograms cannot show *which* mechanism
+// produced any given tail request, so every instrumented component appends
+// fixed-size binary events to a TraceRecorder and the TailAttributor
+// reconstructs per-request span trees from the stream afterwards.
+//
+// Events are 40-byte trivially-copyable records: recording one is a bounds
+// check and a struct store, cheap enough to leave compiled in (a null
+// recorder pointer skips the call with one predictable branch).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/time.h"
+
+namespace memca::trace {
+
+enum class EventKind : std::uint8_t {
+  // -- client lifecycle (ClosedLoopClients) --------------------------------
+  /// A reply reached the client. aux = first_sent of the logical request,
+  /// attempt = the completing TCP attempt (so attempt + 1 attempts were
+  /// sent in total). There is no separate client-send event: the send
+  /// instant of each attempt is implicit in its first kTierSpan enter time
+  /// (or its kDrop), and everything the attributor needs about the logical
+  /// request rides on this one completion record.
+  kComplete,
+  /// The client scheduled a TCP retransmission after a drop. aux = the RTO
+  /// (µs) that will elapse before the next attempt.
+  kRetransmit,
+  /// The client gave up after max_retries. aux = first_sent.
+  kAbandon,
+
+  // -- tier/station lifecycle (NTierSystem / TandemQueueSystem) ------------
+  /// One whole tier traversal, emitted once when local service ends:
+  /// time = service end, aux = queue-enter time, value = service-start time
+  /// (stored exactly — a double is lossless for µs timestamps < 2^53). A
+  /// single consolidated event instead of enqueue/start/end marks keeps the
+  /// recording overhead of a fully traced run under the 5 % budget. The
+  /// remaining residence (RPC hold on the downstream tier, then the
+  /// synchronous reply chain) needs no extra event: it runs from this
+  /// event's time to the next tier's kTierSpan enter and to kComplete.
+  kTierSpan,
+  /// The system rejected the attempt (front-tier thread exhaustion in the
+  /// n-tier model, buffer overflow at any station in the tandem model).
+  kDrop,
+
+  // -- capacity / attack marks (cloud + queueing coupling) ------------------
+  /// A tier's speed multiplier changed. value = new multiplier, tier set.
+  kCapacity,
+  /// The memory attack kernel switched ON / OFF.
+  kBurstOn,
+  kBurstOff,
+};
+
+const char* to_string(EventKind kind);
+
+struct TraceEvent {
+  /// Simulated time of the event (µs).
+  SimTime time = 0;
+  /// Request (attempt) id, 0 for request-less marks (capacity, bursts).
+  std::int64_t request = 0;
+  /// Kind-specific time payload: first_sent for client events, the RTO for
+  /// kRetransmit, the queue-enter time for kTierSpan, 0 otherwise.
+  SimTime aux = 0;
+  /// Kind-specific value payload: the multiplier for kCapacity, the
+  /// service-start time for kTierSpan.
+  double value = 0.0;
+  /// Issuing user, -1 when not client traffic (prober, open-loop).
+  std::int32_t user = -1;
+  /// Tier/station index, -1 for client-side and attack events.
+  std::int16_t tier = -1;
+  EventKind kind = EventKind::kTierSpan;
+  /// TCP attempt number of the request (0 = first transmission).
+  std::uint8_t attempt = 0;
+};
+
+static_assert(sizeof(TraceEvent) == 40, "span events should stay 40 bytes");
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "span events must be memcpy-safe for the arena");
+
+}  // namespace memca::trace

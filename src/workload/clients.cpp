@@ -66,6 +66,7 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
   User& u = users_[static_cast<std::size_t>(req.user)];
   u.busy = false;
   ++completed_;
+  mark(trace::EventKind::kComplete, req, req.first_sent);
   if (req.attempt > 0) ++retransmitted_completions_;
   const SimTime rt = sim_.now() - req.first_sent;
   if (sim_.now() >= config_.stats_warmup) {
@@ -81,12 +82,14 @@ void ClosedLoopClients::on_drop(const queueing::Request& req) {
   if (req.attempt >= config_.max_retries) {
     // Abandon: the user gives up on this page and thinks again.
     ++failed_;
+    mark(trace::EventKind::kAbandon, req, req.first_sent);
     users_[static_cast<std::size_t>(req.user)].busy = false;
     schedule_think(req.user);
     return;
   }
   // RFC 6298: RTO floor of 1 s, exponential backoff per retry.
   const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt);
+  mark(trace::EventKind::kRetransmit, req, rto);
   const int user = req.user;
   const int page = req.page_class;
   const SimTime first_sent = req.first_sent;

@@ -18,6 +18,7 @@
 #include "common/timeseries.h"
 #include "common/windowed_quantile.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 #include "workload/markov.h"
 #include "workload/profile.h"
 #include "workload/router.h"
@@ -65,6 +66,10 @@ class ClosedLoopClients {
 
   const ClientConfig& config() const { return config_; }
 
+  /// Attaches a span-event recorder for the client lifecycle events
+  /// (send / complete / retransmit / abandon). Not owned.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   struct User {
     int page = 0;
@@ -77,6 +82,21 @@ class ClosedLoopClients {
   void on_complete(const queueing::Request& req);
   void on_drop(const queueing::Request& req);
 
+  /// Appends a client lifecycle event iff a recorder is attached.
+  /// aux = first_sent for send/complete/abandon, the scheduled RTO for
+  /// retransmit.
+  void mark(trace::EventKind kind, const queueing::Request& req, SimTime aux) {
+#ifndef MEMCA_TRACE_DISABLED
+    if (trace_ == nullptr) return;
+    trace_->record(trace::TraceEvent{sim_.now(), req.id, aux, 0.0, req.user, -1, kind,
+                                     static_cast<std::uint8_t>(req.attempt)});
+#else
+    (void)kind;
+    (void)req;
+    (void)aux;
+#endif
+  }
+
   Simulator& sim_;
   RequestRouter& router_;
   WorkloadProfile profile_;
@@ -84,6 +104,7 @@ class ClosedLoopClients {
   ClientConfig config_;
   Rng rng_;
   int source_ = -1;
+  trace::TraceRecorder* trace_ = nullptr;
   std::vector<User> users_;
   bool started_ = false;
   SimTime start_time_ = 0;

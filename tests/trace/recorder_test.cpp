@@ -1,0 +1,88 @@
+#include "trace/recorder.h"
+
+#include <gtest/gtest.h>
+
+// Recording compiles out to nothing under MEMCA_TRACE=OFF; the behavioural
+// tests below only apply when it is compiled in.
+#ifdef MEMCA_TRACE_DISABLED
+#define MEMCA_SKIP_IF_TRACE_DISABLED() \
+  GTEST_SKIP() << "tracing compiled out (MEMCA_TRACE=OFF)"
+#else
+#define MEMCA_SKIP_IF_TRACE_DISABLED()
+#endif
+
+namespace memca::trace {
+namespace {
+
+TraceEvent event_at(SimTime t) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.request = t * 2;
+  ev.kind = EventKind::kTierSpan;
+  return ev;
+}
+
+TEST(TraceRecorder, RecordsAndReadsBackAcrossChunks) {
+  MEMCA_SKIP_IF_TRACE_DISABLED();
+  TraceRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  // Well past one 4096-event chunk, so growth paths are exercised.
+  constexpr std::size_t kCount = 10'000;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    recorder.record(event_at(static_cast<SimTime>(i)));
+  }
+  ASSERT_EQ(recorder.size(), kCount);
+  EXPECT_FALSE(recorder.truncated());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(recorder[i].time, static_cast<SimTime>(i));
+    EXPECT_EQ(recorder[i].request, static_cast<std::int64_t>(i) * 2);
+  }
+  // for_each visits in append order.
+  SimTime expect = 0;
+  recorder.for_each([&](const TraceEvent& ev) { EXPECT_EQ(ev.time, expect++); });
+  EXPECT_EQ(expect, static_cast<SimTime>(kCount));
+}
+
+TEST(TraceRecorder, MaxEventsTruncates) {
+  MEMCA_SKIP_IF_TRACE_DISABLED();
+  TraceRecorder recorder(TraceRecorder::Config{100});
+  for (std::size_t i = 0; i < 200; ++i) {
+    recorder.record(event_at(static_cast<SimTime>(i)));
+  }
+  EXPECT_EQ(recorder.size(), 100u);
+  EXPECT_TRUE(recorder.truncated());
+  EXPECT_EQ(recorder[99].time, 99);
+}
+
+TEST(TraceRecorder, ClearKeepsCapacityAndResetsState) {
+  MEMCA_SKIP_IF_TRACE_DISABLED();
+  TraceRecorder recorder(TraceRecorder::Config{50});
+  for (std::size_t i = 0; i < 80; ++i) {
+    recorder.record(event_at(static_cast<SimTime>(i)));
+  }
+  EXPECT_TRUE(recorder.truncated());
+  recorder.clear();
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_FALSE(recorder.truncated());
+  recorder.record(event_at(7));
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder[0].time, 7);
+}
+
+TEST(TraceRecorder, EmitOnNullRecorderIsSafe) {
+  MEMCA_SKIP_IF_TRACE_DISABLED();
+  emit(nullptr, event_at(1));  // must be a no-op, not a crash
+  TraceRecorder recorder;
+  emit(&recorder, event_at(2));
+  EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(TraceEventTest, KindNamesAreDistinct) {
+  EXPECT_STREQ(to_string(EventKind::kRetransmit), "retransmit");
+  EXPECT_STREQ(to_string(EventKind::kTierSpan), "tier-span");
+  EXPECT_STREQ(to_string(EventKind::kCapacity), "capacity");
+  EXPECT_STRNE(to_string(EventKind::kBurstOn), to_string(EventKind::kBurstOff));
+}
+
+}  // namespace
+}  // namespace memca::trace
