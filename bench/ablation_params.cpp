@@ -6,10 +6,12 @@
 // All three sweeps run their cells through run_attack_lab_sweep, which
 // fans them out across hardware threads (MEMCA_SWEEP_THREADS overrides);
 // tables are printed in cell order, bit-identical to a sequential run.
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "common/table.h"
+#include "metrics/run_report.h"
 #include "testbed/attack_lab.h"
 
 using namespace memca;
@@ -26,10 +28,11 @@ void sweep_length_interval() {
       config.params.burst_length = length;
       config.params.burst_interval = interval;
       config.duration = 2 * kMinute;
+      config.testbed.metrics = true;
       cells.push_back(config);
     }
   }
-  const auto results = testbed::run_attack_lab_sweep(cells);
+  auto results = testbed::run_attack_lab_sweep(cells);
 
   Table table({"L (ms)", "I (s)", "p95 (ms)", "p98 (ms)", "drop %", "CPU mean %",
                "sat (ms)", "autoscale?"});
@@ -47,6 +50,20 @@ void sweep_length_interval() {
     });
   }
   table.print(std::cout);
+
+  // Sweep-wide aggregate report: the per-cell registries merge (in cell
+  // order, so the bytes are thread-count-independent) into one registry,
+  // which the run-report builder treats like any single run's.
+  const auto merged = testbed::merge_sweep_registries(results);
+  metrics::RunReportOptions options;
+  options.scenario = "ablation_params_LxI_sweep";
+  options.scrape_resolution = msec(50);
+  const metrics::RunReport report = metrics::build_run_report(*merged, options);
+  std::ofstream json("ablation_params_LxI.runreport.json");
+  metrics::write_json(json, report);
+  std::cout << "merged sweep report: " << results.size() << " cells, "
+            << report.submitted << " attempts, " << report.dropped
+            << " drops -> ablation_params_LxI.runreport.json\n";
 }
 
 void sweep_intensity() {

@@ -4,9 +4,13 @@
 //
 // Paper result: tail response time amplifies from MySQL to Tomcat to Apache
 // and finally to the clients, with client p95 > 1 s and p98 > 2 s.
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "common/table.h"
+#include "metrics/run_report.h"
 #include "testbed/rubbos_testbed.h"
 
 using namespace memca;
@@ -16,6 +20,7 @@ namespace {
 void run_environment(testbed::CloudProfile cloud) {
   testbed::TestbedConfig config;
   config.cloud = cloud;
+  config.metrics = true;
   testbed::RubbosTestbed bed(config);
   bed.start();
 
@@ -28,7 +33,10 @@ void run_environment(testbed::CloudProfile cloud) {
   attack->start();
   bed.sim().run_for(0);  // first burst is ON: capture the degradation index
   const double d_on = bed.coupling().capacity_multiplier();
+  const auto wall_start = std::chrono::steady_clock::now();
   bed.sim().run_for(3 * kMinute);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   print_banner(std::cout,
                std::string("Fig. 2 — percentile response time per tier, ") +
@@ -48,6 +56,22 @@ void run_environment(testbed::CloudProfile cloud) {
   std::cout << "degradation index D during bursts: " << Table::num(d_on, 3)
             << ", bursts fired: " << attack->scheduler().bursts_fired()
             << ", drops: " << bed.clients().dropped_attempts() << "\n";
+
+  bed.finalize_metrics(attack.get());
+  metrics::RunReportOptions options;
+  options.scenario = std::string("fig2_tail_amplification_") + testbed::to_string(cloud);
+  options.wall_seconds = wall_seconds;
+  options.scrape_resolution = bed.config().metrics_resolution;
+  const metrics::RunReport report = metrics::build_run_report(*bed.registry(), options);
+  const std::string stem = options.scenario + ".runreport";
+  std::ofstream json(stem + ".json");
+  metrics::write_json(json, report);
+  std::ofstream md(stem + ".md");
+  metrics::write_markdown(md, report);
+  std::cout << "run report: " << report.submitted << " attempts, " << report.dropped
+            << " drops, " << report.retransmitted << " retransmissions, p98 "
+            << Table::num(to_millis(report.latency_p98), 0) << " ms -> " << stem
+            << ".{json,md}\n";
 }
 
 }  // namespace

@@ -4,15 +4,20 @@
 //   (b) transient CPU saturation of the co-located MySQL VM,
 //   (c) queue propagation through the 3 tiers,
 //   (d) very long (> 1 s) response times perceived by end users.
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "common/table.h"
+#include "metrics/run_report.h"
 #include "testbed/rubbos_testbed.h"
 
 using namespace memca;
 
 int main() {
-  testbed::RubbosTestbed bed;
+  testbed::TestbedConfig config;
+  config.metrics = true;
+  testbed::RubbosTestbed bed(config);
   bed.start();
 
   core::MemcaConfig memca;
@@ -26,7 +31,10 @@ int main() {
   // Warm up past the statistics warm-up, then capture an 8 s window.
   const SimTime window_start = sec(std::int64_t{60});
   const SimTime window_end = window_start + sec(std::int64_t{8});
+  const auto wall_start = std::chrono::steady_clock::now();
   bed.sim().run_until(window_end + sec(std::int64_t{1}));
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   // (a) + (b) + (c): one row per 50 ms.
   print_banner(std::cout,
@@ -81,5 +89,19 @@ int main() {
                "queues fill MySQL -> Tomcat -> Apache within each burst and drain after\n"
                "(c); response-time spikes > 1000 ms appear in the buckets ~1 s after each\n"
                "burst's drops, from TCP retransmission (d).\n";
+
+  bed.finalize_metrics(attack.get());
+  metrics::RunReportOptions options;
+  options.scenario = "fig9_damage_snapshot";
+  options.wall_seconds = wall_seconds;
+  options.scrape_resolution = bed.config().metrics_resolution;
+  const metrics::RunReport report = metrics::build_run_report(*bed.registry(), options);
+  std::ofstream json("fig9_damage_snapshot.runreport.json");
+  metrics::write_json(json, report);
+  std::ofstream md("fig9_damage_snapshot.runreport.md");
+  metrics::write_markdown(md, report);
+  std::cout << "run report: " << report.bursts << " bursts (duty cycle "
+            << Table::num(report.duty_cycle * 100.0, 1) << "%), " << report.dropped
+            << " drops -> fig9_damage_snapshot.runreport.{json,md}\n";
   return 0;
 }

@@ -7,11 +7,13 @@
 //   ./build/bench/perf_microbench --benchmark_format=json > BENCH_<rev>.json
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "cloud/membw.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "metrics/registry.h"
 #include "sim/simulator.h"
 #include "testbed/attack_lab.h"
 #include "trace/recorder.h"
@@ -141,17 +143,62 @@ void BM_TraceEmitDetached(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceEmitDetached);
 
+void BM_MetricsCounterInc(benchmark::State& state) {
+  // The per-event price of an attached counter handle: a null check plus an
+  // increment through a pre-resolved pointer.
+  metrics::Registry registry;
+  metrics::Counter counter = registry.counter("bench_counter");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsCounterDetached(benchmark::State& state) {
+  // The hook-site cost when metrics are off: the detached handle must
+  // reduce to one predictable branch (the zero-cost claim mirroring
+  // BM_TraceEmitDetached).
+  metrics::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterDetached);
+
+void BM_MetricsScrape(benchmark::State& state) {
+  // One scrape of a testbed-sized registry (Arg = instrument count):
+  // appends every counter/gauge/probe to its series. At 50 ms resolution
+  // this runs 20x per simulated second, so it must stay microseconds.
+  metrics::Registry registry;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    auto counter = registry.counter("bench_counter", {{"i", std::to_string(i)}});
+    counter.inc(i);
+  }
+  SimTime now = 0;
+  for (auto _ : state) {
+    registry.scrape(now += msec(50));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetricsScrape)->Arg(32);
+
 void BM_FullTestbedSecond(benchmark::State& state) {
   // One simulated second of the full attacked 3500-user scenario per
   // iteration (construction amortised out by measuring a long run).
-  // Arg(1) runs the same scenario with per-request tracing on; comparing
-  // the two rates measures the end-to-end recording overhead (< 5%
-  // target). The testbed is driven directly — run_attack_lab would also
-  // time the post-hoc TailAttributor analysis, which is not a tracing
+  // Arg(1) runs the same scenario with per-request tracing on; Arg(2) with
+  // the metrics registry + 50 ms scraper on. Comparing each rate against
+  // Arg(0) measures the end-to-end overhead (< 5% target for tracing,
+  // < 3% for metrics). The testbed is driven directly — run_attack_lab
+  // would also time post-hoc analysis, which is not an instrumentation
   // cost.
   for (auto _ : state) {
     testbed::TestbedConfig config;
-    config.trace = state.range(0) != 0;
+    config.trace = state.range(0) == 1;
+    config.metrics = state.range(0) == 2;
     testbed::RubbosTestbed bed(config);
     bed.start();
     core::MemcaConfig memca;
@@ -167,7 +214,7 @@ void BM_FullTestbedSecond(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
-BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 void BM_SweepRunnerScaling(benchmark::State& state) {
   // An 8-cell attack-parameter grid per iteration, Arg = worker threads.

@@ -12,6 +12,13 @@ namespace {
 // filter level; ordering does not matter, only freedom from data races.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
+// Injected sink; empty means the stderr default. Swapped only between runs
+// (see set_log_sink), so plain reads from logging threads are fine.
+LogSink g_sink;
+
+// Innermost ScopedLogCounter of this thread (nullptr when none active).
+thread_local ScopedLogCounter* t_log_counter = nullptr;
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -30,8 +37,29 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
+ScopedLogCounter::ScopedLogCounter() : prev_(t_log_counter) { t_log_counter = this; }
+
+ScopedLogCounter::~ScopedLogCounter() { t_log_counter = prev_; }
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  // Warn/error lines are tallied per-thread even when routed to a custom
+  // sink, so run reports can surface them without parsing log output.
+  if (level >= LogLevel::kWarn) {
+    for (ScopedLogCounter* c = t_log_counter; c != nullptr; c = c->prev_) {
+      if (level == LogLevel::kWarn) {
+        ++c->warnings_;
+      } else {
+        ++c->errors_;
+      }
+    }
+  }
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

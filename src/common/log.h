@@ -7,6 +7,8 @@
 // interleave — set the level before starting a sweep.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,8 +20,41 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Destination for emitted log lines. Receives only lines that passed the
+/// level filter. Must be callable from any thread (parallel sweep cells log
+/// concurrently); the default sink writes "[LEVEL] message" to stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the global sink (empty restores the stderr default). Install
+/// before starting a sweep — swapping while other threads log is a race,
+/// same rule as set_log_level.
+void set_log_sink(LogSink sink);
+
 /// Emits one log line if `level` passes the global filter.
 void log_message(LogLevel level, const std::string& message);
+
+/// Counts warn/error lines emitted by the *current thread* while in scope.
+/// Scopes nest (an inner scope's lines count in the outer one too), and a
+/// sweep cell that creates one sees exactly its own lines because each cell
+/// runs entirely on one worker thread. The metrics layer uses this to put
+/// "this run logged N warnings" into every run report.
+class ScopedLogCounter {
+ public:
+  ScopedLogCounter();
+  ~ScopedLogCounter();
+  ScopedLogCounter(const ScopedLogCounter&) = delete;
+  ScopedLogCounter& operator=(const ScopedLogCounter&) = delete;
+
+  std::int64_t warnings() const { return warnings_; }
+  std::int64_t errors() const { return errors_; }
+
+ private:
+  friend void log_message(LogLevel, const std::string&);
+
+  ScopedLogCounter* prev_ = nullptr;
+  std::int64_t warnings_ = 0;
+  std::int64_t errors_ = 0;
+};
 
 namespace detail {
 class LogLine {

@@ -104,6 +104,30 @@ TimeSeries TimeSeries::resample_max(SimTime granularity) const {
   });
 }
 
+TimeSeries TimeSeries::merge_sum(const TimeSeries& other) const {
+  TimeSeries out;
+  out.samples_.reserve(samples_.size() + other.samples_.size());
+  std::size_t i = 0, j = 0;
+  while (i < samples_.size() && j < other.samples_.size()) {
+    const Sample& a = samples_[i];
+    const Sample& b = other.samples_[j];
+    if (a.time == b.time) {
+      out.samples_.push_back(Sample{a.time, a.value + b.value});
+      ++i;
+      ++j;
+    } else if (a.time < b.time) {
+      out.samples_.push_back(a);
+      ++i;
+    } else {
+      out.samples_.push_back(b);
+      ++j;
+    }
+  }
+  for (; i < samples_.size(); ++i) out.samples_.push_back(samples_[i]);
+  for (; j < other.samples_.size(); ++j) out.samples_.push_back(other.samples_[j]);
+  return out;
+}
+
 double TimeSeries::autocorrelation(std::size_t lag) const {
   const std::size_t n = samples_.size();
   if (n < lag + 2) return 0.0;

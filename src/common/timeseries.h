@@ -52,6 +52,13 @@ class TimeSeries {
   /// Same, keeping the max per window.
   TimeSeries resample_max(SimTime granularity) const;
 
+  /// Aligned union of this and `other`: samples at equal timestamps are
+  /// summed into one sample, the rest interleave in time order. Both inputs
+  /// must be time-ordered (the append invariant). This is the series half of
+  /// the sweep-cell registry merge: per-cell series share a timebase, so the
+  /// merged series is bit-identical no matter how cells were scheduled.
+  TimeSeries merge_sum(const TimeSeries& other) const;
+
   /// Lag-k autocorrelation of the sample values (ignores timestamps); the
   /// periodicity detector uses this on uniformly-sampled series.
   /// Returns 0 for degenerate series (fewer than k+2 samples, zero variance).

@@ -52,7 +52,9 @@ class MemcaAttack {
   bool running() const { return running_; }
 
   cloud::MemoryAttackProgram& program() { return *program_; }
+  const cloud::MemoryAttackProgram& program() const { return *program_; }
   BurstScheduler& scheduler() { return *scheduler_; }
+  const BurstScheduler& scheduler() const { return *scheduler_; }
   workload::Prober& prober() { return *prober_; }
   /// Null when the controller is disabled.
   MemcaController* controller() { return controller_.get(); }

@@ -1,0 +1,147 @@
+#include "metrics/exporters.h"
+
+#include <ostream>
+#include <set>
+#include <string>
+
+namespace memca::metrics {
+
+namespace {
+
+void put_labels(std::ostream& out, const Labels& labels, const char* extra_key = nullptr,
+                const char* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"" << v << '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out << ',';
+    out << extra_key << "=\"" << extra_value << '"';
+  }
+  out << '}';
+}
+
+/// Prometheus type for the # TYPE line (probes expose as gauges, histograms
+/// as summaries).
+const char* prom_type(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+    case MetricKind::kProbe:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+void put_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const Registry& registry) {
+  std::set<std::string> typed;  // one # TYPE line per family
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const std::string& name = registry.name(i);
+    if (typed.insert(name).second) {
+      out << "# TYPE " << name << ' ' << prom_type(registry.kind(i)) << '\n';
+    }
+    switch (registry.kind(i)) {
+      case MetricKind::kCounter:
+        out << name;
+        put_labels(out, registry.labels(i));
+        out << ' ' << registry.counter_at(i) << '\n';
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kProbe:
+        out << name;
+        put_labels(out, registry.labels(i));
+        out << ' ' << registry.gauge_at(i) << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram* hist = registry.histogram_at(i);
+        if (hist == nullptr) break;
+        static constexpr std::pair<double, const char*> kQuantiles[] = {
+            {0.5, "0.5"}, {0.95, "0.95"}, {0.98, "0.98"}, {0.99, "0.99"}};
+        for (const auto& [q, text] : kQuantiles) {
+          out << name;
+          put_labels(out, registry.labels(i), "quantile", text);
+          out << ' ' << hist->quantile(q) << '\n';
+        }
+        out << name << "_sum";
+        put_labels(out, registry.labels(i));
+        out << ' ' << hist->mean() * static_cast<double>(hist->count()) << '\n';
+        out << name << "_count";
+        put_labels(out, registry.labels(i));
+        out << ' ' << hist->count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void write_jsonl(std::ostream& out, const Registry& registry) {
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    out << "{\"name\":";
+    put_json_string(out, registry.name(i));
+    out << ",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : registry.labels(i)) {
+      if (!first) out << ',';
+      first = false;
+      put_json_string(out, k);
+      out << ':';
+      put_json_string(out, v);
+    }
+    out << "},\"kind\":\"" << to_string(registry.kind(i)) << '"';
+    switch (registry.kind(i)) {
+      case MetricKind::kCounter:
+        out << ",\"value\":" << registry.counter_at(i);
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kProbe:
+        out << ",\"value\":" << registry.gauge_at(i);
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram* hist = registry.histogram_at(i);
+        if (hist != nullptr) {
+          out << ",\"count\":" << hist->count() << ",\"mean\":" << hist->mean()
+              << ",\"p50\":" << hist->quantile(0.5) << ",\"p95\":" << hist->quantile(0.95)
+              << ",\"p99\":" << hist->quantile(0.99) << ",\"max\":" << hist->max();
+        }
+        break;
+      }
+    }
+    const TimeSeries& series = registry.series_at(i);
+    if (!series.empty()) {
+      out << ",\"samples\":[";
+      bool first_sample = true;
+      for (const Sample& s : series.samples()) {
+        if (!first_sample) out << ',';
+        first_sample = false;
+        out << '[' << s.time << ',' << s.value << ']';
+      }
+      out << ']';
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace memca::metrics

@@ -1,0 +1,25 @@
+// Registry exporters: Prometheus text exposition and JSONL time series.
+//
+//  * write_prometheus — the final snapshot in Prometheus 0.0.4 text format
+//    (`# TYPE` per family; histograms as summaries with quantile labels),
+//    so a run's end state drops straight into promtool / Grafana tooling.
+//  * write_jsonl — one JSON object per line per instrument, carrying the
+//    full scraped series (time in µs). Machine-side of the run report:
+//    `jq` / pandas-friendly, append-safe across runs.
+#pragma once
+
+#include <iosfwd>
+
+#include "metrics/registry.h"
+
+namespace memca::metrics {
+
+/// Prometheus text format. Counters/gauges/probes emit their final value;
+/// histograms emit `<name>{quantile=...}` plus `_sum`/`_count`.
+void write_prometheus(std::ostream& out, const Registry& registry);
+
+/// One line per instrument:
+/// {"name":...,"labels":{...},"kind":...,"value":...,"samples":[[t_us,v],...]}.
+void write_jsonl(std::ostream& out, const Registry& registry);
+
+}  // namespace memca::metrics

@@ -1,0 +1,51 @@
+// Canonical instrument names for the MemCA telemetry plane.
+//
+// Everything the testbed registers and the run-report builder reads is named
+// here, so the producer (RubbosTestbed / AttackLab wiring) and the consumer
+// (build_run_report) cannot drift apart. Follows Prometheus conventions:
+// `_total` suffix on counters, base units in the name (`_us`).
+#pragma once
+
+#include <string_view>
+
+namespace memca::metrics::names {
+
+// -- client/workload layer (counters + one latency histogram) --------------
+/// Labeled {event=submitted|completed|dropped|retransmitted|failed}:
+/// attempts sent (incl. retransmissions), completions, front-tier drops,
+/// retransmissions scheduled, requests abandoned after max_retries.
+inline constexpr std::string_view kRequestsTotal = "memca_requests_total";
+/// End-to-end client response time distribution (post-warmup), µs.
+inline constexpr std::string_view kClientResponseTimeUs = "memca_client_response_time_us";
+
+// -- queueing layer (per-tier counters + scraped series) -------------------
+/// Labeled {tier=<name>, event=offered|admitted|rejected|completed}.
+inline constexpr std::string_view kTierRequestsTotal = "memca_tier_requests_total";
+/// Labeled {tier=<name>}: requests resident in the tier (thread occupancy).
+inline constexpr std::string_view kTierQueueLength = "memca_tier_queue_length";
+/// Labeled {tier=<name>}: worker utilization in [0, 1] over the last scrape
+/// window (busy-time integral differenced at scrape resolution).
+inline constexpr std::string_view kTierUtilization = "memca_tier_utilization";
+
+// -- cloud/attack layer ----------------------------------------------------
+/// Capacity multiplier D of the coupled target tier, in (0, 1].
+inline constexpr std::string_view kCapacityMultiplier = "memca_capacity_multiplier";
+/// 1 while the attack kernel is executing, else 0.
+inline constexpr std::string_view kAttackOn = "memca_attack_on";
+/// Bursts fired by the ON-OFF scheduler (synced at finalize).
+inline constexpr std::string_view kAttackBurstsTotal = "memca_attack_bursts_total";
+/// Total attack-kernel ON time, µs (synced at finalize).
+inline constexpr std::string_view kAttackOnTimeUs = "memca_attack_on_time_us";
+
+// -- engine self-profile (synced at finalize) ------------------------------
+inline constexpr std::string_view kEngineEventsTotal = "memca_engine_events_total";
+inline constexpr std::string_view kEnginePoolSlots = "memca_engine_pool_slots";
+inline constexpr std::string_view kEnginePendingHighWater = "memca_engine_pending_high_water";
+/// Simulated clock at finalize, µs (duty cycles and rates divide by this).
+inline constexpr std::string_view kSimTimeUs = "memca_sim_time_us";
+
+// -- logging ---------------------------------------------------------------
+/// Labeled {level=warn|error}: lines this run emitted past the level filter.
+inline constexpr std::string_view kLogMessagesTotal = "memca_log_messages_total";
+
+}  // namespace memca::metrics::names

@@ -1,0 +1,199 @@
+// Runtime metrics registry: handle-based counters, gauges, probes and
+// log-bucketed histograms with labeled families.
+//
+// Design goals, in priority order:
+//  * Cheap hot path. Instrumented code holds a pre-resolved handle — a raw
+//    pointer into the registry's pointer-stable cell arena — so recording is
+//    one null check plus an increment: no map lookup, no allocation, no
+//    virtual dispatch. A default-constructed (detached) handle turns every
+//    operation into a no-op, so instrumentation stays unconditionally in
+//    place and costs a predictable branch when metrics are off.
+//  * Determinism. Registration order defines iteration and export order.
+//    The same scenario built twice registers identically, so two runs of a
+//    sweep cell serialize to identical bytes — which is what makes per-cell
+//    registries mergeable into a bit-identical whole regardless of how many
+//    worker threads executed the sweep.
+//  * Sim-time series. scrape(now) appends every counter/gauge/probe value
+//    to a per-instrument TimeSeries (the Scraper drives this off a
+//    PeriodicTask), turning cumulative counters into rate-analyzable series
+//    and gauges into the utilization/queue-length traces the paper's
+//    stealth analysis needs.
+//
+// Registries are single-threaded like the simulations they observe: one
+// registry per sweep cell, merged after the batch drains.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+#include "common/timeseries.h"
+
+namespace memca::metrics {
+
+/// Label key/value pairs; canonicalized (sorted by key) at registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kProbe, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// Hot-path handle for a monotonically increasing count. Detached handles
+/// (default-constructed) drop every operation.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::int64_t n = 1) {
+    if (value_ != nullptr) *value_ += n;
+  }
+  /// Overwrites the count — for totals accumulated elsewhere and synced in
+  /// at end of run (burst counts, log-line tallies, engine event counts).
+  void set_to(std::int64_t v) {
+    if (value_ != nullptr) *value_ = v;
+  }
+  std::int64_t value() const { return value_ == nullptr ? 0 : *value_; }
+  bool attached() const { return value_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::int64_t* value) : value_(value) {}
+  std::int64_t* value_ = nullptr;
+};
+
+/// Hot-path handle for a point-in-time value.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) {
+    if (value_ != nullptr) *value_ = v;
+  }
+  double value() const { return value_ == nullptr ? 0.0 : *value_; }
+  bool attached() const { return value_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(double* value) : value_(value) {}
+  double* value_ = nullptr;
+};
+
+/// Hot-path handle for recording into a log-bucketed latency histogram.
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+
+  void record(SimTime value) {
+    if (hist_ != nullptr) hist_->record(value);
+  }
+  bool attached() const { return hist_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit HistogramHandle(LatencyHistogram* hist) : hist_(hist) {}
+  LatencyHistogram* hist_ = nullptr;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Each factory registers the instrument (or finds an existing one with
+  /// the same name+labels — handles to one instrument alias) and returns a
+  /// pre-resolved handle. Registration is map-based and therefore not for
+  /// hot paths; resolve handles once, at wiring time.
+  Counter counter(std::string_view name, Labels labels = {});
+  Gauge gauge(std::string_view name, Labels labels = {});
+  HistogramHandle histogram(std::string_view name, Labels labels = {});
+  /// A probe is a gauge evaluated by scrape(): `fn` is called once per
+  /// scrape and its value recorded. Must be pure w.r.t. sim state (no side
+  /// effects beyond its own closure) to keep runs deterministic.
+  void probe(std::string_view name, Labels labels, std::function<double()> fn);
+
+  /// Appends the current value of every counter, gauge and probe to its
+  /// series, stamped `now`. Histograms carry no series (their value is the
+  /// whole distribution).
+  void scrape(SimTime now);
+  std::int64_t scrapes() const { return scrapes_; }
+
+  // -- introspection (registration order) ----------------------------------
+  std::size_t size() const { return cells_.size(); }
+  const std::string& name(std::size_t i) const { return cells_[i].name; }
+  const Labels& labels(std::size_t i) const { return cells_[i].labels; }
+  MetricKind kind(std::size_t i) const { return cells_[i].kind; }
+  std::int64_t counter_at(std::size_t i) const { return cells_[i].counter; }
+  double gauge_at(std::size_t i) const { return cells_[i].gauge; }
+  const TimeSeries& series_at(std::size_t i) const { return cells_[i].series; }
+  const LatencyHistogram* histogram_at(std::size_t i) const {
+    return cells_[i].hist.get();
+  }
+
+  /// Indices of every instrument in family `name`, registration order.
+  std::vector<std::size_t> family(std::string_view name) const;
+  /// Value of one label on instrument `i` ("" if absent).
+  std::string label_value(std::size_t i, std::string_view key) const;
+
+  // -- lookup by full key (report-builder paths; not hot) -------------------
+  /// Index of name+labels, or npos.
+  std::size_t find(std::string_view name, const Labels& labels = {}) const;
+  std::int64_t counter_value(std::string_view name, const Labels& labels = {}) const;
+  double gauge_value(std::string_view name, const Labels& labels = {}) const;
+  /// nullptr when absent.
+  const TimeSeries* series(std::string_view name, const Labels& labels = {}) const;
+  const LatencyHistogram* find_histogram(std::string_view name,
+                                         const Labels& labels = {}) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Merges `other` into this registry: instruments are matched by
+  /// name+labels (appended in other's registration order when absent here).
+  /// Every value-bearing field is additive — counters and gauges sum,
+  /// histograms merge, series align-and-sum (TimeSeries::merge_sum) — so
+  /// merging per-cell sweep registries in cell order yields bytes that are
+  /// independent of the thread count that ran the cells. Probe callbacks do
+  /// not survive a merge (a merged registry is a data artifact, not a live
+  /// one); probe cells keep their last sampled value as a gauge.
+  void merge(const Registry& other);
+
+  /// Canonical byte-exact text form: one block per instrument in
+  /// registration order, doubles rendered as raw IEEE-754 bit patterns so
+  /// equal serializations imply bit-identical registries. This is the
+  /// determinism oracle for parallel sweeps, not a human-facing export
+  /// (use the Prometheus/JSONL exporters for those).
+  void serialize(std::ostream& out) const;
+
+ private:
+  struct Cell {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    std::int64_t counter = 0;
+    double gauge = 0.0;
+    std::function<double()> probe_fn;
+    std::unique_ptr<LatencyHistogram> hist;
+    TimeSeries series;
+  };
+
+  Cell& intern(std::string_view name, Labels labels, MetricKind kind);
+  static std::string key_of(std::string_view name, const Labels& labels);
+
+  /// Deque: growth never relocates a cell, so handles stay valid for the
+  /// registry's lifetime.
+  std::deque<Cell> cells_;
+  /// name+labels -> index; registration/lookup only, never on a hot path.
+  std::map<std::string, std::size_t, std::less<>> index_;
+  std::int64_t scrapes_ = 0;
+};
+
+}  // namespace memca::metrics

@@ -1,0 +1,20 @@
+#include "metrics/scraper.h"
+
+#include "common/check.h"
+
+namespace memca::metrics {
+
+Scraper::Scraper(Simulator& sim, Registry& registry, ScraperConfig config)
+    : sim_(sim), registry_(registry), config_(config) {
+  MEMCA_CHECK_MSG(config_.resolution > 0, "scrape resolution must be positive");
+}
+
+void Scraper::start() {
+  MEMCA_CHECK_MSG(task_ == nullptr, "scraper already started");
+  task_ = std::make_unique<PeriodicTask>(sim_, config_.resolution,
+                                         [this] { registry_.scrape(sim_.now()); });
+}
+
+void Scraper::stop() { task_.reset(); }
+
+}  // namespace memca::metrics

@@ -1,0 +1,44 @@
+// Sim-time scraper: snapshots a Registry at a fixed resolution.
+//
+// The paper's stealth result is a sampling-theory statement — whether a
+// monitor sees the attack depends entirely on scrape granularity — so the
+// scraper is deliberately the same mechanism a real agent would be: a
+// periodic tick that reads every instrument and appends to in-memory
+// series. Scraping at 50 ms and resampling to 1 s / 1 min reproduces the
+// Fig. 10 blind spot from one registry (see RunReport).
+//
+// Runs on the simulation's PeriodicTask, so scrape instants are part of the
+// deterministic event order and two runs of the same scenario produce
+// bit-identical series.
+#pragma once
+
+#include <memory>
+
+#include "metrics/registry.h"
+#include "sim/simulator.h"
+
+namespace memca::metrics {
+
+struct ScraperConfig {
+  /// Scrape period (the paper's fine-grained 50 ms tooling by default).
+  SimTime resolution = msec(50);
+};
+
+class Scraper {
+ public:
+  Scraper(Simulator& sim, Registry& registry, ScraperConfig config = {});
+
+  /// Starts scraping; the first snapshot lands one resolution after start().
+  void start();
+  void stop();
+  bool running() const { return task_ != nullptr; }
+  SimTime resolution() const { return config_.resolution; }
+
+ private:
+  Simulator& sim_;
+  Registry& registry_;
+  ScraperConfig config_;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+}  // namespace memca::metrics

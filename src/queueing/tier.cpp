@@ -53,8 +53,10 @@ void TierServer::set_reply_sink(std::function<void(Request*)> sink) {
 bool TierServer::try_submit(Request* req) {
   MEMCA_CHECK(req != nullptr);
   ++offered_;
+  metrics_.offered.inc();
   if (full()) {
     ++rejected_;
+    metrics_.rejected.inc();
     return false;
   }
   admit(req);
@@ -63,8 +65,10 @@ bool TierServer::try_submit(Request* req) {
 
 bool TierServer::accept_from_upstream(Request* req) {
   ++offered_;
+  metrics_.offered.inc();
   if (full()) {
     ++rejected_;
+    metrics_.rejected.inc();
     return false;
   }
   admit(req);
@@ -74,6 +78,7 @@ bool TierServer::accept_from_upstream(Request* req) {
 void TierServer::admit(Request* req) {
   ++resident_;
   ++admitted_;
+  metrics_.admitted.inc();
   MEMCA_CHECK_MSG(index_ < req->trace.size(), "request trace not sized for this system");
   req->trace[index_].enter = sim_.now();
   wait_queue_.push_back(req);
@@ -122,6 +127,7 @@ void TierServer::depart(Request* req) {
   MEMCA_CHECK(resident_ > 0);
   --resident_;
   ++completed_;
+  metrics_.completed.inc();
   residence_time_.record(req->tier_time(index_));
 
   // Deliver the reply upstream first (it departs every upstream tier at the
@@ -143,6 +149,7 @@ void TierServer::pull_blocked_from_upstream() {
     upstream_->blocked_.pop_front();
     ++upstream_->awaiting_reply_;
     ++offered_;
+    metrics_.offered.inc();
     admit(req);
   }
 }

@@ -21,10 +21,21 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "metrics/registry.h"
 #include "queueing/workstation.h"
 #include "trace/recorder.h"
 
 namespace memca::queueing {
+
+/// Pre-resolved per-tier metric handles (see metrics::Registry). Detached
+/// by default, so an uninstrumented tier pays one predictable branch per
+/// event and nothing else.
+struct TierMetrics {
+  metrics::Counter offered;
+  metrics::Counter admitted;
+  metrics::Counter rejected;
+  metrics::Counter completed;
+};
 
 struct TierConfig {
   std::string name;
@@ -96,6 +107,9 @@ class TierServer {
   /// Attaches a span-event recorder (nullptr detaches; not owned).
   void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
 
+  /// Attaches pre-resolved metric handles; a default TierMetrics detaches.
+  void set_metrics(TierMetrics metrics) { metrics_ = metrics; }
+
  private:
   friend class NTierSystem;
 
@@ -145,6 +159,7 @@ class TierServer {
   int resident_ = 0;
 
   trace::TraceRecorder* trace_ = nullptr;
+  TierMetrics metrics_;
 
   std::int64_t offered_ = 0;
   std::int64_t admitted_ = 0;

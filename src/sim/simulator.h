@@ -97,6 +97,7 @@ class Simulator {
     }
     heap_push(Event{when, seq, index});
     ++live_pending_;
+    if (live_pending_ > pending_high_water_) pending_high_water_ = live_pending_;
     return EventHandle(this, index, seq);
   }
   /// Schedules `fn` to run `delay` from now (delay >= 0).
@@ -121,6 +122,12 @@ class Simulator {
   /// Cancelled events not yet swept from the queue; the raw entry count is
   /// pending_events() + cancelled_pending().
   std::size_t cancelled_pending() const { return cancelled_pending_; }
+  /// High-water mark of live pending events (event-queue depth), for the
+  /// engine self-profile in run reports.
+  std::size_t pending_high_water() const { return pending_high_water_; }
+  /// Slots ever allocated in the closure arena — the callback pool's
+  /// occupancy high-water mark (the pool never shrinks).
+  std::uint32_t pool_slots() const { return num_slots_; }
 
  private:
   friend class EventHandle;
@@ -208,6 +215,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_pending_ = 0;
+  std::size_t pending_high_water_ = 0;
   std::size_t cancelled_pending_ = 0;
   /// Arrival stage: 8-ary heap of events not yet merged into sorted_.
   std::vector<Event> heap_;

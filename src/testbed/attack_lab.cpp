@@ -81,6 +81,11 @@ AttackLabResult run_attack_lab(const AttackLabConfig& config) {
                                      trace::AttributorConfig{config.tail_threshold});
     result.tail = attributor.summary();
   }
+
+  if (bed.registry() != nullptr) {
+    bed.finalize_metrics(attack.get());
+    result.registry = bed.release_metrics();
+  }
   return result;
 }
 
@@ -89,6 +94,17 @@ std::vector<AttackLabResult> run_attack_lab_sweep(std::vector<AttackLabConfig> c
   sweep::SweepRunner runner({threads});
   return runner.map(std::move(configs),
                     [](const AttackLabConfig& config) { return run_attack_lab(config); });
+}
+
+std::unique_ptr<metrics::Registry> merge_sweep_registries(
+    std::vector<AttackLabResult>& results) {
+  std::unique_ptr<metrics::Registry> merged;
+  for (AttackLabResult& result : results) {
+    if (result.registry == nullptr) continue;
+    if (merged == nullptr) merged = std::make_unique<metrics::Registry>();
+    merged->merge(*result.registry);
+  }
+  return merged;
 }
 
 }  // namespace memca::testbed

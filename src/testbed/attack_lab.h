@@ -50,6 +50,9 @@ struct AttackLabResult {
   std::int64_t bursts = 0;
   /// Per-cause tail attribution (populated iff config.testbed.trace).
   trace::TailSummary tail;
+  /// The cell's finalized metrics registry (populated iff
+  /// config.testbed.metrics). Movable with the result, report-ready.
+  std::unique_ptr<metrics::Registry> registry;
 };
 
 /// Runs one experiment cell. Deterministic given config.testbed.seed.
@@ -62,5 +65,13 @@ AttackLabResult run_attack_lab(const AttackLabConfig& config);
 /// run_attack_lab sequentially — regardless of thread count.
 std::vector<AttackLabResult> run_attack_lab_sweep(std::vector<AttackLabConfig> configs,
                                                   int threads = 0);
+
+/// Merges every cell registry of a sweep (in cell order) into one registry.
+/// Because each cell registers its instruments in the same order and the
+/// merge is additive, the merged bytes are independent of the thread count
+/// that ran the sweep. Cells without a registry are skipped; returns null
+/// when no cell carried one.
+std::unique_ptr<metrics::Registry> merge_sweep_registries(
+    std::vector<AttackLabResult>& results);
 
 }  // namespace memca::testbed

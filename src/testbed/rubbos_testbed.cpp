@@ -1,6 +1,9 @@
 #include "testbed/rubbos_testbed.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "metrics/names.h"
 
 namespace memca::testbed {
 
@@ -62,6 +65,43 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
     system_->set_trace(trace_.get());
   }
 
+  if (config_.metrics) {
+    registry_ = std::make_unique<metrics::Registry>();
+    log_counter_ = std::make_unique<ScopedLogCounter>();
+    scraper_ = std::make_unique<metrics::Scraper>(
+        sim_, *registry_, metrics::ScraperConfig{config_.metrics_resolution});
+    for (std::size_t i = 0; i < system_->num_tiers(); ++i) {
+      queueing::TierServer& tier = system_->tier(i);
+      const std::string& name = tier.name();
+      queueing::TierMetrics handles;
+      handles.offered = registry_->counter(metrics::names::kTierRequestsTotal,
+                                           {{"tier", name}, {"event", "offered"}});
+      handles.admitted = registry_->counter(metrics::names::kTierRequestsTotal,
+                                            {{"tier", name}, {"event", "admitted"}});
+      handles.rejected = registry_->counter(metrics::names::kTierRequestsTotal,
+                                            {{"tier", name}, {"event", "rejected"}});
+      handles.completed = registry_->counter(metrics::names::kTierRequestsTotal,
+                                             {{"tier", name}, {"event", "completed"}});
+      tier.set_metrics(handles);
+      registry_->probe(metrics::names::kTierQueueLength, {{"tier", name}},
+                       [&tier] { return static_cast<double>(tier.resident()); });
+      // Windowed utilization: busy-integral delta over the scrape window,
+      // normalised by the worker count read at scrape time (elastic
+      // scale-out changes it mid-run). Samples are stamped at the scrape
+      // instant, i.e. the window *end*.
+      registry_->probe(
+          metrics::names::kTierUtilization, {{"tier", name}},
+          [&tier, period = static_cast<double>(config_.metrics_resolution),
+           last = 0.0]() mutable {
+            const double integral = tier.busy_worker_time_us();
+            const double delta = integral - last;
+            last = integral;
+            const double denom = static_cast<double>(tier.workers()) * period;
+            return std::clamp(delta / denom, 0.0, 1.0);
+          });
+    }
+  }
+
   // Cross-resource coupling: target-host memory contention throttles the
   // target tier's service speed (C_on = D * C_off).
   cloud::CrossResourceParams coupling_params;
@@ -70,6 +110,10 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
                                                           coupling_params);
   coupling_->on_multiplier_change(
       [this](double multiplier) { target_tier().set_speed_multiplier(multiplier); });
+  if (registry_ != nullptr) {
+    registry_->probe(metrics::names::kCapacityMultiplier, {},
+                     [this] { return coupling_->capacity_multiplier(); });
+  }
 
   router_ = std::make_unique<workload::RequestRouter>(*system_);
 
@@ -79,6 +123,20 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
   clients_ = std::make_unique<workload::ClosedLoopClients>(
       sim_, *router_, profile_, client_config, root_rng_.fork("clients"));
   if (trace_ != nullptr) clients_->set_trace(trace_.get());
+  if (registry_ != nullptr) {
+    workload::ClientMetrics handles;
+    handles.submitted =
+        registry_->counter(metrics::names::kRequestsTotal, {{"event", "submitted"}});
+    handles.completed =
+        registry_->counter(metrics::names::kRequestsTotal, {{"event", "completed"}});
+    handles.dropped =
+        registry_->counter(metrics::names::kRequestsTotal, {{"event", "dropped"}});
+    handles.retransmitted =
+        registry_->counter(metrics::names::kRequestsTotal, {{"event", "retransmitted"}});
+    handles.failed = registry_->counter(metrics::names::kRequestsTotal, {{"event", "failed"}});
+    handles.response_time = registry_->histogram(metrics::names::kClientResponseTimeUs);
+    clients_->set_metrics(handles);
+  }
 
   target_cpu_ = std::make_unique<monitor::UtilizationSampler>(
       sim_, [this] { return target_tier().busy_worker_time_us(); },
@@ -98,6 +156,7 @@ void RubbosTestbed::start() {
   target_cpu_->start();
   for (auto& gauge : queue_gauges_) gauge->start();
   for (auto& neighbor : neighbors_) neighbor->start();
+  if (scraper_ != nullptr) scraper_->start();
 }
 
 RubbosTestbed::~RubbosTestbed() {
@@ -124,7 +183,41 @@ std::unique_ptr<core::MemcaAttack> RubbosTestbed::make_attack(core::MemcaConfig 
       sim_, target_host(), adversary_vm_, *router_, std::move(config),
       root_rng_.fork("memca"));
   if (trace_ != nullptr) attack->program().set_trace(trace_.get());
+  if (registry_ != nullptr) {
+    // The probe references the attack: the caller owns it and must keep it
+    // alive for as long as the testbed's simulator runs (every consumer
+    // already does — the attack drives the scenario).
+    const cloud::MemoryAttackProgram& program = attack->program();
+    registry_->probe(metrics::names::kAttackOn, {},
+                     [&program] { return program.running() ? 1.0 : 0.0; });
+  }
   return attack;
+}
+
+void RubbosTestbed::finalize_metrics(const core::MemcaAttack* attack) {
+  if (registry_ == nullptr) return;
+  registry_->counter(metrics::names::kEngineEventsTotal)
+      .set_to(static_cast<std::int64_t>(sim_.events_executed()));
+  registry_->counter(metrics::names::kEnginePoolSlots)
+      .set_to(static_cast<std::int64_t>(sim_.pool_slots()));
+  registry_->counter(metrics::names::kEnginePendingHighWater)
+      .set_to(static_cast<std::int64_t>(sim_.pending_high_water()));
+  registry_->counter(metrics::names::kSimTimeUs).set_to(sim_.now());
+  if (attack != nullptr) {
+    registry_->counter(metrics::names::kAttackBurstsTotal)
+        .set_to(attack->scheduler().bursts_fired());
+    registry_->counter(metrics::names::kAttackOnTimeUs)
+        .set_to(attack->program().total_on_time());
+  }
+  registry_->counter(metrics::names::kLogMessagesTotal, {{"level", "warn"}})
+      .set_to(log_counter_->warnings());
+  registry_->counter(metrics::names::kLogMessagesTotal, {{"level", "error"}})
+      .set_to(log_counter_->errors());
+}
+
+std::unique_ptr<metrics::Registry> RubbosTestbed::release_metrics() {
+  if (scraper_ != nullptr) scraper_->stop();
+  return std::move(registry_);
 }
 
 std::vector<std::string> RubbosTestbed::tier_names() const {

@@ -19,8 +19,11 @@
 #include "cloud/background.h"
 #include "cloud/contention.h"
 #include "cloud/host.h"
+#include "common/log.h"
 #include "core/analytic_model.h"
 #include "core/memca.h"
+#include "metrics/registry.h"
+#include "metrics/scraper.h"
 #include "monitor/sampler.h"
 #include "queueing/ntier.h"
 #include "trace/recorder.h"
@@ -69,6 +72,12 @@ struct TestbedConfig {
   bool trace = false;
   /// Cap on recorded events when tracing (0 = unbounded).
   std::size_t trace_max_events = 0;
+  /// Build a metrics registry (memca_metrics) and scrape it through the
+  /// run: request counters, per-tier queue-length and utilization series,
+  /// capacity-multiplier series, client latency histogram. Off by default.
+  bool metrics = false;
+  /// Scrape resolution when metrics are on (the paper's 50 ms tooling).
+  SimTime metrics_resolution = msec(50);
 };
 
 class RubbosTestbed {
@@ -127,6 +136,21 @@ class RubbosTestbed {
   /// Display names of the three tiers, front first (exporter input).
   std::vector<std::string> tier_names() const;
 
+  /// The metrics registry, nullptr unless config.metrics is set. Scraped at
+  /// config.metrics_resolution from start() on.
+  metrics::Registry* registry() { return registry_.get(); }
+  const metrics::Registry* registry() const { return registry_.get(); }
+  /// Syncs end-of-run totals into the registry — engine self-profile
+  /// (events executed, callback-pool occupancy, event-queue high-water,
+  /// sim clock), attack burst count and ON time when `attack` is given, and
+  /// warn/error log-line tallies. Call once after the run, before building
+  /// a run report or merging registries. No-op without metrics.
+  void finalize_metrics(const core::MemcaAttack* attack = nullptr);
+  /// Hands the registry to the caller (e.g. a sweep-cell result that must
+  /// outlive the testbed). The scraper is stopped first. Null when metrics
+  /// were off or already released.
+  std::unique_ptr<metrics::Registry> release_metrics();
+
  private:
   TestbedConfig config_;
   Simulator sim_;
@@ -140,6 +164,11 @@ class RubbosTestbed {
   std::vector<std::unique_ptr<cloud::NoisyNeighbor>> neighbors_;
 
   std::unique_ptr<trace::TraceRecorder> trace_;
+  std::unique_ptr<metrics::Registry> registry_;
+  std::unique_ptr<metrics::Scraper> scraper_;
+  /// Tallies warn/error lines this run emits (the testbed is built and run
+  /// on one thread, so the scope sees exactly this cell's lines).
+  std::unique_ptr<ScopedLogCounter> log_counter_;
   std::unique_ptr<queueing::NTierSystem> system_;
   std::unique_ptr<workload::RequestRouter> router_;
   std::unique_ptr<workload::ClosedLoopClients> clients_;

@@ -59,6 +59,7 @@ void ClosedLoopClients::send_request(int user, int page, SimTime first_sent, int
   req->first_sent = first_sent;
   req->sent = sim_.now();
   req->demand_us = profile_.sample_demands(page, rng_);
+  metrics_.submitted.inc();
   router_.submit(std::move(req));
 }
 
@@ -66,11 +67,13 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
   User& u = users_[static_cast<std::size_t>(req.user)];
   u.busy = false;
   ++completed_;
+  metrics_.completed.inc();
   mark(trace::EventKind::kComplete, req, req.first_sent);
   if (req.attempt > 0) ++retransmitted_completions_;
   const SimTime rt = sim_.now() - req.first_sent;
   if (sim_.now() >= config_.stats_warmup) {
     response_times_.record(rt);
+    metrics_.response_time.record(rt);
     response_series_.append(sim_.now(), static_cast<double>(rt));
     recent_.record(sim_.now(), rt);
   }
@@ -79,9 +82,11 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
 
 void ClosedLoopClients::on_drop(const queueing::Request& req) {
   ++dropped_attempts_;
+  metrics_.dropped.inc();
   if (req.attempt >= config_.max_retries) {
     // Abandon: the user gives up on this page and thinks again.
     ++failed_;
+    metrics_.failed.inc();
     mark(trace::EventKind::kAbandon, req, req.first_sent);
     users_[static_cast<std::size_t>(req.user)].busy = false;
     schedule_think(req.user);
@@ -89,6 +94,7 @@ void ClosedLoopClients::on_drop(const queueing::Request& req) {
   }
   // RFC 6298: RTO floor of 1 s, exponential backoff per retry.
   const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt);
+  metrics_.retransmitted.inc();
   mark(trace::EventKind::kRetransmit, req, rto);
   const int user = req.user;
   const int page = req.page_class;

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/timeseries.h"
 #include "common/windowed_quantile.h"
+#include "metrics/registry.h"
 #include "sim/simulator.h"
 #include "trace/recorder.h"
 #include "workload/markov.h"
@@ -24,6 +25,17 @@
 #include "workload/router.h"
 
 namespace memca::workload {
+
+/// Pre-resolved client-side metric handles (see metrics::Registry).
+/// Detached by default; attach via set_metrics.
+struct ClientMetrics {
+  metrics::Counter submitted;       ///< attempts sent, incl. retransmissions
+  metrics::Counter completed;
+  metrics::Counter dropped;         ///< front-tier rejections observed
+  metrics::Counter retransmitted;   ///< retries scheduled after a drop
+  metrics::Counter failed;          ///< abandoned after max_retries
+  metrics::HistogramHandle response_time;  ///< post-warmup end-to-end RT, µs
+};
 
 struct ClientConfig {
   int num_users = 3500;
@@ -70,6 +82,9 @@ class ClosedLoopClients {
   /// (send / complete / retransmit / abandon). Not owned.
   void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
 
+  /// Attaches pre-resolved metric handles; a default ClientMetrics detaches.
+  void set_metrics(ClientMetrics metrics) { metrics_ = metrics; }
+
  private:
   struct User {
     int page = 0;
@@ -105,6 +120,7 @@ class ClosedLoopClients {
   Rng rng_;
   int source_ = -1;
   trace::TraceRecorder* trace_ = nullptr;
+  ClientMetrics metrics_;
   std::vector<User> users_;
   bool started_ = false;
   SimTime start_time_ = 0;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace memca {
 namespace {
 
@@ -50,6 +54,63 @@ TEST(Log, FilteredMessagesAreSuppressed) {
   EXPECT_EQ(err.find("should not appear"), std::string::npos);
   EXPECT_NE(err.find("should appear"), std::string::npos);
   EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+TEST(Log, SinkReceivesMessagesInsteadOfStderr) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  set_log_sink([&seen](LogLevel level, const std::string& message) {
+    seen.emplace_back(level, message);
+  });
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kWarn, "to the sink");
+  log_message(LogLevel::kDebug, "filtered before the sink");
+  set_log_sink(nullptr);
+  log_message(LogLevel::kWarn, "back to stderr");
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(static_cast<int>(seen[0].first), static_cast<int>(LogLevel::kWarn));
+  EXPECT_EQ(seen[0].second, "to the sink");
+  EXPECT_EQ(err.find("to the sink"), std::string::npos);
+  EXPECT_NE(err.find("back to stderr"), std::string::npos);
+}
+
+TEST(Log, ScopedLogCounterTalliesWarningsAndErrors) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  // Swallow output while counting.
+  set_log_sink([](LogLevel, const std::string&) {});
+  {
+    ScopedLogCounter outer;
+    log_message(LogLevel::kWarn, "w1");
+    {
+      // Nested scopes each see the lines emitted while they are alive.
+      ScopedLogCounter inner;
+      log_message(LogLevel::kWarn, "w2");
+      log_message(LogLevel::kError, "e1");
+      log_message(LogLevel::kInfo, "filtered: not counted");
+      EXPECT_EQ(inner.warnings(), 1);
+      EXPECT_EQ(inner.errors(), 1);
+    }
+    log_message(LogLevel::kError, "e2");
+    EXPECT_EQ(outer.warnings(), 2);
+    EXPECT_EQ(outer.errors(), 2);
+  }
+  set_log_sink(nullptr);
+}
+
+TEST(Log, ScopedLogCounterIgnoresFilteredLines) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  set_log_sink([](LogLevel, const std::string&) {});
+  ScopedLogCounter counter;
+  log_message(LogLevel::kWarn, "filtered by level");
+  log_message(LogLevel::kError, "counted");
+  EXPECT_EQ(counter.warnings(), 0);
+  EXPECT_EQ(counter.errors(), 1);
+  set_log_sink(nullptr);
 }
 
 }  // namespace

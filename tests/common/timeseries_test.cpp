@@ -119,5 +119,58 @@ TEST(TimeSeries, AutocorrelationLagOneOfSmoothSignal) {
   EXPECT_GT(ts.autocorrelation(1), 0.9);
 }
 
+TEST(TimeSeries, MergeSumAlignedSeriesSumsValues) {
+  TimeSeries a;
+  TimeSeries b;
+  for (SimTime t : {msec(50), msec(100), msec(150)}) {
+    a.append(t, 1.0);
+    b.append(t, 2.0);
+  }
+  const TimeSeries merged = a.merge_sum(b);
+  ASSERT_EQ(merged.size(), 3u);
+  for (const Sample& s : merged.samples()) EXPECT_DOUBLE_EQ(s.value, 3.0);
+  EXPECT_EQ(merged.samples()[1].time, msec(100));
+}
+
+TEST(TimeSeries, MergeSumInterleavesDisjointTimestamps) {
+  TimeSeries a;
+  a.append(msec(10), 1.0);
+  a.append(msec(30), 3.0);
+  TimeSeries b;
+  b.append(msec(20), 2.0);
+  b.append(msec(40), 4.0);
+  const TimeSeries merged = a.merge_sum(b);
+  ASSERT_EQ(merged.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(merged.samples()[i].time, msec(10 * static_cast<std::int64_t>(i) + 10));
+    EXPECT_DOUBLE_EQ(merged.samples()[i].value, static_cast<double>(i + 1));
+  }
+}
+
+TEST(TimeSeries, MergeSumMixedOverlap) {
+  TimeSeries a;
+  a.append(msec(10), 1.0);
+  a.append(msec(20), 1.0);
+  TimeSeries b;
+  b.append(msec(20), 2.0);
+  b.append(msec(30), 2.0);
+  const TimeSeries merged = a.merge_sum(b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.samples()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(merged.samples()[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(merged.samples()[2].value, 2.0);
+}
+
+TEST(TimeSeries, MergeSumWithEmptyIsIdentity) {
+  TimeSeries a;
+  a.append(msec(10), 1.5);
+  const TimeSeries empty;
+  ASSERT_EQ(a.merge_sum(empty).size(), 1u);
+  EXPECT_DOUBLE_EQ(a.merge_sum(empty).samples()[0].value, 1.5);
+  ASSERT_EQ(empty.merge_sum(a).size(), 1u);
+  EXPECT_DOUBLE_EQ(empty.merge_sum(a).samples()[0].value, 1.5);
+  EXPECT_TRUE(empty.merge_sum(empty).empty());
+}
+
 }  // namespace
 }  // namespace memca

@@ -1,0 +1,175 @@
+#include "metrics/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "metrics/names.h"
+#include "metrics/registry.h"
+#include "metrics/run_report.h"
+
+namespace memca::metrics {
+namespace {
+
+Registry& fill(Registry& registry) {
+  registry.counter("memca_hits_total", {{"tier", "mysql"}}).inc(7);
+  registry.counter("memca_hits_total", {{"tier", "tomcat"}}).inc(3);
+  registry.gauge("memca_depth").set(1.5);
+  HistogramHandle hist = registry.histogram("memca_latency_us");
+  hist.record(msec(10));
+  hist.record(msec(30));
+  registry.scrape(msec(50));
+  registry.scrape(msec(100));
+  return registry;
+}
+
+TEST(Exporters, PrometheusTextFormat) {
+  Registry registry;
+  std::ostringstream out;
+  write_prometheus(out, fill(registry));
+  const std::string text = out.str();
+
+  // One # TYPE line per family, even with two labeled instruments.
+  EXPECT_EQ(text.find("# TYPE memca_hits_total counter"),
+            text.rfind("# TYPE memca_hits_total counter"));
+  EXPECT_NE(text.find("memca_hits_total{tier=\"mysql\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("memca_hits_total{tier=\"tomcat\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE memca_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("memca_depth 1.5"), std::string::npos);
+  // Histograms expose as summaries with quantile labels plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE memca_latency_us summary"), std::string::npos);
+  EXPECT_NE(text.find("memca_latency_us{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(text.find("memca_latency_us_count 2"), std::string::npos);
+}
+
+TEST(Exporters, JsonlOneLinePerInstrumentWithSamples) {
+  Registry registry;
+  std::ostringstream out;
+  write_jsonl(out, fill(registry));
+  const std::string text = out.str();
+
+  // 4 instruments -> 4 lines.
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(text.find("{\"name\":\"memca_hits_total\",\"labels\":{\"tier\":\"mysql\"},"
+                      "\"kind\":\"counter\",\"value\":7"),
+            std::string::npos);
+  // Scraped series ride along as [t_us, v] pairs.
+  EXPECT_NE(text.find("\"samples\":[[50000,7],[100000,7]]"), std::string::npos);
+  // Histogram stats, no samples array.
+  EXPECT_NE(text.find("\"kind\":\"histogram\",\"count\":2"), std::string::npos);
+}
+
+TEST(RunReportTest, BuildsFromCanonicalNames) {
+  Registry registry;
+  registry.counter(names::kRequestsTotal, {{"event", "submitted"}}).inc(100);
+  registry.counter(names::kRequestsTotal, {{"event", "completed"}}).inc(90);
+  registry.counter(names::kRequestsTotal, {{"event", "dropped"}}).inc(10);
+  registry.counter(names::kRequestsTotal, {{"event", "retransmitted"}}).inc(8);
+  registry.counter(names::kRequestsTotal, {{"event", "failed"}}).inc(2);
+  HistogramHandle rt = registry.histogram(names::kClientResponseTimeUs);
+  for (int i = 1; i <= 100; ++i) rt.record(msec(i));
+
+  registry.counter(names::kTierRequestsTotal, {{"tier", "mysql"}, {"event", "offered"}})
+      .inc(50);
+  registry.counter(names::kTierRequestsTotal, {{"tier", "mysql"}, {"event", "rejected"}})
+      .inc(5);
+  Gauge util = registry.gauge(names::kTierUtilization, {{"tier", "mysql"}});
+  Gauge queue = registry.gauge(names::kTierQueueLength, {{"tier", "mysql"}});
+  Gauge cap = registry.gauge(names::kCapacityMultiplier);
+  // 4 s of 50 ms scrapes: saturated in [1 s, 1.5 s), idle elsewhere; one
+  // capacity dip over the same window.
+  for (SimTime t = msec(50); t <= sec(std::int64_t{4}); t += msec(50)) {
+    const bool burst = t > sec(std::int64_t{1}) && t <= msec(1500);
+    util.set(burst ? 1.0 : 0.1);
+    queue.set(burst ? 30.0 : 2.0);
+    cap.set(burst ? 0.2 : 1.0);
+    registry.scrape(t);
+  }
+
+  registry.counter(names::kEngineEventsTotal).set_to(1234);
+  registry.counter(names::kEnginePoolSlots).set_to(64);
+  registry.counter(names::kEnginePendingHighWater).set_to(48);
+  registry.counter(names::kSimTimeUs).set_to(sec(std::int64_t{4}));
+  registry.counter(names::kAttackBurstsTotal).set_to(1);
+  registry.counter(names::kAttackOnTimeUs).set_to(msec(500));
+  registry.counter(names::kLogMessagesTotal, {{"level", "warn"}}).set_to(3);
+  registry.counter(names::kLogMessagesTotal, {{"level", "error"}}).set_to(1);
+
+  RunReportOptions options;
+  options.scenario = "unit";
+  options.wall_seconds = 2.0;
+  options.scrape_resolution = msec(50);
+  const RunReport report = build_run_report(registry, options);
+
+  EXPECT_EQ(report.scenario, "unit");
+  EXPECT_DOUBLE_EQ(report.sim_seconds, 4.0);
+  EXPECT_EQ(report.events_executed, 1234);
+  EXPECT_DOUBLE_EQ(report.events_per_wall_sec, 617.0);
+  EXPECT_DOUBLE_EQ(report.sim_speedup, 2.0);
+  EXPECT_EQ(report.pool_slots, 64);
+  EXPECT_EQ(report.pending_high_water, 48);
+  EXPECT_EQ(report.submitted, 100);
+  EXPECT_EQ(report.dropped, 10);
+  EXPECT_EQ(report.retransmitted, 8);
+  EXPECT_EQ(report.failed, 2);
+  EXPECT_EQ(report.latency_count, 100);
+  EXPECT_EQ(report.latency_p50, registry.find_histogram(names::kClientResponseTimeUs)
+                                     ->quantile(0.5));
+  EXPECT_EQ(report.bursts, 1);
+  EXPECT_DOUBLE_EQ(report.duty_cycle, 0.125);
+  EXPECT_EQ(report.capacity_dips, 1);
+  EXPECT_DOUBLE_EQ(report.min_capacity_multiplier, 0.2);
+  EXPECT_EQ(report.log_warnings, 3);
+  EXPECT_EQ(report.log_errors, 1);
+
+  ASSERT_EQ(report.tiers.size(), 1u);
+  const TierReport& mysql = report.tiers[0];
+  EXPECT_EQ(mysql.name, "mysql");
+  EXPECT_EQ(mysql.offered, 50);
+  EXPECT_EQ(mysql.rejected, 5);
+  EXPECT_DOUBLE_EQ(mysql.util_max_native, 1.0);
+  // The saturated 500 ms dilutes to 0.55 in its 1 s bucket — visible at
+  // native resolution, below any threshold at 1 s.
+  EXPECT_LT(mysql.util_max_1s, 0.85);
+  EXPECT_EQ(mysql.util_1s_windows_above, 0);
+  EXPECT_EQ(mysql.util_1s_max_consecutive_above, 0);
+  EXPECT_DOUBLE_EQ(mysql.queue_max, 30.0);
+}
+
+TEST(RunReportTest, WritersEmitParsableOutput) {
+  Registry registry;
+  registry.counter(names::kRequestsTotal, {{"event", "submitted"}}).inc(42);
+  registry.counter(names::kSimTimeUs).set_to(sec(std::int64_t{1}));
+  RunReportOptions options;
+  options.scenario = "writer \"quoted\"";
+  const RunReport report = build_run_report(registry, options);
+
+  std::ostringstream json;
+  write_json(json, report);
+  EXPECT_NE(json.str().find("\"scenario\": \"writer \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"submitted\": 42"), std::string::npos);
+
+  std::ostringstream md;
+  write_markdown(md, report);
+  EXPECT_NE(md.str().find("# Run report"), std::string::npos);
+  EXPECT_NE(md.str().find("42 submitted"), std::string::npos);
+}
+
+TEST(RunReportTest, EmptyRegistryYieldsZeroedReport) {
+  Registry registry;
+  const RunReport report = build_run_report(registry, {});
+  EXPECT_EQ(report.submitted, 0);
+  EXPECT_EQ(report.tiers.size(), 0u);
+  EXPECT_DOUBLE_EQ(report.duty_cycle, 0.0);
+  std::ostringstream json;
+  write_json(json, report);  // must not crash
+  EXPECT_FALSE(json.str().empty());
+}
+
+}  // namespace
+}  // namespace memca::metrics

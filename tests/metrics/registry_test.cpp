@@ -1,0 +1,219 @@
+#include "metrics/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace memca::metrics {
+namespace {
+
+TEST(Registry, DetachedHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  HistogramHandle hist;
+  counter.inc();
+  counter.set_to(5);
+  gauge.set(1.0);
+  hist.record(msec(1));
+  EXPECT_FALSE(counter.attached());
+  EXPECT_FALSE(gauge.attached());
+  EXPECT_FALSE(hist.attached());
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Registry, CounterIncrementsThroughHandle) {
+  Registry registry;
+  Counter counter = registry.counter("requests");
+  EXPECT_TRUE(counter.attached());
+  counter.inc();
+  counter.inc(4);
+  EXPECT_EQ(counter.value(), 5);
+  EXPECT_EQ(registry.counter_value("requests"), 5);
+  counter.set_to(11);
+  EXPECT_EQ(registry.counter_value("requests"), 11);
+}
+
+TEST(Registry, HandlesToSameInstrumentAlias) {
+  Registry registry;
+  Counter a = registry.counter("hits", {{"tier", "mysql"}});
+  Counter b = registry.counter("hits", {{"tier", "mysql"}});
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, LabelsAreCanonicalizedBySortOrder) {
+  Registry registry;
+  Counter a = registry.counter("hits", {{"b", "2"}, {"a", "1"}});
+  Counter b = registry.counter("hits", {{"a", "1"}, {"b", "2"}});
+  a.inc();
+  EXPECT_EQ(b.value(), 1);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, DifferentLabelsAreDifferentInstruments) {
+  Registry registry;
+  Counter a = registry.counter("hits", {{"tier", "mysql"}});
+  Counter b = registry.counter("hits", {{"tier", "tomcat"}});
+  a.inc(3);
+  EXPECT_EQ(b.value(), 0);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.family("hits").size(), 2u);
+}
+
+TEST(Registry, FamilyPreservesRegistrationOrderAndLabels) {
+  Registry registry;
+  registry.counter("hits", {{"tier", "apache"}});
+  registry.counter("other");
+  registry.counter("hits", {{"tier", "mysql"}});
+  const auto family = registry.family("hits");
+  ASSERT_EQ(family.size(), 2u);
+  EXPECT_EQ(registry.label_value(family[0], "tier"), "apache");
+  EXPECT_EQ(registry.label_value(family[1], "tier"), "mysql");
+  EXPECT_EQ(registry.label_value(family[0], "absent"), "");
+}
+
+TEST(Registry, GaugeAndHistogram) {
+  Registry registry;
+  Gauge gauge = registry.gauge("depth");
+  gauge.set(2.5);
+  EXPECT_EQ(registry.gauge_value("depth"), 2.5);
+
+  HistogramHandle hist = registry.histogram("latency");
+  hist.record(msec(10));
+  hist.record(msec(20));
+  const LatencyHistogram* stored = registry.find_histogram("latency");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->count(), 2);
+}
+
+TEST(Registry, ScrapeAppendsSeriesForEveryValueInstrument) {
+  Registry registry;
+  Counter counter = registry.counter("c");
+  Gauge gauge = registry.gauge("g");
+  int calls = 0;
+  registry.probe("p", {}, [&calls] { return static_cast<double>(++calls); });
+  registry.histogram("h").record(msec(1));
+
+  counter.inc(7);
+  gauge.set(0.5);
+  registry.scrape(msec(50));
+  counter.inc(1);
+  registry.scrape(msec(100));
+
+  EXPECT_EQ(registry.scrapes(), 2);
+  const TimeSeries* c = registry.series("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->size(), 2u);
+  EXPECT_EQ(c->samples()[0].value, 7.0);
+  EXPECT_EQ(c->samples()[1].value, 8.0);
+  EXPECT_EQ(c->samples()[1].time, msec(100));
+  EXPECT_EQ(registry.series("g")->samples()[0].value, 0.5);
+  // The probe was evaluated once per scrape.
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(registry.series("p")->samples()[1].value, 2.0);
+  // Histograms carry no series.
+  EXPECT_TRUE(registry.series("h")->empty());
+}
+
+TEST(Registry, FindMissingReturnsDefaults) {
+  Registry registry;
+  EXPECT_EQ(registry.find("absent"), Registry::npos);
+  EXPECT_EQ(registry.counter_value("absent"), 0);
+  EXPECT_EQ(registry.gauge_value("absent"), 0.0);
+  EXPECT_EQ(registry.series("absent"), nullptr);
+  EXPECT_EQ(registry.find_histogram("absent"), nullptr);
+}
+
+TEST(Registry, MergeSumsCountersGaugesHistogramsAndSeries) {
+  Registry a;
+  Registry b;
+  a.counter("c").inc(3);
+  b.counter("c").inc(4);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  a.histogram("h").record(msec(10));
+  b.histogram("h").record(msec(30));
+  a.scrape(msec(50));
+  b.scrape(msec(50));
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("c"), 7);
+  EXPECT_EQ(a.gauge_value("g"), 3.0);
+  EXPECT_EQ(a.find_histogram("h")->count(), 2);
+  ASSERT_EQ(a.series("c")->size(), 1u);
+  EXPECT_EQ(a.series("c")->samples()[0].value, 7.0);
+}
+
+TEST(Registry, MergeIntoEmptyAdoptsOtherOrder) {
+  Registry cell;
+  cell.counter("first").inc(1);
+  cell.counter("second").inc(2);
+  Registry merged;
+  merged.merge(cell);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.name(0), "first");
+  EXPECT_EQ(merged.name(1), "second");
+  EXPECT_EQ(merged.counter_value("second"), 2);
+}
+
+TEST(Registry, MergeOrderInvariantForSummedValues) {
+  // a+b and b+a must agree value-for-value when both cells registered the
+  // same instruments (the sweep case).
+  auto build = [](std::int64_t n, double g) {
+    auto registry = std::make_unique<Registry>();
+    registry->counter("c").inc(n);
+    registry->gauge("g").set(g);
+    registry->scrape(msec(50));
+    return registry;
+  };
+  auto serialize = [](const Registry& r) {
+    std::ostringstream out;
+    r.serialize(out);
+    return out.str();
+  };
+  Registry ab;
+  ab.merge(*build(1, 0.25));
+  ab.merge(*build(2, 0.5));
+  Registry ba;
+  ba.merge(*build(2, 0.5));
+  ba.merge(*build(1, 0.25));
+  // Not bit-identical in general (double addition is not commutative-exact),
+  // but for these values it is, and the structural bytes always match.
+  EXPECT_EQ(serialize(ab), serialize(ba));
+}
+
+TEST(Registry, SerializeIsDeterministic) {
+  auto build = [] {
+    auto registry = std::make_unique<Registry>();
+    registry->counter("c", {{"tier", "mysql"}}).inc(5);
+    registry->gauge("g").set(0.75);
+    registry->histogram("h").record(msec(20));
+    registry->scrape(msec(50));
+    registry->scrape(msec(100));
+    return registry;
+  };
+  std::ostringstream first;
+  std::ostringstream second;
+  build()->serialize(first);
+  build()->serialize(second);
+  EXPECT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Registry, SerializeDistinguishesDifferentValues) {
+  Registry a;
+  a.counter("c").inc(1);
+  Registry b;
+  b.counter("c").inc(2);
+  std::ostringstream sa;
+  std::ostringstream sb;
+  a.serialize(sa);
+  b.serialize(sb);
+  EXPECT_NE(sa.str(), sb.str());
+}
+
+}  // namespace
+}  // namespace memca::metrics

@@ -1,0 +1,60 @@
+#include "metrics/scraper.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/registry.h"
+#include "sim/simulator.h"
+
+namespace memca::metrics {
+namespace {
+
+TEST(Scraper, ScrapesAtConfiguredResolution) {
+  Simulator sim;
+  Registry registry;
+  Counter counter = registry.counter("c");
+  Scraper scraper(sim, registry, {msec(50)});
+
+  counter.inc();
+  scraper.start();
+  EXPECT_TRUE(scraper.running());
+  sim.run_until(sec(std::int64_t{1}));
+
+  // First scrape lands one period after start: 50, 100, ..., 1000 ms.
+  EXPECT_EQ(registry.scrapes(), 20);
+  const TimeSeries* series = registry.series("c");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 20u);
+  EXPECT_EQ(series->samples().front().time, msec(50));
+  EXPECT_EQ(series->samples().back().time, sec(std::int64_t{1}));
+  EXPECT_EQ(series->samples().back().value, 1.0);
+}
+
+TEST(Scraper, StopHaltsScraping) {
+  Simulator sim;
+  Registry registry;
+  registry.counter("c");
+  Scraper scraper(sim, registry, {msec(50)});
+  scraper.start();
+  sim.run_until(msec(200));
+  scraper.stop();
+  EXPECT_FALSE(scraper.running());
+  sim.run_until(sec(std::int64_t{1}));
+  EXPECT_EQ(registry.scrapes(), 4);
+}
+
+TEST(Scraper, ProbeValuesLandInSeries) {
+  Simulator sim;
+  Registry registry;
+  registry.probe("clock_s", {},
+                 [&sim] { return to_seconds(sim.now()); });
+  Scraper scraper(sim, registry, {msec(100)});
+  scraper.start();
+  sim.run_until(msec(300));
+  const TimeSeries* series = registry.series("clock_s");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 3u);
+  EXPECT_DOUBLE_EQ(series->samples()[1].value, 0.2);
+}
+
+}  // namespace
+}  // namespace memca::metrics

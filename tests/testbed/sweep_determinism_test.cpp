@@ -4,6 +4,8 @@
 // streams, monitors), so any diff here means a cell leaked state.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "testbed/attack_lab.h"
@@ -73,6 +75,52 @@ TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
   const std::vector<AttackLabResult> second = run_attack_lab_sweep(grid, 4);
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i) expect_identical(first[i], second[i], i);
+}
+
+TEST(SweepDeterminism, MergedMetricsRegistryBytesIdenticalAcrossThreadCounts) {
+  // The metrics determinism oracle: run the same grid with per-cell
+  // registries on, merge the cell registries in cell order, and serialize
+  // with doubles as raw bit patterns. Any scheduling leak — a counter
+  // bumped from the wrong cell, a series sample out of order, a probe
+  // touching shared state — changes the bytes.
+  std::vector<AttackLabConfig> grid = test_grid();
+  for (AttackLabConfig& config : grid) config.testbed.metrics = true;
+
+  auto merged_bytes = [&](int threads) {
+    std::vector<AttackLabResult> results = run_attack_lab_sweep(grid, threads);
+    const auto merged = merge_sweep_registries(results);
+    EXPECT_NE(merged, nullptr);
+    std::ostringstream out;
+    if (merged != nullptr) merged->serialize(out);
+    return out.str();
+  };
+
+  const std::string sequential = merged_bytes(1);
+  EXPECT_FALSE(sequential.empty());
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(sequential, merged_bytes(threads)) << "threads " << threads;
+  }
+}
+
+TEST(SweepDeterminism, PerCellRegistriesMatchSequentialRuns) {
+  // Each swept cell's own registry must also byte-match a plain
+  // run_attack_lab call with the same config.
+  std::vector<AttackLabConfig> grid = test_grid();
+  for (AttackLabConfig& config : grid) config.testbed.metrics = true;
+
+  auto bytes = [](const metrics::Registry* registry) {
+    std::ostringstream out;
+    if (registry != nullptr) registry->serialize(out);
+    return out.str();
+  };
+
+  const std::vector<AttackLabResult> swept = run_attack_lab_sweep(grid, 4);
+  ASSERT_EQ(swept.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const AttackLabResult baseline = run_attack_lab(grid[i]);
+    EXPECT_EQ(bytes(baseline.registry.get()), bytes(swept[i].registry.get()))
+        << "cell " << i;
+  }
 }
 
 }  // namespace
