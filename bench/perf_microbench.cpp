@@ -7,6 +7,7 @@
 //   ./build/bench/perf_microbench --benchmark_format=json > BENCH_<rev>.json
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "metrics/registry.h"
+#include "queueing/request_pool.h"
 #include "sim/simulator.h"
 #include "testbed/attack_lab.h"
 #include "trace/recorder.h"
@@ -186,6 +188,62 @@ void BM_MetricsScrape(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsScrape)->Arg(32);
 
+void BM_RequestPoolChurn(benchmark::State& state) {
+  // Steady-state request turnover: acquire from the warm free list, touch
+  // the fields the workload generators stamp, release. After warm-up every
+  // iteration must be allocation-free — the pooled slot keeps its demand
+  // vector's capacity across reuse (the property the counting-allocator
+  // test asserts for the full testbed).
+  queueing::RequestPool pool;
+  {
+    // Warm a tier-3 working set so growth is amortised out of the loop.
+    std::vector<queueing::Request*> warm;
+    for (int i = 0; i < 512; ++i) warm.push_back(pool.acquire());
+    for (queueing::Request* r : warm) {
+      r->demand_us.assign({120.0, 800.0, 2400.0});
+      r->trace.assign(3, queueing::TierTrace{});
+      pool.release(r);
+    }
+  }
+  queueing::Request::Id id = 0;
+  for (auto _ : state) {
+    queueing::Request* r = pool.acquire();
+    r->id = ++id;
+    r->page_class = 1;
+    r->demand_us.assign({120.0, 800.0, 2400.0});
+    r->trace.assign(3, queueing::TierTrace{});
+    benchmark::DoNotOptimize(r);
+    pool.release(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestPoolChurn);
+
+void BM_TimingWheelRto(benchmark::State& state) {
+  // The retransmission-timer population the wheel exists for: thousands of
+  // ~1 s RTO timers of which 90% are cancelled before firing (the reply
+  // arrived in time). Long delays park in the wheel instead of sifting
+  // through the arrival heap; cancelled entries die at bucket flush or in
+  // the compaction sweep without ever touching the heap.
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    std::vector<EventHandle> handles;
+    handles.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      handles.push_back(
+          sim.schedule_in(sec(std::int64_t{1}) + msec(i % 2000), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 4096; ++i) {
+      if (i % 10 != 0) handles[static_cast<std::size_t>(i)].cancel();
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TimingWheelRto);
+
 void BM_FullTestbedSecond(benchmark::State& state) {
   // One simulated second of the full attacked 3500-user scenario per
   // iteration (construction amortised out by measuring a long run).
@@ -241,4 +299,35 @@ BENCHMARK(BM_SweepRunnerScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
 }  // namespace
 }  // namespace memca
 
-BENCHMARK_MAIN();
+// Custom entry point so CI and EXPERIMENTS.md recipes can write a JSON
+// snapshot with one flag: `--json <path>` (or `--json=<path>`) expands to
+// google-benchmark's --benchmark_out=<path> --benchmark_out_format=json
+// while keeping the human-readable console reporter on stdout.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string json_path;
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      args.push_back(std::move(arg));
+      continue;
+    }
+    args.push_back("--benchmark_out=" + json_path);
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

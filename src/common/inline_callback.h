@@ -1,12 +1,16 @@
-// Small-buffer-optimized move-only callable: the event engine's closure type.
+// Small-buffer-optimized move-only callables: the hot-path closure types.
 //
 // `std::function` is copyable, which forces every capture to be copyable and
 // (for larger captures) heap-allocated; the simulator schedules millions of
-// closures per run and never copies one. InlineCallback stores captures up to
-// kInlineSize bytes directly inside the object (no allocation on the
-// scheduling hot path) and falls back to the heap only for oversized,
-// over-aligned, or throwing-move captures. Move-only callables (e.g. lambdas
-// capturing a unique_ptr) are supported.
+// closures per run and never copies one, and the queueing layer delivers a
+// completion/drop/reply callback per request hop. InlineFunction<void(Args…)>
+// stores captures up to kInlineSize bytes directly inside the object (no
+// allocation on the scheduling hot path) and falls back to the heap only for
+// oversized, over-aligned, or throwing-move captures. Move-only callables
+// (e.g. lambdas capturing a unique_ptr) are supported.
+//
+// InlineCallback is the nullary instantiation the event engine stores in its
+// one-cache-line event slots.
 #pragma once
 
 #include <cstddef>
@@ -19,21 +23,29 @@
 
 namespace memca {
 
-class InlineCallback {
+template <typename Signature>
+class InlineFunction;  // only the void(Args...) partial specialization exists
+
+template <typename... Args>
+class InlineFunction<void(Args...)> {
  public:
   /// Captures up to this many bytes live inline; larger callables go to the
-  /// heap. 32 B fits the simulator's usual "this pointer + a few scalars"
-  /// closures while keeping sizeof(InlineCallback) at 56 so the event slot
+  /// heap. 32 B fits the usual "this pointer + a few scalars" closures while
+  /// keeping sizeof(InlineFunction) at 56 so the simulator's event slot
   /// (callback + generation word) is exactly one 64 B cache line.
   static constexpr std::size_t kInlineSize = 32;
 
-  InlineCallback() = default;
+  InlineFunction() = default;
+  /// Allows callers that used to pass a null std::function to keep writing
+  /// `nullptr` for "no callback".
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
     init(std::forward<F>(f));
   }
 
@@ -42,16 +54,16 @@ class InlineCallback {
   /// recycled event slot instead of moving a temporary in.
   template <typename F,
             typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
-                                        std::is_invocable_r_v<void, D&>>>
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&, Args...>>>
   void emplace(F&& f) {
     destroy();
     init(std::forward<F>(f));
   }
 
-  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       destroy();
       steal(other);
@@ -59,22 +71,22 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() { destroy(); }
+  ~InlineFunction() { destroy(); }
 
   /// Invokes the stored callable; the callback must be non-empty.
-  void operator()() {
+  void operator()(Args... args) {
     MEMCA_DCHECK(invoke_ != nullptr);
-    invoke_(storage_);
+    invoke_(storage_, std::forward<Args>(args)...);
   }
 
   /// True if a callable is stored.
   explicit operator bool() const { return invoke_ != nullptr; }
 
   /// Destroys the stored callable (if any), leaving the callback empty.
-  /// Cheaper than assigning a default-constructed InlineCallback.
+  /// Cheaper than assigning a default-constructed InlineFunction.
   void reset() noexcept { destroy(); }
 
   /// True if the capture lives in the inline buffer (introspection for tests
@@ -83,7 +95,7 @@ class InlineCallback {
 
  private:
   enum class Op { kDestroy, kMoveTo };
-  using InvokeFn = void (*)(void*);
+  using InvokeFn = void (*)(void*, Args...);
   using ManageFn = void (*)(Op, unsigned char* self, unsigned char* dest);
 
   template <typename F, typename D = std::decay_t<F>>
@@ -93,7 +105,9 @@ class InlineCallback {
                                  std::is_nothrow_move_constructible_v<D>;
     if constexpr (fits_inline) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
-      invoke_ = [](void* storage) { (*static_cast<D*>(static_cast<void*>(storage)))(); };
+      invoke_ = [](void* storage, Args... args) {
+        (*static_cast<D*>(static_cast<void*>(storage)))(std::forward<Args>(args)...);
+      };
       // Trivially-copyable captures (the common "this pointer + scalars"
       // case) need no manager: moving is a memcpy, destroying a no-op.
       if constexpr (std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>) {
@@ -105,10 +119,10 @@ class InlineCallback {
     } else {
       D* owned = new D(std::forward<F>(f));
       std::memcpy(storage_, &owned, sizeof(owned));
-      invoke_ = [](void* storage) {
+      invoke_ = [](void* storage, Args... args) {
         D* target;
         std::memcpy(&target, storage, sizeof(target));
-        (*target)();
+        (*target)(std::forward<Args>(args)...);
       };
       manage_ = &manage_heap<D>;
       heap_ = true;
@@ -135,7 +149,7 @@ class InlineCallback {
     }
   }
 
-  void steal(InlineCallback& other) noexcept {
+  void steal(InlineFunction& other) noexcept {
     if (other.manage_ != nullptr) {
       other.manage_(Op::kMoveTo, other.storage_, storage_);
     } else {
@@ -163,5 +177,8 @@ class InlineCallback {
   ManageFn manage_ = nullptr;
   bool heap_ = false;
 };
+
+/// The event engine's nullary closure type (see Simulator::Slot).
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace memca

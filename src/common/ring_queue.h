@@ -1,0 +1,80 @@
+// Fixed-stride FIFO over a power-of-two ring buffer.
+//
+// The tier wait/blocked queues and tandem station queues are plain FIFOs of
+// Request pointers whose occupancy is bounded by the tier's thread limit (or
+// queue capacity). std::deque allocates and frees its block map as the queue
+// breathes; a pre-sized ring never allocates on the steady-state path and
+// push/pop are an index mask away from a raw array store. Growth (only when
+// a caller under-reserved) doubles the buffer and unrolls the wrap.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace memca {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  /// Pre-sizes the ring for at least `min_capacity` elements.
+  explicit RingQueue(std::size_t min_capacity) { reserve(min_capacity); }
+
+  /// Grows the ring to hold at least `n` elements without reallocation.
+  void reserve(std::size_t n) {
+    if (n > capacity()) grow(n);
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  T& front() {
+    MEMCA_DCHECK(count_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    MEMCA_DCHECK(count_ > 0);
+    return buf_[head_];
+  }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow(count_ + 1);
+    buf_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    MEMCA_DCHECK(count_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow(std::size_t min_capacity) {
+    const std::size_t new_cap = std::bit_ceil(min_capacity < 8 ? 8 : min_capacity);
+    std::vector<T> fresh(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      fresh[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_.swap(fresh);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace memca

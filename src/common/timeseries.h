@@ -25,6 +25,10 @@ class TimeSeries {
   /// Appends a sample; time must be >= the last appended time.
   void append(SimTime time, double value);
 
+  /// Pre-sizes the backing store for `n` samples (recording hot paths
+  /// reserve up front so warm-up appends don't reallocate).
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   const std::vector<Sample>& samples() const& { return samples_; }
   /// Rvalue overload returns by value so `resample_mean(...).samples()` in a
   /// range-for binds a lifetime-extended temporary instead of dangling.

@@ -21,35 +21,29 @@ NTierSystem::NTierSystem(Simulator& sim, std::vector<TierConfig> tiers) : sim_(s
   }
 }
 
-void NTierSystem::set_on_complete(std::function<void(const Request&)> fn) {
-  on_complete_ = std::move(fn);
-}
-
-void NTierSystem::set_on_drop(std::function<void(const Request&)> fn) {
-  on_drop_ = std::move(fn);
-}
-
 void NTierSystem::set_trace(trace::TraceRecorder* recorder) {
   trace_ = recorder;
   for (auto& tier : tiers_) tier->set_trace(recorder);
 }
 
-bool NTierSystem::submit(std::unique_ptr<Request> req) {
+bool NTierSystem::submit(Request* req) {
   MEMCA_CHECK(req != nullptr);
   MEMCA_CHECK_MSG(req->demand_us.size() == tiers_.size(),
                   "request needs one demand entry per tier");
   req->trace.assign(tiers_.size(), TierTrace{});
   ++submitted_;
-  Request* raw = req.get();
-  if (!tiers_.front()->try_submit(raw)) {
+  if (!tiers_.front()->try_submit(req)) {
     ++dropped_;
-    trace::emit(trace_, trace::TraceEvent{sim_.now(), raw->id, 0, 0.0, raw->user, 0,
+    trace::emit(trace_, trace::TraceEvent{sim_.now(), req->id, 0, 0.0, req->user, 0,
                                           trace::EventKind::kDrop,
-                                          static_cast<std::uint8_t>(raw->attempt)});
-    if (on_drop_) on_drop_(*raw);
+                                          static_cast<std::uint8_t>(req->attempt)});
+    if (on_drop_) on_drop_(*req);
+    // Released only after the callback: a reentrant submit from inside
+    // on_drop_ must not recycle this request out from under the caller.
+    pool_.release(req);
     return false;
   }
-  in_flight_.emplace(raw->id, std::move(req));
+  ++in_flight_;
   return true;
 }
 
@@ -72,12 +66,10 @@ bool NTierSystem::satisfies_condition1() const {
 
 void NTierSystem::on_reply(Request* req) {
   ++completed_;
-  auto it = in_flight_.find(req->id);
-  MEMCA_CHECK_MSG(it != in_flight_.end(), "reply for unknown request");
-  // Move ownership out before the callback so reentrant submits are safe.
-  std::unique_ptr<Request> owned = std::move(it->second);
-  in_flight_.erase(it);
-  if (on_complete_) on_complete_(*owned);
+  MEMCA_DCHECK(in_flight_ > 0);
+  --in_flight_;
+  if (on_complete_) on_complete_(*req);
+  pool_.release(req);
 }
 
 }  // namespace memca::queueing

@@ -1,14 +1,15 @@
 // The n-tier system: a chain of TierServers with synchronous RPC coupling.
 //
-// Owns the requests in flight, delivers completion/drop callbacks to the
-// workload layer, and exposes per-tier handles for monitoring and for the
-// attack coupling (set_speed_multiplier on the bottleneck tier).
+// Requests live in the system's RequestPool from submission to reply, so
+// completion delivery is pointer identity — the front tier's reply sink
+// hands back the exact Request* that travelled the chain; there is no
+// per-request ownership table to probe. Exposes per-tier handles for
+// monitoring and for the attack coupling (set_speed_multiplier on the
+// bottleneck tier).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "queueing/system.h"
@@ -20,14 +21,11 @@ class NTierSystem : public RequestSystem {
  public:
   NTierSystem(Simulator& sim, std::vector<TierConfig> tiers);
 
-  /// Completion callback: fires when a reply reaches the client side.
-  void set_on_complete(std::function<void(const Request&)> fn) override;
-  /// Drop callback: fires when the front tier rejects (TCP will retransmit).
-  void set_on_drop(std::function<void(const Request&)> fn) override;
-
-  /// Submits a request. Sizes trace to the tier count (demand_us must
-  /// already have one entry per tier). Returns false if dropped.
-  bool submit(std::unique_ptr<Request> req) override;
+  using RequestSystem::submit;
+  /// Submits a pool-owned request. Sizes trace to the tier count (demand_us
+  /// must already have one entry per tier). Returns false if dropped; the
+  /// request is released back to the pool after the drop callback.
+  bool submit(Request* req) override;
 
   std::size_t num_tiers() const { return tiers_.size(); }
   std::size_t depth() const override { return tiers_.size(); }
@@ -39,11 +37,6 @@ class NTierSystem : public RequestSystem {
   /// Paper Condition 1: Q_1 > Q_2 > ... > Q_n.
   bool satisfies_condition1() const;
 
-  std::int64_t submitted() const override { return submitted_; }
-  std::int64_t completed() const override { return completed_; }
-  std::int64_t dropped() const override { return dropped_; }
-  std::int64_t in_flight() const { return static_cast<std::int64_t>(in_flight_.size()); }
-
   /// Attaches the recorder to the system and every tier.
   void set_trace(trace::TraceRecorder* recorder) override;
 
@@ -53,12 +46,6 @@ class NTierSystem : public RequestSystem {
   Simulator& sim_;
   trace::TraceRecorder* trace_ = nullptr;
   std::vector<std::unique_ptr<TierServer>> tiers_;
-  std::unordered_map<Request::Id, std::unique_ptr<Request>> in_flight_;
-  std::function<void(const Request&)> on_complete_;
-  std::function<void(const Request&)> on_drop_;
-  std::int64_t submitted_ = 0;
-  std::int64_t completed_ = 0;
-  std::int64_t dropped_ = 0;
 };
 
 }  // namespace memca::queueing

@@ -42,6 +42,14 @@ struct Request {
   /// Per-tier enter/leave timestamps, filled by the tiers.
   std::vector<TierTrace> trace;
 
+  /// Arena bookkeeping, owned by RequestPool: the request's slot index and
+  /// its generation word (LSB set while the request is live). A released
+  /// request keeps its slot and bumps the generation, so a stale pointer or
+  /// handle from a previous occupancy can be detected. Zero-initialised
+  /// (gen 0, not live) for requests constructed outside a pool.
+  std::uint32_t pool_slot = 0;
+  std::uint32_t pool_gen = 0;
+
   /// Tier residence time (leave - enter), -1 if the request never left.
   SimTime tier_time(std::size_t tier) const {
     if (tier >= trace.size() || trace[tier].enter < 0 || trace[tier].leave < 0) return -1;

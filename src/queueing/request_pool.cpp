@@ -1,0 +1,59 @@
+#include "queueing/request_pool.h"
+
+namespace memca::queueing {
+
+RequestPool::~RequestPool() {
+  // Every slot in [0, num_slots_) holds a constructed Request (released ones
+  // are recycled in place, never destroyed), so destruction walks them all.
+  for (std::uint32_t i = 0; i < num_slots_; ++i) {
+    slot_ptr(i)->~Request();
+  }
+}
+
+Request* RequestPool::acquire() {
+  Request* req;
+  if (!free_.empty()) {
+    req = slot_ptr(free_.back());
+    free_.pop_back();
+    // Reset scalars to the defaults a fresh Request would have; clear (but
+    // keep the capacity of) the per-tier vectors. pool_slot and the
+    // generation survive recycling.
+    req->id = 0;
+    req->page_class = -1;
+    req->user = -1;
+    req->attempt = 0;
+    req->first_sent = 0;
+    req->sent = 0;
+    req->demand_us.clear();
+    req->trace.clear();
+    req->pool_gen += 1;  // even (free) -> odd (live)
+  } else {
+    MEMCA_CHECK_MSG(num_slots_ != 0xffffffffu, "request pool exhausted");
+    const std::uint32_t index = num_slots_++;
+    if ((index & kChunkMask) == 0) {
+      chunks_.push_back(std::make_unique_for_overwrite<unsigned char[]>(
+          sizeof(Request) << kChunkShift));
+    }
+    unsigned char* raw =
+        chunks_[index >> kChunkShift].get() + sizeof(Request) * (index & kChunkMask);
+    req = ::new (static_cast<void*>(raw)) Request{};
+    req->pool_slot = index;
+    req->pool_gen = 1;  // generation 0, live
+  }
+  ++live_;
+  return req;
+}
+
+void RequestPool::release(Request* req) {
+  MEMCA_CHECK(req != nullptr);
+  MEMCA_CHECK_MSG((req->pool_gen & 1u) != 0,
+                  "release of a request that is not live (double release, or "
+                  "a request from outside this pool)");
+  MEMCA_DCHECK(req->pool_slot < num_slots_ && slot_ptr(req->pool_slot) == req);
+  MEMCA_DCHECK(live_ > 0);
+  req->pool_gen += 1;  // odd (live) -> even (free): stale handles now miss
+  --live_;
+  free_.push_back(req->pool_slot);
+}
+
+}  // namespace memca::queueing

@@ -1,12 +1,22 @@
 // Minimal surface shared by the two system models (n-tier and tandem), so
 // workload generators, probers and routers can drive either interchangeably.
+//
+// The system owns a RequestPool and with it every request in flight: callers
+// acquire() a pooled request, fill it in, and submit(Request*); the system
+// releases the request back to the pool after the completion or drop
+// callback returns. Ownership by pool slot replaces the per-request
+// unique_ptr plus unordered_map in-flight table of earlier revisions —
+// completion hands the callback the same pointer that travelled the tiers,
+// with no hash probe and no free(). Callbacks are InlineFunctions, so
+// delivering one is an indirect call, not a std::function dispatch.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "common/inline_callback.h"
 #include "queueing/request.h"
+#include "queueing/request_pool.h"
 
 namespace memca::trace {
 class TraceRecorder;
@@ -16,25 +26,67 @@ namespace memca::queueing {
 
 class RequestSystem {
  public:
+  using RequestFn = InlineFunction<void(const Request&)>;
+
   virtual ~RequestSystem() = default;
 
   /// Number of tiers/stations a request passes through (demand_us size).
   virtual std::size_t depth() const = 0;
-  /// Submits a request; returns false if it was dropped immediately.
-  virtual bool submit(std::unique_ptr<Request> req) = 0;
-  virtual void set_on_complete(std::function<void(const Request&)> fn) = 0;
-  virtual void set_on_drop(std::function<void(const Request&)> fn) = 0;
+
+  /// Acquires a pooled request (fields reset) for the caller to fill and
+  /// submit. Requests that end up not submitted may be released directly.
+  Request* acquire() { return pool_.acquire(); }
+  RequestPool& pool() { return pool_; }
+
+  /// Submits a pool-owned request; returns false if it was dropped
+  /// immediately. Either way the system now owns the request — the pointer
+  /// must not be used after the completion/drop callback has run.
+  virtual bool submit(Request* req) = 0;
+
+  /// Compatibility shim for callers holding heap-allocated requests (tests,
+  /// exploratory code): copies the request into the pool and submits.
+  bool submit(std::unique_ptr<Request> req) {
+    MEMCA_CHECK(req != nullptr);
+    Request* pooled = pool_.acquire();
+    pooled->id = req->id;
+    pooled->page_class = req->page_class;
+    pooled->user = req->user;
+    pooled->attempt = req->attempt;
+    pooled->first_sent = req->first_sent;
+    pooled->sent = req->sent;
+    pooled->demand_us = req->demand_us;
+    pooled->trace = req->trace;
+    return submit(pooled);
+  }
+
+  /// Completion callback: fires when a reply reaches the client side. The
+  /// referenced request dies when the callback returns.
+  void set_on_complete(RequestFn fn) { on_complete_ = std::move(fn); }
+  /// Drop callback: fires when the system rejects an attempt (the client's
+  /// TCP layer retransmits). Same lifetime rule as on_complete.
+  void set_on_drop(RequestFn fn) { on_drop_ = std::move(fn); }
 
   // -- shared counters (lifetime totals) ------------------------------------
-  virtual std::int64_t submitted() const = 0;
-  virtual std::int64_t completed() const = 0;
+  std::int64_t submitted() const { return submitted_; }
+  std::int64_t completed() const { return completed_; }
   /// Attempts the system rejected (each one triggers the drop callback
   /// exactly once — the client's TCP layer retransmits).
-  virtual std::int64_t dropped() const = 0;
+  std::int64_t dropped() const { return dropped_; }
+  /// Requests currently owned by the system (admitted, not yet replied).
+  std::int64_t in_flight() const { return in_flight_; }
 
   /// Attaches a span-event recorder to every tier/station of the system
   /// (nullptr detaches). The system does not own the recorder.
   virtual void set_trace(trace::TraceRecorder* recorder) = 0;
+
+ protected:
+  RequestPool pool_;
+  RequestFn on_complete_;
+  RequestFn on_drop_;
+  std::int64_t submitted_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int64_t in_flight_ = 0;
 };
 
 }  // namespace memca::queueing

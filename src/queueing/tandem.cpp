@@ -14,33 +14,29 @@ TandemQueueSystem::TandemQueueSystem(Simulator& sim, std::vector<StationConfig> 
     MEMCA_CHECK_MSG(st.config.workers >= 1, "a station needs at least one worker");
     st.workers = std::make_unique<WorkStation>(
         sim_, st.config.workers, [this, i](Request* r) { on_service_done(i, r); });
+    // Pre-size bounded waiting rooms to their capacity; unbounded ones grow
+    // amortized from a small warm buffer.
+    if (st.config.queue_capacity != StationConfig::kUnbounded) {
+      st.queue.reserve(static_cast<std::size_t>(st.config.queue_capacity));
+    }
     stations_.push_back(std::move(st));
   }
 }
 
-void TandemQueueSystem::set_on_complete(std::function<void(const Request&)> fn) {
-  on_complete_ = std::move(fn);
-}
-
-void TandemQueueSystem::set_on_drop(std::function<void(const Request&)> fn) {
-  on_drop_ = std::move(fn);
-}
-
-bool TandemQueueSystem::submit(std::unique_ptr<Request> req) {
+bool TandemQueueSystem::submit(Request* req) {
   MEMCA_CHECK(req != nullptr);
   MEMCA_CHECK_MSG(req->demand_us.size() == stations_.size(),
                   "request needs one demand entry per station");
   req->trace.assign(stations_.size(), TierTrace{});
   ++submitted_;
-  Request* raw = req.get();
-  in_flight_.emplace(raw->id, std::move(req));
   const Station& st = stations_.front();
   if (st.config.queue_capacity != StationConfig::kUnbounded &&
       queue_length(0) >= st.config.queue_capacity && !st.workers->has_free_worker()) {
-    drop(0, raw);
+    drop(0, req);
     return false;
   }
-  offer(0, raw);
+  ++in_flight_;
+  offer(0, req);
   return true;
 }
 
@@ -115,21 +111,23 @@ void TandemQueueSystem::on_service_done(std::size_t index, Request* req) {
 
 void TandemQueueSystem::finish(Request* req) {
   ++completed_;
-  auto it = in_flight_.find(req->id);
-  MEMCA_CHECK(it != in_flight_.end());
-  std::unique_ptr<Request> owned = std::move(it->second);
-  in_flight_.erase(it);
-  if (on_complete_) on_complete_(*owned);
+  MEMCA_DCHECK(in_flight_ > 0);
+  --in_flight_;
+  if (on_complete_) on_complete_(*req);
+  pool_.release(req);
 }
 
 void TandemQueueSystem::drop(std::size_t index, Request* req) {
   ++dropped_;
   mark(trace::EventKind::kDrop, index, *req);
-  auto it = in_flight_.find(req->id);
-  MEMCA_CHECK(it != in_flight_.end());
-  std::unique_ptr<Request> owned = std::move(it->second);
-  in_flight_.erase(it);
-  if (on_drop_) on_drop_(*owned);
+  // Front rejects (index 0) happen before the request ever counted as in
+  // flight; interior overflows surrender an admitted request.
+  if (index > 0) {
+    MEMCA_DCHECK(in_flight_ > 0);
+    --in_flight_;
+  }
+  if (on_drop_) on_drop_(*req);
+  pool_.release(req);
 }
 
 }  // namespace memca::queueing

@@ -9,14 +9,12 @@
 // paper isolates the RPC thread-holding effect.
 #pragma once
 
-#include <deque>
-#include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/ring_queue.h"
 #include "queueing/system.h"
 #include "queueing/workstation.h"
 #include "trace/recorder.h"
@@ -36,12 +34,10 @@ class TandemQueueSystem : public RequestSystem {
  public:
   TandemQueueSystem(Simulator& sim, std::vector<StationConfig> stations);
 
-  void set_on_complete(std::function<void(const Request&)> fn) override;
-  /// Fires when a station with finite capacity overflows (request lost).
-  void set_on_drop(std::function<void(const Request&)> fn) override;
-
-  /// Submits a request (demand_us must have one entry per station).
-  bool submit(std::unique_ptr<Request> req) override;
+  using RequestSystem::submit;
+  /// Submits a pool-owned request (demand_us must have one entry per
+  /// station). Returns false if the front station rejected it.
+  bool submit(Request* req) override;
 
   std::size_t num_stations() const { return stations_.size(); }
   std::size_t depth() const override { return stations_.size(); }
@@ -55,10 +51,6 @@ class TandemQueueSystem : public RequestSystem {
   const LatencyHistogram& residence_time(std::size_t station) const;
   const std::string& station_name(std::size_t station) const;
 
-  std::int64_t submitted() const override { return submitted_; }
-  std::int64_t completed() const override { return completed_; }
-  std::int64_t dropped() const override { return dropped_; }
-
   /// Attaches the recorder to every station.
   void set_trace(trace::TraceRecorder* recorder) override { trace_ = recorder; }
 
@@ -66,7 +58,7 @@ class TandemQueueSystem : public RequestSystem {
   struct Station {
     StationConfig config;
     std::unique_ptr<WorkStation> workers;
-    std::deque<Request*> queue;
+    RingQueue<Request*> queue;
     LatencyHistogram residence_time;
   };
 
@@ -114,12 +106,6 @@ class TandemQueueSystem : public RequestSystem {
   Simulator& sim_;
   trace::TraceRecorder* trace_ = nullptr;
   std::vector<Station> stations_;
-  std::unordered_map<Request::Id, std::unique_ptr<Request>> in_flight_;
-  std::function<void(const Request&)> on_complete_;
-  std::function<void(const Request&)> on_drop_;
-  std::int64_t submitted_ = 0;
-  std::int64_t completed_ = 0;
-  std::int64_t dropped_ = 0;
 };
 
 }  // namespace memca::queueing

@@ -13,6 +13,10 @@ TierServer::TierServer(Simulator& sim, TierConfig config, std::size_t tier_index
       station_(sim, config_.workers, [this](Request* r) { on_service_done(r); }) {
   MEMCA_CHECK_MSG(config_.threads >= 1, "a tier needs at least one thread");
   MEMCA_CHECK_MSG(config_.workers >= 1, "a tier needs at least one worker");
+  // At most `threads` requests are resident, so neither queue can outgrow
+  // the thread limit; pre-sizing makes serving allocation-free.
+  wait_queue_.reserve(static_cast<std::size_t>(config_.threads));
+  blocked_.reserve(static_cast<std::size_t>(config_.threads));
 }
 
 void TierServer::set_downstream(TierServer* downstream) {
@@ -34,6 +38,8 @@ void TierServer::add_capacity(int workers, int extra_threads) {
   MEMCA_CHECK_MSG(extra_threads >= 0, "cannot shrink the thread limit");
   station_.add_workers(workers);
   config_.threads += extra_threads;
+  wait_queue_.reserve(static_cast<std::size_t>(config_.threads));
+  blocked_.reserve(static_cast<std::size_t>(config_.threads));
   pump();
   // New threads may also unblock requests parked in the upstream tier.
   pull_blocked_from_upstream();
@@ -45,7 +51,7 @@ void TierServer::remove_capacity(int workers, int fewer_threads) {
   config_.threads = std::max({1, station_.workers(), config_.threads - fewer_threads});
 }
 
-void TierServer::set_reply_sink(std::function<void(Request*)> sink) {
+void TierServer::set_reply_sink(InlineFunction<void(Request*)> sink) {
   MEMCA_CHECK(static_cast<bool>(sink));
   reply_sink_ = std::move(sink);
 }

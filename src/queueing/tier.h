@@ -16,11 +16,11 @@
 // blocked request the moment one of its threads frees.
 #pragma once
 
-#include <deque>
-#include <functional>
 #include <string>
 
 #include "common/histogram.h"
+#include "common/inline_callback.h"
+#include "common/ring_queue.h"
 #include "metrics/registry.h"
 #include "queueing/workstation.h"
 #include "trace/recorder.h"
@@ -54,7 +54,7 @@ class TierServer {
   /// Wires this tier's downstream neighbour (and its upstream back-pointer).
   void set_downstream(TierServer* downstream);
   /// Front tier only: where completed replies are delivered.
-  void set_reply_sink(std::function<void(Request*)> sink);
+  void set_reply_sink(InlineFunction<void(Request*)> sink);
 
   /// External entry (front tier): admits or rejects. A rejection is a
   /// dropped request — the client's TCP layer will retransmit.
@@ -151,10 +151,12 @@ class TierServer {
 
   TierServer* downstream_ = nullptr;
   TierServer* upstream_ = nullptr;
-  std::function<void(Request*)> reply_sink_;
+  InlineFunction<void(Request*)> reply_sink_;
 
-  std::deque<Request*> wait_queue_;
-  std::deque<Request*> blocked_;
+  /// Occupancy of both queues is bounded by the thread limit Q_i, so they
+  /// are pre-sized to it at construction and never allocate while serving.
+  RingQueue<Request*> wait_queue_;
+  RingQueue<Request*> blocked_;
   int awaiting_reply_ = 0;
   int resident_ = 0;
 

@@ -7,11 +7,18 @@
 
 namespace memca::queueing {
 
-WorkStation::WorkStation(Simulator& sim, int workers, std::function<void(Request*)> on_done)
+WorkStation::WorkStation(Simulator& sim, int workers, InlineFunction<void(Request*)> on_done)
     : sim_(sim), on_done_(std::move(on_done)), slots_(static_cast<std::size_t>(workers)) {
   MEMCA_CHECK_MSG(workers >= 1, "a station needs at least one worker");
   MEMCA_CHECK_MSG(static_cast<bool>(on_done_), "WorkStation needs a completion callback");
   busy_last_change_ = sim_.now();
+  bind_completion_thunks(0);
+}
+
+void WorkStation::bind_completion_thunks(std::size_t first) {
+  for (std::size_t i = first; i < slots_.size(); ++i) {
+    slots_[i].fire = CompletionFire{this, static_cast<std::uint32_t>(i)};
+  }
 }
 
 void WorkStation::accrue_busy_time() {
@@ -44,7 +51,11 @@ void WorkStation::add_workers(int n) {
     pending_retire_ -= cancel;
     n -= cancel;
   }
-  if (n > 0) slots_.resize(slots_.size() + static_cast<std::size_t>(n));
+  if (n > 0) {
+    const std::size_t old_size = slots_.size();
+    slots_.resize(old_size + static_cast<std::size_t>(n));
+    bind_completion_thunks(old_size);
+  }
 }
 
 void WorkStation::remove_workers(int n) {
@@ -88,7 +99,7 @@ void WorkStation::schedule_completion(std::size_t slot_index) {
   // Ceil so non-zero work always takes at least one tick: guarantees progress
   // and preserves event-order determinism.
   const SimTime delay = static_cast<SimTime>(std::ceil(duration_us));
-  s.done = sim_.schedule_in(delay, [this, slot_index] { complete(slot_index); });
+  s.done = sim_.schedule_in(delay, s.fire);
 }
 
 void WorkStation::complete(std::size_t slot_index) {

@@ -13,9 +13,9 @@
 // even though throughput has collapsed.
 #pragma once
 
-#include <functional>
 #include <vector>
 
+#include "common/inline_callback.h"
 #include "queueing/request.h"
 #include "sim/simulator.h"
 
@@ -25,7 +25,7 @@ class WorkStation {
  public:
   /// `on_done` fires when a request's service completes; the worker is
   /// already free when it runs.
-  WorkStation(Simulator& sim, int workers, std::function<void(Request*)> on_done);
+  WorkStation(Simulator& sim, int workers, InlineFunction<void(Request*)> on_done);
   WorkStation(const WorkStation&) = delete;
   WorkStation& operator=(const WorkStation&) = delete;
 
@@ -58,6 +58,15 @@ class WorkStation {
   std::int64_t completed() const { return completed_; }
 
  private:
+  /// The completion closure scheduled for a slot's in-flight service.
+  /// Trivially copyable, so the simulator stores it inline with no manager;
+  /// built once per slot at construction (not re-materialised per start()).
+  struct CompletionFire {
+    WorkStation* station = nullptr;
+    std::uint32_t slot = 0;
+    void operator()() const { station->complete(slot); }
+  };
+
   struct Slot {
     bool busy = false;
     bool retired = false;
@@ -65,14 +74,17 @@ class WorkStation {
     double remaining_work = 0.0;  // microseconds at speed 1.0
     SimTime last_update = 0;
     EventHandle done;
+    CompletionFire fire;
   };
 
   void accrue_busy_time();
+  /// (Re)binds the per-slot completion thunks; called whenever slots_ grows.
+  void bind_completion_thunks(std::size_t first);
   void schedule_completion(std::size_t slot_index);
   void complete(std::size_t slot_index);
 
   Simulator& sim_;
-  std::function<void(Request*)> on_done_;
+  InlineFunction<void(Request*)> on_done_;
   std::vector<Slot> slots_;
   double speed_ = 1.0;
   int busy_ = 0;

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <utility>
 
@@ -36,6 +37,16 @@ void Simulator::drain(SimTime limit) {
     if (!heap_.empty() && (next == nullptr || earlier(heap_.front(), *next))) {
       next = &heap_.front();
       from_heap = true;
+    }
+    if (wheel_entries_ > 0) {
+      // Every wheel event at or before the next firing instant must be in
+      // the heap before that event fires; if the wheel fed the heap, re-pick
+      // — the flushed bucket may hold the new earliest event. The cached
+      // earliest-bucket start turns the common "wheel owes nothing yet" case
+      // into a single compare instead of a per-event level scan.
+      const SimTime target =
+          next != nullptr && next->time < limit ? next->time : limit;
+      if (wheel_next_ <= target && advance_wheel(target)) continue;
     }
     if (next == nullptr || next->time > limit) return;
     const Event ev = *next;
@@ -181,6 +192,153 @@ Simulator::~Simulator() {
     Slot& s = slot(sorted_[i].slot);
     if (s.seq_live == occupant_key(sorted_[i].seq)) s.fn.reset();
   }
+  if (wheel_entries_ > 0) {
+    for (const std::vector<Event>& bucket : wheel_buckets_) {
+      for (const Event& ev : bucket) {
+        Slot& s = slot(ev.slot);
+        if (s.seq_live == occupant_key(ev.seq)) s.fn.reset();
+      }
+    }
+  }
+}
+
+void Simulator::wheel_insert(const Event& ev) {
+  if (wheel_entries_ == 0) {
+    // The frontier can be arbitrarily stale after the wheel sat empty; snap
+    // it to the current tick so the delta-based level choice below sees a
+    // fresh window. All buckets are empty, so no cascade state is skipped.
+    wheel_time_ = (now_ >> kWheelShift0) << kWheelShift0;
+  }
+  MEMCA_DCHECK(ev.time >= wheel_time_);
+  const SimTime delta = ev.time - wheel_time_;
+  for (int level = 0; level < kWheelLevels; ++level) {
+    const int shift = kWheelShift0 + level * kWheelLevelBits;
+    if (delta < (SimTime{kWheelBuckets} << shift)) {
+      const std::uint32_t idx =
+          static_cast<std::uint32_t>(ev.time >> shift) & (kWheelBuckets - 1);
+      wheel_buckets_[(static_cast<std::uint32_t>(level) << kWheelLevelBits) + idx]
+          .push_back(ev);
+      wheel_occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << idx;
+      ++wheel_entries_;
+      const SimTime start = (ev.time >> shift) << shift;
+      if (start < wheel_next_) wheel_next_ = start;
+      return;
+    }
+  }
+  heap_push(ev);  // beyond the wheel horizon (~4.77 simulated hours)
+}
+
+// Absolute start time of the earliest occupied bucket across levels. The
+// occupancy window of each level starts at the frontier's bucket, so rotating
+// the bitmap there turns "next occupied bucket" into a count-trailing-zeros.
+SimTime Simulator::wheel_earliest_start() const {
+  SimTime best = std::numeric_limits<SimTime>::max();
+  for (int level = 0; level < kWheelLevels; ++level) {
+    const std::uint64_t occ = wheel_occupied_[static_cast<std::size_t>(level)];
+    if (occ == 0) continue;
+    const int shift = kWheelShift0 + level * kWheelLevelBits;
+    const std::uint64_t cur_tick = static_cast<std::uint64_t>(wheel_time_) >> shift;
+    const std::uint64_t rot =
+        std::rotr(occ, static_cast<int>(cur_tick & (kWheelBuckets - 1)));
+    const int steps = std::countr_zero(rot);
+    const SimTime start = static_cast<SimTime>(
+        (cur_tick + static_cast<std::uint64_t>(steps)) << shift);
+    if (start < best) best = start;
+  }
+  return best;
+}
+
+bool Simulator::advance_wheel(SimTime limit) {
+  while (wheel_entries_ > 0) {
+    // Earliest occupied bucket across levels, by absolute start time. The
+    // occupancy window of each level starts at the frontier's bucket, so
+    // rotating the bitmap there turns "next occupied bucket" into a
+    // count-trailing-zeros.
+    SimTime best_start = std::numeric_limits<SimTime>::max();
+    int best_level = -1;
+    for (int level = 0; level < kWheelLevels; ++level) {
+      const std::uint64_t occ = wheel_occupied_[static_cast<std::size_t>(level)];
+      if (occ == 0) continue;
+      const int shift = kWheelShift0 + level * kWheelLevelBits;
+      const std::uint64_t cur_tick = static_cast<std::uint64_t>(wheel_time_) >> shift;
+      const std::uint64_t rot =
+          std::rotr(occ, static_cast<int>(cur_tick & (kWheelBuckets - 1)));
+      const int steps = std::countr_zero(rot);
+      const SimTime start = static_cast<SimTime>(
+          (cur_tick + static_cast<std::uint64_t>(steps)) << shift);
+      if (start < best_start) {
+        best_start = start;
+        best_level = level;
+      }
+    }
+    MEMCA_DCHECK(best_level >= 0);
+    if (best_start > limit) {
+      wheel_next_ = best_start;
+      break;
+    }
+
+    const int shift = kWheelShift0 + best_level * kWheelLevelBits;
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(best_start >> shift) & (kWheelBuckets - 1);
+    std::vector<Event>& bucket =
+        wheel_buckets_[(static_cast<std::uint32_t>(best_level) << kWheelLevelBits) + idx];
+    wheel_occupied_[static_cast<std::size_t>(best_level)] &= ~(std::uint64_t{1} << idx);
+    wheel_entries_ -= bucket.size();
+
+    if (best_level == 0) {
+      // Frontier reached a level-0 bucket: feed its live entries to the
+      // arrival heap (they fire via the normal (time, seq) ordering) and
+      // report so the caller re-picks the earliest event.
+      for (const Event& ev : bucket) {
+        if (slot(ev.slot).seq_live == occupant_key(ev.seq)) {
+          heap_push(ev);
+        } else {
+          MEMCA_DCHECK(cancelled_pending_ > 0);
+          --cancelled_pending_;  // cancelled while parked; drop here
+        }
+      }
+      bucket.clear();
+      wheel_time_ = best_start + (SimTime{1} << kWheelShift0);
+      wheel_next_ = wheel_entries_ > 0 ? wheel_earliest_start()
+                                       : std::numeric_limits<SimTime>::max();
+      return true;
+    }
+
+    // Higher-level bucket: advance the frontier to its start and cascade its
+    // entries one step down (their delta now fits the lower level's window).
+    // Staged through a scratch vector because reinsertion targets other
+    // buckets of this same wheel.
+    wheel_time_ = best_start;
+    wheel_scratch_.clear();
+    std::swap(wheel_scratch_, bucket);
+    for (const Event& ev : wheel_scratch_) {
+      if (slot(ev.slot).seq_live != occupant_key(ev.seq)) {
+        MEMCA_DCHECK(cancelled_pending_ > 0);
+        --cancelled_pending_;
+        continue;
+      }
+      const SimTime delta = ev.time - wheel_time_;
+      for (int level = 0; level < best_level; ++level) {
+        const int lshift = kWheelShift0 + level * kWheelLevelBits;
+        if (delta < (SimTime{kWheelBuckets} << lshift)) {
+          const std::uint32_t lidx =
+              static_cast<std::uint32_t>(ev.time >> lshift) & (kWheelBuckets - 1);
+          wheel_buckets_[(static_cast<std::uint32_t>(level) << kWheelLevelBits) + lidx]
+              .push_back(ev);
+          wheel_occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << lidx;
+          ++wheel_entries_;
+          break;
+        }
+      }
+    }
+  }
+  // Nothing at or before `limit` remains parked; pull the frontier up to the
+  // limit's tick (every bucket in between is empty) so the next insert and
+  // advance start from a fresh window.
+  if (wheel_entries_ == 0) wheel_next_ = std::numeric_limits<SimTime>::max();
+  const SimTime snapped = (limit >> kWheelShift0) << kWheelShift0;
+  if (snapped > wheel_time_) wheel_time_ = snapped;
+  return false;
 }
 
 void Simulator::cancel_event(std::uint32_t index, std::uint64_t seq) {
@@ -192,7 +350,8 @@ void Simulator::cancel_event(std::uint32_t index, std::uint64_t seq) {
 }
 
 void Simulator::maybe_compact() {
-  const std::size_t entries = heap_.size() + (sorted_.size() - cursor_);
+  const std::size_t entries =
+      heap_.size() + (sorted_.size() - cursor_) + wheel_entries_;
   if (entries < kCompactionMinimum || cancelled_pending_ * 2 <= entries) {
     return;
   }
@@ -206,6 +365,30 @@ void Simulator::maybe_compact() {
   sorted_.erase(sorted_.begin(), sorted_.begin() + static_cast<std::ptrdiff_t>(cursor_));
   cursor_ = 0;
   std::erase_if(sorted_, stale);
+  // Wheel buckets hold the bulk of the stale population in an RTO-heavy
+  // workload (most retransmission timers are cancelled by the reply); sweep
+  // them too so the zeroed counter below stays truthful.
+  if (wheel_entries_ > 0) {
+    for (int level = 0; level < kWheelLevels; ++level) {
+      std::uint64_t occ = wheel_occupied_[static_cast<std::size_t>(level)];
+      while (occ != 0) {
+        const int idx = std::countr_zero(occ);
+        occ &= occ - 1;
+        std::vector<Event>& bucket =
+            wheel_buckets_[(static_cast<std::uint32_t>(level) << kWheelLevelBits) +
+                           static_cast<std::uint32_t>(idx)];
+        const std::size_t before = bucket.size();
+        std::erase_if(bucket, stale);
+        wheel_entries_ -= before - bucket.size();
+        if (bucket.empty()) {
+          wheel_occupied_[static_cast<std::size_t>(level)] &=
+              ~(std::uint64_t{1} << idx);
+        }
+      }
+    }
+    wheel_next_ = wheel_entries_ > 0 ? wheel_earliest_start()
+                                     : std::numeric_limits<SimTime>::max();
+  }
   cancelled_pending_ = 0;
 }
 

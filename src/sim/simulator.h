@@ -22,9 +22,22 @@
 // carries the same seq, which makes cancellation O(1) and slot reuse safe.
 // Cancelled events are dropped lazily — either when their entry surfaces or
 // in a bulk compaction pass once they outnumber the live entries.
+//
+// Coarse timers (client retransmission RTOs, think-time wakeups — delays of
+// 131 ms and up) bypass the queue entirely and park in a 3-level hierarchical
+// timing wheel (64 buckets/level, 65.5 ms base tick): insertion is an index
+// computation and cancellation never touches the heap, so the thousands of
+// mostly-cancelled RTO timers a closed-loop client population arms never
+// inflate the sift depth of the short-horizon queue. Wheel buckets cascade
+// down a level as the frontier reaches them and flush into the arrival heap
+// strictly before any event at or past the bucket's start fires, so the
+// global (time, seq) firing order — and with it bit-reproducibility — is
+// identical to the pure-heap engine.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <new>
 #include <vector>
@@ -95,7 +108,11 @@ class Simulator {
     } else {
       index = grow_slot(std::forward<F>(fn), seq);
     }
-    heap_push(Event{when, seq, index});
+    if (when - now_ >= kWheelMinDelay) {
+      wheel_insert(Event{when, seq, index});
+    } else {
+      heap_push(Event{when, seq, index});
+    }
     ++live_pending_;
     if (live_pending_ > pending_high_water_) pending_high_water_ = live_pending_;
     return EventHandle(this, index, seq);
@@ -128,6 +145,9 @@ class Simulator {
   /// Slots ever allocated in the closure arena — the callback pool's
   /// occupancy high-water mark (the pool never shrinks).
   std::uint32_t pool_slots() const { return num_slots_; }
+  /// Entries currently parked in the timing wheel (live + not-yet-swept
+  /// cancelled); introspection for tests and benchmarks.
+  std::size_t wheel_pending() const { return wheel_entries_; }
 
  private:
   friend class EventHandle;
@@ -185,6 +205,16 @@ class Simulator {
   void add_chunk();
   /// Sweeps cancelled entries out of the queue once they outnumber live ones.
   void maybe_compact();
+  /// Parks a coarse-timer event in the wheel (falls back to the heap past the
+  /// wheel horizon). `ev.time` must be >= wheel_time_, which the
+  /// kWheelMinDelay routing guarantees.
+  void wheel_insert(const Event& ev);
+  /// Flushes/cascades wheel buckets whose start is <= `limit`, in time order,
+  /// returning true as soon as one bucket has been fed to the arrival heap so
+  /// the caller re-picks the earliest event. Returns false once every wheel
+  /// event at or before `limit` is in the heap.
+  bool advance_wheel(SimTime limit);
+  SimTime wheel_earliest_start() const;
   /// Fires the already-popped queue entry's callback in place (stale entries
   /// are dropped); returns true iff a live event executed.
   bool fire(const Event& ev);
@@ -238,6 +268,42 @@ class Simulator {
   /// Arrival heaps at or below this size are never flushed: the sort+merge
   /// bookkeeping only pays off once sifts get deep.
   static constexpr std::size_t kFlushMinimum = 64;
+
+  // --- Timing wheel (coarse timers: RTOs, think-time wakeups) ---
+  static constexpr int kWheelLevels = 3;
+  static constexpr int kWheelLevelBits = 6;  // 64 buckets per level
+  static constexpr std::uint32_t kWheelBuckets = 1u << kWheelLevelBits;
+  /// Level-0 tick: 2^16 us = 65.536 ms. Level ticks are 65.5 ms / 4.19 s /
+  /// 268 s, so the wheel spans ~4.77 simulated hours before falling back to
+  /// the heap.
+  static constexpr int kWheelShift0 = 16;
+  /// Timers shorter than two level-0 ticks stay in the heap: they fire too
+  /// soon for bucketing to pay, and the two-tick margin guarantees an insert
+  /// always lands strictly ahead of the wheel frontier.
+  static constexpr SimTime kWheelMinDelay = SimTime{2} << kWheelShift0;
+
+  /// Bucket storage, level-major: bucket b of level k lives at index
+  /// (k << kWheelLevelBits) + b. Vectors keep their capacity across reuse,
+  /// so a warmed-up wheel inserts without allocating.
+  std::array<std::vector<Event>, std::size_t{kWheelLevels} << kWheelLevelBits>
+      wheel_buckets_;
+  /// Per-level occupancy bitmap (bit b = bucket b non-empty): advancing the
+  /// frontier skips empty buckets with a rotate + count-trailing-zeros
+  /// instead of scanning.
+  std::array<std::uint64_t, kWheelLevels> wheel_occupied_{};
+  /// Flush frontier, always a multiple of the level-0 tick: every wheel event
+  /// with time < wheel_time_ has been flushed to the heap, and every bucket
+  /// containing wheel_time_ (at any level) is empty.
+  SimTime wheel_time_ = 0;
+  /// Start time of the earliest occupied bucket (max() when the wheel is
+  /// empty). Lets the drain loop skip the per-event level scan: the wheel
+  /// cannot owe the heap anything before this instant. Maintained as a lower
+  /// bound on insert, recomputed whenever advance/compaction changes
+  /// occupancy.
+  SimTime wheel_next_ = std::numeric_limits<SimTime>::max();
+  /// Entries currently parked in wheel buckets (live + stale).
+  std::size_t wheel_entries_ = 0;
+  std::vector<Event> wheel_scratch_;  // cascade staging, recycled
 };
 
 /// Repeats a callback at a fixed period until stopped. The first invocation

@@ -19,6 +19,10 @@ ClosedLoopClients::ClosedLoopClients(Simulator& sim, RequestRouter& router,
   profile_.validate();
   MEMCA_CHECK_MSG(profile_.num_tiers() == router_.depth(),
                   "profile tier count must match the target system");
+  // Pre-size the post-warmup sample store: each user completes roughly one
+  // request per think time, so a minute of samples per user is a generous
+  // first chunk that avoids reallocation churn during warm-up.
+  response_series_.reserve(static_cast<std::size_t>(config_.num_users) * 8);
   source_ = router_.register_source([this](const queueing::Request& r) { on_complete(r); },
                                     [this](const queueing::Request& r) { on_drop(r); });
 }
@@ -58,9 +62,9 @@ void ClosedLoopClients::send_request(int user, int page, SimTime first_sent, int
   req->attempt = attempt;
   req->first_sent = first_sent;
   req->sent = sim_.now();
-  req->demand_us = profile_.sample_demands(page, rng_);
+  profile_.sample_demands_into(page, rng_, req->demand_us);
   metrics_.submitted.inc();
-  router_.submit(std::move(req));
+  router_.submit(req);
 }
 
 void ClosedLoopClients::on_complete(const queueing::Request& req) {

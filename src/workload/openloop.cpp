@@ -51,8 +51,8 @@ void OpenLoopSource::send_request(int page, SimTime first_sent, int attempt) {
   req->attempt = attempt;
   req->first_sent = first_sent;
   req->sent = sim_.now();
-  req->demand_us = profile_.sample_demands(page, rng_);
-  router_.submit(std::move(req));
+  profile_.sample_demands_into(page, rng_, req->demand_us);
+  router_.submit(req);
 }
 
 void OpenLoopSource::on_complete(const queueing::Request& req) {

@@ -54,7 +54,7 @@ void Prober::transmit(SimTime first_sent, int attempt) {
   // Slight jitter around the nominal demand so probes are not bit-identical.
   req->demand_us.reserve(config_.demand_us.size());
   for (double d : config_.demand_us) req->demand_us.push_back(rng_.exponential(d));
-  router_.submit(std::move(req));
+  router_.submit(req);
 }
 
 void Prober::record(SimTime rt, bool dropped) {

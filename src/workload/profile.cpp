@@ -8,12 +8,17 @@
 namespace memca::workload {
 
 std::vector<double> WorkloadProfile::sample_demands(int page, Rng& rng) const {
+  std::vector<double> out;
+  sample_demands_into(page, rng, out);
+  return out;
+}
+
+void WorkloadProfile::sample_demands_into(int page, Rng& rng, std::vector<double>& out) const {
   MEMCA_CHECK(page >= 0 && page < static_cast<int>(pages.size()));
   const PageProfile& p = pages[static_cast<std::size_t>(page)];
-  std::vector<double> out;
+  out.clear();
   out.reserve(p.demand_mean_us.size());
   for (double mean : p.demand_mean_us) out.push_back(rng.exponential(mean));
-  return out;
 }
 
 double WorkloadProfile::mean_demand_us(std::size_t tier) const {

@@ -36,6 +36,10 @@ struct WorkloadProfile {
   /// (exponentially distributed around the page's means).
   std::vector<double> sample_demands(int page, Rng& rng) const;
 
+  /// Same, writing into `out` (cleared first). Request-rate hot paths reuse
+  /// the pooled request's demand vector so steady state never reallocates.
+  void sample_demands_into(int page, Rng& rng, std::vector<double>& out) const;
+
   /// Mean demand of the stationary page mix at `tier` (used to calibrate
   /// tier capacities analytically).
   double mean_demand_us(std::size_t tier) const;

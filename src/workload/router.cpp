@@ -13,7 +13,7 @@ RequestRouter::RequestRouter(queueing::RequestSystem& system) : system_(system) 
   system_.set_on_complete([this](const queueing::Request& r) {
     const auto source = static_cast<std::size_t>(r.id & kSourceMask);
     MEMCA_CHECK_MSG(source < sources_.size(), "completion for unregistered source");
-    for (const auto& observer : completion_observers_) observer(r);
+    for (auto& observer : completion_observers_) observer(r);
     if (sources_[source].on_complete) sources_[source].on_complete(r);
   });
   system_.set_on_drop([this](const queueing::Request& r) {
@@ -35,15 +35,13 @@ int RequestRouter::register_source(CompleteFn on_complete, DropFn on_drop) {
   return static_cast<int>(sources_.size() - 1);
 }
 
-std::unique_ptr<queueing::Request> RequestRouter::make_request(int source) {
+queueing::Request* RequestRouter::make_request(int source) {
   MEMCA_CHECK(source >= 0 && source < static_cast<int>(sources_.size()));
-  auto req = std::make_unique<queueing::Request>();
+  queueing::Request* req = system_.acquire();
   req->id = (next_id_++ << kSourceBits) | static_cast<queueing::Request::Id>(source);
   return req;
 }
 
-bool RequestRouter::submit(std::unique_ptr<queueing::Request> req) {
-  return system_.submit(std::move(req));
-}
+bool RequestRouter::submit(queueing::Request* req) { return system_.submit(req); }
 
 }  // namespace memca::workload

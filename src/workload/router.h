@@ -6,18 +6,18 @@
 // router also allocates globally unique request ids and stamps the source.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "common/check.h"
+#include "common/inline_callback.h"
 #include "queueing/system.h"
 
 namespace memca::workload {
 
 class RequestRouter {
  public:
-  using CompleteFn = std::function<void(const queueing::Request&)>;
-  using DropFn = std::function<void(const queueing::Request&)>;
+  using CompleteFn = InlineFunction<void(const queueing::Request&)>;
+  using DropFn = InlineFunction<void(const queueing::Request&)>;
 
   explicit RequestRouter(queueing::RequestSystem& system);
   RequestRouter(const RequestRouter&) = delete;
@@ -31,12 +31,15 @@ class RequestRouter {
   /// the full per-tier trace (e.g. the Fig. 7 observed-time histograms).
   void add_completion_observer(CompleteFn fn);
 
-  /// Creates a fresh request stamped with `source` and a unique id.
-  std::unique_ptr<queueing::Request> make_request(int source);
+  /// Acquires a pooled request stamped with `source` and a unique id. The
+  /// system's pool owns it; submit it (or release it back) before it leaks
+  /// a live slot until the pool dies.
+  queueing::Request* make_request(int source);
 
   /// Submits to the underlying system. Returns false if dropped (the
-  /// source's drop callback has already run in that case).
-  bool submit(std::unique_ptr<queueing::Request> req);
+  /// source's drop callback has already run in that case). The pointer must
+  /// not be used afterwards.
+  bool submit(queueing::Request* req);
 
   queueing::RequestSystem& system() { return system_; }
   std::size_t depth() const { return system_.depth(); }

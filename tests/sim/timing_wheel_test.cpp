@@ -1,0 +1,179 @@
+// Timing-wheel behaviour of the Simulator: coarse timers (>= kWheelMinDelay,
+// i.e. ~131 ms) park in the hierarchical wheel instead of the arrival heap.
+// These tests pin the routing threshold, the cascade across wheel levels,
+// cancellation of parked timers, and — the property everything else rests
+// on — that wheel-parked events fire in exactly the same (time, seq) order
+// as heap-scheduled ones.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace memca {
+namespace {
+
+TEST(TimingWheel, LongDelaysParkInWheelShortOnesDoNot) {
+  Simulator sim;
+  sim.schedule_in(msec(100), [] {});  // under the ~131 ms threshold: heap
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+  sim.schedule_in(sec(std::int64_t{1}), [] {});  // classic RTO delay: wheel
+  EXPECT_EQ(sim.wheel_pending(), 1u);
+  sim.schedule_in(sec(std::int64_t{7}), [] {});  // think-time delay: wheel
+  EXPECT_EQ(sim.wheel_pending(), 2u);
+  sim.run_all();
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(TimingWheel, FiresAtExactScheduledTime) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime delay : {sec(std::int64_t{1}), msec(1500), sec(std::int64_t{120}),
+                        sec(std::int64_t{3000})}) {
+    sim.schedule_in(delay, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_all();
+  EXPECT_EQ(fired, (std::vector<SimTime>{sec(std::int64_t{1}), msec(1500),
+                                         sec(std::int64_t{120}), sec(std::int64_t{3000})}))
+      << "wheel timers must fire at their exact scheduled instant";
+}
+
+TEST(TimingWheel, OrderMatchesHeapSemanticsAcrossMixedDelays) {
+  // Interleave short (heap) and long (wheel) timers whose absolute times
+  // shuffle across the two structures; the firing order must be the global
+  // (time, seq) order regardless of which structure held each timer.
+  Simulator sim;
+  std::vector<std::pair<SimTime, int>> fired;
+  int tag = 0;
+  auto add = [&](SimTime delay) {
+    const int t = tag++;
+    sim.schedule_in(delay, [&fired, &sim, t] { fired.emplace_back(sim.now(), t); });
+  };
+  add(sec(std::int64_t{2}));   // wheel
+  add(msec(50));               // heap
+  add(msec(200));              // wheel (just over threshold)
+  add(sec(std::int64_t{2}));   // wheel, same instant as tag 0 -> after it
+  add(msec(130));              // heap (just under threshold)
+  add(sec(std::int64_t{300})); // wheel level 2
+  sim.run_all();
+  const std::vector<std::pair<SimTime, int>> expected = {
+      {msec(50), 1},  {msec(130), 4},          {msec(200), 2},
+      {sec(std::int64_t{2}), 0}, {sec(std::int64_t{2}), 3}, {sec(std::int64_t{300}), 5},
+  };
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(TimingWheel, SameInstantTieBreaksByScheduleOrderAcrossStructures) {
+  // Two events at the same absolute time, one routed to the wheel (long
+  // delay) and one scheduled later from closer range into the heap: the
+  // wheel one was scheduled first, so it must fire first.
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime t = sec(std::int64_t{1});
+  sim.schedule_at(t, [&order] { order.push_back(0); });  // wheel (delay 1 s)
+  sim.run_until(t - msec(10));
+  sim.schedule_at(t, [&order] { order.push_back(1); });  // heap (delay 10 ms)
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(TimingWheel, CancelledParkedTimerNeverFires) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_in(sec(std::int64_t{5}), [&fired] { ++fired; });
+  EXPECT_EQ(sim.wheel_pending(), 1u);
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(TimingWheel, MassCancellationIsSweptByCompaction) {
+  // The RTO population shape: thousands of parked timers, nearly all
+  // cancelled before firing. The compaction sweep must reclaim the wheel
+  // entries (not just heap entries), so the stale population stays bounded.
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  handles.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    handles.push_back(
+        sim.schedule_in(sec(std::int64_t{1}) + msec(i % 3000), [&fired] { ++fired; }));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 100 != 0) handles[static_cast<std::size_t>(i)].cancel();
+  }
+  // After cancelling 99% of 10k timers, compaction has certainly run; the
+  // wheel must not still hold ~9.9k stale entries.
+  EXPECT_LT(sim.wheel_pending(), 1000u);
+  sim.run_all();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+}
+
+TEST(TimingWheel, CascadesAcrossAllLevels) {
+  // One timer per wheel level plus one past the horizon (heap fallback);
+  // each must fire exactly at its instant after cascading down.
+  Simulator sim;
+  std::vector<SimTime> fired;
+  const std::vector<SimTime> delays = {
+      msec(500),                 // level 0
+      sec(std::int64_t{60}),     // level 1 (65.5 ms .. 4.19 s per tick)
+      sec(std::int64_t{1000}),   // level 2
+      sec(std::int64_t{30000}),  // past the ~4.77 h horizon: heap fallback
+  };
+  for (SimTime d : delays) {
+    sim.schedule_in(d, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  EXPECT_EQ(sim.wheel_pending(), 3u);  // horizon overflow went to the heap
+  sim.run_all();
+  EXPECT_EQ(fired, delays);
+}
+
+TEST(TimingWheel, RunUntilLeavesParkedTimersIntact) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(sec(std::int64_t{10}), [&fired] { ++fired; });
+  sim.run_until(sec(std::int64_t{9}));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.wheel_pending(), 1u);
+  sim.run_until(sec(std::int64_t{10}));  // boundary inclusive
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+}
+
+TEST(TimingWheel, ReinsertionAfterIdlePeriodsStaysCorrect) {
+  // Exercises the empty-wheel frontier snap: park, drain, advance time far,
+  // park again. A stale frontier would misfile the second timer.
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_in(sec(std::int64_t{1}), [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run_all();
+  sim.run_until(sec(std::int64_t{5000}));  // long idle gap, empty wheel
+  sim.schedule_in(sec(std::int64_t{2}), [&fired, &sim] { fired.push_back(sim.now()); });
+  EXPECT_EQ(sim.wheel_pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(fired, (std::vector<SimTime>{sec(std::int64_t{1}), sec(std::int64_t{5002})}));
+}
+
+TEST(TimingWheel, PeriodicCoarseTickUsesWheelAndStaysExact) {
+  // A 1 s periodic task re-arms through the wheel every firing; 100 firings
+  // must land exactly on the second marks (no drift from bucket rounding).
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTask task(sim, sec(std::int64_t{1}), [&ticks, &sim] { ticks.push_back(sim.now()); });
+  sim.run_until(sec(std::int64_t{100}));
+  ASSERT_EQ(ticks.size(), 100u);
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i], sec(static_cast<std::int64_t>(i + 1)));
+  }
+}
+
+}  // namespace
+}  // namespace memca
