@@ -210,10 +210,15 @@ void Simulator::wheel_insert(const Event& ev) {
     wheel_time_ = (now_ >> kWheelShift0) << kWheelShift0;
   }
   MEMCA_DCHECK(ev.time >= wheel_time_);
-  const SimTime delta = ev.time - wheel_time_;
+  // Level selection must use bucket-tick distance, not the raw time delta:
+  // the frontier is only level-0 aligned, so a delta just under a level's
+  // window can still span kWheelBuckets ticks at that level, wrapping the
+  // absolute-time index onto the frontier's own bucket — a bucket the
+  // advance loop would then (wrongly) treat as already due. Distance in
+  // tick space keeps the level and the index consistent for any alignment.
   for (int level = 0; level < kWheelLevels; ++level) {
     const int shift = kWheelShift0 + level * kWheelLevelBits;
-    if (delta < (SimTime{kWheelBuckets} << shift)) {
+    if ((ev.time >> shift) - (wheel_time_ >> shift) < SimTime{kWheelBuckets}) {
       const std::uint32_t idx =
           static_cast<std::uint32_t>(ev.time >> shift) & (kWheelBuckets - 1);
       wheel_buckets_[(static_cast<std::uint32_t>(level) << kWheelLevelBits) + idx]
@@ -311,25 +316,45 @@ bool Simulator::advance_wheel(SimTime limit) {
     wheel_time_ = best_start;
     wheel_scratch_.clear();
     std::swap(wheel_scratch_, bucket);
+    bool fed_heap = false;
     for (const Event& ev : wheel_scratch_) {
       if (slot(ev.slot).seq_live != occupant_key(ev.seq)) {
         MEMCA_DCHECK(cancelled_pending_ > 0);
         --cancelled_pending_;
         continue;
       }
-      const SimTime delta = ev.time - wheel_time_;
+      // Same tick-distance level choice as wheel_insert (the frontier now
+      // sits on a level-best_level boundary, so a lower level always fits a
+      // bucket's worth of cascade range).
+      bool refiled = false;
       for (int level = 0; level < best_level; ++level) {
         const int lshift = kWheelShift0 + level * kWheelLevelBits;
-        if (delta < (SimTime{kWheelBuckets} << lshift)) {
+        if ((ev.time >> lshift) - (wheel_time_ >> lshift) < SimTime{kWheelBuckets}) {
           const std::uint32_t lidx =
               static_cast<std::uint32_t>(ev.time >> lshift) & (kWheelBuckets - 1);
           wheel_buckets_[(static_cast<std::uint32_t>(level) << kWheelLevelBits) + lidx]
               .push_back(ev);
           wheel_occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << lidx;
           ++wheel_entries_;
+          refiled = true;
           break;
         }
       }
+      // A mis-filed entry must never vanish: if no lower level accepts it
+      // (impossible under the invariant above, but cheap to guard), fire it
+      // through the heap at its correct time instead of dropping it.
+      if (!refiled) {
+        MEMCA_DCHECK(false);
+        heap_push(ev);
+        fed_heap = true;
+      }
+    }
+    if (fed_heap) {
+      // The caller's candidate pointer into the heap is stale; recompute the
+      // earliest bucket and report so it re-picks.
+      wheel_next_ = wheel_entries_ > 0 ? wheel_earliest_start()
+                                       : std::numeric_limits<SimTime>::max();
+      return true;
     }
   }
   // Nothing at or before `limit` remains parked; pull the frontier up to the

@@ -162,6 +162,30 @@ TEST(TimingWheel, ReinsertionAfterIdlePeriodsStaysCorrect) {
   EXPECT_EQ(fired, (std::vector<SimTime>{sec(std::int64_t{1}), sec(std::int64_t{5002})}));
 }
 
+TEST(TimingWheel, MisalignedFrontierNearLevelWindowBoundary) {
+  // Regression: level selection used the raw time delta from the frontier
+  // while the bucket index came from absolute time. After the 200 ms timer
+  // below fires, the frontier sits at 262144 us — one level-0 tick past the
+  // flushed bucket, not aligned to a level-1 (2^22 us) boundary. A timer
+  // whose delta is just under the level-1 window (2^28 us) then wrapped all
+  // 64 buckets onto the frontier's own bucket and was silently dropped by
+  // the cascade: it never fired and leaked in pending_events(). Tick-space
+  // level selection must file it one level up and fire it exactly on time.
+  Simulator sim;
+  std::vector<SimTime> fired;
+  auto record = [&fired, &sim] { fired.push_back(sim.now()); };
+  sim.schedule_in(msec(200), record);               // misaligns the frontier
+  sim.schedule_in(sec(std::int64_t{400}), record);  // keeps the wheel occupied
+  sim.run_until(msec(200));
+  const SimTime target = msec(268500);  // delta from frontier: 2^28 - 197856 us
+  sim.schedule_at(target, record);
+  sim.run_all();
+  EXPECT_EQ(fired,
+            (std::vector<SimTime>{msec(200), target, sec(std::int64_t{400})}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+}
+
 TEST(TimingWheel, PeriodicCoarseTickUsesWheelAndStaysExact) {
   // A 1 s periodic task re-arms through the wheel every firing; 100 firings
   // must land exactly on the second marks (no drift from bucket rounding).
