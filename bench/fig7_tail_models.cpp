@@ -12,6 +12,7 @@
 #include "common/table.h"
 #include "queueing/ntier.h"
 #include "queueing/tandem.h"
+#include "snapshot/world_snapshot.h"
 #include "workload/openloop.h"
 
 using namespace memca;
@@ -76,11 +77,27 @@ void run_tandem_infinite() {
   workload::OpenLoopSource source(sim, router, workload::uniform_profile(kDemand), config,
                                   Rng(11));
   std::function<void(double)> throttle = [&](double m) { system.set_speed_multiplier(2, m); };
-  schedule_bursts(sim, throttle);
+  // Checkpoint after the source is live but before the bursts are
+  // scheduled: rolling back drops the bursts, so the replay is the
+  // no-attack baseline over the identical arrival stream.
+  snapshot::WorldSnapshot checkpoint;
+  checkpoint.attach(sim);
+  checkpoint.attach(system);
+  checkpoint.attach(router);
+  checkpoint.attach(source);
+  checkpoint.attach_value(observed);
   source.start();
+  checkpoint.capture();
+  schedule_bursts(sim, throttle);
   sim.run_until(kDuration);
   print_percentiles(
       "Fig. 7a — tandem queue, infinite MySQL queue: all curves nearly overlap",
+      [&](std::size_t tier, double q) { return observed[tier].quantile(q); },
+      source.response_times());
+  checkpoint.rollback();
+  sim.run_until(kDuration);
+  print_percentiles(
+      "Fig. 7a baseline — same world via rollback, bursts dropped",
       [&](std::size_t tier, double q) { return observed[tier].quantile(q); },
       source.response_times());
 }
@@ -98,16 +115,26 @@ void run_ntier(int apache_threads, const char* title) {
   std::function<void(double)> throttle = [&](double m) {
     system.back_tier().set_speed_multiplier(m);
   };
-  schedule_bursts(sim, throttle);
+  snapshot::WorldSnapshot checkpoint;
+  checkpoint.attach(sim);
+  checkpoint.attach(system);
+  checkpoint.attach(router);
+  checkpoint.attach(source);
   source.start();
+  checkpoint.capture();
+  schedule_bursts(sim, throttle);
   sim.run_until(kDuration);
-  print_percentiles(
-      title,
-      [&](std::size_t tier, double q) {
-        return system.tier(tier).residence_time().quantile(q);
-      },
-      source.response_times());
+  const auto tier_quantile = [&](std::size_t tier, double q) {
+    return system.tier(tier).residence_time().quantile(q);
+  };
+  print_percentiles(title, tier_quantile, source.response_times());
   std::cout << "drops: " << system.dropped() << " of " << system.submitted()
+            << " submissions\n";
+  checkpoint.rollback();
+  sim.run_until(kDuration);
+  print_percentiles("    baseline — same world via rollback, bursts dropped",
+                    tier_quantile, source.response_times());
+  std::cout << "baseline drops: " << system.dropped() << " of " << system.submitted()
             << " submissions\n";
 }
 

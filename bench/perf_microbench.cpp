@@ -17,6 +17,7 @@
 #include "metrics/registry.h"
 #include "queueing/request_pool.h"
 #include "sim/simulator.h"
+#include "sweep/sweep_runner.h"
 #include "testbed/attack_lab.h"
 #include "trace/recorder.h"
 
@@ -273,6 +274,73 @@ void BM_FullTestbedSecond(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
 BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotRollback(benchmark::State& state) {
+  // One rollback of a full warmed testbed (metrics + scraper on) per
+  // iteration, after a simulated second of divergence. This is the per-cell
+  // rewind price the checkpointed sweep pays instead of re-simulating the
+  // warm-up prefix; it must stay far below one simulated second's cost for
+  // the reuse to win.
+  testbed::TestbedConfig config;
+  config.metrics = true;
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+  bed.sim().run_for(sec(std::int64_t{5}));
+  bed.snapshot();
+  for (auto _ : state) {
+    state.PauseTiming();
+    bed.sim().run_for(sec(std::int64_t{1}));
+    state.ResumeTiming();
+    bed.rollback();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotRollback)->Unit(benchmark::kMicrosecond);
+
+std::vector<testbed::AttackLabConfig> warm_prefix_grid() {
+  // 8 cells sharing one prefix, warm-up as long as the measurement window —
+  // the regime the checkpoint targets: half of every cold cell's work is
+  // the identical prefix.
+  std::vector<testbed::AttackLabConfig> cells;
+  for (int i = 0; i < 8; ++i) {
+    testbed::AttackLabConfig config;
+    config.warmup = sec(std::int64_t{15});
+    config.duration = sec(std::int64_t{15});
+    config.params.burst_length = msec(100 * (i + 1));
+    config.params.burst_interval = sec(std::int64_t{2});
+    cells.push_back(config);
+  }
+  return cells;
+}
+
+void BM_SweepCheckpointedWarmup(benchmark::State& state) {
+  // The checkpointed path on the warm-prefix grid: each worker simulates
+  // the 15 s prefix once, snapshots, and rewinds per cell — ~15 s of
+  // simulation per cell plus an amortised prefix.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testbed::run_attack_lab_sweep(
+        warm_prefix_grid(), static_cast<int>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SweepCheckpointedWarmup)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepColdWarmup(benchmark::State& state) {
+  // The pre-checkpoint behaviour on the same grid: every cell re-simulates
+  // the full 30 s (prefix + window) in a fresh world. The ratio to
+  // BM_SweepCheckpointedWarmup at equal thread count is the checkpoint
+  // speedup (>= 1.5x expected with warmup >= window).
+  for (auto _ : state) {
+    sweep::SweepRunner runner({static_cast<int>(state.range(0))});
+    benchmark::DoNotOptimize(runner.map(
+        warm_prefix_grid(),
+        [](const testbed::AttackLabConfig& config) { return testbed::run_attack_lab(config); }));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SweepColdWarmup)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SweepRunnerScaling(benchmark::State& state) {
   // An 8-cell attack-parameter grid per iteration, Arg = worker threads.

@@ -52,6 +52,33 @@ class NoisyNeighbor {
   bool active_ = false;
   std::int64_t phases_ = 0;
   EventHandle next_;
+
+ public:
+  /// Checkpoint of the renewal process (the pending phase-change handle
+  /// round-trips; the simulator revives the same occupancy).
+  struct Snapshot {
+    Rng rng{0};
+    bool running = false;
+    bool active = false;
+    std::int64_t phases = 0;
+    EventHandle next;
+  };
+
+  void capture(Snapshot& out) const {
+    out.rng = rng_;
+    out.running = running_;
+    out.active = active_;
+    out.phases = phases_;
+    out.next = next_;
+  }
+
+  void restore(const Snapshot& snap) {
+    rng_ = snap.rng;
+    running_ = snap.running;
+    active_ = snap.active;
+    phases_ = snap.phases;
+    next_ = snap.next;
+  }
 };
 
 }  // namespace memca::cloud

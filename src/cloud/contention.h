@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "cloud/host.h"
+#include "common/check.h"
 
 namespace memca::cloud {
 
@@ -38,6 +39,19 @@ class CrossResourceModel {
 
   VmId victim() const { return victim_; }
   const CrossResourceParams& params() const { return params_; }
+
+  /// Checkpoint: only the observer count is mutable here (the victim demand
+  /// lives in the Host's snapshot). Observers added after the capture are
+  /// dropped by restore().
+  struct Snapshot {
+    std::size_t num_observers = 0;
+  };
+
+  void capture(Snapshot& out) const { out.num_observers = observers_.size(); }
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.num_observers <= observers_.size());
+    observers_.resize(snap.num_observers);
+  }
 
  private:
   Host& host_;

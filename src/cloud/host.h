@@ -14,6 +14,7 @@
 
 #include "cloud/membw.h"
 #include "cloud/topology.h"
+#include "common/check.h"
 
 namespace memca::cloud {
 
@@ -83,6 +84,28 @@ class Host {
   MemoryBandwidthModel bw_model_;
   std::vector<VmState> vms_;
   std::vector<std::function<void()>> observers_;
+
+ public:
+  /// Checkpoint of the host's mutable contention state: per-VM activity and
+  /// isolation caps, plus the observer count (observers registered after the
+  /// capture are dropped; earlier ones keep their bound closures). The VM
+  /// roster must match — add_vm after a capture is not restorable.
+  struct Snapshot {
+    std::vector<VmState> vms;
+    std::size_t num_observers = 0;
+  };
+
+  void capture(Snapshot& out) const {
+    out.vms.assign(vms_.begin(), vms_.end());
+    out.num_observers = observers_.size();
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.vms.size() == vms_.size() &&
+                snap.num_observers <= observers_.size());
+    std::copy(snap.vms.begin(), snap.vms.end(), vms_.begin());
+    observers_.resize(snap.num_observers);
+  }
 };
 
 }  // namespace memca::cloud

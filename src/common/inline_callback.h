@@ -93,6 +93,13 @@ class InlineFunction<void(Args...)> {
   /// and benchmarks; an empty callback reports false).
   bool is_inline() const { return invoke_ != nullptr && !heap_; }
 
+  /// True if the stored state (including "empty") can be relocated or
+  /// duplicated with a raw byte copy: either no callable is stored, or the
+  /// capture is inline, trivially copyable, and trivially destructible. The
+  /// snapshot engine checkpoints event-slot arenas with memcpy and requires
+  /// every live closure to satisfy this.
+  bool is_trivially_relocatable() const { return manage_ == nullptr; }
+
  private:
   enum class Op { kDestroy, kMoveTo };
   using InvokeFn = void (*)(void*, Args...);

@@ -48,6 +48,25 @@ class ScopedLogCounter {
   std::int64_t warnings() const { return warnings_; }
   std::int64_t errors() const { return errors_; }
 
+  /// Checkpoint support: the counters are plain per-thread state, so a
+  /// rollback restores the counts observed at capture time. The thread-local
+  /// scope chain itself is not snapshotted — a checkpointed world must be
+  /// captured and restored on the thread that owns its counter.
+  struct Snapshot {
+    std::int64_t warnings = 0;
+    std::int64_t errors = 0;
+  };
+
+  void capture(Snapshot& out) const {
+    out.warnings = warnings_;
+    out.errors = errors_;
+  }
+
+  void restore(const Snapshot& snap) {
+    warnings_ = snap.warnings;
+    errors_ = snap.errors;
+  }
+
  private:
   friend void log_message(LogLevel, const std::string&);
 

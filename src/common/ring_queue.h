@@ -59,6 +59,31 @@ class RingQueue {
     count_ = 0;
   }
 
+  /// Checkpoint support: the logical FIFO contents in pop order. The head
+  /// offset is not part of the observable state (only the element sequence
+  /// is), so restore re-bases at index 0 — valid for any capacity that has
+  /// grown since the capture, and allocation-free because ring capacity
+  /// never shrinks.
+  struct Snapshot {
+    std::vector<T> items;
+  };
+
+  void capture(Snapshot& out) const {
+    out.items.clear();
+    out.items.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      out.items.push_back(buf_[(head_ + i) & mask_]);
+    }
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK_MSG(snap.items.size() <= capacity(),
+                    "ring capacity shrank below a checkpointed occupancy");
+    head_ = 0;
+    count_ = snap.items.size();
+    for (std::size_t i = 0; i < count_; ++i) buf_[i] = snap.items[i];
+  }
+
  private:
   void grow(std::size_t min_capacity) {
     const std::size_t new_cap = std::bit_ceil(min_capacity < 8 ? 8 : min_capacity);

@@ -29,6 +29,13 @@ class TimeSeries {
   /// reserve up front so warm-up appends don't reallocate).
   void reserve(std::size_t n) { samples_.reserve(n); }
 
+  /// Drops every sample past the first `n` (no-op if there are fewer).
+  /// Capacity is retained: a series is append-only, so rolling back to an
+  /// earlier checkpoint is exactly a truncation, and it must not allocate.
+  void truncate(std::size_t n) {
+    if (n < samples_.size()) samples_.resize(n);
+  }
+
   const std::vector<Sample>& samples() const& { return samples_; }
   /// Rvalue overload returns by value so `resample_mean(...).samples()` in a
   /// range-for binds a lifetime-extended temporary instead of dangling.

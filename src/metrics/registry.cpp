@@ -153,6 +153,63 @@ void Registry::merge(const Registry& other) {
   scrapes_ = std::max(scrapes_, other.scrapes_);
 }
 
+void Registry::capture(Snapshot& out) const {
+  out.scrapes = scrapes_;
+  out.cells.resize(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& cell = cells_[i];
+    Snapshot::CellState& s = out.cells[i];
+    s.counter = cell.counter;
+    s.gauge = cell.gauge;
+    s.series_size = cell.series.size();
+    if (cell.hist != nullptr) {
+      if (s.hist == nullptr) s.hist = std::make_unique<LatencyHistogram>();
+      *s.hist = *cell.hist;
+    } else {
+      s.hist.reset();
+    }
+  }
+}
+
+void Registry::restore(const Snapshot& snap) {
+  MEMCA_CHECK_MSG(snap.cells.size() <= cells_.size(),
+                  "a Snapshot only restores into the registry it captured");
+  if (snap.cells.size() < cells_.size()) {
+    cells_.resize(snap.cells.size());
+    for (auto it = index_.begin(); it != index_.end();) {
+      if (it->second >= snap.cells.size()) {
+        it = index_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  scrapes_ = snap.scrapes;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    Cell& cell = cells_[i];
+    const Snapshot::CellState& s = snap.cells[i];
+    cell.counter = s.counter;
+    cell.gauge = s.gauge;
+    cell.series.truncate(s.series_size);
+    MEMCA_CHECK((cell.hist != nullptr) == (s.hist != nullptr));
+    if (cell.hist != nullptr) *cell.hist = *s.hist;
+  }
+}
+
+void Registry::clone_values_into(Registry& out) const {
+  MEMCA_CHECK_MSG(out.cells_.empty(), "clone target must be an empty registry");
+  for (const Cell& cell : cells_) {
+    Cell& copy = out.intern(cell.name, cell.labels, cell.kind);
+    copy.counter = cell.counter;
+    copy.gauge = cell.gauge;
+    if (cell.hist != nullptr) {
+      copy.hist = std::make_unique<LatencyHistogram>(*cell.hist);
+    }
+    copy.series = cell.series;
+  }
+  out.scrapes_ = scrapes_;
+}
+
 namespace {
 // Doubles as raw bit patterns: equal text iff bit-identical values.
 void put_bits(std::ostream& out, double v) {

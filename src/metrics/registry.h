@@ -156,6 +156,35 @@ class Registry {
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
+  /// Checkpoint of every instrument's data: counter/gauge values, histogram
+  /// contents, and series lengths (series are append-only, so restore is a
+  /// truncation). Instruments registered after the capture are dropped by
+  /// restore() — handles resolved into them dangle, exactly like handles
+  /// into a destroyed registry — while earlier handles stay valid because
+  /// cells never move. Probe callbacks are wiring and are left untouched.
+  struct Snapshot {
+    struct CellState {
+      std::int64_t counter = 0;
+      double gauge = 0.0;
+      std::size_t series_size = 0;
+      /// Allocated only for histogram cells.
+      std::unique_ptr<LatencyHistogram> hist;
+    };
+    std::vector<CellState> cells;
+    std::int64_t scrapes = 0;
+  };
+
+  void capture(Snapshot& out) const;
+  void restore(const Snapshot& snap);
+
+  /// Copies every instrument's data — name, labels, kind, values, series,
+  /// histograms — into `out` (which must be empty), leaving probe callbacks
+  /// behind. merge()/serialize() never evaluate probe callbacks, so merging
+  /// or serializing the clone yields the same bytes as the original. This is
+  /// how a checkpointed sweep harvests a cell's registry before rolling the
+  /// live world back for the next cell.
+  void clone_values_into(Registry& out) const;
+
   /// Merges `other` into this registry: instruments are matched by
   /// name+labels (appended in other's registration order when absent here).
   /// Every value-bearing field is additive — counters and gauges sum,

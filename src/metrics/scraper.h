@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "common/check.h"
 #include "metrics/registry.h"
 #include "sim/simulator.h"
 
@@ -33,6 +34,23 @@ class Scraper {
   void stop();
   bool running() const { return task_ != nullptr; }
   SimTime resolution() const { return config_.resolution; }
+
+  /// Checkpoint of the periodic tick (the scraped data itself lives in the
+  /// Registry's snapshot). The task must exist iff it existed at capture.
+  struct Snapshot {
+    bool has_task = false;
+    PeriodicTask::Snapshot task;
+  };
+
+  void capture(Snapshot& out) const {
+    out.has_task = task_ != nullptr;
+    if (task_ != nullptr) task_->capture(out.task);
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.has_task == (task_ != nullptr));
+    if (task_ != nullptr) task_->restore(snap.task);
+  }
 
  private:
   Simulator& sim_;

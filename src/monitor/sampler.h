@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/check.h"
 #include "common/timeseries.h"
 #include "sim/simulator.h"
 
@@ -27,6 +28,28 @@ class GaugeSampler {
   void stop();
   const TimeSeries& series() const { return series_; }
   SimTime period() const { return period_; }
+
+  /// Checkpoint: the periodic task's pending tick plus the series length
+  /// (append-only, so restore is a truncation). start()/stop() between a
+  /// capture and its restore is not supported — the task object must still
+  /// exist iff it existed at capture.
+  struct Snapshot {
+    bool has_task = false;
+    PeriodicTask::Snapshot task;
+    std::size_t series_size = 0;
+  };
+
+  void capture(Snapshot& out) const {
+    out.has_task = task_ != nullptr;
+    if (task_ != nullptr) task_->capture(out.task);
+    out.series_size = series_.size();
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.has_task == (task_ != nullptr));
+    if (task_ != nullptr) task_->restore(snap.task);
+    series_.truncate(snap.series_size);
+  }
 
  private:
   Simulator& sim_;
@@ -54,6 +77,29 @@ class UtilizationSampler {
   void stop();
   const TimeSeries& series() const { return series_; }
   SimTime period() const { return period_; }
+
+  /// Checkpoint: pending tick, the differencing cursor, and the series
+  /// length. Same task-presence rule as GaugeSampler::Snapshot.
+  struct Snapshot {
+    bool has_task = false;
+    PeriodicTask::Snapshot task;
+    double last_integral = 0.0;
+    std::size_t series_size = 0;
+  };
+
+  void capture(Snapshot& out) const {
+    out.has_task = task_ != nullptr;
+    if (task_ != nullptr) task_->capture(out.task);
+    out.last_integral = last_integral_;
+    out.series_size = series_.size();
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.has_task == (task_ != nullptr));
+    if (task_ != nullptr) task_->restore(snap.task);
+    last_integral_ = snap.last_integral;
+    series_.truncate(snap.series_size);
+  }
 
  private:
   void sample();

@@ -40,6 +40,26 @@ class NTierSystem : public RequestSystem {
   /// Attaches the recorder to the system and every tier.
   void set_trace(trace::TraceRecorder* recorder) override;
 
+  /// Checkpoint of the whole chain: pool + counters + every tier. Tier
+  /// wiring (downstream pointers, reply sink) is construction-time and not
+  /// captured; restore() requires the same tier count it was taken from.
+  struct Snapshot {
+    CountersSnapshot counters;
+    std::vector<TierServer::Snapshot> tiers;
+  };
+
+  void capture(Snapshot& out) const {
+    capture_counters(out.counters);
+    out.tiers.resize(tiers_.size());
+    for (std::size_t i = 0; i < tiers_.size(); ++i) tiers_[i]->capture(out.tiers[i]);
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.tiers.size() == tiers_.size());
+    restore_counters(snap.counters);
+    for (std::size_t i = 0; i < tiers_.size(); ++i) tiers_[i]->restore(snap.tiers[i]);
+  }
+
  private:
   void on_reply(Request* req);
 

@@ -3,9 +3,10 @@
 namespace memca::queueing {
 
 RequestPool::~RequestPool() {
-  // Every slot in [0, num_slots_) holds a constructed Request (released ones
-  // are recycled in place, never destroyed), so destruction walks them all.
-  for (std::uint32_t i = 0; i < num_slots_; ++i) {
+  // Every slot in [0, constructed_) holds a constructed Request (released
+  // ones are recycled in place, never destroyed; a checkpoint rollback only
+  // shrinks num_slots_), so destruction walks them all.
+  for (std::uint32_t i = 0; i < constructed_; ++i) {
     slot_ptr(i)->~Request();
   }
 }
@@ -27,10 +28,27 @@ Request* RequestPool::acquire() {
     req->demand_us.clear();
     req->trace.clear();
     req->pool_gen += 1;  // even (free) -> odd (live)
+  } else if (num_slots_ < constructed_) {
+    // Regrowth after a checkpoint rollback: the slot still holds the object
+    // from its previous life. Revive it exactly as a fresh construction
+    // would look (generation restarts at 0, live) — only the retained vector
+    // capacity differs, which is unobservable.
+    const std::uint32_t index = num_slots_++;
+    req = slot_ptr(index);
+    req->id = 0;
+    req->page_class = -1;
+    req->user = -1;
+    req->attempt = 0;
+    req->first_sent = 0;
+    req->sent = 0;
+    req->demand_us.clear();
+    req->trace.clear();
+    req->pool_slot = index;
+    req->pool_gen = 1;
   } else {
     MEMCA_CHECK_MSG(num_slots_ != 0xffffffffu, "request pool exhausted");
     const std::uint32_t index = num_slots_++;
-    if ((index & kChunkMask) == 0) {
+    if ((index >> kChunkShift) >= chunks_.size()) {
       chunks_.push_back(std::make_unique_for_overwrite<unsigned char[]>(
           sizeof(Request) << kChunkShift));
     }
@@ -39,9 +57,60 @@ Request* RequestPool::acquire() {
     req = ::new (static_cast<void*>(raw)) Request{};
     req->pool_slot = index;
     req->pool_gen = 1;  // generation 0, live
+    constructed_ = num_slots_;
   }
   ++live_;
   return req;
+}
+
+void RequestPool::capture(Snapshot& out) const {
+  out.num_slots = num_slots_;
+  out.live = live_;
+  out.free_list.assign(free_.begin(), free_.end());
+  out.slots.resize(num_slots_);
+  for (std::uint32_t i = 0; i < num_slots_; ++i) {
+    const Request* req = slot_ptr(i);
+    Snapshot::SlotState& s = out.slots[i];
+    s.gen = req->pool_gen;
+    if ((req->pool_gen & 1u) != 0) {
+      s.id = req->id;
+      s.page_class = req->page_class;
+      s.user = req->user;
+      s.attempt = req->attempt;
+      s.first_sent = req->first_sent;
+      s.sent = req->sent;
+      s.demand_us.assign(req->demand_us.begin(), req->demand_us.end());
+      s.trace.assign(req->trace.begin(), req->trace.end());
+    } else {
+      // A free slot's body is never observed (acquire resets it); don't keep
+      // a stale copy alive in the snapshot.
+      s.demand_us.clear();
+      s.trace.clear();
+    }
+  }
+}
+
+void RequestPool::restore(const Snapshot& snap) {
+  MEMCA_CHECK_MSG(snap.num_slots <= constructed_,
+                  "a Snapshot only restores into the pool it captured");
+  num_slots_ = snap.num_slots;
+  live_ = snap.live;
+  free_.assign(snap.free_list.begin(), snap.free_list.end());
+  for (std::uint32_t i = 0; i < snap.num_slots; ++i) {
+    Request* req = slot_ptr(i);
+    const Snapshot::SlotState& s = snap.slots[i];
+    req->pool_gen = s.gen;  // pool_slot is invariant per slot
+    if ((s.gen & 1u) != 0) {
+      req->id = s.id;
+      req->page_class = s.page_class;
+      req->user = s.user;
+      req->attempt = s.attempt;
+      req->first_sent = s.first_sent;
+      req->sent = s.sent;
+      req->demand_us.assign(s.demand_us.begin(), s.demand_us.end());
+      req->trace.assign(s.trace.begin(), s.trace.end());
+    }
+  }
 }
 
 void RequestPool::release(Request* req) {

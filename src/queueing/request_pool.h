@@ -67,6 +67,32 @@ class RequestPool {
   /// Slots ever created — the pool's occupancy high-water mark.
   std::uint32_t slots() const { return num_slots_; }
 
+  /// Checkpoint of the pool: per-slot generation words, the free list, and
+  /// the full body of every live request. restore() writes the state back
+  /// into the same slots — request pointers captured elsewhere (queues,
+  /// in-flight tables) stay valid — and never allocates, because a recycled
+  /// request's vectors only ever gain capacity after the capture.
+  struct Snapshot {
+    struct SlotState {
+      std::uint32_t gen = 0;
+      Request::Id id = 0;
+      int page_class = -1;
+      int user = -1;
+      int attempt = 0;
+      SimTime first_sent = 0;
+      SimTime sent = 0;
+      std::vector<double> demand_us;
+      std::vector<TierTrace> trace;
+    };
+    std::uint32_t num_slots = 0;
+    std::size_t live = 0;
+    std::vector<SlotState> slots;
+    std::vector<std::uint32_t> free_list;
+  };
+
+  void capture(Snapshot& out) const;
+  void restore(const Snapshot& snap);
+
  private:
   static constexpr std::uint32_t kChunkShift = 8;  // 256 requests per chunk
   static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
@@ -84,6 +110,10 @@ class RequestPool {
   /// slot and destroyed only by ~RequestPool.
   std::vector<std::unique_ptr<unsigned char[]>> chunks_;
   std::uint32_t num_slots_ = 0;
+  /// Slots that hold a constructed Request — never decreases. A checkpoint
+  /// rollback shrinks num_slots_, and regrowth then revives the still-
+  /// constructed object in place instead of placement-constructing over it.
+  std::uint32_t constructed_ = 0;
   std::size_t live_ = 0;
   /// LIFO recycling stack: the most recently released request is the next
   /// acquired, so its vectors (and the cache lines under them) are warm.

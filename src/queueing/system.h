@@ -79,6 +79,33 @@ class RequestSystem {
   /// (nullptr detaches). The system does not own the recorder.
   virtual void set_trace(trace::TraceRecorder* recorder) = 0;
 
+  /// Checkpoint of the state shared by both system models: the request pool
+  /// and the lifetime counters. The completion/drop callbacks are wiring,
+  /// not state, and are left untouched by restore().
+  struct CountersSnapshot {
+    RequestPool::Snapshot pool;
+    std::int64_t submitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t dropped = 0;
+    std::int64_t in_flight = 0;
+  };
+
+  void capture_counters(CountersSnapshot& out) const {
+    pool_.capture(out.pool);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.dropped = dropped_;
+    out.in_flight = in_flight_;
+  }
+
+  void restore_counters(const CountersSnapshot& snap) {
+    pool_.restore(snap.pool);
+    submitted_ = snap.submitted;
+    completed_ = snap.completed;
+    dropped_ = snap.dropped;
+    in_flight_ = snap.in_flight;
+  }
+
  protected:
   RequestPool pool_;
   RequestFn on_complete_;

@@ -106,6 +106,40 @@ class TandemQueueSystem : public RequestSystem {
   Simulator& sim_;
   trace::TraceRecorder* trace_ = nullptr;
   std::vector<Station> stations_;
+
+ public:
+  /// Checkpoint of the tandem chain: pool + counters + every station's
+  /// worker bank, waiting room and residence histogram. Station count must
+  /// match at restore().
+  struct Snapshot {
+    struct StationState {
+      WorkStation::Snapshot workers;
+      RingQueue<Request*>::Snapshot queue;
+      LatencyHistogram residence_time;
+    };
+    CountersSnapshot counters;
+    std::vector<StationState> stations;
+  };
+
+  void capture(Snapshot& out) const {
+    capture_counters(out.counters);
+    out.stations.resize(stations_.size());
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      stations_[i].workers->capture(out.stations[i].workers);
+      stations_[i].queue.capture(out.stations[i].queue);
+      out.stations[i].residence_time = stations_[i].residence_time;
+    }
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.stations.size() == stations_.size());
+    restore_counters(snap.counters);
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      stations_[i].workers->restore(snap.stations[i].workers);
+      stations_[i].queue.restore(snap.stations[i].queue);
+      stations_[i].residence_time = snap.stations[i].residence_time;
+    }
+  }
 };
 
 }  // namespace memca::queueing

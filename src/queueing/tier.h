@@ -168,6 +168,54 @@ class TierServer {
   std::int64_t rejected_ = 0;
   std::int64_t completed_ = 0;
   LatencyHistogram residence_time_;
+
+ public:
+  /// Checkpoint of this tier's request-visible state. Queue contents are
+  /// Request pointers into the pool (slots never relocate, so they stay
+  /// valid across a rollback); the thread limit round-trips because
+  /// add/remove_capacity mutates it. Topology (downstream/upstream wiring,
+  /// trace/metrics attachment) is construction-time state and not captured.
+  struct Snapshot {
+    int threads = 0;
+    WorkStation::Snapshot station;
+    RingQueue<Request*>::Snapshot wait_queue;
+    RingQueue<Request*>::Snapshot blocked;
+    int awaiting_reply = 0;
+    int resident = 0;
+    std::int64_t offered = 0;
+    std::int64_t admitted = 0;
+    std::int64_t rejected = 0;
+    std::int64_t completed = 0;
+    LatencyHistogram residence_time;
+  };
+
+  void capture(Snapshot& out) const {
+    out.threads = config_.threads;
+    station_.capture(out.station);
+    wait_queue_.capture(out.wait_queue);
+    blocked_.capture(out.blocked);
+    out.awaiting_reply = awaiting_reply_;
+    out.resident = resident_;
+    out.offered = offered_;
+    out.admitted = admitted_;
+    out.rejected = rejected_;
+    out.completed = completed_;
+    out.residence_time = residence_time_;
+  }
+
+  void restore(const Snapshot& snap) {
+    config_.threads = snap.threads;
+    station_.restore(snap.station);
+    wait_queue_.restore(snap.wait_queue);
+    blocked_.restore(snap.blocked);
+    awaiting_reply_ = snap.awaiting_reply;
+    resident_ = snap.resident;
+    offered_ = snap.offered;
+    admitted_ = snap.admitted;
+    rejected_ = snap.rejected;
+    completed_ = snap.completed;
+    residence_time_ = snap.residence_time;
+  }
 };
 
 }  // namespace memca::queueing

@@ -13,6 +13,7 @@
 // even though throughput has collapsed.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/inline_callback.h"
@@ -94,6 +95,47 @@ class WorkStation {
   // busy-time integral
   double busy_time_us_ = 0.0;
   SimTime busy_last_change_ = 0;
+
+ public:
+  /// Checkpoint of the worker bank. Slot records are value-copied: the
+  /// `done` EventHandle stays valid because the simulator restores the same
+  /// arena occupancy, the `fire` thunk points back at this station, and the
+  /// `req` pointer at a pool slot that never relocates. Elastic growth after
+  /// a capture is not restorable (restore checks the worker count).
+  struct Snapshot {
+    std::vector<Slot> slots;
+    double speed = 1.0;
+    int busy = 0;
+    int retired = 0;
+    int pending_retire = 0;
+    std::int64_t completed = 0;
+    double busy_time_us = 0.0;
+    SimTime busy_last_change = 0;
+  };
+
+  void capture(Snapshot& out) const {
+    out.slots.assign(slots_.begin(), slots_.end());
+    out.speed = speed_;
+    out.busy = busy_;
+    out.retired = retired_;
+    out.pending_retire = pending_retire_;
+    out.completed = completed_;
+    out.busy_time_us = busy_time_us_;
+    out.busy_last_change = busy_last_change_;
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK_MSG(snap.slots.size() == slots_.size(),
+                    "cannot roll back across an elastic worker-count change");
+    std::copy(snap.slots.begin(), snap.slots.end(), slots_.begin());
+    speed_ = snap.speed;
+    busy_ = snap.busy;
+    retired_ = snap.retired;
+    pending_retire_ = snap.pending_retire;
+    completed_ = snap.completed;
+    busy_time_us_ = snap.busy_time_us;
+    busy_last_change_ = snap.busy_last_change;
+  }
 };
 
 }  // namespace memca::queueing

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -178,12 +179,12 @@ void Simulator::release_slot(std::uint32_t index) {
   free_slots_.push_back(index);
 }
 
-Simulator::~Simulator() {
+void Simulator::reset_pending_closures() {
   // Only live slots hold a closure (firing, cancelling, and releasing all
   // reset the slot's callback), and every live slot has exactly one matching
-  // queue entry — so destroying via the queue touches the pending events
-  // instead of sweeping the whole arena. Empty InlineCallback destructors
-  // are no-ops, so the remaining Slot objects need no teardown.
+  // queue entry — so walking the queues touches the pending events instead
+  // of sweeping the whole arena. Empty InlineCallback destructors are
+  // no-ops, so the remaining Slot objects need no teardown.
   for (const Event& ev : heap_) {
     Slot& s = slot(ev.slot);
     if (s.seq_live == occupant_key(ev.seq)) s.fn.reset();
@@ -200,6 +201,101 @@ Simulator::~Simulator() {
       }
     }
   }
+}
+
+Simulator::~Simulator() { reset_pending_closures(); }
+
+void Simulator::capture(Snapshot& out) const {
+  out.now = now_;
+  out.next_seq = next_seq_;
+  out.executed = executed_;
+  out.live_pending = live_pending_;
+  out.pending_high_water = pending_high_water_;
+  out.cancelled_pending = cancelled_pending_;
+  out.heap.assign(heap_.begin(), heap_.end());
+  out.sorted.assign(sorted_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                    sorted_.end());
+  out.free_slots.assign(free_slots_.begin(), free_slots_.end());
+  out.num_slots = num_slots_;
+  // Every live closure must survive a byte copy: the restore path memcpys
+  // chunk bytes back without running constructors, so a heap-owning or
+  // non-trivially-destructible capture would be duplicated or leaked.
+  for (std::uint32_t i = 0; i < num_slots_; ++i) {
+    const Slot& s = slot(i);
+    if ((s.seq_live & 1u) != 0) {
+      MEMCA_CHECK_MSG(s.fn.is_trivially_relocatable(),
+                      "cannot checkpoint a live closure that is not trivially "
+                      "relocatable (heap-allocated or non-trivial capture)");
+    }
+  }
+  constexpr std::size_t kChunkBytes = sizeof(Slot) << kChunkShift;
+  const std::size_t used_chunks =
+      (static_cast<std::size_t>(num_slots_) + kChunkMask) >> kChunkShift;
+  while (out.chunks.size() < used_chunks) {
+    out.chunks.push_back(std::make_unique_for_overwrite<unsigned char[]>(kChunkBytes));
+  }
+  out.chunks.resize(used_chunks);
+  for (std::size_t i = 0; i < used_chunks; ++i) {
+    std::memcpy(out.chunks[i].get(), chunks_[i].get(), kChunkBytes);
+  }
+  for (std::size_t b = 0; b < wheel_buckets_.size(); ++b) {
+    out.wheel_buckets[b].assign(wheel_buckets_[b].begin(), wheel_buckets_[b].end());
+  }
+  out.wheel_occupied = wheel_occupied_;
+  out.wheel_time = wheel_time_;
+  out.wheel_next = wheel_next_;
+  out.wheel_entries = wheel_entries_;
+}
+
+void Simulator::restore(const Snapshot& snap) {
+  MEMCA_CHECK_MSG(snap.num_slots <= num_slots_ &&
+                      snap.chunks.size() <= chunks_.size(),
+                  "a Snapshot only restores into the simulator it captured");
+  // Closures scheduled after the capture may be non-trivial; destroy them
+  // through their managers before checkpoint bytes overwrite the arena.
+  reset_pending_closures();
+  constexpr std::size_t kChunkBytes = sizeof(Slot) << kChunkShift;
+  for (std::size_t i = 0; i < snap.chunks.size(); ++i) {
+    std::memcpy(chunks_[i].get(), snap.chunks[i].get(), kChunkBytes);
+  }
+  num_slots_ = snap.num_slots;
+  free_slots_.assign(snap.free_slots.begin(), snap.free_slots.end());
+  now_ = snap.now;
+  next_seq_ = snap.next_seq;
+  executed_ = snap.executed;
+  live_pending_ = snap.live_pending;
+  pending_high_water_ = snap.pending_high_water;
+  cancelled_pending_ = snap.cancelled_pending;
+  // The two pending stages swap buffers with each other and with scratch_
+  // during flushes, so no single member's capacity is monotonic — but the
+  // capacity *multiset* of the trio is. Assign each stage into a buffer big
+  // enough for it (largest snapshot list into the largest buffer), then swap
+  // the buffers into their members: restore stays allocation-free.
+  std::vector<Event>* by_cap[3] = {&heap_, &sorted_, &scratch_};
+  std::sort(by_cap, by_cap + 3, [](const std::vector<Event>* a,
+                                   const std::vector<Event>* b) {
+    return a->capacity() > b->capacity();
+  });
+  std::vector<Event>* heap_dst = by_cap[0];
+  std::vector<Event>* sorted_dst = by_cap[1];
+  if (snap.heap.size() < snap.sorted.size()) std::swap(heap_dst, sorted_dst);
+  heap_dst->assign(snap.heap.begin(), snap.heap.end());
+  sorted_dst->assign(snap.sorted.begin(), snap.sorted.end());
+  if (heap_dst != &heap_) {
+    heap_.swap(*heap_dst);
+    if (sorted_dst == &heap_) sorted_dst = heap_dst;
+  }
+  if (sorted_dst != &sorted_) sorted_.swap(*sorted_dst);
+  scratch_.clear();
+  cursor_ = 0;
+  for (std::size_t b = 0; b < wheel_buckets_.size(); ++b) {
+    wheel_buckets_[b].assign(snap.wheel_buckets[b].begin(),
+                             snap.wheel_buckets[b].end());
+  }
+  wheel_occupied_ = snap.wheel_occupied;
+  wheel_time_ = snap.wheel_time;
+  wheel_next_ = snap.wheel_next;
+  wheel_entries_ = snap.wheel_entries;
 }
 
 void Simulator::wheel_insert(const Event& ev) {
@@ -312,7 +408,9 @@ bool Simulator::advance_wheel(SimTime limit) {
     // Higher-level bucket: advance the frontier to its start and cascade its
     // entries one step down (their delta now fits the lower level's window).
     // Staged through a scratch vector because reinsertion targets other
-    // buckets of this same wheel.
+    // buckets of this same wheel. The storage is swapped back below so each
+    // bucket's capacity stays monotone — restore() relies on that to refill
+    // buckets from a Snapshot without allocating.
     wheel_time_ = best_start;
     wheel_scratch_.clear();
     std::swap(wheel_scratch_, bucket);
@@ -349,6 +447,10 @@ bool Simulator::advance_wheel(SimTime limit) {
         fed_heap = true;
       }
     }
+    // The cascade only refiles into *lower* levels, so the drained bucket is
+    // still empty: hand its storage back and keep the capacities home.
+    std::swap(wheel_scratch_, bucket);
+    bucket.clear();
     if (fed_heap) {
       // The caller's candidate pointer into the heap is stale; recompute the
       // earliest bucket and report so it re-picks.

@@ -195,7 +195,10 @@ class Simulator {
   std::uint32_t grow_slot(F&& fn, std::uint64_t seq) {
     MEMCA_CHECK_MSG(num_slots_ < 0xffffffffu, "event slot pool exhausted");
     const std::uint32_t index = num_slots_++;
-    if ((index & kChunkMask) == 0) add_chunk();
+    // Compare against the chunks actually held, not the index alignment: a
+    // checkpoint rollback shrinks num_slots_ while keeping every chunk, so
+    // regrowth must reuse the existing chunk instead of appending another.
+    if ((index >> kChunkShift) >= chunks_.size()) add_chunk();
     unsigned char* raw =
         chunks_[index >> kChunkShift].get() + sizeof(Slot) * (index & kChunkMask);
     ::new (static_cast<void*>(raw))
@@ -304,6 +307,49 @@ class Simulator {
   /// Entries currently parked in wheel buckets (live + stale).
   std::size_t wheel_entries_ = 0;
   std::vector<Event> wheel_scratch_;  // cascade staging, recycled
+
+  /// Resets the closure of every still-pending event (found via the queues —
+  /// only live slots hold a closure). Shared by the destructor and restore():
+  /// before checkpoint bytes overwrite the arena, any closure scheduled after
+  /// the capture must be destroyed through its manager.
+  void reset_pending_closures();
+
+ public:
+  /// Complete engine checkpoint. The arena chunks are captured as raw byte
+  /// copies — valid because capture() checks that every live closure is
+  /// trivially relocatable (see InlineFunction::is_trivially_relocatable) —
+  /// and restore() copies them back into the *same* chunks, so EventHandles
+  /// and `this`-capturing closures held by other components stay valid
+  /// across a rollback. A Snapshot may be restored into its source simulator
+  /// any number of times; restoring after the first capture never allocates
+  /// (all destination capacity was established at capture time or earlier).
+  struct Snapshot {
+    SimTime now = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+    std::size_t live_pending = 0;
+    std::size_t pending_high_water = 0;
+    std::size_t cancelled_pending = 0;
+    std::vector<Event> heap;
+    /// Pending tail of the sorted run (cursor re-based to 0).
+    std::vector<Event> sorted;
+    std::vector<std::uint32_t> free_slots;
+    std::uint32_t num_slots = 0;
+    /// Byte copies of every arena chunk that held a constructed slot.
+    std::vector<std::unique_ptr<unsigned char[]>> chunks;
+    std::array<std::vector<Event>, std::size_t{kWheelLevels} << kWheelLevelBits>
+        wheel_buckets;
+    std::array<std::uint64_t, kWheelLevels> wheel_occupied{};
+    SimTime wheel_time = 0;
+    SimTime wheel_next = std::numeric_limits<SimTime>::max();
+    std::size_t wheel_entries = 0;
+  };
+
+  /// Copies the engine state aside. Reusing one Snapshot object across
+  /// captures reuses its buffers.
+  void capture(Snapshot& out) const;
+  /// Restores state captured from *this* simulator (same arena chunks).
+  void restore(const Snapshot& snap);
 };
 
 /// Repeats a callback at a fixed period until stopped. The first invocation
@@ -323,6 +369,28 @@ class PeriodicTask {
   /// is already armed keeps its old deadline; the new period applies when
   /// that firing re-arms, i.e. from the next firing onwards.
   void set_period(SimTime period);
+
+  /// Checkpoint support. The armed firing is an event in the simulator's
+  /// arena; its handle round-trips through the Snapshot and stays valid
+  /// because Simulator::restore revives the same (slot, seq) occupancy.
+  /// Restore only makes sense alongside a restore of the owning simulator.
+  struct Snapshot {
+    SimTime period = 0;
+    bool running = false;
+    EventHandle next;
+  };
+
+  void capture(Snapshot& out) const {
+    out.period = period_;
+    out.running = running_;
+    out.next = next_;
+  }
+
+  void restore(const Snapshot& snap) {
+    period_ = snap.period;
+    running_ = snap.running;
+    next_ = snap.next;
+  }
 
  private:
   void arm(SimTime delay);

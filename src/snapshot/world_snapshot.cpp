@@ -1,0 +1,15 @@
+#include "snapshot/world_snapshot.h"
+
+namespace memca::snapshot {
+
+void WorldSnapshot::capture() {
+  for (const auto& fn : captures_) fn();
+  captured_ = true;
+}
+
+void WorldSnapshot::rollback() const {
+  MEMCA_CHECK_MSG(captured_, "rollback() needs a prior capture()");
+  for (const auto& fn : restores_) fn();
+}
+
+}  // namespace memca::snapshot

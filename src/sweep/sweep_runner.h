@@ -3,22 +3,33 @@
 // Every figure and ablation reduces to evaluating an embarrassingly-parallel
 // grid of attack parameters, one full Simulator/RubbosTestbed per cell.
 // SweepRunner executes such a batch on a thread pool and returns results in
-// cell order regardless of completion order. Because each cell owns its
-// entire simulation (simulator, RNG streams forked from the cell's own seed,
+// cell order regardless of scheduling. Because each cell owns its entire
+// simulation (simulator, RNG streams forked from the cell's own seed,
 // monitors), per-seed results are bit-identical to running the cells
 // sequentially — a property the sweep determinism test enforces.
 //
-// Cells must be independent: no shared mutable state, each builds its own
-// world. Result types must be default-constructible and movable.
+// Scheduling is worker-affine: the batch is split into contiguous chunks,
+// one per worker, instead of being handed out through a shared counter.
+// Adjacent cells therefore run on the same worker in cell order, which is
+// what lets a cell reuse its predecessor's warmed-up world through the
+// WorkerCache — a work-stealing counter would interleave cells across
+// workers and defeat the reuse on every boundary.
+//
+// Cells must be independent: no shared mutable state beyond the per-worker
+// cache, each builds (or reuses) its own world. Result types must be
+// default-constructible and movable.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -32,6 +43,58 @@ struct SweepOptions {
   int threads = 0;
 };
 
+/// One reusable slot of worker-local state, keyed by a caller-chosen string.
+/// A cell asks for "the world for key K"; if the previous cell on this
+/// worker left one behind it is returned as-is (warm), otherwise the old
+/// world is destroyed and a fresh one built. Single-slot on purpose: cells
+/// with the same key must be contiguous in the batch (sort your grid so the
+/// expensive-to-build prefix varies slowest), and everything a worker built
+/// dies on that worker's thread — thread-local state such as the log
+/// counter's scope chain stays balanced.
+class WorkerCache {
+ public:
+  WorkerCache() = default;
+  WorkerCache(const WorkerCache&) = delete;
+  WorkerCache& operator=(const WorkerCache&) = delete;
+
+  /// Returns the cached T for `key`, building it with `build()` (a callable
+  /// returning std::unique_ptr<T>) on a key or type miss. The previous
+  /// occupant is destroyed *before* build runs, so scoped thread-local
+  /// state (e.g. ScopedLogCounter) unwinds in LIFO order.
+  template <typename T, typename Builder>
+  T& get_or_build(std::string_view key, Builder&& build) {
+    if (value_ == nullptr || type_ != &typeid(T) || key_ != key) {
+      value_.reset();
+      key_.assign(key);
+      type_ = &typeid(T);
+      std::unique_ptr<T> built = build();
+      value_ = Holder(built.release(), [](void* p) { delete static_cast<T*>(p); });
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    return *static_cast<T*>(value_.get());
+  }
+
+  /// Destroys the cached value (if any).
+  void clear() {
+    value_.reset();
+    key_.clear();
+    type_ = nullptr;
+  }
+
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  using Holder = std::unique_ptr<void, void (*)(void*)>;
+  std::string key_;
+  const std::type_info* type_ = nullptr;
+  Holder value_{nullptr, [](void*) {}};
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {})
@@ -40,59 +103,99 @@ class SweepRunner {
   int threads() const { return threads_; }
 
   /// Runs every cell, returning results[i] == cells[i]() in cell order.
-  /// If a cell throws, the remaining cells still run and the first exception
-  /// (in completion order) is rethrown after the batch drains.
-  template <typename Result>
-  std::vector<Result> run(std::vector<std::function<Result()>> cells) const {
+  /// Cells may be move-only callables, invoked either as cell() or — when
+  /// the cell accepts it — as cell(WorkerCache&), giving it access to the
+  /// worker's reusable world slot.
+  ///
+  /// If cells throw, every remaining cell still runs and the exception of
+  /// the *lowest-indexed* throwing cell is rethrown after the batch drains —
+  /// in cell order, not completion order, so the error a caller sees does
+  /// not depend on the thread count.
+  template <typename Cell>
+  auto run(std::vector<Cell> cells) const {
+    using Result = decltype(invoke_cell(std::declval<Cell&>(),
+                                        std::declval<WorkerCache&>()));
     std::vector<Result> results(cells.size());
+    std::vector<std::exception_ptr> errors(cells.size());
     const int workers =
         static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_),
                                                cells.size()));
     if (workers <= 1) {
-      for (std::size_t i = 0; i < cells.size(); ++i) results[i] = cells[i]();
-      return results;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mu;
-    std::exception_ptr first_error;
-    {
+      WorkerCache cache;
+      run_range(cells, results, errors, 0, cells.size(), cache);
+    } else {
+      // Contiguous chunks, one per worker (see file comment).
+      const std::size_t chunk = (cells.size() + workers - 1) / workers;
       ThreadPool pool(workers);
       for (int w = 0; w < workers; ++w) {
-        pool.post([&] {
-          for (std::size_t i = next.fetch_add(1); i < cells.size();
-               i = next.fetch_add(1)) {
-            try {
-              results[i] = cells[i]();
-            } catch (...) {
-              std::lock_guard<std::mutex> lock(error_mu);
-              if (!first_error) first_error = std::current_exception();
-            }
-          }
+        const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+        const std::size_t end = std::min(cells.size(), begin + chunk);
+        if (begin >= end) break;
+        pool.post([&, begin, end] {
+          WorkerCache cache;
+          run_range(cells, results, errors, begin, end, cache);
         });
       }
       pool.wait_idle();
     }
-    if (first_error) std::rethrow_exception(first_error);
+    for (std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
     return results;
   }
 
   /// Maps `fn` over `cells` in parallel, preserving order:
-  /// returns {fn(cells[0]), fn(cells[1]), ...}.
+  /// returns {fn(cells[0]), fn(cells[1]), ...}. `fn` may take the cell
+  /// alone or (const Cell&, WorkerCache&).
   template <typename Cell, typename Fn>
-  auto map(std::vector<Cell> cells, Fn fn) const
-      -> std::vector<decltype(fn(std::declval<const Cell&>()))> {
-    using Result = decltype(fn(std::declval<const Cell&>()));
-    std::vector<std::function<Result()>> thunks;
-    thunks.reserve(cells.size());
+  auto map(std::vector<Cell> cells, Fn fn) const {
+    struct Thunk {
+      std::shared_ptr<std::vector<Cell>> cells;
+      Fn fn;
+      std::size_t i;
+      auto operator()(WorkerCache& cache) {
+        if constexpr (std::is_invocable_v<Fn&, const Cell&, WorkerCache&>) {
+          return fn((*cells)[i], cache);
+        } else {
+          return fn((*cells)[i]);
+        }
+      }
+    };
     auto shared_cells = std::make_shared<std::vector<Cell>>(std::move(cells));
+    std::vector<Thunk> thunks;
+    thunks.reserve(shared_cells->size());
     for (std::size_t i = 0; i < shared_cells->size(); ++i) {
-      thunks.push_back([shared_cells, fn, i] { return fn((*shared_cells)[i]); });
+      thunks.push_back(Thunk{shared_cells, fn, i});
     }
     return run(std::move(thunks));
   }
 
  private:
+  template <typename Cell>
+  static auto invoke_cell(Cell& cell, WorkerCache& cache) {
+    if constexpr (std::is_invocable_v<Cell&, WorkerCache&>) {
+      return cell(cache);
+    } else {
+      return cell();
+    }
+  }
+
+  template <typename Cell, typename Result>
+  static void run_range(std::vector<Cell>& cells, std::vector<Result>& results,
+                        std::vector<std::exception_ptr>& errors, std::size_t begin,
+                        std::size_t end, WorkerCache& cache) {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        results[i] = invoke_cell(cells[i], cache);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        // A throw may have left the cached world mid-mutation; drop it so
+        // the next cell rebuilds instead of reusing poisoned state.
+        cache.clear();
+      }
+    }
+  }
+
   int threads_;
 };
 

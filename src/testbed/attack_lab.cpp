@@ -1,16 +1,24 @@
 #include "testbed/attack_lab.h"
 
+#include <bit>
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "sweep/sweep_runner.h"
 
 namespace memca::testbed {
 
-AttackLabResult run_attack_lab(const AttackLabConfig& config) {
-  RubbosTestbed bed(config.testbed);
-  bed.start();
+namespace {
 
+/// Runs the attack + measurement window against an already-warmed testbed
+/// and harvests the cell's result. Shared verbatim by the cold path (fresh
+/// testbed) and the warm path (checkpointed testbed after a rollback), which
+/// is what makes the two byte-identical: they execute the same code against
+/// bit-identical world state. `warm` only changes how the registry is
+/// harvested — a warm world keeps its registry (the next rollback needs it),
+/// so the result gets a value clone instead of ownership.
+AttackLabResult measure_cell(RubbosTestbed& bed, const AttackLabConfig& config, bool warm) {
   AttackLabResult result;
   std::unique_ptr<core::MemcaAttack> attack;
   if (config.attack_enabled) {
@@ -84,16 +92,104 @@ AttackLabResult run_attack_lab(const AttackLabConfig& config) {
 
   if (bed.registry() != nullptr) {
     bed.finalize_metrics(attack.get());
-    result.registry = bed.release_metrics();
+    if (warm) {
+      result.registry = std::make_unique<metrics::Registry>();
+      bed.registry()->clone_values_into(*result.registry);
+    } else {
+      result.registry = bed.release_metrics();
+    }
   }
   return result;
+}
+
+/// A worker-cached testbed: built once, warmed once, checkpointed in place.
+/// Each cell sharing its prefix key rewinds to the checkpoint and runs only
+/// its own measurement window.
+struct WarmWorld {
+  RubbosTestbed bed;
+
+  explicit WarmWorld(const AttackLabConfig& config) : bed(config.testbed) {
+    bed.start();
+    if (config.warmup > 0) bed.sim().run_for(config.warmup);
+    bed.snapshot();
+  }
+};
+
+void put(std::string& key, std::int64_t v) {
+  key += std::to_string(v);
+  key += '|';
+}
+
+void put(std::string& key, double v) {
+  // Raw bit pattern: the key must distinguish values serialize() would.
+  key += std::to_string(std::bit_cast<std::uint64_t>(v));
+  key += '|';
+}
+
+void put(std::string& key, const std::string& v) {
+  key += v;
+  key += '|';
+}
+
+void put(std::string& key, const queueing::TierConfig& tier) {
+  put(key, tier.name);
+  put(key, std::int64_t{tier.threads});
+  put(key, std::int64_t{tier.workers});
+}
+
+/// Serializes every field that shapes the world before the attack starts:
+/// the full TestbedConfig plus the warm-up length. Cells agreeing on this
+/// key are interchangeable up to the measurement window.
+std::string prefix_key(const AttackLabConfig& config) {
+  const TestbedConfig& bed = config.testbed;
+  std::string key;
+  put(key, std::int64_t{static_cast<int>(bed.cloud)});
+  put(key, std::int64_t{bed.num_users});
+  put(key, bed.apache);
+  put(key, bed.tomcat);
+  put(key, bed.mysql);
+  put(key, std::int64_t{bed.target_tier});
+  put(key, bed.target_bandwidth_demand_gbps);
+  put(key, std::int64_t{bed.adversary_vcpus});
+  put(key, std::int64_t{bed.background_neighbors});
+  put(key, bed.neighbor_profile.on_mean);
+  put(key, bed.neighbor_profile.off_mean);
+  put(key, bed.neighbor_profile.demand_mean_gbps);
+  put(key, bed.neighbor_profile.demand_cv);
+  put(key, bed.fine_granularity);
+  put(key, bed.stats_warmup);
+  put(key, static_cast<std::int64_t>(bed.seed));
+  put(key, std::int64_t{bed.trace});
+  put(key, static_cast<std::int64_t>(bed.trace_max_events));
+  put(key, std::int64_t{bed.metrics});
+  put(key, bed.metrics_resolution);
+  put(key, config.warmup);
+  return key;
+}
+
+}  // namespace
+
+AttackLabResult run_attack_lab(const AttackLabConfig& config) {
+  RubbosTestbed bed(config.testbed);
+  bed.start();
+  if (config.warmup > 0) bed.sim().run_for(config.warmup);
+  return measure_cell(bed, config, /*warm=*/false);
 }
 
 std::vector<AttackLabResult> run_attack_lab_sweep(std::vector<AttackLabConfig> configs,
                                                   int threads) {
   sweep::SweepRunner runner({threads});
   return runner.map(std::move(configs),
-                    [](const AttackLabConfig& config) { return run_attack_lab(config); });
+                    [](const AttackLabConfig& config, sweep::WorkerCache& cache) {
+                      WarmWorld& world = cache.get_or_build<WarmWorld>(
+                          prefix_key(config),
+                          [&config] { return std::make_unique<WarmWorld>(config); });
+                      // A fresh world's snapshot matches its live state, so
+                      // rolling back unconditionally is an identity there
+                      // and a rewind everywhere else.
+                      world.bed.rollback();
+                      return measure_cell(world.bed, config, /*warm=*/true);
+                    });
 }
 
 std::unique_ptr<metrics::Registry> merge_sweep_registries(

@@ -19,6 +19,11 @@ struct AttackLabConfig {
   core::AttackParams params;
   /// Interval jitter passed to the burst scheduler.
   double jitter = 0.0;
+  /// Attack-free warm-up simulated before the attack starts and the
+  /// measurement window opens. In a sweep, cells sharing (testbed, warmup)
+  /// run this prefix once per worker and rewind to a checkpoint of it
+  /// instead of re-simulating (see run_attack_lab_sweep).
+  SimTime warmup = 0;
   SimTime duration = 3 * kMinute;
   bool attack_enabled = true;
   /// Tail cutoff for the per-cause attribution (only meaningful when
@@ -60,9 +65,18 @@ AttackLabResult run_attack_lab(const AttackLabConfig& config);
 
 /// Runs a batch of independent cells on a thread pool (`threads` workers;
 /// 0 = hardware concurrency / MEMCA_SWEEP_THREADS, 1 = inline sequential)
-/// and returns results in cell order. Each cell builds its own testbed from
-/// its own seed, so per-seed results are bit-identical to calling
-/// run_attack_lab sequentially — regardless of thread count.
+/// and returns results in cell order.
+///
+/// Consecutive cells on a worker that share the same *prefix* — every
+/// TestbedConfig field plus warmup — reuse one warm world: the worker
+/// builds the testbed once, runs the warm-up, checkpoints it in place
+/// (RubbosTestbed::snapshot) and rewinds before each cell instead of
+/// re-simulating the prefix. Cells whose prefix differs from their
+/// predecessor's fall back to cold construction, so ordering the grid with
+/// the prefix varying slowest maximises reuse. Results are bit-identical to
+/// calling run_attack_lab sequentially, regardless of thread count or how
+/// many cells shared a world — the checkpoint invariant the snapshot test
+/// suite enforces.
 std::vector<AttackLabResult> run_attack_lab_sweep(std::vector<AttackLabConfig> configs,
                                                   int threads = 0);
 

@@ -70,6 +70,8 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
     log_counter_ = std::make_unique<ScopedLogCounter>();
     scraper_ = std::make_unique<metrics::Scraper>(
         sim_, *registry_, metrics::ScraperConfig{config_.metrics_resolution});
+    // Sized once, before the probes capture element addresses.
+    util_probe_last_.assign(system_->num_tiers(), 0.0);
     for (std::size_t i = 0; i < system_->num_tiers(); ++i) {
       queueing::TierServer& tier = system_->tier(i);
       const std::string& name = tier.name();
@@ -92,10 +94,10 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
       registry_->probe(
           metrics::names::kTierUtilization, {{"tier", name}},
           [&tier, period = static_cast<double>(config_.metrics_resolution),
-           last = 0.0]() mutable {
+           last = &util_probe_last_[i]] {
             const double integral = tier.busy_worker_time_us();
-            const double delta = integral - last;
-            last = integral;
+            const double delta = integral - *last;
+            *last = integral;
             const double denom = static_cast<double>(tier.workers()) * period;
             return std::clamp(delta / denom, 0.0, 1.0);
           });
@@ -218,6 +220,38 @@ void RubbosTestbed::finalize_metrics(const core::MemcaAttack* attack) {
 std::unique_ptr<metrics::Registry> RubbosTestbed::release_metrics() {
   if (scraper_ != nullptr) scraper_->stop();
   return std::move(registry_);
+}
+
+void RubbosTestbed::snapshot() {
+  if (world_snapshot_ == nullptr) {
+    world_snapshot_ = std::make_unique<snapshot::WorldSnapshot>();
+    snapshot::WorldSnapshot& ws = *world_snapshot_;
+    // The simulator first: everything else's EventHandles round-trip as
+    // values and resolve against the arena occupancy it restores.
+    ws.attach(sim_);
+    for (auto& host : hosts_) ws.attach(*host);
+    ws.attach(*coupling_);
+    for (auto& neighbor : neighbors_) ws.attach(*neighbor);
+    if (trace_ != nullptr) ws.attach(*trace_);
+    if (registry_ != nullptr) ws.attach(*registry_);
+    if (scraper_ != nullptr) ws.attach(*scraper_);
+    if (log_counter_ != nullptr) ws.attach(*log_counter_);
+    ws.attach(*system_);
+    ws.attach(*router_);
+    ws.attach(*clients_);
+    ws.attach(*target_cpu_);
+    for (auto& gauge : queue_gauges_) ws.attach(*gauge);
+    ws.attach_value(util_probe_last_);
+    ws.attach_value(started_);
+  }
+  world_snapshot_->capture();
+}
+
+void RubbosTestbed::rollback() {
+  MEMCA_CHECK_MSG(has_snapshot(), "rollback() needs a prior snapshot()");
+  MEMCA_CHECK_MSG(registry_ != nullptr || !config_.metrics,
+                  "metrics registry was released; the snapshot references it");
+  world_snapshot_->rollback();
 }
 
 std::vector<std::string> RubbosTestbed::tier_names() const {

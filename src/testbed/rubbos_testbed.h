@@ -26,6 +26,7 @@
 #include "metrics/scraper.h"
 #include "monitor/sampler.h"
 #include "queueing/ntier.h"
+#include "snapshot/world_snapshot.h"
 #include "trace/recorder.h"
 #include "workload/clients.h"
 #include "workload/profile.h"
@@ -151,6 +152,23 @@ class RubbosTestbed {
   /// were off or already released.
   std::unique_ptr<metrics::Registry> release_metrics();
 
+  /// Takes (or moves forward) an in-place checkpoint of the entire world:
+  /// simulator event state, request pool, tiers, clients, hosts, samplers,
+  /// trace and metrics. Typically called after start() + a warm-up run.
+  /// Objects created *after* the snapshot (an attack from make_attack, late
+  /// probes/observers) must be destroyed before rolling back; their
+  /// registrations are truncated away by rollback(). Do not release_metrics
+  /// between a snapshot and its rollbacks.
+  void snapshot();
+  /// Rewinds the world to the last snapshot(), in place: every pointer and
+  /// handle bound at capture time stays valid, and continuing the run
+  /// produces byte-identical results to a fresh world driven to the same
+  /// point. May be called repeatedly; never allocates.
+  void rollback();
+  bool has_snapshot() const {
+    return world_snapshot_ != nullptr && world_snapshot_->captured();
+  }
+
  private:
   TestbedConfig config_;
   Simulator sim_;
@@ -175,6 +193,11 @@ class RubbosTestbed {
 
   std::unique_ptr<monitor::UtilizationSampler> target_cpu_;
   std::vector<std::unique_ptr<monitor::GaugeSampler>> queue_gauges_;
+  /// Per-tier differencing cursor of the utilization probes (one slot per
+  /// tier, address-stable — the probe closures point into it so the state
+  /// is checkpointable instead of hiding in a mutable lambda capture).
+  std::vector<double> util_probe_last_;
+  std::unique_ptr<snapshot::WorldSnapshot> world_snapshot_;
   bool started_ = false;
 };
 

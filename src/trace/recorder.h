@@ -83,6 +83,40 @@ class TraceRecorder {
 
   const Config& config() const { return config_; }
 
+  /// Checkpoint: the stream is append-only, so its state is just the event
+  /// count (plus the truncation flag). restore() rewinds the cursor into
+  /// the already-allocated chunks — events past the mark are garbage that
+  /// will be overwritten before size() ever exposes them.
+  struct Snapshot {
+    std::size_t size = 0;
+    bool truncated = false;
+  };
+
+  void capture(Snapshot& out) const {
+    out.size = size();
+    out.truncated = truncated_;
+  }
+
+  void restore(const Snapshot& snap) {
+    if (snap.size == 0) {
+      clear();
+    } else {
+      const std::size_t open = (snap.size - 1) >> kChunkShift;
+      MEMCA_CHECK(open < chunks_.size());
+      used_chunks_ = open + 1;
+      base_ = open << kChunkShift;
+      chunk_begin_ = chunks_[open].get();
+      std::size_t room = kChunkMask + 1;
+      if (config_.max_events != 0 && config_.max_events - base_ < room) {
+        room = config_.max_events - base_;
+      }
+      chunk_end_ = chunk_begin_ + room;
+      cursor_ = chunk_begin_ + (snap.size - base_);
+      MEMCA_CHECK(cursor_ <= chunk_end_);
+    }
+    truncated_ = snap.truncated;
+  }
+
  private:
   /// Opens the next chunk (allocating or reusing one) and repoints the
   /// cursor at it; returns false — dropping the event — once max_events is

@@ -11,8 +11,10 @@
 // the reason finite front-tier queues amplify the tail so dramatically.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
+#include "common/check.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/timeseries.h"
@@ -132,6 +134,54 @@ class ClosedLoopClients {
   std::int64_t dropped_attempts_ = 0;
   std::int64_t failed_ = 0;
   std::int64_t retransmitted_completions_ = 0;
+
+ public:
+  /// Checkpoint of the population: per-user in-flight flags, the RNG stream
+  /// position, and every statistic. The response series is append-only, so
+  /// it is restored by truncation (allocation-free); in-flight think-time
+  /// and RTO events are the simulator's to restore.
+  struct Snapshot {
+    Rng rng{0};
+    std::vector<User> users;
+    bool started = false;
+    SimTime start_time = 0;
+    LatencyHistogram response_times;
+    std::size_t response_series_size = 0;
+    WindowedQuantile recent{sec(std::int64_t{10}), 3};
+    std::int64_t completed = 0;
+    std::int64_t dropped_attempts = 0;
+    std::int64_t failed = 0;
+    std::int64_t retransmitted_completions = 0;
+  };
+
+  void capture(Snapshot& out) const {
+    out.rng = rng_;
+    out.users.assign(users_.begin(), users_.end());
+    out.started = started_;
+    out.start_time = start_time_;
+    out.response_times = response_times_;
+    out.response_series_size = response_series_.size();
+    out.recent = recent_;
+    out.completed = completed_;
+    out.dropped_attempts = dropped_attempts_;
+    out.failed = failed_;
+    out.retransmitted_completions = retransmitted_completions_;
+  }
+
+  void restore(const Snapshot& snap) {
+    rng_ = snap.rng;
+    MEMCA_CHECK(snap.users.size() == users_.size());
+    std::copy(snap.users.begin(), snap.users.end(), users_.begin());
+    started_ = snap.started;
+    start_time_ = snap.start_time;
+    response_times_ = snap.response_times;
+    response_series_.truncate(snap.response_series_size);
+    recent_ = snap.recent;
+    completed_ = snap.completed;
+    dropped_attempts_ = snap.dropped_attempts;
+    failed_ = snap.failed;
+    retransmitted_completions_ = snap.retransmitted_completions;
+  }
 };
 
 }  // namespace memca::workload

@@ -76,6 +76,49 @@ class OpenLoopSource {
   std::int64_t completed_ = 0;
   std::int64_t dropped_attempts_ = 0;
   std::int64_t failed_ = 0;
+
+ public:
+  /// Checkpoint of the arrival process. The next-arrival handle round-trips
+  /// as a value: the simulator's own restore revives the same (slot, seq)
+  /// occupancy, so the handle resolves to the identical pending event.
+  struct Snapshot {
+    Rng rng{0};
+    bool running = false;
+    EventHandle next_arrival;
+    int markov_state = 0;
+    LatencyHistogram response_times;
+    std::size_t response_series_size = 0;
+    std::int64_t generated = 0;
+    std::int64_t completed = 0;
+    std::int64_t dropped_attempts = 0;
+    std::int64_t failed = 0;
+  };
+
+  void capture(Snapshot& out) const {
+    out.rng = rng_;
+    out.running = running_;
+    out.next_arrival = next_arrival_;
+    out.markov_state = markov_state_;
+    out.response_times = response_times_;
+    out.response_series_size = response_series_.size();
+    out.generated = generated_;
+    out.completed = completed_;
+    out.dropped_attempts = dropped_attempts_;
+    out.failed = failed_;
+  }
+
+  void restore(const Snapshot& snap) {
+    rng_ = snap.rng;
+    running_ = snap.running;
+    next_arrival_ = snap.next_arrival;
+    markov_state_ = snap.markov_state;
+    response_times_ = snap.response_times;
+    response_series_.truncate(snap.response_series_size);
+    generated_ = snap.generated;
+    completed_ = snap.completed;
+    dropped_attempts_ = snap.dropped_attempts;
+    failed_ = snap.failed;
+  }
 };
 
 }  // namespace memca::workload

@@ -44,6 +44,31 @@ class RequestRouter {
   queueing::RequestSystem& system() { return system_; }
   std::size_t depth() const { return system_.depth(); }
 
+  /// Checkpoint of the router: the id allocator plus the registration
+  /// counts. Sources/observers registered after the capture are dropped by
+  /// restore() (their owners are being torn down or re-made by the caller);
+  /// ones registered before it are wiring, left untouched so their bound
+  /// closures stay valid.
+  struct Snapshot {
+    std::size_t num_sources = 0;
+    std::size_t num_observers = 0;
+    queueing::Request::Id next_id = 1;
+  };
+
+  void capture(Snapshot& out) const {
+    out.num_sources = sources_.size();
+    out.num_observers = completion_observers_.size();
+    out.next_id = next_id_;
+  }
+
+  void restore(const Snapshot& snap) {
+    MEMCA_CHECK(snap.num_sources <= sources_.size() &&
+                snap.num_observers <= completion_observers_.size());
+    sources_.resize(snap.num_sources);
+    completion_observers_.resize(snap.num_observers);
+    next_id_ = snap.next_id;
+  }
+
  private:
   struct Source {
     CompleteFn on_complete;

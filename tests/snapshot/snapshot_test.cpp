@@ -1,0 +1,230 @@
+// The checkpoint invariant: a cell measured after RubbosTestbed::rollback()
+// must be indistinguishable — byte for byte, in every observable — from the
+// same cell measured against a freshly constructed, freshly warmed world.
+// These tests pin that from three angles: warm sweep cells vs cold
+// run_attack_lab calls (tables and registry bytes, at several thread
+// counts), a raw mid-burst/mid-RTO rollback replayed repeatedly from one
+// snapshot, and an armed allocation counter proving rollback() itself
+// allocates nothing once the snapshot exists.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/counting_alloc.h"
+#include "testbed/attack_lab.h"
+#include "testbed/rubbos_testbed.h"
+
+namespace memca::testbed {
+namespace {
+
+std::string registry_bytes(const metrics::Registry* registry) {
+  std::ostringstream out;
+  if (registry != nullptr) registry->serialize(out);
+  return out.str();
+}
+
+/// Three cells share one prefix (same testbed + warmup, different attack
+/// params) so a sweep worker rewinds a warm world between them; the fourth
+/// differs in seed, forcing the worker to rebuild cold mid-chunk.
+std::vector<AttackLabConfig> warm_grid() {
+  std::vector<AttackLabConfig> cells;
+  for (SimTime length : {msec(200), msec(400), msec(600)}) {
+    AttackLabConfig config;
+    config.params.burst_length = length;
+    config.params.burst_interval = sec(std::int64_t{2});
+    config.warmup = sec(std::int64_t{8});
+    config.duration = sec(std::int64_t{10});
+    config.testbed.seed = 42;
+    config.testbed.metrics = true;
+    cells.push_back(config);
+  }
+  AttackLabConfig odd = cells.back();
+  odd.testbed.seed = 1234;
+  cells.push_back(odd);
+  return cells;
+}
+
+void expect_identical(const AttackLabResult& a, const AttackLabResult& b,
+                      std::size_t cell) {
+  EXPECT_EQ(a.d_on, b.d_on) << "cell " << cell;
+  EXPECT_EQ(a.client_p50, b.client_p50) << "cell " << cell;
+  EXPECT_EQ(a.client_p95, b.client_p95) << "cell " << cell;
+  EXPECT_EQ(a.client_p98, b.client_p98) << "cell " << cell;
+  EXPECT_EQ(a.client_p99, b.client_p99) << "cell " << cell;
+  EXPECT_EQ(a.tier_p95, b.tier_p95) << "cell " << cell;
+  EXPECT_EQ(a.throughput, b.throughput) << "cell " << cell;
+  EXPECT_EQ(a.drops, b.drops) << "cell " << cell;
+  EXPECT_EQ(a.drop_fraction, b.drop_fraction) << "cell " << cell;
+  EXPECT_EQ(a.cpu_mean, b.cpu_mean) << "cell " << cell;
+  EXPECT_EQ(a.cpu_max_50ms, b.cpu_max_50ms) << "cell " << cell;
+  EXPECT_EQ(a.cpu_max_1s, b.cpu_max_1s) << "cell " << cell;
+  EXPECT_EQ(a.cpu_max_1min, b.cpu_max_1min) << "cell " << cell;
+  EXPECT_EQ(a.autoscaler_triggered, b.autoscaler_triggered) << "cell " << cell;
+  EXPECT_EQ(a.mean_saturation_s, b.mean_saturation_s) << "cell " << cell;
+  EXPECT_EQ(a.bursts, b.bursts) << "cell " << cell;
+  EXPECT_EQ(registry_bytes(a.registry.get()), registry_bytes(b.registry.get()))
+      << "cell " << cell;
+}
+
+TEST(SnapshotSweep, WarmCellsMatchColdRunsByteForByte) {
+  const std::vector<AttackLabConfig> grid = warm_grid();
+
+  // Cold baseline: fresh testbed per cell, warm-up re-simulated every time.
+  std::vector<AttackLabResult> baseline;
+  for (const AttackLabConfig& config : grid) baseline.push_back(run_attack_lab(config));
+
+  for (int threads : {1, 2, 4}) {
+    std::vector<AttackLabResult> swept = run_attack_lab_sweep(grid, threads);
+    ASSERT_EQ(swept.size(), baseline.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      expect_identical(baseline[i], swept[i], i);
+    }
+  }
+}
+
+TEST(SnapshotSweep, MergedRegistryBytesMatchColdAcrossThreadCounts) {
+  const std::vector<AttackLabConfig> grid = warm_grid();
+
+  std::vector<AttackLabResult> baseline;
+  for (const AttackLabConfig& config : grid) baseline.push_back(run_attack_lab(config));
+  const std::string cold_bytes = registry_bytes(merge_sweep_registries(baseline).get());
+  ASSERT_FALSE(cold_bytes.empty());
+
+  for (int threads : {1, 2, 4}) {
+    std::vector<AttackLabResult> swept = run_attack_lab_sweep(grid, threads);
+    EXPECT_EQ(cold_bytes, registry_bytes(merge_sweep_registries(swept).get()))
+        << "threads " << threads;
+  }
+}
+
+/// Everything a segment of simulation can disturb, collected after running
+/// the world forward a fixed span. Exact equality across replays is the
+/// rollback contract — no tolerance anywhere.
+struct Fingerprint {
+  SimTime now = 0;
+  std::uint64_t events = 0;
+  std::int64_t completed = 0, drops = 0, failed = 0, retransmitted = 0;
+  SimTime p50 = 0, p99 = 0;
+  std::vector<std::int64_t> tier_counters;
+  std::vector<int> occupancy;
+  double bandwidth = 0.0;
+};
+
+Fingerprint run_segment(RubbosTestbed& bed, SimTime span) {
+  bed.sim().run_for(span);
+  Fingerprint f;
+  f.now = bed.sim().now();
+  f.events = bed.sim().events_executed();
+  f.completed = bed.clients().completed();
+  f.drops = bed.clients().dropped_attempts();
+  f.failed = bed.clients().failed();
+  f.retransmitted = bed.clients().retransmitted_completions();
+  f.p50 = bed.clients().response_times().quantile(0.50);
+  f.p99 = bed.clients().response_times().quantile(0.99);
+  for (std::size_t i = 0; i < bed.system().num_tiers(); ++i) {
+    const queueing::TierServer& tier = bed.system().tier(i);
+    f.tier_counters.push_back(tier.offered());
+    f.tier_counters.push_back(tier.admitted());
+    f.tier_counters.push_back(tier.rejected());
+    f.tier_counters.push_back(tier.completed());
+    f.occupancy.push_back(tier.resident());
+    f.occupancy.push_back(tier.waiting());
+    f.occupancy.push_back(tier.awaiting_reply());
+  }
+  f.bandwidth = bed.target_host().achieved_bandwidth(bed.target_vm());
+  return f;
+}
+
+void expect_fingerprint_eq(const Fingerprint& a, const Fingerprint& b, int replay) {
+  EXPECT_EQ(a.now, b.now) << "replay " << replay;
+  EXPECT_EQ(a.events, b.events) << "replay " << replay;
+  EXPECT_EQ(a.completed, b.completed) << "replay " << replay;
+  EXPECT_EQ(a.drops, b.drops) << "replay " << replay;
+  EXPECT_EQ(a.failed, b.failed) << "replay " << replay;
+  EXPECT_EQ(a.retransmitted, b.retransmitted) << "replay " << replay;
+  EXPECT_EQ(a.p50, b.p50) << "replay " << replay;
+  EXPECT_EQ(a.p99, b.p99) << "replay " << replay;
+  EXPECT_EQ(a.tier_counters, b.tier_counters) << "replay " << replay;
+  EXPECT_EQ(a.occupancy, b.occupancy) << "replay " << replay;
+  EXPECT_EQ(a.bandwidth, b.bandwidth) << "replay " << replay;
+}
+
+TEST(SnapshotRollback, MidBurstMidRtoSegmentReplaysByteForByte) {
+  // Snapshot the world at its most entangled: inside a contention burst
+  // (adversary lock activity ON, capacity degraded), with retransmission
+  // timers parked in the wheel from drops in earlier bursts. The segment
+  // after the snapshot must replay exactly — including the bursts' OFF
+  // edges and the pending RTOs, both of which live in the simulator's event
+  // arena at capture time. Replayed twice from the one snapshot: repeated
+  // rollback is part of the contract (one warm world serves many cells).
+  TestbedConfig config;
+  config.seed = 7;
+  RubbosTestbed bed(config);
+  bed.start();
+
+  cloud::Host& host = bed.target_host();
+  const cloud::VmId vm = bed.adversary_vm();
+  // Manual burst train (300 ms ON every second). Deliberately not
+  // MemcaAttack: attack objects are created after a snapshot and destroyed
+  // before a rollback, so their internal state is never checkpointed —
+  // plain scheduled closures are, and those are what this test exercises.
+  for (int k = 0; k < 12; ++k) {
+    const SimTime on = msec(500) + k * sec(std::int64_t{1});
+    bed.sim().schedule_at(on, [&host, vm] { host.set_memory_activity(vm, 0.0, 0.95); });
+    bed.sim().schedule_at(on + msec(300), [&host, vm] { host.clear_memory_activity(vm); });
+  }
+
+  // 4.65 s is inside burst #4 (4.5 s – 4.8 s): lock duty active, and drops
+  // from earlier bursts have RTO timers pending (minimum RTO is 1 s).
+  bed.sim().run_until(msec(4650));
+  ASSERT_GT(bed.clients().dropped_attempts(), 0)
+      << "scenario must have drops before the snapshot so RTO timers are pending";
+  bed.snapshot();
+
+  const Fingerprint first = run_segment(bed, sec(std::int64_t{4}));
+  EXPECT_GT(first.retransmitted, 0)
+      << "segment must complete retransmissions scheduled before the snapshot";
+  for (int replay = 1; replay <= 2; ++replay) {
+    bed.rollback();
+    expect_fingerprint_eq(first, run_segment(bed, sec(std::int64_t{4})), replay);
+  }
+}
+
+TEST(SnapshotRollback, RollbackAllocatesNothingAfterTheFirstSnapshot) {
+  // capture() may allocate (it builds the checkpoint buffers); rollback()
+  // must not — it only truncates and copies into existing capacity. This is
+  // what keeps the warm sweep path allocation-quiet no matter how many
+  // cells rewind one world.
+  TestbedConfig config;
+  config.seed = 11;
+  config.metrics = true;
+  config.trace = true;
+  RubbosTestbed bed(config);
+  bed.start();
+
+  cloud::Host& host = bed.target_host();
+  const cloud::VmId vm = bed.adversary_vm();
+  for (int k = 0; k < 8; ++k) {
+    const SimTime on = msec(500) + k * sec(std::int64_t{1});
+    bed.sim().schedule_at(on, [&host, vm] { host.set_memory_activity(vm, 0.0, 0.9); });
+    bed.sim().schedule_at(on + msec(300), [&host, vm] { host.clear_memory_activity(vm); });
+  }
+  bed.sim().run_until(msec(3650));
+  bed.snapshot();
+
+  for (int round = 0; round < 2; ++round) {
+    // Diverge well past the snapshot so the rollback has real work: grown
+    // series, rotated event-arena state, moved requests, advanced RNGs.
+    bed.sim().run_for(sec(std::int64_t{2}));
+    tests::ScopedAllocationCounter counter;
+    bed.rollback();
+    EXPECT_EQ(counter.count(), 0) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace memca::testbed

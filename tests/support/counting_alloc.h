@@ -1,0 +1,38 @@
+// Process-global heap-allocation counter shared by the zero-allocation
+// tests (steady-state request path, snapshot rollback).
+//
+// The replaceable global operator new/delete can be defined exactly once
+// per binary, so the counting forwarders live here (counting_alloc.cpp)
+// and every test that wants an armed window uses this interface instead of
+// defining its own override. The counter is inert unless armed, so linking
+// this into memca_tests costs the rest of the suite one relaxed atomic
+// load per allocation.
+#pragma once
+
+#include <cstdint>
+
+namespace memca::tests {
+
+/// Arms/disarms counting. While armed, every global operator new (scalar
+/// and array) increments the counter.
+void set_allocation_counting(bool on);
+/// Resets the counter to zero.
+void reset_allocation_count();
+/// Allocations observed while armed since the last reset.
+std::int64_t allocation_count();
+
+/// RAII armed window: resets the counter and counts until destruction.
+class ScopedAllocationCounter {
+ public:
+  ScopedAllocationCounter() {
+    reset_allocation_count();
+    set_allocation_counting(true);
+  }
+  ~ScopedAllocationCounter() { set_allocation_counting(false); }
+  ScopedAllocationCounter(const ScopedAllocationCounter&) = delete;
+  ScopedAllocationCounter& operator=(const ScopedAllocationCounter&) = delete;
+
+  std::int64_t count() const { return allocation_count(); }
+};
+
+}  // namespace memca::tests

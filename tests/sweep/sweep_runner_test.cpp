@@ -93,6 +93,108 @@ TEST(SweepRunner, CellExceptionPropagates) {
   EXPECT_THROW(runner.run(std::move(cells)), std::runtime_error);
 }
 
+TEST(SweepRunner, FirstExceptionInCellOrderIsRethrown) {
+  // Cell 5 throws first in wall-clock time (cell 1 sleeps before throwing),
+  // but the error a caller sees must be the lowest-indexed one — the same
+  // at every thread count.
+  for (int threads : {1, 2, 4}) {
+    SweepRunner runner({threads});
+    std::vector<std::function<int()>> cells;
+    cells.push_back([] { return 0; });
+    cells.push_back([]() -> int {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      throw std::runtime_error("cell-1");
+    });
+    for (int i = 2; i < 5; ++i) cells.push_back([i] { return i; });
+    cells.push_back([]() -> int { throw std::logic_error("cell-5"); });
+    try {
+      runner.run(std::move(cells));
+      FAIL() << "batch with throwing cells must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "cell-1") << "threads=" << threads;
+    } catch (const std::logic_error&) {
+      FAIL() << "completion-order error surfaced instead of cell order, threads="
+             << threads;
+    }
+  }
+}
+
+TEST(SweepRunner, RemainingCellsRunAfterAnException) {
+  SweepRunner runner({2});
+  std::atomic<int> ran{0};
+  std::vector<std::function<int()>> cells;
+  for (int i = 0; i < 6; ++i) {
+    cells.push_back([i, &ran]() -> int {
+      ran.fetch_add(1);
+      if (i == 0) throw std::runtime_error("early");
+      return i;
+    });
+  }
+  EXPECT_THROW(runner.run(std::move(cells)), std::runtime_error);
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(SweepRunner, MoveOnlyCellsRun) {
+  struct MoveOnlyCell {
+    std::unique_ptr<int> payload;
+    int operator()() const { return *payload; }
+  };
+  SweepRunner runner({2});
+  std::vector<MoveOnlyCell> cells;
+  for (int i = 0; i < 5; ++i) cells.push_back({std::make_unique<int>(i * 7)});
+  const std::vector<int> results = runner.run(std::move(cells));
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 7);
+}
+
+TEST(SweepRunner, WorkerCacheIsBuiltOncePerWorkerChunk) {
+  // 8 cells sharing one key on 2 workers: contiguous chunking means exactly
+  // one build per worker — a work-stealing counter would interleave cells
+  // and rebuild on every worker switch.
+  std::atomic<int> builds{0};
+  auto make_cells = [&builds] {
+    std::vector<std::function<int(WorkerCache&)>> cells;
+    for (int i = 0; i < 8; ++i) {
+      cells.push_back([&builds, i](WorkerCache& cache) {
+        int& world = cache.get_or_build<int>("shared-key", [&builds] {
+          builds.fetch_add(1);
+          return std::make_unique<int>(123);
+        });
+        return world + i;
+      });
+    }
+    return cells;
+  };
+
+  builds.store(0);
+  SweepRunner inline_runner({1});
+  inline_runner.run(make_cells());
+  EXPECT_EQ(builds.load(), 1);
+
+  builds.store(0);
+  SweepRunner pooled(SweepOptions{2});
+  const std::vector<int> results = pooled.run(make_cells());
+  EXPECT_EQ(builds.load(), 2);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], 123 + i);
+}
+
+TEST(SweepRunner, WorkerCacheRebuildsOnKeyChange) {
+  std::atomic<int> builds{0};
+  std::vector<std::function<int(WorkerCache&)>> cells;
+  for (int i = 0; i < 6; ++i) {
+    const std::string key = i < 3 ? "prefix-a" : "prefix-b";
+    cells.push_back([&builds, key](WorkerCache& cache) {
+      return cache.get_or_build<int>(key, [&builds] {
+        builds.fetch_add(1);
+        return std::make_unique<int>(1);
+      });
+    });
+  }
+  SweepRunner runner({1});
+  runner.run(std::move(cells));
+  EXPECT_EQ(builds.load(), 2);
+}
+
 TEST(SweepRunner, RngHeavyCellsAreBitIdenticalAcrossThreadCounts) {
   // Each cell runs its own forked RNG stream; the aggregate must not depend
   // on how many workers executed the batch.

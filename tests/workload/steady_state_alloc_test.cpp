@@ -1,7 +1,7 @@
 // Zero-allocation property of the steady-state request path.
 //
-// Replaces the replaceable global operator new/delete with counting
-// forwarders and asserts that a warmed-up closed-loop population driving an
+// Uses the suite's counting operator new/delete (tests/support) and
+// asserts that a warmed-up closed-loop population driving an
 // n-tier system completes requests with ZERO heap allocations: pooled
 // requests recycle their vectors, simulator closures live in recycled slots,
 // timing-wheel buckets and tier rings keep their capacity, and every
@@ -9,13 +9,7 @@
 // deliberately longer than one full level-1 wheel rotation (268 s), so every
 // bucket the armed window can touch has reached its steady capacity.
 //
-// The counter is process-global but only armed inside this test, so the
-// override is inert for the rest of the suite.
 #include <gtest/gtest.h>
-
-#include <atomic>
-#include <cstdlib>
-#include <new>
 
 #include "common/rng.h"
 #include "queueing/ntier.h"
@@ -23,28 +17,7 @@
 #include "workload/clients.h"
 #include "workload/profile.h"
 #include "workload/router.h"
-
-namespace {
-
-std::atomic<bool> g_counting{false};
-std::atomic<std::int64_t> g_allocations{0};
-
-inline void* counted_alloc(std::size_t size) {
-  if (g_counting.load(std::memory_order_relaxed)) {
-    g_allocations.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#include "support/counting_alloc.h"
 
 namespace memca::workload {
 namespace {
@@ -83,11 +56,12 @@ TEST(SteadyStateAllocation, WarmRequestPathAllocatesNothing) {
   const std::int64_t warm_completed = clients.completed();
   ASSERT_GT(warm_completed, 10000) << "warm-up must reach steady state";
 
-  g_allocations.store(0, std::memory_order_relaxed);
-  g_counting.store(true, std::memory_order_relaxed);
-  sim.run_for(sec(std::int64_t{30}));
-  g_counting.store(false, std::memory_order_relaxed);
-  const std::int64_t allocations = g_allocations.load(std::memory_order_relaxed);
+  std::int64_t allocations = 0;
+  {
+    tests::ScopedAllocationCounter counter;
+    sim.run_for(sec(std::int64_t{30}));
+    allocations = counter.count();
+  }
 
   EXPECT_GT(clients.completed(), warm_completed + 1000)
       << "the armed window must actually churn requests";
