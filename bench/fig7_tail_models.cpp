@@ -68,8 +68,8 @@ void run_tandem_infinite() {
   // MySQL queueing dominates, so the curves nearly overlap.
   std::array<LatencyHistogram, 3> observed;
   router.add_completion_observer([&](const queueing::Request& r) {
-    const SimTime completion = r.trace[2].leave;
-    for (std::size_t i = 0; i < 3; ++i) observed[i].record(completion - r.trace[i].enter);
+    const SimTime completion = r.trace_at(2).leave;
+    for (std::size_t i = 0; i < 3; ++i) observed[i].record(completion - r.trace_at(i).enter);
   });
   workload::OpenLoopConfig config;
   config.rate_per_sec = kLambda;

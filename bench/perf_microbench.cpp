@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "metrics/registry.h"
 #include "queueing/request_pool.h"
+#include "queueing/tier.h"
 #include "sim/simulator.h"
 #include "sweep/sweep_runner.h"
 #include "testbed/attack_lab.h"
@@ -196,13 +197,13 @@ void BM_RequestPoolChurn(benchmark::State& state) {
   // vector's capacity across reuse (the property the counting-allocator
   // test asserts for the full testbed).
   queueing::RequestPool pool;
+  pool.set_depth(3);
   {
     // Warm a tier-3 working set so growth is amortised out of the loop.
     std::vector<queueing::Request*> warm;
     for (int i = 0; i < 512; ++i) warm.push_back(pool.acquire());
     for (queueing::Request* r : warm) {
       r->demand_us.assign({120.0, 800.0, 2400.0});
-      r->trace.assign(3, queueing::TierTrace{});
       pool.release(r);
     }
   }
@@ -212,13 +213,55 @@ void BM_RequestPoolChurn(benchmark::State& state) {
     r->id = ++id;
     r->page_class = 1;
     r->demand_us.assign({120.0, 800.0, 2400.0});
-    r->trace.assign(3, queueing::TierTrace{});
+    pool.hot().reset_stamps(r->pool_slot);
     benchmark::DoNotOptimize(r);
     pool.release(r);
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RequestPoolChurn);
+
+void BM_TierBatchDrain(benchmark::State& state) {
+  // Same-instant completion batches through a single tier (Arg = batch
+  // width): `width` equal-demand requests start together, so all their
+  // completions land on one simulated instant and the tier drains them in
+  // one pass — each event sees batch_continues() until the last member
+  // settles the pending counters with a single registry flush. This is the
+  // path the batched-drain optimisation targets; compare widths to see the
+  // per-completion cost fall as the flush amortises.
+  const int width = static_cast<int>(state.range(0));
+  metrics::Registry registry;
+  for (auto _ : state) {
+    Simulator sim;
+    queueing::RequestPool pool;
+    pool.set_depth(1);
+    queueing::TierConfig config;
+    config.name = "batch";
+    config.threads = 4 * width;
+    config.workers = width;
+    queueing::TierServer tier(sim, pool, config, 0);
+    tier.set_metrics({registry.counter("offered"), registry.counter("admitted"),
+                      registry.counter("rejected"), registry.counter("completed")});
+    std::int64_t done = 0;
+    tier.set_reply_sink([&pool, &done](queueing::Request* r) {
+      ++done;
+      pool.release(r);
+    });
+    for (int round = 0; round < 64; ++round) {
+      for (int i = 0; i < width; ++i) {
+        queueing::Request* r = pool.acquire();
+        r->id = static_cast<queueing::Request::Id>(round * width + i);
+        r->demand_us.assign({100.0});
+        pool.hot().reset_stamps(r->pool_slot);
+        tier.try_submit(r);
+      }
+      sim.run_for(msec(1));
+    }
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * width);
+}
+BENCHMARK(BM_TierBatchDrain)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_TimingWheelRto(benchmark::State& state) {
   // The retransmission-timer population the wheel exists for: thousands of

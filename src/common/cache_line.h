@@ -1,0 +1,16 @@
+// Cache-line geometry for hot-path data layout (the cache_line_size.hpp
+// idiom): structures that are touched per simulated event are packed or
+// aligned so one event touches one line, and parallel sweep workers never
+// share a line by accident.
+#pragma once
+
+#include <cstddef>
+
+namespace memca {
+
+/// Line size assumed by the hot-path layout static_asserts. x86-64 and the
+/// common aarch64 server cores all use 64 bytes; if a target diverges, the
+/// asserts fail loudly instead of silently mis-packing.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace memca

@@ -8,37 +8,7 @@
 
 namespace memca {
 
-namespace {
-// Sub-buckets per power-of-two decade: 2^6 = 64 gives ~1.6% worst-case
-// relative bucket width, ample for percentile reporting.
-constexpr int kSubBucketBits = 6;
-constexpr std::int64_t kSubBuckets = std::int64_t{1} << kSubBucketBits;
-// Values up to 2^40 us (~12.7 days) are representable before clamping.
-constexpr int kMaxExponent = 40;
-constexpr std::size_t kNumBuckets =
-    static_cast<std::size_t>((kMaxExponent + 1)) * static_cast<std::size_t>(kSubBuckets);
-}  // namespace
-
 LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
-
-std::size_t LatencyHistogram::bucket_index(SimTime value) {
-  if (value < 0) value = 0;
-  const auto v = static_cast<std::uint64_t>(value);
-  if (v < static_cast<std::uint64_t>(kSubBuckets)) {
-    return static_cast<std::size_t>(v);
-  }
-  // Indices [0, kSubBuckets) store exact small values; decade d >= 0 (bucket
-  // width 2^d) covers [kSubBuckets << d, kSubBuckets << (d+1)) at indices
-  // [kSubBuckets + d*kSubBuckets, kSubBuckets + (d+1)*kSubBuckets).
-  const int msb = 63 - std::countl_zero(v);
-  const int shift = msb - kSubBucketBits;  // == decade
-  const auto sub = static_cast<std::int64_t>(v >> shift) - kSubBuckets;  // in [0, kSubBuckets)
-  std::size_t idx = static_cast<std::size_t>(kSubBuckets) +
-                    static_cast<std::size_t>(shift) * kSubBuckets +
-                    static_cast<std::size_t>(sub);
-  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
-  return idx;
-}
 
 SimTime LatencyHistogram::bucket_upper(std::size_t index) {
   if (index < static_cast<std::size_t>(kSubBuckets)) {
@@ -63,24 +33,6 @@ SimTime LatencyHistogram::bucket_mid(std::size_t index) {
   const std::int64_t base = (kSubBuckets + sub) << decade;
   const std::int64_t width = std::int64_t{1} << decade;
   return base + width / 2;
-}
-
-void LatencyHistogram::record(SimTime value) { record_n(value, 1); }
-
-void LatencyHistogram::record_n(SimTime value, std::int64_t count) {
-  MEMCA_CHECK_MSG(count >= 0, "cannot record a negative count");
-  if (count == 0) return;
-  if (value < 0) value = 0;
-  const std::size_t idx = bucket_index(value);
-  buckets_[idx] += count;
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  count_ += count;
-  sum_ += static_cast<double>(value) * static_cast<double>(count);
 }
 
 SimTime LatencyHistogram::quantile(double q) const {

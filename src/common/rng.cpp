@@ -37,62 +37,16 @@ Rng Rng::fork(std::string_view label) const {
   return Rng(splitmix64(s));
 }
 
-double Rng::uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
-
-double Rng::uniform(double lo, double hi) {
-  MEMCA_DCHECK(lo <= hi);
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  MEMCA_DCHECK(lo <= hi);
-  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
-}
-
-double Rng::exponential(double mean) {
-  MEMCA_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
-}
-
-SimTime Rng::exponential_time(SimTime mean) {
-  MEMCA_CHECK_MSG(mean > 0, "exponential_time mean must be positive");
-  const double draw = exponential(static_cast<double>(mean));
-  return static_cast<SimTime>(std::llround(draw));
-}
-
 double Rng::normal(double mean, double stddev) {
   MEMCA_DCHECK(stddev >= 0.0);
   if (stddev == 0.0) return mean;
   return std::normal_distribution<double>(mean, stddev)(engine_);
 }
 
-bool Rng::chance(double p) {
-  MEMCA_DCHECK(p >= 0.0 && p <= 1.0);
-  return uniform() < p;
-}
-
 std::int64_t Rng::poisson(double mean) {
   MEMCA_CHECK_MSG(mean >= 0.0, "poisson mean must be non-negative");
   if (mean == 0.0) return 0;
   return std::poisson_distribution<std::int64_t>(mean)(engine_);
-}
-
-std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  MEMCA_CHECK_MSG(!weights.empty(), "weighted_index needs at least one weight");
-  double total = 0.0;
-  for (double w : weights) {
-    MEMCA_CHECK_MSG(w >= 0.0, "weights must be non-negative");
-    total += w;
-  }
-  MEMCA_CHECK_MSG(total > 0.0, "weights must not all be zero");
-  double draw = uniform(0.0, total);
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    draw -= weights[i];
-    if (draw < 0.0) return i;
-  }
-  return weights.size() - 1;
 }
 
 }  // namespace memca

@@ -7,11 +7,13 @@
 // This is what makes scenario runs reproducible and diffable.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
 #include "common/time.h"
 
 namespace memca {
@@ -28,24 +30,61 @@ class Rng {
   /// identical streams.
   Rng fork(std::string_view label) const;
 
+  // The distribution helpers below are defined inline: the closed-loop
+  // testbed draws tens of thousands of variates per simulated second, and
+  // the per-draw distribution objects are stateless wrappers the compiler
+  // folds away entirely once it can see through them. The arithmetic is
+  // exactly what the out-of-line versions performed, so the streams are
+  // bit-identical.
+
   /// Uniform in [0, 1).
-  double uniform();
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
   /// Uniform in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    MEMCA_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
   /// Uniform integer in [lo, hi] inclusive.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MEMCA_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
   /// Exponential with the given mean (mean > 0).
-  double exponential(double mean);
+  double exponential(double mean) {
+    MEMCA_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
   /// Exponentially distributed duration with the given mean duration.
-  SimTime exponential_time(SimTime mean);
+  SimTime exponential_time(SimTime mean) {
+    MEMCA_CHECK_MSG(mean > 0, "exponential_time mean must be positive");
+    const double draw = exponential(static_cast<double>(mean));
+    return static_cast<SimTime>(std::llround(draw));
+  }
   /// Normal with the given mean and standard deviation.
   double normal(double mean, double stddev);
   /// Bernoulli trial.
-  bool chance(double p);
+  bool chance(double p) {
+    MEMCA_DCHECK(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
   /// Poisson-distributed count with the given mean.
   std::int64_t poisson(double mean);
   /// Picks an index in [0, weights.size()) proportionally to weights.
-  std::size_t weighted_index(const std::vector<double>& weights);
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    MEMCA_CHECK_MSG(!weights.empty(), "weighted_index needs at least one weight");
+    double total = 0.0;
+    for (double w : weights) {
+      MEMCA_DCHECK(w >= 0.0);
+      total += w;
+    }
+    MEMCA_CHECK_MSG(total > 0.0, "weights must not all be zero");
+    double draw = uniform(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      draw -= weights[i];
+      if (draw < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -7,9 +7,10 @@ namespace memca::queueing {
 
 NTierSystem::NTierSystem(Simulator& sim, std::vector<TierConfig> tiers) : sim_(sim) {
   MEMCA_CHECK_MSG(!tiers.empty(), "an n-tier system needs at least one tier");
+  pool_.set_depth(tiers.size());
   tiers_.reserve(tiers.size());
   for (std::size_t i = 0; i < tiers.size(); ++i) {
-    tiers_.push_back(std::make_unique<TierServer>(sim_, tiers[i], i));
+    tiers_.push_back(std::make_unique<TierServer>(sim_, pool_, tiers[i], i));
   }
   for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
     tiers_[i]->set_downstream(tiers_[i + 1].get());
@@ -30,13 +31,12 @@ bool NTierSystem::submit(Request* req) {
   MEMCA_CHECK(req != nullptr);
   MEMCA_CHECK_MSG(req->demand_us.size() == tiers_.size(),
                   "request needs one demand entry per tier");
-  req->trace.assign(tiers_.size(), TierTrace{});
   ++submitted_;
   if (!tiers_.front()->try_submit(req)) {
     ++dropped_;
     trace::emit(trace_, trace::TraceEvent{sim_.now(), req->id, 0, 0.0, req->user, 0,
                                           trace::EventKind::kDrop,
-                                          static_cast<std::uint8_t>(req->attempt)});
+                                          static_cast<std::uint8_t>(req->attempt())});
     if (on_drop_) on_drop_(*req);
     // Released only after the callback: a reentrant submit from inside
     // on_drop_ must not recycle this request out from under the caller.

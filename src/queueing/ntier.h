@@ -21,8 +21,7 @@ class NTierSystem : public RequestSystem {
  public:
   NTierSystem(Simulator& sim, std::vector<TierConfig> tiers);
 
-  using RequestSystem::submit;
-  /// Submits a pool-owned request. Sizes trace to the tier count (demand_us
+  /// Submits a pool-owned request. Resets its per-tier stamp lane (demand_us
   /// must already have one entry per tier). Returns false if dropped; the
   /// request is released back to the pool after the drop callback.
   bool submit(Request* req) override;

@@ -14,20 +14,18 @@ RequestPool::~RequestPool() {
 Request* RequestPool::acquire() {
   Request* req;
   if (!free_.empty()) {
-    req = slot_ptr(free_.back());
+    const std::uint32_t index = free_.back();
+    req = slot_ptr(index);
     free_.pop_back();
     // Reset scalars to the defaults a fresh Request would have; clear (but
-    // keep the capacity of) the per-tier vectors. pool_slot and the
-    // generation survive recycling.
+    // keep the capacity of) the demand vector. pool_slot and the generation
+    // survive recycling.
     req->id = 0;
     req->page_class = -1;
     req->user = -1;
-    req->attempt = 0;
-    req->first_sent = 0;
-    req->sent = 0;
     req->demand_us.clear();
-    req->trace.clear();
     req->pool_gen += 1;  // even (free) -> odd (live)
+    hot_.reset_hot(index);
   } else if (num_slots_ < constructed_) {
     // Regrowth after a checkpoint rollback: the slot still holds the object
     // from its previous life. Revive it exactly as a fresh construction
@@ -38,13 +36,12 @@ Request* RequestPool::acquire() {
     req->id = 0;
     req->page_class = -1;
     req->user = -1;
-    req->attempt = 0;
-    req->first_sent = 0;
-    req->sent = 0;
     req->demand_us.clear();
-    req->trace.clear();
     req->pool_slot = index;
     req->pool_gen = 1;
+    req->hot = &hot_;
+    hot_.ensure(num_slots_);
+    hot_.reset_hot(index);
   } else {
     MEMCA_CHECK_MSG(num_slots_ != 0xffffffffu, "request pool exhausted");
     const std::uint32_t index = num_slots_++;
@@ -57,7 +54,10 @@ Request* RequestPool::acquire() {
     req = ::new (static_cast<void*>(raw)) Request{};
     req->pool_slot = index;
     req->pool_gen = 1;  // generation 0, live
+    req->hot = &hot_;
     constructed_ = num_slots_;
+    hot_.ensure(num_slots_);
+    hot_.reset_hot(index);
   }
   ++live_;
   return req;
@@ -76,18 +76,14 @@ void RequestPool::capture(Snapshot& out) const {
       s.id = req->id;
       s.page_class = req->page_class;
       s.user = req->user;
-      s.attempt = req->attempt;
-      s.first_sent = req->first_sent;
-      s.sent = req->sent;
       s.demand_us.assign(req->demand_us.begin(), req->demand_us.end());
-      s.trace.assign(req->trace.begin(), req->trace.end());
     } else {
       // A free slot's body is never observed (acquire resets it); don't keep
       // a stale copy alive in the snapshot.
       s.demand_us.clear();
-      s.trace.clear();
     }
   }
+  hot_.capture(num_slots_, out.hot);
 }
 
 void RequestPool::restore(const Snapshot& snap) {
@@ -104,13 +100,10 @@ void RequestPool::restore(const Snapshot& snap) {
       req->id = s.id;
       req->page_class = s.page_class;
       req->user = s.user;
-      req->attempt = s.attempt;
-      req->first_sent = s.first_sent;
-      req->sent = s.sent;
       req->demand_us.assign(s.demand_us.begin(), s.demand_us.end());
-      req->trace.assign(s.trace.begin(), s.trace.end());
     }
   }
+  hot_.restore(snap.hot);
 }
 
 void RequestPool::release(Request* req) {

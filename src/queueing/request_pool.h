@@ -2,12 +2,18 @@
 //
 // The full testbed churns through millions of requests per run; allocating
 // each as a unique_ptr means a malloc/free pair per request plus cold vector
-// buffers for demand_us/trace every time. The pool places Requests in
+// buffers for demand_us every time. The pool places Request bodies in
 // fixed-size chunks (chunks are never relocated, so growth never moves a
 // live request) and recycles released slots through a LIFO free list
-// *without destroying the Request*: the recycled object's vectors keep
-// their capacity, so a warmed-up steady state acquires and releases with
-// zero heap traffic.
+// *without destroying the Request*: the recycled object's demand vector
+// keeps its capacity, so a warmed-up steady state acquires and releases
+// with zero heap traffic.
+//
+// The pool also owns the RequestHotArena: the slot-indexed SoA lanes holding
+// the per-event hot fields (timestamps, lifecycle state, attempt counter).
+// Arena lanes grow in lockstep with the slot high-water mark, and tier code
+// addresses them by slot index — the body is only chased for cold fields
+// (demand, identity) once per service.
 //
 // Slots are generation-tagged like the simulator's closure slots: the
 // request's pool_gen word carries a live bit (LSB) and a generation count,
@@ -40,14 +46,38 @@ class RequestPool {
   RequestPool(const RequestPool&) = delete;
   RequestPool& operator=(const RequestPool&) = delete;
 
-  /// Returns a live request with every scalar field reset to its default and
-  /// demand_us/trace cleared (capacity retained). Pointer stays valid until
-  /// release() — pool growth never relocates it.
+  /// Fixes the hot arena's tier depth; must run before the first acquire().
+  void set_depth(std::size_t depth) { hot_.set_depth(depth); }
+
+  /// The hot-field SoA arena (per-slot lanes). Tier hot paths write lanes
+  /// directly by slot; tests read them for lifecycle assertions.
+  RequestHotArena& hot() { return hot_; }
+  const RequestHotArena& hot() const { return hot_; }
+
+  /// Returns a live request with every scalar field (body and hot lanes)
+  /// reset to its default and demand_us cleared (capacity retained). Pointer
+  /// stays valid until release() — pool growth never relocates it.
   Request* acquire();
 
   /// Returns `req` to the free list. Must be live and from this pool; the
   /// generation bump invalidates outstanding Handles to this occupancy.
   void release(Request* req);
+
+  /// The live request body at `slot` (hot paths that carry slot indices
+  /// chase this only for cold fields).
+  Request* get(std::uint32_t slot) {
+    MEMCA_DCHECK(slot < num_slots_);
+    return slot_ptr(slot);
+  }
+  const Request* get(std::uint32_t slot) const {
+    MEMCA_DCHECK(slot < num_slots_);
+    return slot_ptr(slot);
+  }
+
+  /// True if `slot` currently holds a live (acquired) request.
+  bool slot_live(std::uint32_t slot) const {
+    return slot < num_slots_ && (slot_ptr(slot)->pool_gen & 1u) != 0;
+  }
 
   /// Handle to a live request's current occupancy.
   Handle handle_of(const Request* req) const {
@@ -67,27 +97,25 @@ class RequestPool {
   /// Slots ever created — the pool's occupancy high-water mark.
   std::uint32_t slots() const { return num_slots_; }
 
-  /// Checkpoint of the pool: per-slot generation words, the free list, and
-  /// the full body of every live request. restore() writes the state back
-  /// into the same slots — request pointers captured elsewhere (queues,
-  /// in-flight tables) stay valid — and never allocates, because a recycled
-  /// request's vectors only ever gain capacity after the capture.
+  /// Checkpoint of the pool: per-slot generation words, the free list, the
+  /// full body of every live request, and the hot-arena lanes. restore()
+  /// writes the state back into the same slots — request pointers captured
+  /// elsewhere (queues, in-flight tables) stay valid — and never allocates,
+  /// because a recycled request's vectors and the arena lanes only ever
+  /// gain capacity after the capture.
   struct Snapshot {
     struct SlotState {
       std::uint32_t gen = 0;
       Request::Id id = 0;
       int page_class = -1;
       int user = -1;
-      int attempt = 0;
-      SimTime first_sent = 0;
-      SimTime sent = 0;
       std::vector<double> demand_us;
-      std::vector<TierTrace> trace;
     };
     std::uint32_t num_slots = 0;
     std::size_t live = 0;
     std::vector<SlotState> slots;
     std::vector<std::uint32_t> free_list;
+    RequestHotArena::Snapshot hot;
   };
 
   void capture(Snapshot& out) const;
@@ -118,6 +146,8 @@ class RequestPool {
   /// LIFO recycling stack: the most recently released request is the next
   /// acquired, so its vectors (and the cache lines under them) are warm.
   std::vector<std::uint32_t> free_;
+  /// Hot-field SoA lanes, indexed by the same slot numbers.
+  RequestHotArena hot_;
 };
 
 }  // namespace memca::queueing

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "common/inline_callback.h"
 #include "queueing/request.h"
@@ -42,22 +41,6 @@ class RequestSystem {
   /// immediately. Either way the system now owns the request — the pointer
   /// must not be used after the completion/drop callback has run.
   virtual bool submit(Request* req) = 0;
-
-  /// Compatibility shim for callers holding heap-allocated requests (tests,
-  /// exploratory code): copies the request into the pool and submits.
-  bool submit(std::unique_ptr<Request> req) {
-    MEMCA_CHECK(req != nullptr);
-    Request* pooled = pool_.acquire();
-    pooled->id = req->id;
-    pooled->page_class = req->page_class;
-    pooled->user = req->user;
-    pooled->attempt = req->attempt;
-    pooled->first_sent = req->first_sent;
-    pooled->sent = req->sent;
-    pooled->demand_us = req->demand_us;
-    pooled->trace = req->trace;
-    return submit(pooled);
-  }
 
   /// Completion callback: fires when a reply reaches the client side. The
   /// referenced request dies when the callback returns.

@@ -7,13 +7,14 @@ namespace memca::queueing {
 TandemQueueSystem::TandemQueueSystem(Simulator& sim, std::vector<StationConfig> stations)
     : sim_(sim) {
   MEMCA_CHECK_MSG(!stations.empty(), "a tandem system needs at least one station");
+  pool_.set_depth(stations.size());
   stations_.reserve(stations.size());
   for (std::size_t i = 0; i < stations.size(); ++i) {
     Station st;
     st.config = stations[i];
     MEMCA_CHECK_MSG(st.config.workers >= 1, "a station needs at least one worker");
     st.workers = std::make_unique<WorkStation>(
-        sim_, st.config.workers, [this, i](Request* r) { on_service_done(i, r); });
+        sim_, st.config.workers, [this, i](std::uint32_t s) { on_service_done(i, s); });
     // Pre-size bounded waiting rooms to their capacity; unbounded ones grow
     // amortized from a small warm buffer.
     if (st.config.queue_capacity != StationConfig::kUnbounded) {
@@ -27,7 +28,7 @@ bool TandemQueueSystem::submit(Request* req) {
   MEMCA_CHECK(req != nullptr);
   MEMCA_CHECK_MSG(req->demand_us.size() == stations_.size(),
                   "request needs one demand entry per station");
-  req->trace.assign(stations_.size(), TierTrace{});
+  pool_.hot().stage_demands(req->pool_slot, req->demand_us);
   ++submitted_;
   const Station& st = stations_.front();
   if (st.config.queue_capacity != StationConfig::kUnbounded &&
@@ -36,7 +37,7 @@ bool TandemQueueSystem::submit(Request* req) {
     return false;
   }
   ++in_flight_;
-  offer(0, req);
+  offer(0, req->pool_slot);
   return true;
 }
 
@@ -72,44 +73,52 @@ const std::string& TandemQueueSystem::station_name(std::size_t station) const {
   return stations_[station].config.name;
 }
 
-void TandemQueueSystem::offer(std::size_t index, Request* req) {
+void TandemQueueSystem::offer(std::size_t index, std::uint32_t slot) {
   Station& st = stations_[index];
-  req->trace[index].enter = sim_.now();
-  st.queue.push_back(req);
+  RequestHotArena& hot = pool_.hot();
+  hot.tier(slot) = static_cast<std::int16_t>(index);
+  hot.stamp(slot, index).enter = sim_.now();
+  hot.state(slot) = RequestState::kWaiting;
+  st.queue.push_back(slot);
   pump(index);
 }
 
 void TandemQueueSystem::pump(std::size_t index) {
   Station& st = stations_[index];
+  RequestHotArena& hot = pool_.hot();
   while (st.workers->has_free_worker() && !st.queue.empty()) {
-    Request* req = st.queue.front();
+    const std::uint32_t slot = st.queue.front();
     st.queue.pop_front();
-    req->trace[index].service_start = sim_.now();
-    st.workers->start(req, req->demand_us[index]);
+    TierTrace& tr = hot.stamp(slot, index);
+    tr.service_start = sim_.now();
+    hot.state(slot) = RequestState::kInService;
+    st.workers->start(slot, tr.demand);
   }
 }
 
-void TandemQueueSystem::on_service_done(std::size_t index, Request* req) {
+void TandemQueueSystem::on_service_done(std::size_t index, std::uint32_t slot) {
   Station& st = stations_[index];
-  req->trace[index].leave = sim_.now();
-  mark_span(index, *req);
-  st.residence_time.record(req->tier_time(index));
+  TierTrace& tr = pool_.hot().stamp(slot, index);
+  tr.leave = sim_.now();
+  mark_span(index, *pool_.get(slot));
+  st.residence_time.record(sim_.now() - tr.enter);
   if (index + 1 == stations_.size()) {
-    finish(req);
+    finish(slot);
   } else {
     const Station& next = stations_[index + 1];
     if (next.config.queue_capacity != StationConfig::kUnbounded &&
         queue_length(index + 1) >= next.config.queue_capacity &&
         !next.workers->has_free_worker()) {
-      drop(index + 1, req);
+      drop(index + 1, pool_.get(slot));
     } else {
-      offer(index + 1, req);
+      offer(index + 1, slot);
     }
   }
   pump(index);
 }
 
-void TandemQueueSystem::finish(Request* req) {
+void TandemQueueSystem::finish(std::uint32_t slot) {
+  Request* req = pool_.get(slot);
   ++completed_;
   MEMCA_DCHECK(in_flight_ > 0);
   --in_flight_;

@@ -7,6 +7,10 @@
 // tier's observed residence time is essentially the back-end queueing time —
 // no cross-tier amplification. Contrasting this with NTierSystem is how the
 // paper isolates the RPC thread-holding effect.
+//
+// Like the n-tier chain, the tandem hot path moves requests as pool-slot
+// indices: waiting rooms hold packed u32 slots and per-event stamps land in
+// the RequestPool's SoA arena lanes.
 #pragma once
 
 #include <memory>
@@ -34,7 +38,6 @@ class TandemQueueSystem : public RequestSystem {
  public:
   TandemQueueSystem(Simulator& sim, std::vector<StationConfig> stations);
 
-  using RequestSystem::submit;
   /// Submits a pool-owned request (demand_us must have one entry per
   /// station). Returns false if the front station rejected it.
   bool submit(Request* req) override;
@@ -58,14 +61,14 @@ class TandemQueueSystem : public RequestSystem {
   struct Station {
     StationConfig config;
     std::unique_ptr<WorkStation> workers;
-    RingQueue<Request*> queue;
+    RingQueue<std::uint32_t> queue;
     LatencyHistogram residence_time;
   };
 
-  void offer(std::size_t index, Request* req);
+  void offer(std::size_t index, std::uint32_t slot);
   void pump(std::size_t index);
-  void on_service_done(std::size_t index, Request* req);
-  void finish(Request* req);
+  void on_service_done(std::size_t index, std::uint32_t slot);
+  void finish(std::uint32_t slot);
   /// Drops at station `index` (0 = front reject, i+1 = interior overflow).
   void drop(std::size_t index, Request* req);
 
@@ -77,12 +80,12 @@ class TandemQueueSystem : public RequestSystem {
   void mark_span(std::size_t station, const Request& req) {
 #ifndef MEMCA_TRACE_DISABLED
     if (trace_ == nullptr) return;
-    const TierTrace& span = req.trace[station];
+    const TierTrace& span = req.trace_at(station);
     trace_->record(trace::TraceEvent{sim_.now(), req.id, span.enter,
                                      static_cast<double>(span.service_start), req.user,
                                      static_cast<std::int16_t>(station),
                                      trace::EventKind::kTierSpan,
-                                     static_cast<std::uint8_t>(req.attempt)});
+                                     static_cast<std::uint8_t>(req.attempt())});
 #else
     (void)station;
     (void)req;
@@ -95,7 +98,7 @@ class TandemQueueSystem : public RequestSystem {
     if (trace_ == nullptr) return;
     trace_->record(trace::TraceEvent{sim_.now(), req.id, 0, 0.0, req.user,
                                      static_cast<std::int16_t>(station), kind,
-                                     static_cast<std::uint8_t>(req.attempt)});
+                                     static_cast<std::uint8_t>(req.attempt())});
 #else
     (void)kind;
     (void)station;
@@ -114,7 +117,7 @@ class TandemQueueSystem : public RequestSystem {
   struct Snapshot {
     struct StationState {
       WorkStation::Snapshot workers;
-      RingQueue<Request*>::Snapshot queue;
+      RingQueue<std::uint32_t>::Snapshot queue;
       LatencyHistogram residence_time;
     };
     CountersSnapshot counters;

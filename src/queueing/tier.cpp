@@ -6,11 +6,14 @@
 
 namespace memca::queueing {
 
-TierServer::TierServer(Simulator& sim, TierConfig config, std::size_t tier_index)
+TierServer::TierServer(Simulator& sim, RequestPool& pool, TierConfig config,
+                       std::size_t tier_index)
     : sim_(sim),
+      pool_(pool),
+      hot_(&pool.hot()),
       config_(std::move(config)),
       index_(tier_index),
-      station_(sim, config_.workers, [this](Request* r) { on_service_done(r); }) {
+      station_(sim, config_.workers, [this](std::uint32_t s) { on_service_done(s); }) {
   MEMCA_CHECK_MSG(config_.threads >= 1, "a tier needs at least one thread");
   MEMCA_CHECK_MSG(config_.workers >= 1, "a tier needs at least one worker");
   // At most `threads` requests are resident, so neither queue can outgrow
@@ -43,6 +46,7 @@ void TierServer::add_capacity(int workers, int extra_threads) {
   pump();
   // New threads may also unblock requests parked in the upstream tier.
   pull_blocked_from_upstream();
+  maybe_flush();
 }
 
 void TierServer::remove_capacity(int workers, int fewer_threads) {
@@ -58,105 +62,121 @@ void TierServer::set_reply_sink(InlineFunction<void(Request*)> sink) {
 
 bool TierServer::try_submit(Request* req) {
   MEMCA_CHECK(req != nullptr);
-  ++offered_;
-  metrics_.offered.inc();
+  // External entry: stage the per-tier demands into the stamp lane so the
+  // admit/pump fast paths never have to chase the Request body.
+  hot_->stage_demands(req->pool_slot, req->demand_us);
+  ++pending_offered_;
   if (full()) {
-    ++rejected_;
-    metrics_.rejected.inc();
+    ++pending_rejected_;
+    maybe_flush();
     return false;
   }
-  admit(req);
+  admit(req->pool_slot);
+  maybe_flush();
   return true;
 }
 
-bool TierServer::accept_from_upstream(Request* req) {
-  ++offered_;
-  metrics_.offered.inc();
+bool TierServer::accept_from_upstream(std::uint32_t slot) {
+  ++pending_offered_;
   if (full()) {
-    ++rejected_;
-    metrics_.rejected.inc();
+    ++pending_rejected_;
+    maybe_flush();
     return false;
   }
-  admit(req);
+  admit(slot);
+  maybe_flush();
   return true;
 }
 
-void TierServer::admit(Request* req) {
+void TierServer::admit(std::uint32_t slot) {
   ++resident_;
-  ++admitted_;
-  metrics_.admitted.inc();
-  MEMCA_CHECK_MSG(index_ < req->trace.size(), "request trace not sized for this system");
-  req->trace[index_].enter = sim_.now();
-  wait_queue_.push_back(req);
-  pump();
+  ++pending_admitted_;
+  hot_->tier(slot) = static_cast<std::int16_t>(index_);
+  TierTrace& tr = hot_->stamp(slot, index_);
+  tr.enter = sim_.now();
+  // Fast path: an admit that can start does so directly — no queue
+  // round-trip, no pump call. Between events a free worker implies an empty
+  // wait queue, but mid-completion (depart → pull_blocked_from_upstream,
+  // before on_service_done's pump) both can hold at once, and FIFO demands
+  // the queued request win the freed worker — hence the empty() check.
+  if (station_.has_free_worker() && wait_queue_.empty()) {
+    tr.service_start = sim_.now();
+    hot_->state(slot) = RequestState::kInService;
+    station_.start(slot, tr.demand);
+  } else {
+    hot_->state(slot) = RequestState::kWaiting;
+    wait_queue_.push_back(slot);
+  }
 }
 
 void TierServer::pump() {
   while (station_.has_free_worker() && !wait_queue_.empty()) {
-    Request* req = wait_queue_.front();
+    const std::uint32_t slot = wait_queue_.front();
     wait_queue_.pop_front();
-    MEMCA_CHECK_MSG(index_ < req->demand_us.size(), "request demand not sized for this system");
-    req->trace[index_].service_start = sim_.now();
-    station_.start(req, req->demand_us[index_]);
+    TierTrace& tr = hot_->stamp(slot, index_);
+    tr.service_start = sim_.now();
+    hot_->state(slot) = RequestState::kInService;
+    station_.start(slot, tr.demand);
   }
 }
 
-void TierServer::on_service_done(Request* req) {
-  mark_span(*req);
+void TierServer::on_service_done(std::uint32_t slot) {
+  mark_span(slot);
   if (downstream_ == nullptr) {
-    depart(req);
+    depart(slot);
   } else {
-    forward_downstream(req);
+    forward_downstream(slot);
   }
   // The worker that finished is free; take the next waiting request.
-  pump();
+  if (!wait_queue_.empty()) pump();
 }
 
-void TierServer::forward_downstream(Request* req) {
-  if (downstream_->accept_from_upstream(req)) {
+void TierServer::forward_downstream(std::uint32_t slot) {
+  if (downstream_->accept_from_upstream(slot)) {
     ++awaiting_reply_;
   } else {
     // Downstream thread pool exhausted: hold our thread and wait to be
     // pulled. This is the cross-tier overflow propagation step.
-    blocked_.push_back(req);
+    hot_->state(slot) = RequestState::kBlockedDownstream;
+    blocked_.push_back(slot);
   }
 }
 
-void TierServer::on_reply_from_downstream(Request* req) {
+void TierServer::on_reply_from_downstream(std::uint32_t slot) {
   MEMCA_CHECK(awaiting_reply_ > 0);
   --awaiting_reply_;
-  depart(req);
+  depart(slot);
 }
 
-void TierServer::depart(Request* req) {
-  req->trace[index_].leave = sim_.now();
+void TierServer::depart(std::uint32_t slot) {
+  TierTrace& tr = hot_->stamp(slot, index_);
+  tr.leave = sim_.now();
   MEMCA_CHECK(resident_ > 0);
   --resident_;
-  ++completed_;
-  metrics_.completed.inc();
-  residence_time_.record(req->tier_time(index_));
+  ++pending_completed_;
+  residence_time_.record(sim_.now() - tr.enter);
 
   // Deliver the reply upstream first (it departs every upstream tier at the
   // same instant — the response path is negligible), then backfill the
   // thread we just freed from the upstream blocked queue.
   if (upstream_ != nullptr) {
-    upstream_->on_reply_from_downstream(req);
+    upstream_->on_reply_from_downstream(slot);
   } else {
     MEMCA_CHECK_MSG(static_cast<bool>(reply_sink_), "front tier needs a reply sink");
-    reply_sink_(req);
+    reply_sink_(pool_.get(slot));
   }
   pull_blocked_from_upstream();
+  maybe_flush();
 }
 
 void TierServer::pull_blocked_from_upstream() {
   if (upstream_ == nullptr) return;
   while (!full() && !upstream_->blocked_.empty()) {
-    Request* req = upstream_->blocked_.front();
+    const std::uint32_t slot = upstream_->blocked_.front();
     upstream_->blocked_.pop_front();
     ++upstream_->awaiting_reply_;
-    ++offered_;
-    metrics_.offered.inc();
-    admit(req);
+    ++pending_offered_;
+    admit(slot);
   }
 }
 

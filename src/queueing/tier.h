@@ -14,6 +14,15 @@
 // The "blocked" state holds requests whose local service finished but whose
 // downstream tier has no free thread; the downstream tier pulls the oldest
 // blocked request the moment one of its threads frees.
+//
+// Hot-path layout: the tier moves requests as pool-slot indices. Queues hold
+// packed u32 slots, the per-event fields (timestamps, lifecycle state, tier
+// index) are written straight into the RequestPool's SoA arena lanes, and
+// the Request body is only dereferenced once per local service (demand read)
+// and once per reply delivery. Monotone throughput counters are accumulated
+// in per-tier pending cells and flushed to the real counters and the metrics
+// registry once per completion batch (see Simulator::batch_continues), not
+// once per event.
 #pragma once
 
 #include <string>
@@ -22,6 +31,7 @@
 #include "common/inline_callback.h"
 #include "common/ring_queue.h"
 #include "metrics/registry.h"
+#include "queueing/request_pool.h"
 #include "queueing/workstation.h"
 #include "trace/recorder.h"
 
@@ -47,7 +57,8 @@ struct TierConfig {
 
 class TierServer {
  public:
-  TierServer(Simulator& sim, TierConfig config, std::size_t tier_index);
+  TierServer(Simulator& sim, RequestPool& pool, TierConfig config,
+             std::size_t tier_index);
   TierServer(const TierServer&) = delete;
   TierServer& operator=(const TierServer&) = delete;
 
@@ -92,10 +103,12 @@ class TierServer {
   int awaiting_reply() const { return awaiting_reply_; }
   bool full() const { return resident_ >= config_.threads; }
 
-  std::int64_t offered() const { return offered_; }
-  std::int64_t admitted() const { return admitted_; }
-  std::int64_t rejected() const { return rejected_; }
-  std::int64_t completed() const { return completed_; }
+  // Throughput counters fold in the not-yet-flushed batch pendings, so a
+  // read is exact at any instant — mid-batch included.
+  std::int64_t offered() const { return offered_ + pending_offered_; }
+  std::int64_t admitted() const { return admitted_ + pending_admitted_; }
+  std::int64_t rejected() const { return rejected_ + pending_rejected_; }
+  std::int64_t completed() const { return completed_ + pending_completed_; }
 
   /// Per-tier residence-time (enter→leave) distribution.
   const LatencyHistogram& residence_time() const { return residence_time_; }
@@ -113,38 +126,74 @@ class TierServer {
  private:
   friend class NTierSystem;
 
-  void admit(Request* req);
+  void admit(std::uint32_t slot);
   void pump();
-  void on_service_done(Request* req);
-  void forward_downstream(Request* req);
+  void on_service_done(std::uint32_t slot);
+  void forward_downstream(std::uint32_t slot);
   /// Called by the downstream tier when our request's reply returns.
-  void on_reply_from_downstream(Request* req);
+  void on_reply_from_downstream(std::uint32_t slot);
   /// Request departs this tier; propagates the reply upstream.
-  void depart(Request* req);
+  void depart(std::uint32_t slot);
   /// Called by `this` after freeing a thread: pulls the oldest request
   /// blocked in the upstream tier, if any.
   void pull_blocked_from_upstream();
   /// Upstream-facing admission used by forward/pull paths.
-  bool accept_from_upstream(Request* req);
+  bool accept_from_upstream(std::uint32_t slot);
+
+  /// Settles the batch-pending counters into the real counters and the
+  /// metrics registry: one update per batch instead of one per completion.
+  void flush_pending() {
+    if (pending_offered_ != 0) {
+      offered_ += pending_offered_;
+      metrics_.offered.inc(pending_offered_);
+      pending_offered_ = 0;
+    }
+    if (pending_admitted_ != 0) {
+      admitted_ += pending_admitted_;
+      metrics_.admitted.inc(pending_admitted_);
+      pending_admitted_ = 0;
+    }
+    if (pending_rejected_ != 0) {
+      rejected_ += pending_rejected_;
+      metrics_.rejected.inc(pending_rejected_);
+      pending_rejected_ = 0;
+    }
+    if (pending_completed_ != 0) {
+      completed_ += pending_completed_;
+      metrics_.completed.inc(pending_completed_);
+      pending_completed_ = 0;
+    }
+  }
+  /// Every counter-mutating entry point ends with this: while more members
+  /// of the current completion batch are about to fire, the flush waits;
+  /// the batch's last member (and any unbatched event) settles immediately,
+  /// so pendings are always zero between events.
+  void maybe_flush() {
+    if (!sim_.batch_continues()) flush_pending();
+  }
 
   /// Appends this tier's consolidated kTierSpan event (queue enter +
   /// service start + service end in one record) iff a recorder is attached.
   /// Called at local-service end, when all three times are known.
-  void mark_span(const Request& req) {
+  void mark_span(std::uint32_t slot) {
 #ifndef MEMCA_TRACE_DISABLED
     if (trace_ == nullptr) return;
-    const TierTrace& span = req.trace[index_];
+    const Request& req = *pool_.get(slot);
+    const TierTrace& span = hot_->stamp(slot, index_);
     trace_->record(trace::TraceEvent{sim_.now(), req.id, span.enter,
                                      static_cast<double>(span.service_start), req.user,
                                      static_cast<std::int16_t>(index_),
                                      trace::EventKind::kTierSpan,
-                                     static_cast<std::uint8_t>(req.attempt)});
+                                     static_cast<std::uint8_t>(req.attempt())});
 #else
-    (void)req;
+    (void)slot;
 #endif
   }
 
   Simulator& sim_;
+  RequestPool& pool_;
+  /// Cached &pool_.hot(): the SoA lanes every per-event write lands in.
+  RequestHotArena* hot_;
   TierConfig config_;
   std::size_t index_;
   WorkStation station_;
@@ -155,8 +204,9 @@ class TierServer {
 
   /// Occupancy of both queues is bounded by the thread limit Q_i, so they
   /// are pre-sized to it at construction and never allocate while serving.
-  RingQueue<Request*> wait_queue_;
-  RingQueue<Request*> blocked_;
+  /// Entries are pool-slot indices: a queue sweep walks packed u32s.
+  RingQueue<std::uint32_t> wait_queue_;
+  RingQueue<std::uint32_t> blocked_;
   int awaiting_reply_ = 0;
   int resident_ = 0;
 
@@ -167,19 +217,25 @@ class TierServer {
   std::int64_t admitted_ = 0;
   std::int64_t rejected_ = 0;
   std::int64_t completed_ = 0;
+  /// Batch-deferred deltas (see flush_pending / maybe_flush).
+  std::int64_t pending_offered_ = 0;
+  std::int64_t pending_admitted_ = 0;
+  std::int64_t pending_rejected_ = 0;
+  std::int64_t pending_completed_ = 0;
   LatencyHistogram residence_time_;
 
  public:
   /// Checkpoint of this tier's request-visible state. Queue contents are
-  /// Request pointers into the pool (slots never relocate, so they stay
-  /// valid across a rollback); the thread limit round-trips because
-  /// add/remove_capacity mutates it. Topology (downstream/upstream wiring,
-  /// trace/metrics attachment) is construction-time state and not captured.
+  /// pool-slot indices (slots never relocate, so they stay valid across a
+  /// rollback); the thread limit round-trips because add/remove_capacity
+  /// mutates it. Topology (downstream/upstream wiring, trace/metrics
+  /// attachment) is construction-time state and not captured. Batch
+  /// pendings are checked zero — capture never runs mid-batch.
   struct Snapshot {
     int threads = 0;
     WorkStation::Snapshot station;
-    RingQueue<Request*>::Snapshot wait_queue;
-    RingQueue<Request*>::Snapshot blocked;
+    RingQueue<std::uint32_t>::Snapshot wait_queue;
+    RingQueue<std::uint32_t>::Snapshot blocked;
     int awaiting_reply = 0;
     int resident = 0;
     std::int64_t offered = 0;
@@ -190,6 +246,9 @@ class TierServer {
   };
 
   void capture(Snapshot& out) const {
+    MEMCA_CHECK_MSG(pending_offered_ == 0 && pending_admitted_ == 0 &&
+                        pending_rejected_ == 0 && pending_completed_ == 0,
+                    "batch pendings must be settled between events");
     out.threads = config_.threads;
     station_.capture(out.station);
     wait_queue_.capture(out.wait_queue);
@@ -214,6 +273,10 @@ class TierServer {
     admitted_ = snap.admitted;
     rejected_ = snap.rejected;
     completed_ = snap.completed;
+    pending_offered_ = 0;
+    pending_admitted_ = 0;
+    pending_rejected_ = 0;
+    pending_completed_ = 0;
     residence_time_ = snap.residence_time;
   }
 };

@@ -1,18 +1,31 @@
 #include "queueing/workstation.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
 
 namespace memca::queueing {
 
-WorkStation::WorkStation(Simulator& sim, int workers, InlineFunction<void(Request*)> on_done)
-    : sim_(sim), on_done_(std::move(on_done)), slots_(static_cast<std::size_t>(workers)) {
+WorkStation::WorkStation(Simulator& sim, int workers,
+                         InlineFunction<void(std::uint32_t)> on_done)
+    : sim_(sim),
+      on_done_(std::move(on_done)),
+      slots_(static_cast<std::size_t>(workers)),
+      batch_key_(sim.new_batch_key()) {
   MEMCA_CHECK_MSG(workers >= 1, "a station needs at least one worker");
   MEMCA_CHECK_MSG(static_cast<bool>(on_done_), "WorkStation needs a completion callback");
   busy_last_change_ = sim_.now();
   bind_completion_thunks(0);
+  rebuild_free_mask();
+}
+
+void WorkStation::rebuild_free_mask() {
+  free_mask_.assign((slots_.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].busy && !slots_[i].retired) mask_set(i);
+  }
 }
 
 void WorkStation::bind_completion_thunks(std::size_t first) {
@@ -23,6 +36,9 @@ void WorkStation::bind_completion_thunks(std::size_t first) {
 
 void WorkStation::accrue_busy_time() {
   const SimTime now = sim_.now();
+  // Same-instant transitions (a batch of completions, a complete-then-start
+  // pair) contribute zero area; skip the load-add-store of the integral.
+  if (now == busy_last_change_) return;
   busy_time_us_ += static_cast<double>(busy_) * static_cast<double>(now - busy_last_change_);
   busy_last_change_ = now;
 }
@@ -38,12 +54,14 @@ void WorkStation::add_workers(int n) {
   // capacity from here on and the integral must stay exact.
   accrue_busy_time();
   // Revive retired slots first, then grow.
-  for (Slot& s : slots_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (n == 0) break;
+    Slot& s = slots_[i];
     if (s.retired) {
       s.retired = false;
       --retired_;
       --n;
+      if (!s.busy) mask_set(i);
     }
   }
   if (pending_retire_ > 0) {
@@ -55,6 +73,8 @@ void WorkStation::add_workers(int n) {
     const std::size_t old_size = slots_.size();
     slots_.resize(old_size + static_cast<std::size_t>(n));
     bind_completion_thunks(old_size);
+    free_mask_.resize((slots_.size() + 63) / 64, 0);
+    for (std::size_t i = old_size; i < slots_.size(); ++i) mask_set(i);
   }
 }
 
@@ -63,31 +83,35 @@ void WorkStation::remove_workers(int n) {
   MEMCA_CHECK_MSG(workers() - pending_retire_ - n >= 1,
                   "a station must keep at least one worker");
   accrue_busy_time();
-  for (Slot& s : slots_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (n == 0) break;
+    Slot& s = slots_[i];
     if (!s.busy && !s.retired) {
       s.retired = true;
       ++retired_;
       --n;
+      mask_clear(i);
     }
   }
   // The remainder retires as busy workers finish their current request.
   pending_retire_ += n;
 }
 
-void WorkStation::start(Request* req, double work_us) {
+void WorkStation::start(std::uint32_t payload, double work_us) {
   MEMCA_CHECK_MSG(has_free_worker(), "WorkStation::start requires a free worker");
   MEMCA_CHECK_MSG(work_us >= 0.0, "work must be non-negative");
-  MEMCA_CHECK(req != nullptr);
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
+  for (std::size_t w = 0; w < free_mask_.size(); ++w) {
+    if (free_mask_[w] == 0) continue;
+    const std::size_t i = (w << 6) + static_cast<std::size_t>(
+                                         std::countr_zero(free_mask_[w]));
     Slot& s = slots_[i];
-    if (s.busy || s.retired) continue;
     accrue_busy_time();
     s.busy = true;
-    s.req = req;
+    s.payload = payload;
     s.remaining_work = work_us;
     s.last_update = sim_.now();
     ++busy_;
+    mask_clear(i);
     schedule_completion(i);
     return;
   }
@@ -99,16 +123,16 @@ void WorkStation::schedule_completion(std::size_t slot_index) {
   // Ceil so non-zero work always takes at least one tick: guarantees progress
   // and preserves event-order determinism.
   const SimTime delay = static_cast<SimTime>(std::ceil(duration_us));
-  s.done = sim_.schedule_in(delay, s.fire);
+  s.done = sim_.schedule_batched(sim_.now() + delay, batch_key_, s.fire);
 }
 
 void WorkStation::complete(std::size_t slot_index) {
   Slot& s = slots_[slot_index];
   MEMCA_CHECK(s.busy);
-  Request* req = s.req;
+  const std::uint32_t payload = s.payload;
   accrue_busy_time();
   s.busy = false;
-  s.req = nullptr;
+  s.payload = 0;
   s.remaining_work = 0.0;
   --busy_;
   ++completed_;
@@ -116,8 +140,10 @@ void WorkStation::complete(std::size_t slot_index) {
     s.retired = true;
     ++retired_;
     --pending_retire_;
+  } else {
+    mask_set(slot_index);
   }
-  on_done_(req);
+  on_done_(payload);
 }
 
 void WorkStation::set_speed(double speed) {

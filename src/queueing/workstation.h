@@ -1,11 +1,18 @@
 // A bank of workers executing work-based service with live speed scaling.
 //
-// Each worker serves one request at a time; the request carries an amount of
-// work (microseconds at speed 1.0) and the station runs at a global speed
+// Each worker serves one payload at a time; the payload is an opaque 32-bit
+// token (the tiers pass request-pool slot indices) carrying an amount of
+// work (microseconds at speed 1.0), and the station runs at a global speed
 // multiplier. When the speed changes — the MemCA burst throttling the victim
-// tier — remaining work of every in-flight request is re-scaled and its
+// tier — remaining work of every in-flight service is re-scaled and its
 // completion event rescheduled. This is what makes a 100 ms capacity dip
 // interact correctly with millisecond-scale services.
+//
+// Completion events are tagged with a per-station batch key: when several
+// services of one station complete at the same instant, each completion
+// callback can ask the simulator whether another member of the batch fires
+// next (Simulator::batch_continues) and defer commutative bookkeeping to the
+// batch's last member. The tag never changes firing order.
 //
 // The station also integrates busy-worker time, which is exactly what an
 // OS-level CPU utilization monitor sees: a memory-stalled core counts as
@@ -16,17 +23,17 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/cache_line.h"
 #include "common/inline_callback.h"
-#include "queueing/request.h"
 #include "sim/simulator.h"
 
 namespace memca::queueing {
 
 class WorkStation {
  public:
-  /// `on_done` fires when a request's service completes; the worker is
-  /// already free when it runs.
-  WorkStation(Simulator& sim, int workers, InlineFunction<void(Request*)> on_done);
+  /// `on_done` fires with the service's payload when it completes; the
+  /// worker is already free when it runs.
+  WorkStation(Simulator& sim, int workers, InlineFunction<void(std::uint32_t)> on_done);
   WorkStation(const WorkStation&) = delete;
   WorkStation& operator=(const WorkStation&) = delete;
 
@@ -43,9 +50,9 @@ class WorkStation {
   /// `workers()` may exceed the target transiently.
   void remove_workers(int n);
 
-  /// Starts serving `req` with `work_us` microseconds of speed-1 work.
+  /// Starts serving `payload` with `work_us` microseconds of speed-1 work.
   /// Requires a free worker.
-  void start(Request* req, double work_us);
+  void start(std::uint32_t payload, double work_us);
 
   /// Changes the station speed (must be > 0); rescales in-flight services.
   void set_speed(double speed);
@@ -68,15 +75,20 @@ class WorkStation {
     void operator()() const { station->complete(slot); }
   };
 
-  struct Slot {
+  /// One worker. Cache-line aligned so firing a completion (flags + payload
+  /// + busy-time fields + the done handle) dirties exactly one line and
+  /// neighbouring workers never false-share under a future parallel drain.
+  struct alignas(kCacheLineSize) Slot {
     bool busy = false;
     bool retired = false;
-    Request* req = nullptr;
+    std::uint32_t payload = 0;
     double remaining_work = 0.0;  // microseconds at speed 1.0
     SimTime last_update = 0;
     EventHandle done;
     CompletionFire fire;
   };
+  static_assert(sizeof(Slot) == kCacheLineSize,
+                "worker slot should pack into one cache line");
 
   void accrue_busy_time();
   /// (Re)binds the per-slot completion thunks; called whenever slots_ grows.
@@ -84,14 +96,30 @@ class WorkStation {
   void schedule_completion(std::size_t slot_index);
   void complete(std::size_t slot_index);
 
+  // Availability bitmap over slots_ (bit i set iff slot i is idle and not
+  // retired): start() finds its worker with a count-trailing-zeros instead
+  // of walking one cache line per slot. The bit scan picks the lowest free
+  // index, exactly the slot the linear scan would have chosen, so completion
+  // scheduling order — and with it bit-reproducibility — is unchanged.
+  void mask_set(std::size_t i) {
+    free_mask_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void mask_clear(std::size_t i) {
+    free_mask_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void rebuild_free_mask();
+
   Simulator& sim_;
-  InlineFunction<void(Request*)> on_done_;
+  InlineFunction<void(std::uint32_t)> on_done_;
   std::vector<Slot> slots_;
+  std::vector<std::uint64_t> free_mask_;
   double speed_ = 1.0;
   int busy_ = 0;
   int retired_ = 0;
   int pending_retire_ = 0;
   std::int64_t completed_ = 0;
+  /// Batch tag for this station's completion events (see file comment).
+  std::uint32_t batch_key_ = 0;
   // busy-time integral
   double busy_time_us_ = 0.0;
   SimTime busy_last_change_ = 0;
@@ -100,7 +128,7 @@ class WorkStation {
   /// Checkpoint of the worker bank. Slot records are value-copied: the
   /// `done` EventHandle stays valid because the simulator restores the same
   /// arena occupancy, the `fire` thunk points back at this station, and the
-  /// `req` pointer at a pool slot that never relocates. Elastic growth after
+  /// payload at a pool slot whose body never relocates. Elastic growth after
   /// a capture is not restorable (restore checks the worker count).
   struct Snapshot {
     std::vector<Slot> slots;
@@ -128,6 +156,7 @@ class WorkStation {
     MEMCA_CHECK_MSG(snap.slots.size() == slots_.size(),
                     "cannot roll back across an elastic worker-count change");
     std::copy(snap.slots.begin(), snap.slots.end(), slots_.begin());
+    rebuild_free_mask();
     speed_ = snap.speed;
     busy_ = snap.busy;
     retired_ = snap.retired;

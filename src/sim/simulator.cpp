@@ -40,9 +40,9 @@ void Simulator::drain(SimTime limit) {
       from_heap = true;
     }
     if (wheel_entries_ > 0) {
-      // Every wheel event at or before the next firing instant must be in
-      // the heap before that event fires; if the wheel fed the heap, re-pick
-      // — the flushed bucket may hold the new earliest event. The cached
+      // Every wheel event at or before the next firing instant must be
+      // queued (sorted run or heap) before that event fires; if the wheel
+      // flushed a bucket, re-pick — it may hold the new earliest event. The cached
       // earliest-bucket start turns the common "wheel owes nothing yet" case
       // into a single compare instead of a per-event level scan.
       const SimTime target =
@@ -63,7 +63,46 @@ void Simulator::drain(SimTime limit) {
         cursor_ = 0;
       }
     }
+    // Batch hint for the callback about to run: stale unless re-derived, so
+    // untagged events always present "no batch". For a tagged event the peek
+    // answers "does another member of my batch fire right after me at this
+    // same instant?" — every wheel event at or before ev.time is already
+    // queued (the advance above ran to ev.time first), so the merged
+    // heap/sorted head really is the global successor.
+    batch_continues_ = ev.batch != 0 && next_live_matches(ev.time, ev.batch);
     fire(ev);
+  }
+}
+
+bool Simulator::next_live_matches(SimTime time, std::uint32_t batch) {
+  for (;;) {
+    const Event* next = cursor_ < sorted_.size() ? &sorted_[cursor_] : nullptr;
+    bool from_heap = false;
+    if (!heap_.empty() && (next == nullptr || earlier(heap_.front(), *next))) {
+      next = &heap_.front();
+      from_heap = true;
+    }
+    // Cheap rejects first: the queue-entry fields are on lines this peek's
+    // caller just touched, while the slot-liveness word is a random load
+    // into the closure arena. A mismatched time or tag answers "no" without
+    // that load. (A stale head carrying a *different* tag can hide a live
+    // matching event behind it; answering false there is merely
+    // conservative — an early counter flush, never a wrong count.)
+    if (next == nullptr || next->time != time || next->batch != batch) {
+      return false;
+    }
+    if (slot(next->slot).seq_live == occupant_key(next->seq)) return true;
+    // Stale head at the batch instant with this batch's own tag: drop it
+    // here instead of making fire() discard it one iteration later — the
+    // peek must see through cancelled entries to the event that will
+    // actually run.
+    MEMCA_DCHECK(cancelled_pending_ > 0);
+    --cancelled_pending_;
+    if (from_heap) {
+      heap_pop();
+    } else {
+      ++cursor_;
+    }
   }
 }
 
@@ -209,6 +248,7 @@ void Simulator::capture(Snapshot& out) const {
   out.now = now_;
   out.next_seq = next_seq_;
   out.executed = executed_;
+  out.last_batch_key = last_batch_key_;
   out.live_pending = live_pending_;
   out.pending_high_water = pending_high_water_;
   out.cancelled_pending = cancelled_pending_;
@@ -263,6 +303,8 @@ void Simulator::restore(const Snapshot& snap) {
   now_ = snap.now;
   next_seq_ = snap.next_seq;
   executed_ = snap.executed;
+  last_batch_key_ = snap.last_batch_key;
+  batch_continues_ = false;
   live_pending_ = snap.live_pending;
   pending_high_water_ = snap.pending_high_water;
   cancelled_pending_ = snap.cancelled_pending;
@@ -387,9 +429,13 @@ bool Simulator::advance_wheel(SimTime limit) {
     wheel_entries_ -= bucket.size();
 
     if (best_level == 0) {
-      // Frontier reached a level-0 bucket: feed its live entries to the
-      // arrival heap (they fire via the normal (time, seq) ordering) and
-      // report so the caller re-picks the earliest event.
+      // Frontier reached a level-0 bucket: sort its live entries once and
+      // merge them into the sorted run. Feeding the heap instead would make
+      // every entry pay a sift-up now and a full sift-down at pop time; via
+      // the run each fires with a cursor increment, and the heap stays small
+      // (short-delay events only), so its pops cheapen too. The merged run
+      // is ordered by the same (time, seq) comparator the heap uses, so the
+      // firing order is bit-for-bit unchanged.
       for (const Event& ev : bucket) {
         if (slot(ev.slot).seq_live == occupant_key(ev.seq)) {
           heap_push(ev);

@@ -2,9 +2,32 @@
 
 #include <cstdlib>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/check.h"
 
 namespace memca::sweep {
+namespace {
+
+/// Pins the calling worker to one CPU (no-op off Linux). Failure is
+/// harmless — the thread just stays migratable — so the result is ignored.
+void pin_to_cpu(int worker_index) {
+#ifdef __linux__
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(worker_index) % hw, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker_index;
+#endif
+}
+
+}  // namespace
 
 int default_thread_count() {
   if (const char* env = std::getenv("MEMCA_SWEEP_THREADS")) {
@@ -15,11 +38,20 @@ int default_thread_count() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+bool affinity_enabled() {
+  const char* env = std::getenv("MEMCA_SWEEP_AFFINITY");
+  return env != nullptr && std::atoi(env) > 0;
+}
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_thread_count();
+  const bool pin = affinity_enabled();
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i, pin] {
+      if (pin) pin_to_cpu(i);
+      worker_loop();
+    });
   }
 }
 

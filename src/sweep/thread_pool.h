@@ -21,6 +21,14 @@ namespace memca::sweep {
 /// std::thread::hardware_concurrency(), always at least 1.
 int default_thread_count();
 
+/// Whether sweep workers pin themselves to CPUs: the MEMCA_SWEEP_AFFINITY
+/// environment variable, off unless set to a positive integer. Pinning
+/// (worker i -> cpu i mod hardware_concurrency, Linux only) keeps each
+/// worker's simulation working set on one core's caches during long sweeps;
+/// it is opt-in because on shared machines inherited masks or co-tenants
+/// make pinning a pessimisation. Results are bit-identical either way.
+bool affinity_enabled();
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers (0 = default_thread_count()).

@@ -59,9 +59,9 @@ void ClosedLoopClients::send_request(int user, int page, SimTime first_sent, int
   auto req = router_.make_request(source_);
   req->user = user;
   req->page_class = page;
-  req->attempt = attempt;
-  req->first_sent = first_sent;
-  req->sent = sim_.now();
+  req->set_attempt(attempt);
+  req->set_first_sent(first_sent);
+  req->set_sent(sim_.now());
   profile_.sample_demands_into(page, rng_, req->demand_us);
   metrics_.submitted.inc();
   router_.submit(req);
@@ -72,9 +72,9 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
   u.busy = false;
   ++completed_;
   metrics_.completed.inc();
-  mark(trace::EventKind::kComplete, req, req.first_sent);
-  if (req.attempt > 0) ++retransmitted_completions_;
-  const SimTime rt = sim_.now() - req.first_sent;
+  mark(trace::EventKind::kComplete, req, req.first_sent());
+  if (req.attempt() > 0) ++retransmitted_completions_;
+  const SimTime rt = sim_.now() - req.first_sent();
   if (sim_.now() >= config_.stats_warmup) {
     response_times_.record(rt);
     metrics_.response_time.record(rt);
@@ -87,23 +87,23 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
 void ClosedLoopClients::on_drop(const queueing::Request& req) {
   ++dropped_attempts_;
   metrics_.dropped.inc();
-  if (req.attempt >= config_.max_retries) {
+  if (req.attempt() >= config_.max_retries) {
     // Abandon: the user gives up on this page and thinks again.
     ++failed_;
     metrics_.failed.inc();
-    mark(trace::EventKind::kAbandon, req, req.first_sent);
+    mark(trace::EventKind::kAbandon, req, req.first_sent());
     users_[static_cast<std::size_t>(req.user)].busy = false;
     schedule_think(req.user);
     return;
   }
   // RFC 6298: RTO floor of 1 s, exponential backoff per retry.
-  const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt);
+  const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt());
   metrics_.retransmitted.inc();
   mark(trace::EventKind::kRetransmit, req, rto);
   const int user = req.user;
   const int page = req.page_class;
-  const SimTime first_sent = req.first_sent;
-  const int next_attempt = req.attempt + 1;
+  const SimTime first_sent = req.first_sent();
+  const int next_attempt = req.attempt() + 1;
   sim_.schedule_in(rto, [this, user, page, first_sent, next_attempt] {
     send_request(user, page, first_sent, next_attempt);
   });

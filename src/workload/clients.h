@@ -106,7 +106,7 @@ class ClosedLoopClients {
 #ifndef MEMCA_TRACE_DISABLED
     if (trace_ == nullptr) return;
     trace_->record(trace::TraceEvent{sim_.now(), req.id, aux, 0.0, req.user, -1, kind,
-                                     static_cast<std::uint8_t>(req.attempt)});
+                                     static_cast<std::uint8_t>(req.attempt())});
 #else
     (void)kind;
     (void)req;

@@ -48,16 +48,16 @@ void OpenLoopSource::send_request(int page, SimTime first_sent, int attempt) {
   auto req = router_.make_request(source_);
   req->user = -1;
   req->page_class = page;
-  req->attempt = attempt;
-  req->first_sent = first_sent;
-  req->sent = sim_.now();
+  req->set_attempt(attempt);
+  req->set_first_sent(first_sent);
+  req->set_sent(sim_.now());
   profile_.sample_demands_into(page, rng_, req->demand_us);
   router_.submit(req);
 }
 
 void OpenLoopSource::on_complete(const queueing::Request& req) {
   ++completed_;
-  const SimTime rt = sim_.now() - req.first_sent;
+  const SimTime rt = sim_.now() - req.first_sent();
   if (sim_.now() >= config_.stats_warmup) {
     response_times_.record(rt);
     response_series_.append(sim_.now(), static_cast<double>(rt));
@@ -66,14 +66,14 @@ void OpenLoopSource::on_complete(const queueing::Request& req) {
 
 void OpenLoopSource::on_drop(const queueing::Request& req) {
   ++dropped_attempts_;
-  if (!config_.retransmit || req.attempt >= config_.max_retries) {
+  if (!config_.retransmit || req.attempt() >= config_.max_retries) {
     ++failed_;
     return;
   }
-  const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt);
+  const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt());
   const int page = req.page_class;
-  const SimTime first_sent = req.first_sent;
-  const int next_attempt = req.attempt + 1;
+  const SimTime first_sent = req.first_sent();
+  const int next_attempt = req.attempt() + 1;
   sim_.schedule_in(rto, [this, page, first_sent, next_attempt] {
     send_request(page, first_sent, next_attempt);
   });

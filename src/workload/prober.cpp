@@ -13,17 +13,17 @@ Prober::Prober(Simulator& sim, RequestRouter& router, ProberConfig config, Rng r
                   "probe demand must cover every tier");
   source_ = router_.register_source(
       [this](const queueing::Request& r) {
-        record(sim_.now() - r.first_sent, r.attempt > 0);
+        record(sim_.now() - r.first_sent(), r.attempt() > 0);
       },
       [this](const queueing::Request& r) {
         ++dropped_;
-        if (r.attempt >= config_.max_retries) {
+        if (r.attempt() >= config_.max_retries) {
           record(config_.drop_penalty, true);
           return;
         }
-        const SimTime rto = config_.min_rto * (SimTime{1} << r.attempt);
-        const SimTime first_sent = r.first_sent;
-        const int next_attempt = r.attempt + 1;
+        const SimTime rto = config_.min_rto * (SimTime{1} << r.attempt());
+        const SimTime first_sent = r.first_sent();
+        const int next_attempt = r.attempt() + 1;
         sim_.schedule_in(rto, [this, first_sent, next_attempt] {
           transmit(first_sent, next_attempt);
         });
@@ -48,9 +48,9 @@ void Prober::send_probe() {
 void Prober::transmit(SimTime first_sent, int attempt) {
   auto req = router_.make_request(source_);
   req->page_class = -1;
-  req->attempt = attempt;
-  req->first_sent = first_sent;
-  req->sent = sim_.now();
+  req->set_attempt(attempt);
+  req->set_first_sent(first_sent);
+  req->set_sent(sim_.now());
   // Slight jitter around the nominal demand so probes are not bit-identical.
   req->demand_us.reserve(config_.demand_us.size());
   for (double d : config_.demand_us) req->demand_us.push_back(rng_.exponential(d));

@@ -119,10 +119,9 @@ TEST(ElasticController, ConsecutivePeriodsGate) {
 
 TEST(WorkStationScaling, AddWorkersPreservesBusyAccounting) {
   Simulator sim;
-  std::vector<queueing::Request*> done;
-  queueing::WorkStation station(sim, 1, [&](queueing::Request* r) { done.push_back(r); });
-  auto req = queueing::test::make_request(1, {10000.0});
-  station.start(req.get(), 10000.0);
+  std::vector<std::uint32_t> done;
+  queueing::WorkStation station(sim, 1, [&](std::uint32_t p) { done.push_back(p); });
+  station.start(1, 10000.0);
   sim.run_until(msec(5));
   station.add_workers(3);
   EXPECT_EQ(station.workers(), 4);
@@ -135,13 +134,13 @@ TEST(WorkStationScaling, AddWorkersPreservesBusyAccounting) {
 
 TEST(WorkStationScaling, TierAddCapacityStartsWaitingRequests) {
   Simulator sim;
-  queueing::TierServer tier(sim, queueing::TierConfig{"t", 10, 1}, 0);
+  queueing::RequestPool pool;
+  pool.set_depth(1);
+  queueing::TierServer tier(sim, pool, queueing::TierConfig{"t", 10, 1}, 0);
   std::vector<queueing::Request*> replies;
   tier.set_reply_sink([&](queueing::Request* r) { replies.push_back(r); });
-  std::vector<std::unique_ptr<queueing::Request>> reqs;
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(queueing::test::make_request(i, {100000.0}));
-    tier.try_submit(reqs.back().get());
+    tier.try_submit(queueing::test::make_request(pool, i, {100000.0}));
   }
   sim.run_until(msec(1));
   EXPECT_EQ(tier.in_service(), 1);

@@ -27,7 +27,7 @@ struct FuzzHarness {
   void submit_random(Request::Id id) {
     std::vector<double> demand = {rng.exponential(50.0), rng.exponential(300.0),
                                   rng.exponential(800.0)};
-    system.submit(test::make_request(id, std::move(demand), sim.now()));
+    system.submit(test::make_request(system.pool(), id, std::move(demand), sim.now()));
   }
 
   void check_invariants(const char* context) {
@@ -125,7 +125,7 @@ TEST(InvariantFuzz, FifoPreservedUnderChaos) {
   Request::Id next_id = 0;
   for (int step = 0; step < 500; ++step) {
     if (rng.chance(0.6)) {
-      system.submit(test::make_request(next_id++, {30.0, 60.0, 120.0}, sim.now()));
+      system.submit(test::make_request(system.pool(), next_id++, {30.0, 60.0, 120.0}, sim.now()));
     }
     if (rng.chance(0.1)) {
       system.back_tier().set_speed_multiplier(rng.uniform(0.05, 1.0));

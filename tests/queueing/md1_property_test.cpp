@@ -29,7 +29,7 @@ double run_md1_mean_rt_us(double rho, double service_us, SimTime duration,
   const double lambda_per_us = rho / service_us;
   std::int64_t next_id = 0;
   std::function<void()> arrive = [&] {
-    system.submit(test::make_request(next_id++, {service_us}, sim.now()));
+    system.submit(test::make_request(system.pool(), next_id++, {service_us}, sim.now()));
     sim.schedule_in(static_cast<SimTime>(rng.exponential(1.0 / lambda_per_us)), arrive);
   };
   sim.schedule_in(0, arrive);

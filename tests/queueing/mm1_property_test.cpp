@@ -37,8 +37,8 @@ Mm1Result run_mmc(double lambda_per_sec, double service_mean_us, int workers,
 
   std::int64_t next_id = 0;
   std::function<void()> arrive = [&] {
-    auto req = test::make_request(next_id++, {rng.exponential(service_mean_us)}, sim.now());
-    system.submit(std::move(req));
+    system.submit(
+        test::make_request(system.pool(), next_id++, {rng.exponential(service_mean_us)}, sim.now()));
     sim.schedule_in(static_cast<SimTime>(rng.exponential(1e6 / lambda_per_sec)), arrive);
   };
   sim.schedule_in(0, arrive);

@@ -23,7 +23,7 @@ struct Fixture {
     system.set_on_drop([this](const Request& r) { dropped.push_back(r.id); });
   }
   bool submit(Request::Id id, std::vector<double> demand) {
-    return system.submit(make_request(id, std::move(demand), sim.now()));
+    return system.submit(make_request(system.pool(), id, std::move(demand), sim.now()));
   }
 };
 
@@ -38,21 +38,15 @@ TEST(NTierSystem, CompletesSingleRequest) {
 
 TEST(NTierSystem, TierResidenceNests) {
   Fixture f;
-  Request* raw = nullptr;
-  {
-    auto req = make_request(1, {100.0, 200.0, 300.0});
-    raw = req.get();
-    SimTime observed[3] = {0, 0, 0};
-    f.system.set_on_complete([&](const Request& r) {
-      for (std::size_t i = 0; i < 3; ++i) observed[i] = r.tier_time(i);
-    });
-    f.system.submit(std::move(req));
-    f.sim.run_all();
-    (void)raw;
-    EXPECT_EQ(observed[2], usec(300));
-    EXPECT_EQ(observed[1], usec(500));
-    EXPECT_EQ(observed[0], usec(600));
-  }
+  SimTime observed[3] = {0, 0, 0};
+  f.system.set_on_complete([&](const Request& r) {
+    for (std::size_t i = 0; i < 3; ++i) observed[i] = r.tier_time(i);
+  });
+  f.system.submit(make_request(f.system.pool(), 1, {100.0, 200.0, 300.0}));
+  f.sim.run_all();
+  EXPECT_EQ(observed[2], usec(300));
+  EXPECT_EQ(observed[1], usec(500));
+  EXPECT_EQ(observed[0], usec(600));
 }
 
 TEST(NTierSystem, DropsOnlyAtFrontTier) {
@@ -125,7 +119,7 @@ TEST(NTierSystem, SingleTierSystemWorks) {
   NTierSystem system(sim, {{"solo", 2, 1}});
   int completed = 0;
   system.set_on_complete([&](const Request&) { ++completed; });
-  system.submit(make_request(1, {500.0}));
+  system.submit(make_request(system.pool(), 1, {500.0}));
   sim.run_all();
   EXPECT_EQ(completed, 1);
 }
@@ -135,8 +129,8 @@ TEST(NTierSystem, QueueSizeOneEdgeCase) {
   NTierSystem system(sim, {{"a", 2, 1}, {"b", 1, 1}});
   int completed = 0;
   system.set_on_complete([&](const Request&) { ++completed; });
-  system.submit(make_request(1, {10.0, 1000.0}));
-  system.submit(make_request(2, {10.0, 1000.0}));
+  system.submit(make_request(system.pool(), 1, {10.0, 1000.0}));
+  system.submit(make_request(system.pool(), 2, {10.0, 1000.0}));
   sim.run_all();
   EXPECT_EQ(completed, 2);
 }

@@ -17,46 +17,53 @@ namespace {
 
 TEST(RequestPool, AcquireReturnsResetRequest) {
   RequestPool pool;
+  pool.set_depth(2);
   Request* a = pool.acquire();
   a->id = 42;
   a->page_class = 3;
   a->user = 7;
-  a->attempt = 2;
-  a->first_sent = usec(10);
-  a->sent = usec(20);
+  a->set_attempt(2);
+  a->set_first_sent(usec(10));
+  a->set_sent(usec(20));
   a->demand_us = {1.0, 2.0};
-  a->trace.assign(2, TierTrace{usec(1), usec(2), usec(3)});
+  pool.hot().stamp(a->pool_slot, 0) = TierTrace{usec(1), usec(2), usec(3)};
+  pool.hot().state(a->pool_slot) = RequestState::kInService;
   pool.release(a);
-  // LIFO recycling hands the same object back, fully reset.
+  // LIFO recycling hands the same object back, body and hot lanes reset.
   Request* b = pool.acquire();
   ASSERT_EQ(b, a);
   EXPECT_EQ(b->id, 0);
   EXPECT_EQ(b->page_class, -1);
   EXPECT_EQ(b->user, -1);
-  EXPECT_EQ(b->attempt, 0);
-  EXPECT_EQ(b->first_sent, 0);
-  EXPECT_EQ(b->sent, 0);
+  EXPECT_EQ(b->attempt(), 0);
+  EXPECT_EQ(b->first_sent(), 0);
+  EXPECT_EQ(b->sent(), 0);
   EXPECT_TRUE(b->demand_us.empty());
-  EXPECT_TRUE(b->trace.empty());
+  EXPECT_EQ(pool.hot().state(b->pool_slot), RequestState::kIdle);
+  // The stamp lane is reset at submit time, not acquire time.
+  pool.hot().reset_stamps(b->pool_slot);
+  EXPECT_EQ(b->trace_at(0).enter, -1);
+  EXPECT_EQ(b->trace_at(1).leave, -1);
   pool.release(b);
 }
 
 TEST(RequestPool, RecycledRequestKeepsVectorCapacity) {
   RequestPool pool;
+  pool.set_depth(3);
   Request* a = pool.acquire();
   a->demand_us.assign({1.0, 2.0, 3.0});
-  a->trace.assign(3, TierTrace{});
   pool.release(a);
   Request* b = pool.acquire();
   ASSERT_EQ(b, a);
-  // The zero-steady-state-allocation property: cleared, not deallocated.
+  // The zero-steady-state-allocation property: cleared, not deallocated
+  // (the per-tier stamps live in the arena lanes, which never shrink).
   EXPECT_GE(b->demand_us.capacity(), 3u);
-  EXPECT_GE(b->trace.capacity(), 3u);
   pool.release(b);
 }
 
 TEST(RequestPool, GenerationTagRejectsStaleHandle) {
   RequestPool pool;
+  pool.set_depth(1);
   Request* req = pool.acquire();
   const RequestPool::Handle h = pool.handle_of(req);
   EXPECT_EQ(pool.resolve(h), req);
@@ -74,6 +81,7 @@ TEST(RequestPool, GenerationTagRejectsStaleHandle) {
 
 TEST(RequestPool, HandlesDistinguishSlotsAndGenerations) {
   RequestPool pool;
+  pool.set_depth(1);
   Request* a = pool.acquire();
   Request* b = pool.acquire();
   const RequestPool::Handle ha = pool.handle_of(a);
@@ -89,6 +97,7 @@ TEST(RequestPool, HandlesDistinguishSlotsAndGenerations) {
 
 TEST(RequestPool, ChunkGrowthNeverRelocatesLiveRequests) {
   RequestPool pool;
+  pool.set_depth(1);
   // Hold enough live requests to force several chunk allocations (256
   // slots per chunk), stamping each so aliasing would be visible.
   constexpr int kLive = 1500;
@@ -111,6 +120,7 @@ TEST(RequestPool, ChunkGrowthNeverRelocatesLiveRequests) {
 
 TEST(RequestPool, LiveCountTracksAcquireRelease) {
   RequestPool pool;
+  pool.set_depth(1);
   EXPECT_EQ(pool.live(), 0u);
   Request* a = pool.acquire();
   Request* b = pool.acquire();
@@ -147,7 +157,7 @@ TEST(RequestPool, DropRetransmitRoundTripThroughSystemPool) {
     sim.schedule_in(msec(100), [&system] {
       Request* retry = system.acquire();
       retry->id = 99;
-      retry->attempt = 1;
+      retry->set_attempt(1);
       retry->demand_us = {50.0};
       EXPECT_TRUE(system.submit(retry));
     });

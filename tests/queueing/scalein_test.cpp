@@ -2,19 +2,16 @@
 
 #include "monitor/elastic.h"
 #include "queueing/ntier.h"
-#include "test_util.h"
 #include "workload/openloop.h"
 #include "workload/router.h"
 
 namespace memca::queueing {
 namespace {
 
-using test::make_request;
-
 TEST(ScaleIn, IdleWorkersRetireImmediately) {
   Simulator sim;
   int done = 0;
-  WorkStation station(sim, 4, [&](Request*) { ++done; });
+  WorkStation station(sim, 4, [&](std::uint32_t) { ++done; });
   station.remove_workers(2);
   EXPECT_EQ(station.workers(), 2);
   EXPECT_TRUE(station.has_free_worker());
@@ -23,11 +20,9 @@ TEST(ScaleIn, IdleWorkersRetireImmediately) {
 TEST(ScaleIn, BusyWorkersFinishBeforeRetiring) {
   Simulator sim;
   int done = 0;
-  WorkStation station(sim, 2, [&](Request*) { ++done; });
-  auto r1 = make_request(1, {10000.0});
-  auto r2 = make_request(2, {10000.0});
-  station.start(r1.get(), 10000.0);
-  station.start(r2.get(), 10000.0);
+  WorkStation station(sim, 2, [&](std::uint32_t) { ++done; });
+  station.start(1, 10000.0);
+  station.start(2, 10000.0);
   station.remove_workers(1);
   // Both still busy: the retirement is pending, capacity unchanged yet.
   EXPECT_EQ(station.workers(), 2);
@@ -38,7 +33,7 @@ TEST(ScaleIn, BusyWorkersFinishBeforeRetiring) {
 
 TEST(ScaleIn, CannotRemoveLastWorker) {
   Simulator sim;
-  WorkStation station(sim, 3, [](Request*) {});
+  WorkStation station(sim, 3, [](std::uint32_t) {});
   station.remove_workers(2);
   EXPECT_EQ(station.workers(), 1);
   EXPECT_DEATH(station.remove_workers(1), "at least one worker");
@@ -46,7 +41,7 @@ TEST(ScaleIn, CannotRemoveLastWorker) {
 
 TEST(ScaleIn, AddWorkersRevivesRetiredSlots) {
   Simulator sim;
-  WorkStation station(sim, 4, [](Request*) {});
+  WorkStation station(sim, 4, [](std::uint32_t) {});
   station.remove_workers(3);
   EXPECT_EQ(station.workers(), 1);
   station.add_workers(2);
@@ -58,11 +53,9 @@ TEST(ScaleIn, AddWorkersRevivesRetiredSlots) {
 TEST(ScaleIn, AddCancelsPendingRetirement) {
   Simulator sim;
   int done = 0;
-  WorkStation station(sim, 2, [&](Request*) { ++done; });
-  auto r1 = make_request(1, {50000.0});
-  auto r2 = make_request(2, {50000.0});
-  station.start(r1.get(), 50000.0);
-  station.start(r2.get(), 50000.0);
+  WorkStation station(sim, 2, [&](std::uint32_t) { ++done; });
+  station.start(1, 50000.0);
+  station.start(2, 50000.0);
   station.remove_workers(1);  // pending (both busy)
   station.add_workers(1);     // cancels the pending retirement
   sim.run_until(msec(100));
@@ -71,13 +64,11 @@ TEST(ScaleIn, AddCancelsPendingRetirement) {
 
 TEST(ScaleIn, RetiredSlotsNeverPickUpWork) {
   Simulator sim;
-  std::vector<Request::Id> done;
-  WorkStation station(sim, 3, [&](Request* r) { done.push_back(r->id); });
+  std::vector<std::uint32_t> done;
+  WorkStation station(sim, 3, [&](std::uint32_t p) { done.push_back(p); });
   station.remove_workers(2);
-  std::vector<std::unique_ptr<Request>> reqs;
   // Only one worker: two sequential 1 ms services take 2 ms, not 1.
-  auto r1 = make_request(1, {1000.0});
-  station.start(r1.get(), 1000.0);
+  station.start(1, 1000.0);
   EXPECT_FALSE(station.has_free_worker());
   sim.run_until(usec(1000));
   EXPECT_EQ(done.size(), 1u);
@@ -85,7 +76,9 @@ TEST(ScaleIn, RetiredSlotsNeverPickUpWork) {
 
 TEST(ScaleIn, TierRemoveCapacityShrinksThreads) {
   Simulator sim;
-  TierServer tier(sim, TierConfig{"t", 40, 4}, 0);
+  RequestPool pool;
+  pool.set_depth(1);
+  TierServer tier(sim, pool, TierConfig{"t", 40, 4}, 0);
   tier.set_reply_sink([](Request*) {});
   tier.remove_capacity(2, 20);
   EXPECT_EQ(tier.workers(), 2);

@@ -23,7 +23,7 @@ struct Fixture {
 
 TEST(TandemQueueSystem, RequestFlowsThroughStations) {
   Fixture f;
-  f.system.submit(make_request(1, {100.0, 200.0}));
+  f.system.submit(make_request(f.system.pool(), 1, {100.0, 200.0}));
   f.sim.run_all();
   EXPECT_EQ(f.completed, 1);
   EXPECT_EQ(f.system.completed(), 1);
@@ -39,7 +39,7 @@ TEST(TandemQueueSystem, StationResidenceExcludesDownstream) {
     t0 = r.tier_time(0);
     t1 = r.tier_time(1);
   });
-  f.system.submit(make_request(1, {100.0, 50000.0}));
+  f.system.submit(make_request(f.system.pool(), 1, {100.0, 50000.0}));
   f.sim.run_all();
   EXPECT_EQ(t0, usec(100));
   EXPECT_EQ(t1, usec(50000));
@@ -48,7 +48,7 @@ TEST(TandemQueueSystem, StationResidenceExcludesDownstream) {
 TEST(TandemQueueSystem, BacklogAccumulatesAtSlowStation) {
   Fixture f;
   f.system.set_speed_multiplier(1, 0.001);
-  for (int i = 0; i < 20; ++i) f.system.submit(make_request(i, {10.0, 100.0}));
+  for (int i = 0; i < 20; ++i) f.system.submit(make_request(f.system.pool(), i, {10.0, 100.0}));
   f.sim.run_until(msec(10));
   // Upstream is oblivious: everything piles at station 2.
   EXPECT_EQ(f.system.resident(0), 0);
@@ -58,7 +58,7 @@ TEST(TandemQueueSystem, BacklogAccumulatesAtSlowStation) {
 TEST(TandemQueueSystem, InfiniteQueueNeverDrops) {
   Fixture f;
   f.system.set_speed_multiplier(1, 0.001);
-  for (int i = 0; i < 500; ++i) f.system.submit(make_request(i, {1.0, 100.0}));
+  for (int i = 0; i < 500; ++i) f.system.submit(make_request(f.system.pool(), i, {1.0, 100.0}));
   f.sim.run_until(msec(10));
   EXPECT_EQ(f.dropped, 0);
   f.system.set_speed_multiplier(1, 1.0);
@@ -71,9 +71,8 @@ TEST(TandemQueueSystem, FiniteFrontQueueDrops) {
   TandemQueueSystem system(sim, {{"s1", 1, 2}});
   int dropped = 0;
   system.set_on_drop([&](const Request&) { ++dropped; });
-  std::vector<std::unique_ptr<Request>> pending;
   // 1 in service + 2 waiting fit; the 4th drops.
-  for (int i = 0; i < 4; ++i) system.submit(make_request(i, {100000.0}));
+  for (int i = 0; i < 4; ++i) system.submit(make_request(system.pool(), i, {100000.0}));
   EXPECT_EQ(dropped, 1);
   EXPECT_EQ(system.dropped(), 1);
 }
@@ -85,7 +84,7 @@ TEST(TandemQueueSystem, FiniteInterStationQueueDropsMidstream) {
   int dropped = 0;
   system.set_on_complete([&](const Request&) { ++completed; });
   system.set_on_drop([&](const Request&) { ++dropped; });
-  for (int i = 0; i < 6; ++i) system.submit(make_request(i, {10.0, 100000.0}));
+  for (int i = 0; i < 6; ++i) system.submit(make_request(system.pool(), i, {10.0, 100000.0}));
   sim.run_until(msec(1));
   // Station 2 holds 1 in service + 1 waiting; the rest were lost in transit.
   EXPECT_EQ(dropped, 4);
@@ -97,7 +96,7 @@ TEST(TandemQueueSystem, FifoWithinStation) {
   Fixture f;
   std::vector<Request::Id> order;
   f.system.set_on_complete([&](const Request& r) { order.push_back(r.id); });
-  for (int i = 0; i < 5; ++i) f.system.submit(make_request(i, {100.0, 100.0}));
+  for (int i = 0; i < 5; ++i) f.system.submit(make_request(f.system.pool(), i, {100.0, 100.0}));
   f.sim.run_all();
   ASSERT_EQ(order.size(), 5u);
   for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -113,7 +112,7 @@ TEST(TandemQueueSystem, NamesAndAccessors) {
 
 TEST(TandemQueueSystem, ResidenceHistogramPopulated) {
   Fixture f;
-  for (int i = 0; i < 10; ++i) f.system.submit(make_request(i, {100.0, 100.0}));
+  for (int i = 0; i < 10; ++i) f.system.submit(make_request(f.system.pool(), i, {100.0, 100.0}));
   f.sim.run_all();
   EXPECT_EQ(f.system.residence_time(0).count(), 10);
   EXPECT_EQ(f.system.residence_time(1).count(), 10);

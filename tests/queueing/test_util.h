@@ -1,24 +1,26 @@
 // Shared helpers for queueing-layer tests.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "queueing/request.h"
+#include "queueing/request_pool.h"
 
 namespace memca::queueing::test {
 
-/// Builds a request with fixed (deterministic) per-tier demands.
-inline std::unique_ptr<Request> make_request(Request::Id id, std::vector<double> demand_us,
-                                             SimTime now = 0) {
-  auto req = std::make_unique<Request>();
+/// Acquires a pooled request with fixed (deterministic) per-tier demands.
+/// The pool's stamp depth must already be set (covering demand_us.size());
+/// direct TierServer tests own their pool, system tests use system.pool().
+inline Request* make_request(RequestPool& pool, Request::Id id,
+                             std::vector<double> demand_us, SimTime now = 0) {
+  Request* req = pool.acquire();
   req->id = id;
-  req->first_sent = now;
-  req->sent = now;
+  req->set_first_sent(now);
+  req->set_sent(now);
   req->demand_us = std::move(demand_us);
-  // NTierSystem sizes the trace on submit; direct TierServer tests need it
-  // pre-sized.
-  req->trace.assign(req->demand_us.size(), TierTrace{});
+  // NTierSystem resets the stamp lane on submit; direct TierServer tests
+  // need it reset here.
+  pool.hot().reset_stamps(req->pool_slot);
   return req;
 }
 

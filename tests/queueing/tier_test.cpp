@@ -9,20 +9,24 @@ namespace {
 
 using test::make_request;
 
-// A single tier with a reply sink standing in for the client side.
+// A single tier with a reply sink standing in for the client side. The
+// test owns the pool the system would normally own; replied requests are
+// deliberately kept live so the assertions can read their stamps.
 struct SingleTier {
   Simulator sim;
-  TierServer tier{sim, TierConfig{"solo", 4, 2}, 0};
+  RequestPool pool;
+  TierServer tier;
   std::vector<Request*> replies;
-  SingleTier() {
+  SingleTier() : tier(sim, pool, TierConfig{"solo", 4, 2}, 0) {
+    pool.set_depth(1);
     tier.set_reply_sink([this](Request* r) { replies.push_back(r); });
   }
 };
 
 TEST(TierServer, ServesAndReplies) {
   SingleTier f;
-  auto req = make_request(1, {1000.0});
-  EXPECT_TRUE(f.tier.try_submit(req.get()));
+  Request* req = make_request(f.pool, 1, {1000.0});
+  EXPECT_TRUE(f.tier.try_submit(req));
   EXPECT_EQ(f.tier.resident(), 1);
   f.sim.run_until(msec(2));
   ASSERT_EQ(f.replies.size(), 1u);
@@ -33,13 +37,13 @@ TEST(TierServer, ServesAndReplies) {
 
 TEST(TierServer, RejectsWhenThreadsExhausted) {
   SingleTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(make_request(i, {100000.0}));
-    EXPECT_TRUE(f.tier.try_submit(reqs.back().get()));
+    reqs.push_back(make_request(f.pool, i, {100000.0}));
+    EXPECT_TRUE(f.tier.try_submit(reqs.back()));
   }
-  auto extra = make_request(99, {100000.0});
-  EXPECT_FALSE(f.tier.try_submit(extra.get()));
+  Request* extra = make_request(f.pool, 99, {100000.0});
+  EXPECT_FALSE(f.tier.try_submit(extra));
   EXPECT_EQ(f.tier.rejected(), 1);
   EXPECT_EQ(f.tier.offered(), 5);
   EXPECT_EQ(f.tier.admitted(), 4);
@@ -47,10 +51,10 @@ TEST(TierServer, RejectsWhenThreadsExhausted) {
 
 TEST(TierServer, FifoServiceOrder) {
   SingleTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(make_request(i, {1000.0}));
-    f.tier.try_submit(reqs.back().get());
+    reqs.push_back(make_request(f.pool, i, {1000.0}));
+    f.tier.try_submit(reqs.back());
   }
   f.sim.run_all();
   ASSERT_EQ(f.replies.size(), 4u);
@@ -63,10 +67,10 @@ TEST(TierServer, FifoServiceOrder) {
 
 TEST(TierServer, QueueStateAccounting) {
   SingleTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(make_request(i, {100000.0}));
-    f.tier.try_submit(reqs.back().get());
+    reqs.push_back(make_request(f.pool, i, {100000.0}));
+    f.tier.try_submit(reqs.back());
   }
   EXPECT_EQ(f.tier.in_service(), 2);
   EXPECT_EQ(f.tier.waiting(), 2);
@@ -77,10 +81,10 @@ TEST(TierServer, QueueStateAccounting) {
 
 TEST(TierServer, ResidenceTimeIncludesQueueing) {
   SingleTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   for (int i = 0; i < 3; ++i) {
-    reqs.push_back(make_request(i, {1000.0}));
-    f.tier.try_submit(reqs.back().get());
+    reqs.push_back(make_request(f.pool, i, {1000.0}));
+    f.tier.try_submit(reqs.back());
   }
   f.sim.run_all();
   // Third request waited 1000 us for a worker, then served 1000 us.
@@ -90,8 +94,8 @@ TEST(TierServer, ResidenceTimeIncludesQueueing) {
 
 TEST(TierServer, SpeedMultiplierThrottlesService) {
   SingleTier f;
-  auto req = make_request(1, {1000.0});
-  f.tier.try_submit(req.get());
+  Request* req = make_request(f.pool, 1, {1000.0});
+  f.tier.try_submit(req);
   f.tier.set_speed_multiplier(0.1);
   f.sim.run_until(msec(9));
   EXPECT_TRUE(f.replies.empty());
@@ -102,10 +106,14 @@ TEST(TierServer, SpeedMultiplierThrottlesService) {
 // Two chained tiers exercising the RPC thread-holding semantics.
 struct TwoTier {
   Simulator sim;
-  TierServer front{sim, TierConfig{"front", 4, 2}, 0};
-  TierServer back{sim, TierConfig{"back", 2, 1}, 1};
+  RequestPool pool;
+  TierServer front;
+  TierServer back;
   std::vector<Request*> replies;
-  TwoTier() {
+  TwoTier()
+      : front(sim, pool, TierConfig{"front", 4, 2}, 0),
+        back(sim, pool, TierConfig{"back", 2, 1}, 1) {
+    pool.set_depth(2);
     front.set_downstream(&back);
     front.set_reply_sink([this](Request* r) { replies.push_back(r); });
   }
@@ -113,8 +121,8 @@ struct TwoTier {
 
 TEST(TierServer, RequestTraversesBothTiers) {
   TwoTier f;
-  auto req = make_request(1, {1000.0, 2000.0});
-  EXPECT_TRUE(f.front.try_submit(req.get()));
+  Request* req = make_request(f.pool, 1, {1000.0, 2000.0});
+  EXPECT_TRUE(f.front.try_submit(req));
   f.sim.run_all();
   ASSERT_EQ(f.replies.size(), 1u);
   EXPECT_EQ(req->tier_time(1), usec(2000));
@@ -124,8 +132,8 @@ TEST(TierServer, RequestTraversesBothTiers) {
 
 TEST(TierServer, UpstreamThreadHeldWhileDownstreamServes) {
   TwoTier f;
-  auto req = make_request(1, {100.0, 100000.0});
-  f.front.try_submit(req.get());
+  Request* req = make_request(f.pool, 1, {100.0, 100000.0});
+  f.front.try_submit(req);
   f.sim.run_until(msec(1));
   // Front finished local service but still holds the thread.
   EXPECT_EQ(f.front.resident(), 1);
@@ -135,10 +143,10 @@ TEST(TierServer, UpstreamThreadHeldWhileDownstreamServes) {
 
 TEST(TierServer, BlockedWhenDownstreamFull) {
   TwoTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(make_request(i, {100.0, 100000.0}));
-    f.front.try_submit(reqs.back().get());
+    reqs.push_back(make_request(f.pool, i, {100.0, 100000.0}));
+    f.front.try_submit(reqs.back());
   }
   f.sim.run_until(msec(1));
   // Back tier holds 2 (its thread limit); front finished local service on
@@ -151,10 +159,10 @@ TEST(TierServer, BlockedWhenDownstreamFull) {
 
 TEST(TierServer, DownstreamPullsBlockedInOrder) {
   TwoTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(make_request(i, {100.0, 10000.0}));
-    f.front.try_submit(reqs.back().get());
+    reqs.push_back(make_request(f.pool, i, {100.0, 10000.0}));
+    f.front.try_submit(reqs.back());
   }
   f.sim.run_all();
   ASSERT_EQ(f.replies.size(), 4u);
@@ -165,10 +173,10 @@ TEST(TierServer, BackTierRejectionNeverHappensThroughBlocking) {
   // The upstream holds requests instead of offering them to a full
   // downstream, so downstream rejections stay zero.
   TwoTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(make_request(i, {100.0, 5000.0}));
-    f.front.try_submit(reqs.back().get());
+    reqs.push_back(make_request(f.pool, i, {100.0, 5000.0}));
+    f.front.try_submit(reqs.back());
   }
   f.sim.run_all();
   // accept_from_upstream may have refused transiently, but every request
@@ -179,12 +187,12 @@ TEST(TierServer, BackTierRejectionNeverHappensThroughBlocking) {
 
 TEST(TierServer, ConservationAcrossBurst) {
   TwoTier f;
-  std::vector<std::unique_ptr<Request>> reqs;
+  std::vector<Request*> reqs;
   // Throttle the back tier, pile up requests, then recover.
   f.back.set_speed_multiplier(0.05);
   for (int i = 0; i < 4; ++i) {
-    reqs.push_back(make_request(i, {100.0, 1000.0}));
-    f.front.try_submit(reqs.back().get());
+    reqs.push_back(make_request(f.pool, i, {100.0, 1000.0}));
+    f.front.try_submit(reqs.back());
   }
   f.sim.run_until(msec(5));
   f.back.set_speed_multiplier(1.0);

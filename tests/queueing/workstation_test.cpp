@@ -1,38 +1,36 @@
 #include "queueing/workstation.h"
 
-#include <gtest/gtest.h>
+#include <cstdint>
+#include <vector>
 
-#include "test_util.h"
+#include <gtest/gtest.h>
 
 namespace memca::queueing {
 namespace {
 
-using test::make_request;
-
+// The station moves opaque u32 payloads (pool-slot indices in the real
+// systems); these tests use small literals.
 struct Fixture {
   Simulator sim;
-  std::vector<Request*> done;
-  WorkStation station{sim, 2, [this](Request* r) { done.push_back(r); }};
+  std::vector<std::uint32_t> done;
+  WorkStation station{sim, 2, [this](std::uint32_t p) { done.push_back(p); }};
 };
 
 TEST(WorkStation, CompletesAfterWorkDuration) {
   Fixture f;
-  auto req = make_request(1, {1000.0});
-  f.station.start(req.get(), 1000.0);
+  f.station.start(1, 1000.0);
   EXPECT_EQ(f.station.busy(), 1);
   f.sim.run_until(msec(1));
   ASSERT_EQ(f.done.size(), 1u);
-  EXPECT_EQ(f.done[0]->id, 1);
+  EXPECT_EQ(f.done[0], 1u);
   EXPECT_EQ(f.station.busy(), 0);
   EXPECT_EQ(f.station.completed(), 1);
 }
 
 TEST(WorkStation, ParallelWorkersIndependent) {
   Fixture f;
-  auto r1 = make_request(1, {});
-  auto r2 = make_request(2, {});
-  f.station.start(r1.get(), 1000.0);
-  f.station.start(r2.get(), 2000.0);
+  f.station.start(1, 1000.0);
+  f.station.start(2, 2000.0);
   EXPECT_FALSE(f.station.has_free_worker());
   f.sim.run_until(usec(1500));
   EXPECT_EQ(f.done.size(), 1u);
@@ -42,8 +40,7 @@ TEST(WorkStation, ParallelWorkersIndependent) {
 
 TEST(WorkStation, ZeroWorkCompletesImmediately) {
   Fixture f;
-  auto req = make_request(1, {});
-  f.station.start(req.get(), 0.0);
+  f.station.start(1, 0.0);
   f.sim.run_until(0);
   EXPECT_EQ(f.done.size(), 1u);
 }
@@ -51,8 +48,7 @@ TEST(WorkStation, ZeroWorkCompletesImmediately) {
 TEST(WorkStation, HalfSpeedDoublesServiceTime) {
   Fixture f;
   f.station.set_speed(0.5);
-  auto req = make_request(1, {});
-  f.station.start(req.get(), 1000.0);
+  f.station.start(1, 1000.0);
   f.sim.run_until(usec(1999));
   EXPECT_TRUE(f.done.empty());
   f.sim.run_until(usec(2000));
@@ -61,8 +57,7 @@ TEST(WorkStation, HalfSpeedDoublesServiceTime) {
 
 TEST(WorkStation, MidServiceSlowdownStretchesRemainder) {
   Fixture f;
-  auto req = make_request(1, {});
-  f.station.start(req.get(), 1000.0);
+  f.station.start(1, 1000.0);
   // After 500 us at speed 1, half the work remains; at speed 0.1 the rest
   // takes 5000 us -> completion at 5500 us.
   f.sim.run_until(usec(500));
@@ -75,21 +70,18 @@ TEST(WorkStation, MidServiceSlowdownStretchesRemainder) {
 
 TEST(WorkStation, MidServiceSpeedupShrinksRemainder) {
   Fixture f;
-  auto req = make_request(1, {});
   f.station.set_speed(0.1);
-  f.station.start(req.get(), 1000.0);  // would finish at 10 ms
-  f.sim.run_until(msec(5));            // 500 us of work done
-  f.station.set_speed(1.0);            // remaining 500 us at full speed
+  f.station.start(1, 1000.0);  // would finish at 10 ms
+  f.sim.run_until(msec(5));    // 500 us of work done
+  f.station.set_speed(1.0);    // remaining 500 us at full speed
   f.sim.run_until(msec(5) + usec(500));
   EXPECT_EQ(f.done.size(), 1u);
 }
 
 TEST(WorkStation, SpeedChangeAffectsAllInFlight) {
   Fixture f;
-  auto r1 = make_request(1, {});
-  auto r2 = make_request(2, {});
-  f.station.start(r1.get(), 1000.0);
-  f.station.start(r2.get(), 1000.0);
+  f.station.start(1, 1000.0);
+  f.station.start(2, 1000.0);
   f.station.set_speed(0.5);
   f.sim.run_until(usec(2000));
   EXPECT_EQ(f.done.size(), 2u);
@@ -97,8 +89,7 @@ TEST(WorkStation, SpeedChangeAffectsAllInFlight) {
 
 TEST(WorkStation, RedundantSpeedChangeIsNoop) {
   Fixture f;
-  auto req = make_request(1, {});
-  f.station.start(req.get(), 1000.0);
+  f.station.start(1, 1000.0);
   f.station.set_speed(1.0);
   f.sim.run_until(usec(1000));
   EXPECT_EQ(f.done.size(), 1u);
@@ -106,8 +97,7 @@ TEST(WorkStation, RedundantSpeedChangeIsNoop) {
 
 TEST(WorkStation, BusyTimeIntegralTracksUtilization) {
   Fixture f;
-  auto r1 = make_request(1, {});
-  f.station.start(r1.get(), 1000.0);
+  f.station.start(1, 1000.0);
   f.sim.run_until(msec(2));
   // 1 of 2 workers busy for 1000 us.
   EXPECT_NEAR(f.station.busy_worker_time_us(), 1000.0, 1.0);
@@ -115,8 +105,7 @@ TEST(WorkStation, BusyTimeIntegralTracksUtilization) {
 
 TEST(WorkStation, BusyTimeIncludesOpenService) {
   Fixture f;
-  auto r1 = make_request(1, {});
-  f.station.start(r1.get(), 10000.0);
+  f.station.start(1, 10000.0);
   f.sim.run_until(msec(4));
   EXPECT_NEAR(f.station.busy_worker_time_us(), 4000.0, 1.0);
 }
@@ -126,8 +115,7 @@ TEST(WorkStation, BusyTimeUnaffectedBySpeed) {
   // victim's CPU looks saturated during a burst.
   Fixture f;
   f.station.set_speed(0.01);
-  auto r1 = make_request(1, {});
-  f.station.start(r1.get(), 1000.0);
+  f.station.start(1, 1000.0);
   f.sim.run_until(msec(50));
   EXPECT_NEAR(f.station.busy_worker_time_us(), 50000.0, 1.0);
 }
@@ -136,10 +124,9 @@ TEST(WorkStation, CompletionCallbackSeesFreeWorker) {
   Simulator sim;
   bool free_inside = false;
   WorkStation* ptr = nullptr;
-  WorkStation station(sim, 1, [&](Request*) { free_inside = ptr->has_free_worker(); });
+  WorkStation station(sim, 1, [&](std::uint32_t) { free_inside = ptr->has_free_worker(); });
   ptr = &station;
-  auto req = make_request(1, {});
-  station.start(req.get(), 100.0);
+  station.start(1, 100.0);
   sim.run_until(msec(1));
   EXPECT_TRUE(free_inside);
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "queueing/ntier.h"
 #include "support/counting_alloc.h"
 #include "testbed/attack_lab.h"
 #include "testbed/rubbos_testbed.h"
@@ -224,6 +225,132 @@ TEST(SnapshotRollback, RollbackAllocatesNothingAfterTheFirstSnapshot) {
     bed.rollback();
     EXPECT_EQ(counter.count(), 0) << "round " << round;
   }
+}
+
+// -- batched tier drain vs checkpointing ------------------------------------
+//
+// Tier throughput counters are accumulated in batch-pending cells and only
+// settled when a same-instant completion batch ends (Simulator::
+// batch_continues). These tests pin the contract that makes that safe to
+// checkpoint: pendings are provably zero between events, accessor reads are
+// exact at any instant, and the SoA request arena (the hot lanes behind the
+// batch) round-trips through capture/restore byte for byte.
+
+queueing::Request* submit_one(queueing::NTierSystem& system, queueing::Request::Id id,
+                              std::vector<double> demand) {
+  queueing::Request* req = system.acquire();
+  req->id = id;
+  req->demand_us = std::move(demand);
+  return system.submit(req) ? req : nullptr;
+}
+
+TEST(BatchDrain, CountersExactWhenObservedAtTheBatchInstant) {
+  // Eight equal-demand requests start together, so their completions all
+  // land on one instant as one batch. An untagged observer event at that
+  // same instant must interleave with fully settled counters: the batch
+  // hint is recomputed per fired event, so the member just before the
+  // observer flushes.
+  Simulator sim;
+  queueing::NTierSystem system(sim, {{"solo", 32, 8}});
+  for (int i = 0; i < 8; ++i) ASSERT_NE(submit_one(system, i, {100.0}), nullptr);
+  std::int64_t seen_completed = -1;
+  queueing::TierServer::Snapshot mid;  // capture CHECKs pendings are zero
+  sim.schedule_at(usec(100), [&] {
+    seen_completed = system.tier(0).completed();
+    system.tier(0).capture(mid);
+  });
+  sim.run_all();
+  EXPECT_EQ(seen_completed, 8);
+  EXPECT_EQ(mid.completed, 8);
+  EXPECT_EQ(system.completed(), 8);
+}
+
+TEST(BatchDrain, DropRetransmitCrossingTheBatchBoundary) {
+  // A front-tier drop fires at the same instant as (and just before) a
+  // same-instant completion batch: the drop's counter flush must not be
+  // deferred by the upcoming batch, and the retransmission must complete
+  // against the post-batch world. This is the drop→retransmit round trip
+  // the client RTO path performs, compressed onto one batch edge.
+  Simulator sim;
+  queueing::NTierSystem system(sim, {{"solo", 2, 2}});
+  std::int64_t drops_seen_rejected = -1;
+  bool retransmitted = false;
+  system.set_on_drop([&](const queueing::Request& r) {
+    // Mid-instant read, ahead of the batch: the rejection is visible now.
+    drops_seen_rejected = system.tier(0).rejected();
+    const queueing::Request::Id id = r.id;
+    sim.schedule_in(msec(1), [&, id] {
+      retransmitted = true;
+      queueing::Request* retry = system.acquire();
+      retry->id = id;
+      retry->set_attempt(1);
+      retry->demand_us = {200.0};
+      EXPECT_TRUE(system.submit(retry));
+    });
+  });
+  // Scheduled first: fires ahead of the two completions due at 500 us,
+  // while both threads are still held -> rejected, then retransmitted.
+  sim.schedule_at(usec(500), [&] { submit_one(system, 99, {200.0}); });
+  ASSERT_NE(submit_one(system, 1, {500.0}), nullptr);
+  ASSERT_NE(submit_one(system, 2, {500.0}), nullptr);
+  sim.run_all();
+  EXPECT_EQ(drops_seen_rejected, 1);
+  EXPECT_TRUE(retransmitted);
+  EXPECT_EQ(system.completed(), 3);
+  EXPECT_EQ(system.dropped(), 1);
+  EXPECT_EQ(system.in_flight(), 0);
+  EXPECT_EQ(system.tier(0).offered(), 4);
+  EXPECT_EQ(system.tier(0).admitted(), 3);
+}
+
+TEST(BatchDrain, ArenaLanesRoundTripThroughSnapshot) {
+  // The request arena's hot lanes (timestamps, attempt, state, per-tier
+  // stamps) are part of the pool snapshot; a rollback must restore every
+  // lane exactly, including for requests that were mid-flight at capture.
+  Simulator sim;
+  queueing::NTierSystem system(sim, {{"front", 8, 2}, {"back", 4, 1}});
+  for (int i = 0; i < 4; ++i) {
+    queueing::Request* req = system.acquire();
+    req->id = i + 1;
+    req->set_attempt(i);
+    req->set_first_sent(sim.now());
+    req->set_sent(sim.now());
+    req->demand_us = {100.0, 10000.0};
+    ASSERT_TRUE(system.submit(req));
+  }
+  sim.run_until(usec(300));  // front services done, requests resident in back
+
+  queueing::NTierSystem::Snapshot world;
+  Simulator::Snapshot events;
+  system.capture(world);
+  sim.capture(events);
+  const queueing::RequestHotArena& hot = system.pool().hot();
+  std::vector<std::int32_t> attempts;
+  std::vector<queueing::TierTrace> stamps;
+  for (std::uint32_t s = 0; s < system.pool().slots(); ++s) {
+    attempts.push_back(hot.attempt(s));
+    for (std::size_t t = 0; t < hot.depth(); ++t) stamps.push_back(hot.stamp(s, t));
+  }
+
+  sim.run_for(sec(std::int64_t{1}));  // diverge: everything completes
+  EXPECT_EQ(system.in_flight(), 0);
+  sim.restore(events);
+  system.restore(world);
+
+  EXPECT_EQ(system.in_flight(), 4);
+  for (std::uint32_t s = 0; s < system.pool().slots(); ++s) {
+    EXPECT_EQ(hot.attempt(s), attempts[s]) << "slot " << s;
+    for (std::size_t t = 0; t < hot.depth(); ++t) {
+      const queueing::TierTrace& now = hot.stamp(s, t);
+      const queueing::TierTrace& then = stamps[s * hot.depth() + t];
+      EXPECT_EQ(now.enter, then.enter) << "slot " << s << " tier " << t;
+      EXPECT_EQ(now.service_start, then.service_start) << "slot " << s << " tier " << t;
+      EXPECT_EQ(now.leave, then.leave) << "slot " << s << " tier " << t;
+    }
+  }
+  // The rewound world must drain to the same totals as the first pass.
+  sim.run_all();
+  EXPECT_EQ(system.completed(), 4);
 }
 
 }  // namespace
