@@ -117,6 +117,19 @@ void BM_RngExponential(benchmark::State& state) {
 }
 BENCHMARK(BM_RngExponential);
 
+void BM_FastZipf(benchmark::State& state) {
+  // One skewed record-id draw (Arg = theta x 100): the per-operation price
+  // the OLTP tier pays per transaction record. The Gray et al. construction
+  // keeps this one uniform plus one pow() at every skew and table size.
+  FastZipf zipf(static_cast<double>(state.range(0)) / 100.0, 2048);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastZipf)->Arg(0)->Arg(50)->Arg(99);
+
 void BM_TraceRecorderRecord(benchmark::State& state) {
   // Raw recorder append cost (the per-hook price when tracing is on).
   trace::TraceRecorder recorder;
@@ -318,6 +331,31 @@ void BM_FullTestbedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
+void BM_FullTestbedSecondOltp(benchmark::State& state) {
+  // BM_FullTestbedSecond with the lock/CC-aware OLTP bottleneck swapped in
+  // (default transaction mix, theta 0.9). The rate gap against the FIFO
+  // variant is the whole price of the lock table on the hot path —
+  // transaction sampling, ordered acquisition, convoy wakeups.
+  for (auto _ : state) {
+    testbed::TestbedConfig config;
+    config.bottleneck = testbed::BottleneckKind::kOltp;
+    testbed::RubbosTestbed bed(config);
+    bed.start();
+    core::MemcaConfig memca;
+    memca.enable_controller = false;
+    memca.params.burst_length = msec(500);
+    memca.params.burst_interval = sec(std::int64_t{2});
+    memca.params.type = cloud::MemoryAttackType::kMemoryLock;
+    auto attack = bed.make_attack(memca);
+    attack->start();
+    bed.sim().run_for(sec(std::int64_t{10}));
+    attack->stop();
+    benchmark::DoNotOptimize(bed.clients().completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
+}
+BENCHMARK(BM_FullTestbedSecondOltp)->Unit(benchmark::kMillisecond);
+
 void BM_SnapshotRollback(benchmark::State& state) {
   // One rollback of a full warmed testbed (metrics + scraper on) per
   // iteration, after a simulated second of divergence. This is the per-cell
@@ -413,7 +451,10 @@ BENCHMARK(BM_SweepRunnerScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
 // Custom entry point so CI and EXPERIMENTS.md recipes can write a JSON
 // snapshot with one flag: `--json <path>` (or `--json=<path>`) expands to
 // google-benchmark's --benchmark_out=<path> --benchmark_out_format=json
-// while keeping the human-readable console reporter on stdout.
+// while keeping the human-readable console reporter on stdout. A second
+// convenience flag picks the full-testbed service discipline: `--tier=fifo`
+// skips the OLTP full-testbed bench, `--tier=oltp` skips the FIFO one
+// (micro-benches always run); the default runs both.
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc) + 2);
@@ -425,6 +466,12 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--tier=fifo") {
+      args.emplace_back("--benchmark_filter=-BM_FullTestbedSecondOltp.*");
+      continue;
+    } else if (arg == "--tier=oltp") {
+      args.emplace_back("--benchmark_filter=-BM_FullTestbedSecond/.*");
+      continue;
     } else {
       args.push_back(std::move(arg));
       continue;

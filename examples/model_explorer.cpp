@@ -27,6 +27,7 @@
 
 #include "common/table.h"
 #include "core/analytic_model.h"
+#include "scenario.h"
 
 using namespace memca;
 
@@ -62,11 +63,7 @@ std::vector<core::TierModelParams> parse_tiers(const std::string& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::AttackModelInputs inputs;
-  inputs.tiers = {{100.0, 10000.0, 0.0}, {60.0, 3000.0, 0.0}, {30.0, 1000.0, 500.0}};
-  inputs.degradation_index = 0.1;
-  inputs.burst_length = msec(500);
-  inputs.burst_interval = sec(std::int64_t{2});
+  core::AttackModelInputs inputs = examples::paper_model_inputs();
   double goal_rho = -1.0;
 
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,140 @@
+// OLTP bottleneck explorer: swap the paper's FIFO MySQL tier for the
+// lock/CC-aware transaction tier and watch how concurrency control, access
+// skew and write intensity change what the same MemCA attack does to the
+// client tail.
+//
+// Usage:
+//   oltp_explorer [--records N] [--long-frac F] [--duration S]
+//
+//   --records    lock-table key space (default 2048)
+//   --long-frac  fraction of long transactions (default 0.1)
+//   --duration   measured seconds per cell (default 60)
+//
+// Sweeps CC scheme {WAIT-FIFO, NO_WAIT+backoff} x Zipf theta {0.5, 0.99}
+// x write ratio {0.1, 0.5} x attack {off, on (the paper's L=500ms/I=2s
+// memory-lock schedule)} on the warm-sweep runner, then prints one row per
+// cell: tail quantiles, drops, commits/aborts and time spent stalled on
+// record locks. The FIFO reference rows bracket the table so the convoy
+// amplification is read directly against the paper's model.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "metrics/names.h"
+#include "scenario.h"
+#include "testbed/attack_lab.h"
+
+using namespace memca;
+
+namespace {
+
+struct Cell {
+  bool oltp = false;
+  oltp::CcScheme scheme = oltp::CcScheme::kWaitFifo;
+  double theta = 0.0;
+  double write_ratio = 0.0;
+  bool attack = false;
+};
+
+const char* scheme_name(const Cell& cell) {
+  if (!cell.oltp) return "fifo";
+  return cell.scheme == oltp::CcScheme::kWaitFifo ? "wait" : "no-wait";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t num_records = 2048;
+  double long_frac = 0.1;
+  SimTime duration = kMinute;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--records") == 0) {
+      num_records = static_cast<std::uint32_t>(std::atoi(value("--records")));
+    } else if (std::strcmp(argv[i], "--long-frac") == 0) {
+      long_frac = std::atof(value("--long-frac"));
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      duration = sec(static_cast<std::int64_t>(std::atoll(value("--duration"))));
+    } else {
+      std::cerr << "usage: oltp_explorer [--records N] [--long-frac F] [--duration S]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Cell> cells;
+  for (bool attack : {false, true}) {
+    cells.push_back(Cell{false, oltp::CcScheme::kWaitFifo, 0.0, 0.0, attack});
+    for (auto scheme : {oltp::CcScheme::kWaitFifo, oltp::CcScheme::kNoWaitBackoff}) {
+      for (double theta : {0.5, 0.99}) {
+        for (double write_ratio : {0.1, 0.5}) {
+          cells.push_back(Cell{true, scheme, theta, write_ratio, attack});
+        }
+      }
+    }
+  }
+
+  std::vector<testbed::AttackLabConfig> configs;
+  for (const Cell& cell : cells) {
+    testbed::AttackLabConfig config;
+    config.testbed = examples::paper_testbed_config();
+    config.testbed.trace = true;
+    config.testbed.metrics = true;
+    if (cell.oltp) {
+      config.testbed.bottleneck = testbed::BottleneckKind::kOltp;
+      config.testbed.oltp.num_records = num_records;
+      config.testbed.oltp.long_txn_fraction = long_frac;
+      config.testbed.oltp.scheme = cell.scheme;
+      config.testbed.oltp.zipf_theta = cell.theta;
+      config.testbed.oltp.short_txn.write_ratio = cell.write_ratio;
+      config.testbed.oltp.long_txn.write_ratio = cell.write_ratio;
+    }
+    config.params = examples::paper_attack_config().params;
+    config.attack_enabled = cell.attack;
+    config.warmup = sec(std::int64_t{10});
+    config.duration = duration;
+    configs.push_back(config);
+  }
+  auto results = testbed::run_attack_lab_sweep(std::move(configs));
+
+  print_banner(std::cout, "OLTP bottleneck vs FIFO under MemCA (L=500ms, I=2s)");
+  Table table({"tier/cc", "theta", "write", "attack", "p99 (ms)", "p99.9 (ms)", "drop %",
+               "commits", "aborts", "lock waits", "tail lock-wait (s)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    testbed::AttackLabResult& r = results[i];
+    auto counter = [&r](const char* event) -> std::int64_t {
+      return r.registry == nullptr
+                 ? 0
+                 : r.registry->counter(metrics::names::kOltpTxnTotal, {{"event", event}})
+                       .value();
+    };
+    table.add_row({
+        scheme_name(cell),
+        cell.oltp ? Table::num(cell.theta, 2) : "-",
+        cell.oltp ? Table::num(cell.write_ratio, 1) : "-",
+        cell.attack ? "ON" : "off",
+        Table::num(to_millis(r.client_p99), 0),
+        Table::num(to_millis(r.client_p999), 0),
+        Table::num(r.drop_fraction * 100.0, 2),
+        Table::num(counter("commits")),
+        Table::num(counter("aborts")),
+        Table::num(counter("lock_waits")),
+        Table::num(to_seconds(r.tail.lock_wait_us), 2),
+    });
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: at matched load the OLTP rows amplify the attack tail beyond\n"
+               "the FIFO reference — stretched lock holds convoy waiters (tail lock-wait\n"
+               "> 0) and the convoy grows with skew (theta) and write intensity. NO_WAIT\n"
+               "trades convoys for aborts: lock-wait shrinks, the abort column pays.\n";
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "scenario.h"
 #include "testbed/rubbos_testbed.h"
 
 using namespace memca;
@@ -35,18 +36,12 @@ void report(testbed::RubbosTestbed& bed, const char* label) {
 }
 
 void run(bool attack_enabled) {
-  testbed::TestbedConfig config;
-  testbed::RubbosTestbed bed(config);
+  testbed::RubbosTestbed bed(examples::paper_testbed_config());
   bed.start();
 
   std::unique_ptr<core::MemcaAttack> attack;
   if (attack_enabled) {
-    core::MemcaConfig memca;
-    memca.enable_controller = false;  // fixed paper parameters
-    memca.params.burst_length = msec(500);
-    memca.params.burst_interval = sec(std::int64_t{2});
-    memca.params.type = cloud::MemoryAttackType::kMemoryLock;
-    attack = bed.make_attack(memca);
+    attack = bed.make_attack(examples::paper_attack_config());
     attack->start();
   }
 

@@ -1,0 +1,46 @@
+// Shared scenario construction for the examples.
+//
+// Every example explores the same paper scenario — the RUBBoS 3-tier
+// calibration under the L = 500 ms / I = 2 s memory-lock attack — so its
+// parameters live here once. The simulation side (testbed + attack config)
+// and the analytic side (the round-number Q:C:lambda calibration the paper
+// works Eq. 2-10 with) are two views of the same setup; keeping both in
+// this header is what stops them drifting apart as tier variants multiply.
+#pragma once
+
+#include "core/analytic_model.h"
+#include "core/memca.h"
+#include "testbed/rubbos_testbed.h"
+
+namespace memca::examples {
+
+/// The paper's simulated testbed: 3500 users, Apache 100/8, Tomcat 60/6,
+/// MySQL 30/2 on EC2-profile hosts (TestbedConfig defaults).
+inline testbed::TestbedConfig paper_testbed_config() {
+  return testbed::TestbedConfig{};
+}
+
+/// The calibrated fixed-parameter attack: 500 ms memory-lock bursts every
+/// 2 s, no feedback controller.
+inline core::MemcaConfig paper_attack_config() {
+  core::MemcaConfig memca;
+  memca.enable_controller = false;  // fixed paper parameters
+  memca.params.burst_length = msec(500);
+  memca.params.burst_interval = sec(std::int64_t{2});
+  memca.params.type = cloud::MemoryAttackType::kMemoryLock;
+  return memca;
+}
+
+/// The analytic-model view of the same scenario: the paper's round-number
+/// Q : C_off (req/s) : lambda (req/s) calibration, front tier first, with
+/// the calibrated attack schedule and degradation index D = 0.1.
+inline core::AttackModelInputs paper_model_inputs() {
+  core::AttackModelInputs inputs;
+  inputs.tiers = {{100.0, 10000.0, 0.0}, {60.0, 3000.0, 0.0}, {30.0, 1000.0, 500.0}};
+  inputs.degradation_index = 0.1;
+  inputs.burst_length = msec(500);
+  inputs.burst_interval = sec(std::int64_t{2});
+  return inputs;
+}
+
+}  // namespace memca::examples

@@ -93,4 +93,72 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Zipf-distributed rank sampler over [0, n) with skew theta in [0, 1):
+/// P(rank = i) ∝ 1 / (i + 1)^theta, so rank 0 is the hottest record.
+///
+/// Uses the Gray et al. ("Quickly generating billion-record synthetic
+/// databases") rejection-free construction: the two hottest ranks are drawn
+/// exactly from the CDF and the rest through a continuous-power
+/// approximation, making a draw one uniform plus one pow() regardless of n.
+/// This is the sampler the OLTP tier pulls record ids from, so its cost is
+/// paid once per transaction operation. The zeta_n normalizer is O(n) to
+/// compute; precompute it once (compute_zetan) when many samplers share one
+/// table size, the oltp-cc-bench idiom.
+///
+/// The sampler is stateless: all randomness comes from the Rng passed to
+/// operator(), so checkpointing the Rng checkpoints the stream.
+class FastZipf {
+ public:
+  FastZipf(double theta, std::uint64_t n) : FastZipf(theta, n, compute_zetan(theta, n)) {}
+
+  FastZipf(double theta, std::uint64_t n, double zetan)
+      : n_(n), theta_(theta), zetan_(zetan) {
+    MEMCA_CHECK_MSG(n >= 1, "FastZipf needs a non-empty key space");
+    MEMCA_CHECK_MSG(theta >= 0.0 && theta < 1.0, "FastZipf skew must be in [0, 1)");
+    alpha_ = 1.0 / (1.0 - theta);
+    const double zeta2 = 1.0 + std::pow(0.5, theta);
+    // n == 1 degenerates (zetan == zeta2 at n == 2 would divide by zero for
+    // n == 1's zetan == 1); operator() short-circuits before eta_ is used.
+    eta_ = n > 1 ? (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                       (1.0 - zeta2 / zetan_)
+                 : 0.0;
+    threshold1_ = 1.0 / zetan_;
+    threshold2_ = (1.0 + std::pow(0.5, theta)) / zetan_;
+  }
+
+  /// zeta_n = sum_{i=1..n} i^-theta, the Zipf CDF normalizer.
+  static double compute_zetan(double theta, std::uint64_t n) {
+    double zetan = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      zetan += std::pow(1.0 / static_cast<double>(i), theta);
+    }
+    return zetan;
+  }
+
+  /// Draws one rank in [0, n).
+  std::uint64_t operator()(Rng& rng) const {
+    if (n_ == 1) return 0;
+    const double u = rng.uniform();
+    if (u < threshold1_) return 0;
+    if (u < threshold2_) return 1;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank < n_ ? rank : n_ - 1;
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+  double zetan() const { return zetan_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  /// Exact CDF cut-offs for ranks 0 and 1 (u < t1 -> 0, u < t2 -> 1).
+  double threshold1_ = 0.0;
+  double threshold2_ = 0.0;
+};
+
 }  // namespace memca

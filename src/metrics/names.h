@@ -27,6 +27,20 @@ inline constexpr std::string_view kTierQueueLength = "memca_tier_queue_length";
 /// window (busy-time integral differenced at scrape resolution).
 inline constexpr std::string_view kTierUtilization = "memca_tier_utilization";
 
+// -- OLTP lock table (registered when the bottleneck tier is OLTP) ---------
+/// Labeled {event=commits|aborts|lock_waits}: committed transactions,
+/// NO_WAIT aborts (each is followed by a backoff + retry), and lock
+/// acquisitions that had to wait or abort at least once.
+inline constexpr std::string_view kOltpTxnTotal = "memca_oltp_txn_total";
+/// Per-transaction stall time between first lock conflict and the final
+/// grant, µs (one sample per transaction that ever waited).
+inline constexpr std::string_view kOltpLockWaitUs = "memca_oltp_lock_wait_us";
+/// Lock hold span per committed transaction: first grant → release, µs.
+/// Stretches under a capacity dip — the convoy precursor.
+inline constexpr std::string_view kOltpLockHoldUs = "memca_oltp_lock_hold_us";
+/// Transactions currently parked in a record-lock waiter queue (probe).
+inline constexpr std::string_view kOltpLockWaiters = "memca_oltp_lock_waiters";
+
 // -- cloud/attack layer ----------------------------------------------------
 /// Capacity multiplier D of the coupled target tier, in (0, 1].
 inline constexpr std::string_view kCapacityMultiplier = "memca_capacity_multiplier";

@@ -1,0 +1,104 @@
+#include "oltp/lock_table.h"
+
+#include <algorithm>
+
+namespace memca::oltp {
+
+LockTable::LockTable(std::uint32_t num_records) {
+  MEMCA_CHECK_MSG(num_records >= 1, "a lock table needs at least one record");
+  mode_.assign(num_records, Mode::kFree);
+  holders_.assign(num_records, 0);
+  wait_head_.assign(num_records, kNoTxn);
+  wait_tail_.assign(num_records, kNoTxn);
+}
+
+void LockTable::ensure_txns(std::uint32_t slots) {
+  if (slots <= next_waiter_.size()) return;
+  next_waiter_.resize(slots, kNoTxn);
+  wait_exclusive_.resize(slots, 0);
+}
+
+LockTable::Acquire LockTable::try_acquire(std::uint32_t txn, std::uint32_t record,
+                                          bool exclusive, bool wait) {
+  MEMCA_DCHECK(record < mode_.size());
+  MEMCA_DCHECK(txn < next_waiter_.size());
+  const Mode m = mode_[record];
+  const bool compatible = m == Mode::kFree || (m == Mode::kShared && !exclusive);
+  // FIFO: even a compatible shared request queues behind an earlier
+  // exclusive waiter, so writers are never starved by a reader stream.
+  if (compatible && wait_head_[record] == kNoTxn) {
+    mode_[record] = exclusive ? Mode::kExclusive : Mode::kShared;
+    ++holders_[record];
+    return Acquire::kGranted;
+  }
+  if (!wait) return Acquire::kBusy;
+  park(txn, record, exclusive);
+  return Acquire::kQueued;
+}
+
+void LockTable::park(std::uint32_t txn, std::uint32_t record, bool exclusive) {
+  next_waiter_[txn] = kNoTxn;
+  wait_exclusive_[txn] = exclusive ? 1 : 0;
+  if (wait_head_[record] == kNoTxn) {
+    wait_head_[record] = txn;
+  } else {
+    next_waiter_[wait_tail_[record]] = txn;
+  }
+  wait_tail_[record] = txn;
+  ++waiters_;
+}
+
+void LockTable::release(std::uint32_t txn, std::uint32_t record,
+                        std::vector<std::uint32_t>& granted) {
+  (void)txn;
+  MEMCA_DCHECK(record < mode_.size());
+  MEMCA_CHECK_MSG(holders_[record] > 0, "release of an unheld record");
+  if (--holders_[record] > 0) return;  // other shared holders remain
+
+  const std::uint32_t head = wait_head_[record];
+  if (head == kNoTxn) {
+    mode_[record] = Mode::kFree;
+    return;
+  }
+  // Hand the record straight to the head waiter; a shared head also admits
+  // the contiguous run of shared waiters queued behind it (one wake per
+  // release batch, never a thundering herd past the first writer).
+  const bool head_exclusive = wait_exclusive_[head] != 0;
+  mode_[record] = head_exclusive ? Mode::kExclusive : Mode::kShared;
+  std::uint32_t w = head;
+  while (w != kNoTxn) {
+    if (wait_exclusive_[w] != (head_exclusive ? 1 : 0)) break;
+    const std::uint32_t next = next_waiter_[w];
+    ++holders_[record];
+    granted.push_back(w);
+    next_waiter_[w] = kNoTxn;
+    --waiters_;
+    w = next;
+    if (head_exclusive) break;  // exclusive grant admits exactly one
+  }
+  wait_head_[record] = w;
+  if (w == kNoTxn) wait_tail_[record] = kNoTxn;
+}
+
+void LockTable::capture(Snapshot& out) const {
+  out.mode.assign(mode_.begin(), mode_.end());
+  out.holders.assign(holders_.begin(), holders_.end());
+  out.wait_head.assign(wait_head_.begin(), wait_head_.end());
+  out.wait_tail.assign(wait_tail_.begin(), wait_tail_.end());
+  out.next_waiter.assign(next_waiter_.begin(), next_waiter_.end());
+  out.wait_exclusive.assign(wait_exclusive_.begin(), wait_exclusive_.end());
+  out.waiters = waiters_;
+}
+
+void LockTable::restore(const Snapshot& snap) {
+  std::copy(snap.mode.begin(), snap.mode.end(), mode_.begin());
+  std::copy(snap.holders.begin(), snap.holders.end(), holders_.begin());
+  std::copy(snap.wait_head.begin(), snap.wait_head.end(), wait_head_.begin());
+  std::copy(snap.wait_tail.begin(), snap.wait_tail.end(), wait_tail_.begin());
+  std::copy(snap.next_waiter.begin(), snap.next_waiter.end(), next_waiter_.begin());
+  std::copy(snap.wait_exclusive.begin(), snap.wait_exclusive.end(),
+            wait_exclusive_.begin());
+  waiters_ = snap.waiters;
+}
+
+}  // namespace memca::oltp

@@ -1,0 +1,104 @@
+// Slot-indexed record-lock table for the OLTP tier.
+//
+// The table is SoA over a fixed key space of `num_records` records: a mode
+// byte (free / shared / exclusive), a holder count, and an intrusive FIFO
+// waiter queue per record (head/tail indices threaded through a per-txn
+// next-pointer lane). A transaction waits on at most one record at a time —
+// the OLTP tier acquires its (sorted, deduplicated) record list in order —
+// so one next-pointer per transaction slot is enough, and ordered
+// acquisition makes the wait-for graph acyclic: no deadlock detection is
+// needed, even with parked waiters.
+//
+// Grants are strictly FIFO: an otherwise-compatible shared request queues
+// behind an earlier exclusive waiter (no reader barging, no writer
+// starvation). release() hands the record straight to the head waiter (and,
+// for a shared head, the contiguous run of shared waiters behind it) so a
+// lock never goes through a "free" state while someone is queued.
+//
+// All lanes are POD vectors: a checkpoint is a flat copy and rollback is a
+// copy-back that never allocates (txn lanes only ever grow, mirroring
+// RequestHotArena).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace memca::oltp {
+
+class LockTable {
+ public:
+  static constexpr std::uint32_t kNoTxn = 0xffffffffu;
+
+  enum class Mode : std::uint8_t { kFree = 0, kShared = 1, kExclusive = 2 };
+
+  enum class Acquire : std::uint8_t {
+    kGranted,  ///< lock taken; caller proceeds
+    kQueued,   ///< parked in the record's FIFO waiter queue (WAIT scheme)
+    kBusy,     ///< incompatible and wait=false (NO_WAIT scheme): caller aborts
+  };
+
+  explicit LockTable(std::uint32_t num_records);
+
+  /// Grows the per-transaction lanes to cover slots [0, slots).
+  void ensure_txns(std::uint32_t slots);
+
+  /// Attempts to take `record` for `txn` in shared or exclusive mode.
+  /// Compatible *and* nothing queued ahead -> kGranted. Otherwise parks the
+  /// transaction (wait=true) or reports kBusy (wait=false). The caller must
+  /// not already hold the record (the tier dedupes its record list).
+  Acquire try_acquire(std::uint32_t txn, std::uint32_t record, bool exclusive,
+                      bool wait);
+
+  /// Releases `txn`'s hold on `record`. When the release frees the record,
+  /// ownership passes directly to the head waiter — and, for a shared head,
+  /// the contiguous shared run behind it — whose transaction slots are
+  /// appended to `granted` for the caller to resume.
+  void release(std::uint32_t txn, std::uint32_t record,
+               std::vector<std::uint32_t>& granted);
+
+  // -- introspection --------------------------------------------------------
+  std::uint32_t num_records() const { return static_cast<std::uint32_t>(mode_.size()); }
+  Mode mode(std::uint32_t record) const { return mode_[record]; }
+  std::uint32_t holders(std::uint32_t record) const { return holders_[record]; }
+  bool has_waiters(std::uint32_t record) const { return wait_head_[record] != kNoTxn; }
+  /// Transactions currently parked in some waiter queue (the probe value).
+  int waiters() const { return waiters_; }
+
+  /// Checkpoint: flat copies of every lane. Record lanes are fixed-size;
+  /// txn lanes are captured at their current high-water mark and restored
+  /// by prefix copy (lanes never shrink, so restore never allocates — lane
+  /// entries beyond the captured prefix belong to transactions that are
+  /// fully re-initialized before their next use).
+  struct Snapshot {
+    std::vector<Mode> mode;
+    std::vector<std::uint32_t> holders;
+    std::vector<std::uint32_t> wait_head;
+    std::vector<std::uint32_t> wait_tail;
+    std::vector<std::uint32_t> next_waiter;
+    std::vector<std::uint8_t> wait_exclusive;
+    int waiters = 0;
+  };
+
+  void capture(Snapshot& out) const;
+  void restore(const Snapshot& snap);
+
+ private:
+  /// Appends `txn` to `record`'s waiter queue.
+  void park(std::uint32_t txn, std::uint32_t record, bool exclusive);
+
+  // -- per-record lanes (fixed size num_records) ----------------------------
+  std::vector<Mode> mode_;
+  std::vector<std::uint32_t> holders_;
+  std::vector<std::uint32_t> wait_head_;
+  std::vector<std::uint32_t> wait_tail_;
+
+  // -- per-transaction lanes (grow-only, indexed by pool slot) --------------
+  std::vector<std::uint32_t> next_waiter_;
+  std::vector<std::uint8_t> wait_exclusive_;
+
+  int waiters_ = 0;
+};
+
+}  // namespace memca::oltp

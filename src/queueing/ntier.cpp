@@ -5,12 +5,20 @@
 
 namespace memca::queueing {
 
-NTierSystem::NTierSystem(Simulator& sim, std::vector<TierConfig> tiers) : sim_(sim) {
+NTierSystem::NTierSystem(Simulator& sim, std::vector<TierConfig> tiers)
+    : NTierSystem(sim, std::move(tiers), TierFactory{}) {}
+
+NTierSystem::NTierSystem(Simulator& sim, std::vector<TierConfig> tiers,
+                         const TierFactory& factory)
+    : sim_(sim) {
   MEMCA_CHECK_MSG(!tiers.empty(), "an n-tier system needs at least one tier");
   pool_.set_depth(tiers.size());
   tiers_.reserve(tiers.size());
   for (std::size_t i = 0; i < tiers.size(); ++i) {
-    tiers_.push_back(std::make_unique<TierServer>(sim_, pool_, tiers[i], i));
+    std::unique_ptr<TierServer> tier;
+    if (factory) tier = factory(sim_, pool_, tiers[i], i);
+    if (!tier) tier = std::make_unique<TierServer>(sim_, pool_, tiers[i], i);
+    tiers_.push_back(std::move(tier));
   }
   for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
     tiers_[i]->set_downstream(tiers_[i + 1].get());

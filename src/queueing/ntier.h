@@ -8,6 +8,7 @@
 // bottleneck tier).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,9 +18,19 @@
 
 namespace memca::queueing {
 
+/// Builds the TierServer (or a derived variant) for one tier position. Lets
+/// a caller above the queueing layer (e.g. the testbed swapping in the OLTP
+/// lock-table tier) inject variants without queueing/ depending on them.
+/// Returning nullptr means "use the default FIFO TierServer".
+using TierFactory = std::function<std::unique_ptr<TierServer>(
+    Simulator& sim, RequestPool& pool, const TierConfig& config, std::size_t index)>;
+
 class NTierSystem : public RequestSystem {
  public:
   NTierSystem(Simulator& sim, std::vector<TierConfig> tiers);
+  /// As above, but each tier is built through `factory` (nullptr results
+  /// fall back to the base TierServer).
+  NTierSystem(Simulator& sim, std::vector<TierConfig> tiers, const TierFactory& factory);
 
   /// Submits a pool-owned request. Resets its per-tier stamp lane (demand_us
   /// must already have one entry per tier). Returns false if dropped; the

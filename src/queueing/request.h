@@ -47,6 +47,8 @@ enum class RequestState : std::uint8_t {
   kWaiting,             ///< in a tier's wait queue
   kInService,           ///< on a worker
   kBlockedDownstream,   ///< local service done, downstream thread pool full
+  kLockWait,            ///< OLTP tier: parked in a record-lock waiter queue
+                        ///  (or backing off before a NO_WAIT retry)
 };
 
 /// Slot-indexed SoA arena for the per-event hot request fields. One lane per

@@ -92,8 +92,12 @@ void TierServer::admit(std::uint32_t slot) {
   ++resident_;
   ++pending_admitted_;
   hot_->tier(slot) = static_cast<std::int16_t>(index_);
+  hot_->stamp(slot, index_).enter = sim_.now();
+  begin_local_work(slot);
+}
+
+void TierServer::queue_for_worker(std::uint32_t slot) {
   TierTrace& tr = hot_->stamp(slot, index_);
-  tr.enter = sim_.now();
   // Fast path: an admit that can start does so directly — no queue
   // round-trip, no pump call. Between events a free worker implies an empty
   // wait queue, but mid-completion (depart → pull_blocked_from_upstream,
@@ -122,6 +126,9 @@ void TierServer::pump() {
 
 void TierServer::on_service_done(std::uint32_t slot) {
   mark_span(slot);
+  // Variant hook: an OLTP tier releases this transaction's record locks and
+  // resumes granted waiters before the slot departs (two-phase release).
+  after_local_service(slot);
   if (downstream_ == nullptr) {
     depart(slot);
   } else {

@@ -59,6 +59,10 @@ class TierServer {
  public:
   TierServer(Simulator& sim, RequestPool& pool, TierConfig config,
              std::size_t tier_index);
+  /// Tiers are owned polymorphically by NTierSystem (see the TierFactory
+  /// hook) so variants like the OLTP lock-table tier can slot into the
+  /// chain.
+  virtual ~TierServer() = default;
   TierServer(const TierServer&) = delete;
   TierServer& operator=(const TierServer&) = delete;
 
@@ -122,6 +126,41 @@ class TierServer {
 
   /// Attaches pre-resolved metric handles; a default TierMetrics detaches.
   void set_metrics(TierMetrics metrics) { metrics_ = metrics; }
+
+ protected:
+  // -- variant hooks --------------------------------------------------------
+  // A derived tier customises what happens between thread admission and
+  // local service (begin_local_work: the base queues for a worker at once;
+  // the OLTP tier first acquires record locks, possibly parking the request
+  // in a lock waiter queue) and what happens the instant local service ends
+  // (after_local_service: the base does nothing; the OLTP tier releases the
+  // transaction's locks and wakes granted waiters). Both run inside the
+  // tier's normal event flow, so overriding them never changes the FIFO
+  // tier's event stream.
+
+  /// Called once per admission, after the thread is taken and the enter
+  /// stamp written. Must eventually lead to queue_for_worker(slot).
+  virtual void begin_local_work(std::uint32_t slot) { queue_for_worker(slot); }
+
+  /// Called when `slot`'s local service completes, after its span is
+  /// recorded and before the request departs or forwards downstream. The
+  /// freeing worker is already available.
+  virtual void after_local_service(std::uint32_t /*slot*/) {}
+
+  /// Hands the request to the worker bank: starts service immediately when
+  /// a worker is free and nothing queued ahead, else joins the FIFO wait
+  /// queue. The tail of the admission path, also the resume point for a
+  /// derived tier once its pre-service work (lock acquisition) is done.
+  void queue_for_worker(std::uint32_t slot);
+
+  Simulator& sim_;
+  RequestPool& pool_;
+  /// Cached &pool_.hot(): the SoA lanes every per-event write lands in.
+  RequestHotArena* hot_;
+  TierConfig config_;
+  std::size_t index_;
+  WorkStation station_;
+  trace::TraceRecorder* trace_ = nullptr;
 
  private:
   friend class NTierSystem;
@@ -190,14 +229,6 @@ class TierServer {
 #endif
   }
 
-  Simulator& sim_;
-  RequestPool& pool_;
-  /// Cached &pool_.hot(): the SoA lanes every per-event write lands in.
-  RequestHotArena* hot_;
-  TierConfig config_;
-  std::size_t index_;
-  WorkStation station_;
-
   TierServer* downstream_ = nullptr;
   TierServer* upstream_ = nullptr;
   InlineFunction<void(Request*)> reply_sink_;
@@ -210,7 +241,6 @@ class TierServer {
   int awaiting_reply_ = 0;
   int resident_ = 0;
 
-  trace::TraceRecorder* trace_ = nullptr;
   TierMetrics metrics_;
 
   std::int64_t offered_ = 0;

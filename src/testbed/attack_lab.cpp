@@ -42,6 +42,7 @@ AttackLabResult measure_cell(RubbosTestbed& bed, const AttackLabConfig& config, 
   result.client_p95 = rt.quantile(0.95);
   result.client_p98 = rt.quantile(0.98);
   result.client_p99 = rt.quantile(0.99);
+  result.client_p999 = rt.quantile(0.999);
   for (std::size_t i = 0; i < bed.system().num_tiers(); ++i) {
     result.tier_p95.push_back(bed.system().tier(i).residence_time().quantile(0.95));
   }
@@ -163,6 +164,19 @@ std::string prefix_key(const AttackLabConfig& config) {
   put(key, static_cast<std::int64_t>(bed.trace_max_events));
   put(key, std::int64_t{bed.metrics});
   put(key, bed.metrics_resolution);
+  put(key, std::int64_t{static_cast<int>(bed.bottleneck)});
+  put(key, static_cast<std::int64_t>(bed.oltp.num_records));
+  put(key, bed.oltp.zipf_theta);
+  put(key, std::int64_t{bed.oltp.short_txn.records});
+  put(key, bed.oltp.short_txn.write_ratio);
+  put(key, bed.oltp.short_txn.demand_multiplier);
+  put(key, std::int64_t{bed.oltp.long_txn.records});
+  put(key, bed.oltp.long_txn.write_ratio);
+  put(key, bed.oltp.long_txn.demand_multiplier);
+  put(key, bed.oltp.long_txn_fraction);
+  put(key, std::int64_t{static_cast<int>(bed.oltp.scheme)});
+  put(key, bed.oltp.backoff_base_us);
+  put(key, std::int64_t{bed.oltp.backoff_cap});
   put(key, config.warmup);
   return key;
 }

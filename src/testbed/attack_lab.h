@@ -36,6 +36,7 @@ struct AttackLabResult {
   double d_on = 1.0;
   /// Client response-time quantiles (µs).
   SimTime client_p50 = 0, client_p95 = 0, client_p98 = 0, client_p99 = 0;
+  SimTime client_p999 = 0;
   /// Per-tier p95 residence times, front first (µs).
   std::vector<SimTime> tier_p95;
   double throughput = 0.0;

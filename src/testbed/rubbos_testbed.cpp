@@ -17,6 +17,16 @@ const char* to_string(CloudProfile profile) {
   return "?";
 }
 
+const char* to_string(BottleneckKind kind) {
+  switch (kind) {
+    case BottleneckKind::kFifo:
+      return "fifo";
+    case BottleneckKind::kOltp:
+      return "oltp";
+  }
+  return "?";
+}
+
 namespace {
 cloud::HostSpec host_spec_for(CloudProfile profile) {
   return profile == CloudProfile::kPrivateCloud ? cloud::xeon_e5_2603_v3()
@@ -55,7 +65,25 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
         root_rng_.fork("neighbor-" + std::to_string(i))));
   }
 
-  system_ = std::make_unique<queueing::NTierSystem>(sim_, tier_configs);
+  // The OLTP bottleneck swaps the target tier for the lock-table variant
+  // through the factory hook; every other tier (and the whole system when
+  // the bottleneck is FIFO) takes the nullptr fallback, so the default
+  // topology is built by the exact same code path as before. The OLTP
+  // tier's sampling draws come from its own forked stream, so enabling it
+  // never perturbs the clients' or neighbors' draws.
+  queueing::TierFactory factory;
+  if (config_.bottleneck == BottleneckKind::kOltp) {
+    factory = [this](Simulator& sim, queueing::RequestPool& pool,
+                     const queueing::TierConfig& tier_config,
+                     std::size_t index) -> std::unique_ptr<queueing::TierServer> {
+      if (static_cast<int>(index) != config_.target_tier) return nullptr;
+      auto tier = std::make_unique<oltp::OltpTierServer>(
+          sim, pool, tier_config, index, config_.oltp, root_rng_.fork("oltp"));
+      oltp_tier_ = tier.get();
+      return tier;
+    };
+  }
+  system_ = std::make_unique<queueing::NTierSystem>(sim_, tier_configs, factory);
   MEMCA_CHECK_MSG(system_->satisfies_condition1(),
                   "testbed calibration must satisfy Condition 1");
 
@@ -101,6 +129,21 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
             const double denom = static_cast<double>(tier.workers()) * period;
             return std::clamp(delta / denom, 0.0, 1.0);
           });
+    }
+    if (oltp_tier_ != nullptr) {
+      oltp::OltpMetrics handles;
+      handles.commits =
+          registry_->counter(metrics::names::kOltpTxnTotal, {{"event", "commits"}});
+      handles.aborts =
+          registry_->counter(metrics::names::kOltpTxnTotal, {{"event", "aborts"}});
+      handles.lock_waits =
+          registry_->counter(metrics::names::kOltpTxnTotal, {{"event", "lock_waits"}});
+      handles.lock_wait = registry_->histogram(metrics::names::kOltpLockWaitUs);
+      handles.lock_hold = registry_->histogram(metrics::names::kOltpLockHoldUs);
+      oltp_tier_->set_oltp_metrics(handles);
+      registry_->probe(metrics::names::kOltpLockWaiters, {}, [this] {
+        return static_cast<double>(oltp_tier_->lock_table().waiters());
+      });
     }
   }
 
@@ -237,6 +280,9 @@ void RubbosTestbed::snapshot() {
     if (scraper_ != nullptr) ws.attach(*scraper_);
     if (log_counter_ != nullptr) ws.attach(*log_counter_);
     ws.attach(*system_);
+    // NTierSystem captures every tier's base state; the OLTP extension
+    // (lock table, transaction lanes, sampler stream) attaches separately.
+    if (oltp_tier_ != nullptr) ws.attach(*oltp_tier_);
     ws.attach(*router_);
     ws.attach(*clients_);
     ws.attach(*target_cpu_);

@@ -25,6 +25,7 @@
 #include "metrics/registry.h"
 #include "metrics/scraper.h"
 #include "monitor/sampler.h"
+#include "oltp/oltp_tier.h"
 #include "queueing/ntier.h"
 #include "snapshot/world_snapshot.h"
 #include "trace/recorder.h"
@@ -42,6 +43,17 @@ enum class CloudProfile {
 };
 
 const char* to_string(CloudProfile profile);
+
+/// How the target (bottleneck) tier serves requests.
+enum class BottleneckKind {
+  /// The paper's model: exponential-service FIFO thread pool.
+  kFifo,
+  /// Lock/CC-aware OLTP variant: each request is a transaction taking
+  /// Zipf-distributed record locks (see oltp::OltpTierServer).
+  kOltp,
+};
+
+const char* to_string(BottleneckKind kind);
 
 struct TestbedConfig {
   CloudProfile cloud = CloudProfile::kAmazonEc2;
@@ -79,6 +91,12 @@ struct TestbedConfig {
   bool metrics = false;
   /// Scrape resolution when metrics are on (the paper's 50 ms tooling).
   SimTime metrics_resolution = msec(50);
+  /// Service discipline of the target tier. kFifo leaves the paper's model
+  /// (and its byte-exact streams) untouched; kOltp swaps in the
+  /// contention-aware database tier configured by `oltp`.
+  BottleneckKind bottleneck = BottleneckKind::kFifo;
+  /// Transaction/lock-table profile, used only when bottleneck == kOltp.
+  oltp::OltpConfig oltp;
 };
 
 class RubbosTestbed {
@@ -106,6 +124,10 @@ class RubbosTestbed {
   queueing::TierServer& target_tier() {
     return system_->tier(static_cast<std::size_t>(config_.target_tier));
   }
+  /// The OLTP view of the target tier; nullptr unless
+  /// config.bottleneck == BottleneckKind::kOltp.
+  oltp::OltpTierServer* oltp_tier() { return oltp_tier_; }
+  const oltp::OltpTierServer* oltp_tier() const { return oltp_tier_; }
   cloud::CrossResourceModel& coupling() { return *coupling_; }
 
   /// Compatibility aliases for the default (MySQL-targeted) topology.
@@ -188,6 +210,8 @@ class RubbosTestbed {
   /// on one thread, so the scope sees exactly this cell's lines).
   std::unique_ptr<ScopedLogCounter> log_counter_;
   std::unique_ptr<queueing::NTierSystem> system_;
+  /// Non-owning view into system_'s target tier when the bottleneck is OLTP.
+  oltp::OltpTierServer* oltp_tier_ = nullptr;
   std::unique_ptr<workload::RequestRouter> router_;
   std::unique_ptr<workload::ClosedLoopClients> clients_;
 

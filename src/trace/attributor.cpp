@@ -48,6 +48,7 @@ struct ServiceSpan {
 struct LogicalState {
   SimTime rto_wait = 0;
   std::vector<SimTime> queue_wait;
+  std::vector<SimTime> lock_wait;
   std::vector<SimTime> service;
   std::vector<SimTime> rpc_hold;
   std::vector<ServiceSpan> spans;
@@ -59,6 +60,8 @@ const char* to_string(Cause cause) {
   switch (cause) {
     case Cause::kQueueWait:
       return "queue-wait";
+    case Cause::kLockWait:
+      return "lock-wait";
     case Cause::kService:
       return "service";
     case Cause::kDegradedService:
@@ -79,6 +82,12 @@ SimTime RequestBreakdown::queue_wait_total() const {
   return total;
 }
 
+SimTime RequestBreakdown::lock_wait_total() const {
+  SimTime total = 0;
+  for (SimTime t : lock_wait) total += t;
+  return total;
+}
+
 SimTime RequestBreakdown::service_total() const {
   SimTime total = 0;
   for (SimTime t : service) total += t;
@@ -95,6 +104,8 @@ SimTime RequestBreakdown::of(Cause cause) const {
   switch (cause) {
     case Cause::kQueueWait:
       return queue_wait_total();
+    case Cause::kLockWait:
+      return lock_wait_total();
     case Cause::kService:
       return service_total() - degraded_service;
     case Cause::kDegradedService:
@@ -165,6 +176,7 @@ TailAttributor::TailAttributor(const TraceRecorder& recorder, std::size_t depth,
     LogicalState& l = logical[user];
     if (l.queue_wait.empty()) {
       l.queue_wait.assign(depth_, 0);
+      l.lock_wait.assign(depth_, 0);
       l.service.assign(depth_, 0);
       l.rpc_hold.assign(depth_, 0);
     }
@@ -220,6 +232,16 @@ TailAttributor::TailAttributor(const TraceRecorder& recorder, std::size_t depth,
       case EventKind::kRetransmit:
         logical_of(ev.user).rto_wait += ev.aux;
         break;
+      case EventKind::kLockWaitSpan:
+        // Emitted at grant time; aux = when the transaction first stalled.
+        // The span nests inside [enter, service_start) of its tier, so it
+        // is carved out of that tier's queue wait at kComplete — a wait
+        // that never gets granted stays classified as queue wait.
+        if (ev.user >= 0 && ev.tier >= 0 && static_cast<std::size_t>(ev.tier) < depth_) {
+          logical_of(ev.user).lock_wait[static_cast<std::size_t>(ev.tier)] +=
+              ev.time - ev.aux;
+        }
+        break;
       case EventKind::kAbandon:
         ++abandoned_;
         logical.erase(ev.user);
@@ -241,15 +263,22 @@ TailAttributor::TailAttributor(const TraceRecorder& recorder, std::size_t depth,
         b.completed = ev.time;
         b.total = ev.time - ev.aux;
         b.queue_wait = std::move(l.queue_wait);
+        b.lock_wait = std::move(l.lock_wait);
         b.service = std::move(l.service);
         b.rpc_hold = std::move(l.rpc_hold);
         b.rto_wait = l.rto_wait;
+        // Lock waits nest inside the tier's admission→service window, so
+        // carve them out of the queue-wait lane (clamped: a wait that
+        // straddles a fold terminal cannot drive the lane negative).
+        for (std::size_t t = 0; t < depth_; ++t) {
+          b.queue_wait[t] -= std::min(b.queue_wait[t], b.lock_wait[t]);
+        }
         for (const ServiceSpan& span : l.spans) {
           b.degraded_service +=
               overlap(dips[static_cast<std::size_t>(span.tier)], span.start, span.end);
         }
-        b.slack = b.total - (b.queue_wait_total() + b.service_total() +
-                             b.rpc_hold_total() + b.rto_wait);
+        b.slack = b.total - (b.queue_wait_total() + b.lock_wait_total() +
+                             b.service_total() + b.rpc_hold_total() + b.rto_wait);
         requests_.push_back(std::move(b));
         logical.erase(ev.user);
         if (it != in_flight.end()) in_flight.erase(it);
@@ -273,6 +302,7 @@ TailSummary TailAttributor::summary() const {
     ++s.tail_count;
     if (b.dominant() == Cause::kRtoWait) ++s.tail_retrans_dominated;
     s.queue_wait_us += b.of(Cause::kQueueWait);
+    s.lock_wait_us += b.of(Cause::kLockWait);
     s.service_us += b.of(Cause::kService);
     s.degraded_us += b.of(Cause::kDegradedService);
     s.rpc_hold_us += b.of(Cause::kRpcHold);

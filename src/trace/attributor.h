@@ -5,6 +5,9 @@
 // breakdown of where its wall-clock time went:
 //
 //   queue wait        per-tier time between admission and service start
+//   lock wait         portion of the queue wait spent stalled on record
+//                       locks in an OLTP tier (carved out of queue wait via
+//                       kLockWaitSpan events — the convoy signal)
 //   service           per-tier wall time in service, split into the part
 //   degraded service    overlapping a capacity dip (multiplier < 1) and the
 //                       nominal remainder
@@ -31,6 +34,7 @@ namespace memca::trace {
 
 enum class Cause {
   kQueueWait,
+  kLockWait,
   kService,
   kDegradedService,
   kRpcHold,
@@ -41,9 +45,10 @@ enum class Cause {
 const char* to_string(Cause cause);
 
 /// All Cause values, in reporting order.
-inline constexpr Cause kAllCauses[] = {Cause::kQueueWait,  Cause::kService,
-                                       Cause::kDegradedService, Cause::kRpcHold,
-                                       Cause::kRtoWait,    Cause::kSlack};
+inline constexpr Cause kAllCauses[] = {Cause::kQueueWait,  Cause::kLockWait,
+                                       Cause::kService,    Cause::kDegradedService,
+                                       Cause::kRpcHold,    Cause::kRtoWait,
+                                       Cause::kSlack};
 
 struct RequestBreakdown {
   /// Id of the attempt that finally completed.
@@ -56,7 +61,9 @@ struct RequestBreakdown {
   /// End-to-end client-observed response time (completed - first_sent).
   SimTime total = 0;
   /// Per-tier spans, summed over every attempt that reached the tier.
+  /// queue_wait excludes lock_wait: the two partition [enter, service_start).
   std::vector<SimTime> queue_wait;
+  std::vector<SimTime> lock_wait;
   std::vector<SimTime> service;
   std::vector<SimTime> rpc_hold;
   /// Portion of the service spans overlapping capacity dips.
@@ -65,6 +72,7 @@ struct RequestBreakdown {
   SimTime slack = 0;
 
   SimTime queue_wait_total() const;
+  SimTime lock_wait_total() const;
   SimTime service_total() const;
   SimTime rpc_hold_total() const;
   SimTime of(Cause cause) const;
@@ -85,6 +93,7 @@ struct TailSummary {
   std::int64_t tail_retrans_dominated = 0;
   /// Per-cause totals (µs) summed over the tail requests.
   SimTime queue_wait_us = 0;
+  SimTime lock_wait_us = 0;
   SimTime service_us = 0;
   SimTime degraded_us = 0;
   SimTime rpc_hold_us = 0;

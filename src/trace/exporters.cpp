@@ -213,6 +213,13 @@ void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder,
       case EventKind::kBurstOff:
         json.counter(attack_pid, "burst", ev.time, 0.0);
         break;
+      case EventKind::kLockWaitSpan:
+        // The lock wait nests inside the tier's "wait" slice (enter →
+        // service start), whose lane is only known once kTierSpan arrives
+        // at service end; render the grant as an instant mark on the tier's
+        // first lane so the wait slice stays one box per traversal.
+        if (tier_ok) json.instant(tier_pid, 0, "lock-granted", ev.time, ev.request);
+        break;
     }
   });
 }
@@ -220,7 +227,8 @@ void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder,
 void write_attribution_csv(std::ostream& out, const TailAttributor& attributor) {
   const std::size_t depth = attributor.depth();
   out << "request,user,attempts,first_sent_us,completed_us,total_us,queue_wait_us,"
-         "service_us,degraded_service_us,rpc_hold_us,rto_wait_us,slack_us,dominant";
+         "lock_wait_us,service_us,degraded_service_us,rpc_hold_us,rto_wait_us,slack_us,"
+         "dominant";
   for (std::size_t t = 0; t < depth; ++t) {
     out << ",wait_t" << t << "_us,service_t" << t << "_us";
   }
@@ -229,8 +237,9 @@ void write_attribution_csv(std::ostream& out, const TailAttributor& attributor) 
     if (b.total < attributor.tail_threshold()) continue;
     out << b.final_request << ',' << b.user << ',' << b.attempts << ',' << b.first_sent
         << ',' << b.completed << ',' << b.total << ',' << b.queue_wait_total() << ','
-        << b.of(Cause::kService) << ',' << b.degraded_service << ',' << b.rpc_hold_total()
-        << ',' << b.rto_wait << ',' << b.slack << ',' << to_string(b.dominant());
+        << b.lock_wait_total() << ',' << b.of(Cause::kService) << ',' << b.degraded_service
+        << ',' << b.rpc_hold_total() << ',' << b.rto_wait << ',' << b.slack << ','
+        << to_string(b.dominant());
     for (std::size_t t = 0; t < depth; ++t) {
       out << ',' << (t < b.queue_wait.size() ? b.queue_wait[t] : 0) << ','
           << (t < b.service.size() ? b.service[t] : 0);

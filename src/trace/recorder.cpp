@@ -22,6 +22,8 @@ const char* to_string(EventKind kind) {
       return "burst-on";
     case EventKind::kBurstOff:
       return "burst-off";
+    case EventKind::kLockWaitSpan:
+      return "lock-wait-span";
   }
   return "?";
 }

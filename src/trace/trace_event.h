@@ -55,6 +55,14 @@ enum class EventKind : std::uint8_t {
   /// The memory attack kernel switched ON / OFF.
   kBurstOn,
   kBurstOff,
+
+  // -- OLTP lock table (OltpTierServer) -------------------------------------
+  /// One record-lock wait, emitted at grant time: time = grant instant,
+  /// aux = the moment the transaction first stalled on a lock (park time for
+  /// the WAIT scheme, first abort time under NO_WAIT backoff). The span
+  /// nests inside the tier's [enter, service_start) window, so the
+  /// attributor carves it out of that tier's queue wait — never new time.
+  kLockWaitSpan,
 };
 
 const char* to_string(EventKind kind);

@@ -157,6 +157,104 @@ TEST(Rng, WeightedIndexSingleWeight) {
   EXPECT_EQ(rng.weighted_index({5.0}), 0u);
 }
 
+// Exact Zipf CDF over ranks [0, n): P(rank <= k) with p(k) ~ (k+1)^-theta.
+std::vector<double> exact_zipf_cdf(double theta, std::uint64_t n) {
+  const double zetan = FastZipf::compute_zetan(theta, n);
+  std::vector<double> cdf(n, 0.0);
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += std::pow(1.0 / static_cast<double>(k + 1), theta) / zetan;
+    cdf[k] = acc;
+  }
+  return cdf;
+}
+
+/// Largest |empirical - exact| CDF deviation over all ranks (KS statistic).
+double zipf_ks_statistic(double theta, std::uint64_t n, int draws) {
+  FastZipf zipf(theta, n);
+  Rng rng(12345);
+  std::vector<double> counts(n, 0.0);
+  for (int i = 0; i < draws; ++i) counts[zipf(rng)] += 1.0;
+  const std::vector<double> exact = exact_zipf_cdf(theta, n);
+  double acc = 0.0;
+  double worst = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += counts[k] / draws;
+    worst = std::max(worst, std::abs(acc - exact[k]));
+  }
+  return worst;
+}
+
+TEST(FastZipf, MatchesExactCdfAcrossSkews) {
+  // Gray et al.'s construction is exact for the two hottest ranks and a
+  // continuous-power approximation beyond. The approximation carries a
+  // deterministic bias at early ranks that grows with skew (measured KS vs
+  // the exact CDF at n=100: ~0.001 at theta 0, ~0.006 at 0.5, ~0.016 at
+  // 0.99 — stable under more draws, so bias, not noise). The bounds pin
+  // that today's error survives refactors; sampling noise at 200k draws is
+  // ~0.003.
+  EXPECT_LT(zipf_ks_statistic(0.0, 100, 200000), 0.005);
+  EXPECT_LT(zipf_ks_statistic(0.5, 100, 200000), 0.010);
+  EXPECT_LT(zipf_ks_statistic(0.99, 100, 200000), 0.020);
+}
+
+TEST(FastZipf, HottestRanksMatchExactMass) {
+  const double theta = 0.99;
+  const std::uint64_t n = 1000;
+  FastZipf zipf(theta, n);
+  const double zetan = zipf.zetan();
+  Rng rng(7);
+  const int draws = 400000;
+  int rank0 = 0;
+  int rank1 = 0;
+  for (int i = 0; i < draws; ++i) {
+    const auto r = zipf(rng);
+    rank0 += r == 0;
+    rank1 += r == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(rank0) / draws, 1.0 / zetan, 0.005);
+  EXPECT_NEAR(static_cast<double>(rank1) / draws, std::pow(0.5, theta) / zetan, 0.005);
+}
+
+TEST(FastZipf, ZeroThetaIsUniform) {
+  FastZipf zipf(0.0, 8);
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf(rng)];
+  for (int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / draws, 1.0 / 8.0, 0.01);
+  }
+}
+
+TEST(FastZipf, StatelessAndDeterministic) {
+  FastZipf zipf(0.9, 2048);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf(a), zipf(b));
+  }
+}
+
+TEST(FastZipf, PrecomputedZetanMatches) {
+  const double zetan = FastZipf::compute_zetan(0.7, 512);
+  FastZipf plain(0.7, 512);
+  FastZipf shared(0.7, 512, zetan);
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(plain(a), shared(b));
+  }
+}
+
+TEST(FastZipf, SingleRecordAlwaysRankZero) {
+  FastZipf zipf(0.5, 1);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf(rng), 0u);
+  }
+}
+
 TEST(Rng, SplitMix64Avalanche) {
   std::uint64_t s1 = 1;
   std::uint64_t s2 = 2;

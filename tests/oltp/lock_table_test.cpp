@@ -1,0 +1,197 @@
+#include "oltp/lock_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memca::oltp {
+namespace {
+
+using Acquire = LockTable::Acquire;
+using Mode = LockTable::Mode;
+
+LockTable make_table(std::uint32_t records = 4, std::uint32_t txns = 16) {
+  LockTable table(records);
+  table.ensure_txns(txns);
+  return table;
+}
+
+TEST(LockTable, SharedLocksCoexist) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, /*exclusive=*/false, /*wait=*/true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, false, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(2, 0, false, true), Acquire::kGranted);
+  EXPECT_EQ(table.mode(0), Mode::kShared);
+  EXPECT_EQ(table.holders(0), 3u);
+  EXPECT_EQ(table.waiters(), 0);
+}
+
+TEST(LockTable, ExclusiveConflictParks) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.mode(0), Mode::kExclusive);
+  EXPECT_EQ(table.try_acquire(1, 0, false, true), Acquire::kQueued);
+  EXPECT_EQ(table.try_acquire(2, 0, true, true), Acquire::kQueued);
+  EXPECT_TRUE(table.has_waiters(0));
+  EXPECT_EQ(table.waiters(), 2);
+}
+
+TEST(LockTable, NoWaitReportsBusyWithoutParking) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, true, /*wait=*/false), Acquire::kBusy);
+  EXPECT_FALSE(table.has_waiters(0));
+  EXPECT_EQ(table.waiters(), 0);
+  // The holder is undisturbed.
+  EXPECT_EQ(table.mode(0), Mode::kExclusive);
+  EXPECT_EQ(table.holders(0), 1u);
+}
+
+TEST(LockTable, NoReaderBargingPastQueuedWriter) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, false, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, true, true), Acquire::kQueued);
+  // Compatible with the held shared lock, but FIFO: it must queue behind
+  // the earlier exclusive waiter, not barge (writer starvation otherwise).
+  EXPECT_EQ(table.try_acquire(2, 0, false, true), Acquire::kQueued);
+  EXPECT_EQ(table.holders(0), 1u);
+  EXPECT_EQ(table.waiters(), 2);
+}
+
+TEST(LockTable, ReleaseHandsStraightToHeadWaiter) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, true, true), Acquire::kQueued);
+  std::vector<std::uint32_t> granted;
+  table.release(0, 0, granted);
+  ASSERT_EQ(granted, (std::vector<std::uint32_t>{1}));
+  // Never passed through kFree: ownership moved directly.
+  EXPECT_EQ(table.mode(0), Mode::kExclusive);
+  EXPECT_EQ(table.holders(0), 1u);
+  EXPECT_EQ(table.waiters(), 0);
+}
+
+TEST(LockTable, SharedRunGrantedTogetherExclusiveAlone) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, false, true), Acquire::kQueued);
+  EXPECT_EQ(table.try_acquire(2, 0, false, true), Acquire::kQueued);
+  EXPECT_EQ(table.try_acquire(3, 0, true, true), Acquire::kQueued);
+  EXPECT_EQ(table.try_acquire(4, 0, false, true), Acquire::kQueued);
+
+  // Release the exclusive holder: the contiguous shared run (1, 2) is
+  // granted together; the exclusive waiter 3 and the reader 4 behind it
+  // stay parked.
+  std::vector<std::uint32_t> granted;
+  table.release(0, 0, granted);
+  EXPECT_EQ(granted, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(table.mode(0), Mode::kShared);
+  EXPECT_EQ(table.holders(0), 2u);
+  EXPECT_EQ(table.waiters(), 2);
+
+  // Shared holders drain one by one; only the last release promotes the
+  // exclusive waiter — and it alone.
+  granted.clear();
+  table.release(1, 0, granted);
+  EXPECT_TRUE(granted.empty());
+  granted.clear();
+  table.release(2, 0, granted);
+  EXPECT_EQ(granted, (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(table.mode(0), Mode::kExclusive);
+  EXPECT_EQ(table.waiters(), 1);
+
+  granted.clear();
+  table.release(3, 0, granted);
+  EXPECT_EQ(granted, (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(table.mode(0), Mode::kShared);
+  EXPECT_EQ(table.waiters(), 0);
+}
+
+TEST(LockTable, LastOfManySharedHoldersFrees) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, false, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, false, true), Acquire::kGranted);
+  std::vector<std::uint32_t> granted;
+  table.release(0, 0, granted);
+  EXPECT_EQ(table.mode(0), Mode::kShared);
+  EXPECT_EQ(table.holders(0), 1u);
+  table.release(1, 0, granted);
+  EXPECT_EQ(table.mode(0), Mode::kFree);
+  EXPECT_EQ(table.holders(0), 0u);
+  EXPECT_TRUE(granted.empty());
+}
+
+TEST(LockTable, RecordsAreIndependent) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 1, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(2, 2, false, true), Acquire::kGranted);
+  EXPECT_EQ(table.waiters(), 0);
+}
+
+TEST(LockTable, FifoOrderAcrossMixedWaiters) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  for (std::uint32_t txn = 1; txn <= 4; ++txn) {
+    EXPECT_EQ(table.try_acquire(txn, 0, true, true), Acquire::kQueued);
+  }
+  // Strict FIFO: each release promotes exactly the next writer in arrival
+  // order.
+  for (std::uint32_t txn = 0; txn < 4; ++txn) {
+    std::vector<std::uint32_t> granted;
+    table.release(txn, 0, granted);
+    ASSERT_EQ(granted.size(), 1u);
+    EXPECT_EQ(granted[0], txn + 1);
+  }
+}
+
+TEST(LockTable, SnapshotRoundTripsMidContention) {
+  LockTable table = make_table();
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, false, true), Acquire::kQueued);
+  EXPECT_EQ(table.try_acquire(2, 0, true, true), Acquire::kQueued);
+  EXPECT_EQ(table.try_acquire(3, 1, false, true), Acquire::kGranted);
+
+  LockTable::Snapshot snap;
+  table.capture(snap);
+
+  // Diverge: drain the whole queue and take unrelated locks.
+  std::vector<std::uint32_t> granted;
+  table.release(0, 0, granted);
+  table.release(1, 0, granted);
+  table.release(2, 0, granted);
+  table.release(3, 1, granted);
+  EXPECT_EQ(table.try_acquire(5, 2, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.waiters(), 0);
+
+  table.restore(snap);
+  EXPECT_EQ(table.mode(0), Mode::kExclusive);
+  EXPECT_EQ(table.holders(0), 1u);
+  EXPECT_EQ(table.mode(1), Mode::kShared);
+  EXPECT_EQ(table.mode(2), Mode::kFree);
+  EXPECT_EQ(table.waiters(), 2);
+
+  // The restored queue replays the exact pre-divergence grant order.
+  granted.clear();
+  table.release(0, 0, granted);
+  EXPECT_EQ(granted, (std::vector<std::uint32_t>{1}));
+  granted.clear();
+  table.release(1, 0, granted);
+  EXPECT_EQ(granted, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(LockTable, EnsureTxnsGrowsWithoutDisturbingState) {
+  LockTable table(2);
+  table.ensure_txns(2);
+  EXPECT_EQ(table.try_acquire(0, 0, true, true), Acquire::kGranted);
+  EXPECT_EQ(table.try_acquire(1, 0, true, true), Acquire::kQueued);
+  table.ensure_txns(64);
+  EXPECT_EQ(table.mode(0), Mode::kExclusive);
+  EXPECT_EQ(table.waiters(), 1);
+  std::vector<std::uint32_t> granted;
+  table.release(0, 0, granted);
+  EXPECT_EQ(granted, (std::vector<std::uint32_t>{1}));
+}
+
+}  // namespace
+}  // namespace memca::oltp
