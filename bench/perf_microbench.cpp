@@ -14,6 +14,8 @@
 #include "cloud/membw.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "flightrec/flight_recorder.h"
+#include "flightrec/quantile_sketch.h"
 #include "metrics/registry.h"
 #include "queueing/request_pool.h"
 #include "queueing/tier.h"
@@ -144,6 +146,69 @@ void BM_TraceRecorderRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceRecorderRecord);
+
+void BM_TraceRecorderRingRecord(benchmark::State& state) {
+  // Ring-mode append: same fast path as the arena, but the "chunk" boundary
+  // wraps in place instead of allocating, so a steady-state run never grows.
+  // The rate should match BM_TraceRecorderRecord without the clear() resets.
+  trace::TraceRecorder::Config config;
+  config.ring_capacity = std::size_t{1} << 16;
+  trace::TraceRecorder recorder(config);
+  trace::TraceEvent ev;
+  ev.kind = trace::EventKind::kTierSpan;
+  SimTime t = 0;
+  for (auto _ : state) {
+    ev.time = ++t;
+    recorder.record(ev);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecorderRingRecord);
+
+void BM_QuantileSketch(benchmark::State& state) {
+  // One streaming latency sample through the five-quantile P² sketch — the
+  // per-completion price the flight recorder adds on the client path (plus
+  // one more per tier departure for the residence sketches).
+  flightrec::QuantileSketch sketch;
+  Rng rng(1);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = static_cast<double>(rng.exponential_time(msec(20)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.record(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(sketch.quantile(0.99));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileSketch);
+
+void BM_FlightRecorder(benchmark::State& state) {
+  // One flight-recorder tick (timeline frame capture + incident bookkeeping)
+  // over a synthetic 3-tier probe set. At the default 50 ms resolution this
+  // runs 20x per simulated second, so even a microsecond here is noise
+  // against the testbed's per-second event cost.
+  Simulator sim;
+  trace::TraceRecorder::Config ring_config;
+  ring_config.ring_capacity = std::size_t{1} << 14;
+  trace::TraceRecorder ring(ring_config);
+  flightrec::FlightRecorder flight(sim, &ring, {});
+  flight.set_capacity_probe([] { return 0.95; });
+  int depth = 12;
+  std::int64_t rejected = 0;
+  for (std::size_t t = 0; t < 3; ++t) {
+    flight.set_queue_depth_probe(t, [&depth] { return depth; });
+    flight.set_rejected_probe(t, [&rejected] { return rejected; });
+  }
+  flight.set_rto_backlog_probe([] { return 2; });
+  flight.start();
+  for (auto _ : state) {
+    ++depth;
+    sim.run_for(msec(50));
+  }
+  benchmark::DoNotOptimize(flight.timeline().total());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorder);
 
 void BM_TraceEmitDetached(benchmark::State& state) {
   // The hook-site cost when tracing is compiled in but no recorder is
@@ -305,15 +370,17 @@ void BM_FullTestbedSecond(benchmark::State& state) {
   // One simulated second of the full attacked 3500-user scenario per
   // iteration (construction amortised out by measuring a long run).
   // Arg(1) runs the same scenario with per-request tracing on; Arg(2) with
-  // the metrics registry + 50 ms scraper on. Comparing each rate against
-  // Arg(0) measures the end-to-end overhead (< 5% target for tracing,
-  // < 3% for metrics). The testbed is driven directly — run_attack_lab
-  // would also time post-hoc analysis, which is not an instrumentation
-  // cost.
+  // the metrics registry + 50 ms scraper on; Arg(3) with the always-on
+  // flight recorder (span ring + sketches + timeline + incident detection).
+  // Comparing each rate against Arg(0) measures the end-to-end overhead
+  // (< 5% target for tracing and for the flight recorder, < 3% for
+  // metrics). The testbed is driven directly — run_attack_lab would also
+  // time post-hoc analysis, which is not an instrumentation cost.
   for (auto _ : state) {
     testbed::TestbedConfig config;
     config.trace = state.range(0) == 1;
     config.metrics = state.range(0) == 2;
+    config.flightrec = state.range(0) == 3;
     testbed::RubbosTestbed bed(config);
     bed.start();
     core::MemcaConfig memca;
@@ -329,7 +396,7 @@ void BM_FullTestbedSecond(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
-BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
 void BM_FullTestbedSecondOltp(benchmark::State& state) {
   // BM_FullTestbedSecond with the lock/CC-aware OLTP bottleneck swapped in

@@ -1,0 +1,268 @@
+// Always-on black-box flight recorder + millibottleneck incident detector.
+//
+// The paper's production problem in one sentence: coarse monitors average
+// millibottlenecks away (Fig. 10), and full tracing is too expensive to
+// leave on. The FlightRecorder is the middle path a real operator deploys —
+// bounded state, always on, and when something goes wrong it already holds
+// the evidence:
+//
+//   * streaming P² quantile sketches of client latency and per-tier
+//     residence times (QuantileSketch — allocation-free, mergeable),
+//   * a native-resolution (50 ms) rolling Timeline of queue depths, the
+//     capacity multiplier D(t), per-tier drops and the RTO backlog,
+//   * the bounded span ring (trace::TraceRecorder in ring mode) the owner
+//     wires through the usual trace hooks.
+//
+// The embedded IncidentDetector watches three signals: a completion
+// crossing the VLRT threshold, a tick window with queue-overflow drops, and
+// a capacity dip below the dip threshold. Any of them opens an incident
+// window (or extends the open one); a VLRT completion additionally *pins*
+// the request's span events by copying them out of the ring before wrap
+// can evict them — the tail-biased retention that makes a fixed-budget ring
+// forensically useful. When the window has been quiet for quiet_close, the
+// detector freezes the overlapping timeline frames, replays the pinned
+// spans through trace::TailAttributor for the per-phase decomposition, and
+// emits a structured Incident (see incident.h).
+//
+// Everything runs inside the owning cell's deterministic event order (the
+// tick is a PeriodicTask), so incidents — like every other sweep output —
+// are bit-identical across MEMCA_SWEEP_THREADS, and the whole recorder
+// checkpoints/rolls back with the world (mid-incident included).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "flightrec/incident.h"
+#include "flightrec/quantile_sketch.h"
+#include "flightrec/timeline.h"
+#include "sim/simulator.h"
+#include "trace/attributor.h"
+#include "trace/recorder.h"
+
+namespace memca::flightrec {
+
+struct FlightRecorderConfig {
+  /// Tick/window resolution (the paper's native 50 ms tooling).
+  SimTime resolution = msec(50);
+  /// Rolling timeline depth in frames (256 × 50 ms ≈ 12.8 s of history).
+  std::size_t timeline_frames = 256;
+  /// Completions at or above this RT are very-long-response-time requests.
+  SimTime vlrt_threshold = sec(std::int64_t{1});
+  /// A capacity multiplier below this counts as a dip episode.
+  double dip_threshold = 0.9;
+  /// Close the open incident after this much time without any trigger.
+  /// Must exceed the attack interval for a burst train to fold into one
+  /// incident; 2 s covers the calibrated scenario and one RTO floor.
+  SimTime quiet_close = sec(std::int64_t{2});
+  /// Tier/station count of the observed system (attribution depth).
+  std::size_t depth = 3;
+  /// Per-tier residence sketches fold in every 2^shift-th departure.
+  /// Residence probes fire on every tier visit — orders of magnitude
+  /// hotter than completions — and a 1-in-16 subsample estimates p95/p99
+  /// just as well while keeping the always-on recorder inside its ≤5%
+  /// budget.
+  std::uint32_t residence_decimate_shift = 4;
+  /// Client latency sketch decimation (full five-quantile bank, so each
+  /// recorded sample costs ~5 P² updates). Every completion still reaches
+  /// the VLRT detector — decimation only subsamples the sketch; 1-in-8 of
+  /// a multi-minute run leaves thousands of samples behind every reported
+  /// quantile, well past the few hundred P² needs to settle.
+  std::uint32_t client_decimate_shift = 3;
+  /// Pending VLRT pins are flushed into the ring scan every this many
+  /// ticks (close always flushes first regardless). Each flush re-reads a
+  /// ~1 s ring suffix, so per-tick flushing mostly re-scans cold events;
+  /// a few ticks of batching divides that cost without changing the pinned
+  /// set — the ring holds tens of seconds of traffic, so nothing is
+  /// evicted while a batch waits.
+  std::uint32_t pin_flush_period = 8;
+  /// Emitted incidents beyond this are counted but not stored.
+  std::size_t max_incidents = 64;
+  /// Pinned span budget per incident (newest-first; excess is dropped).
+  std::size_t max_pinned_events = 65536;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder(Simulator& sim, trace::TraceRecorder* ring, FlightRecorderConfig config);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // -- wiring (construction time, not checkpointed) -------------------------
+  /// Capacity multiplier D(t) of the target tier.
+  void set_capacity_probe(std::function<double()> probe) { capacity_probe_ = std::move(probe); }
+  /// Queue depth (waiting + blocked) of tier `tier`.
+  void set_queue_depth_probe(std::size_t tier, std::function<int()> probe);
+  /// Cumulative rejected-request count of tier `tier`.
+  void set_rejected_probe(std::size_t tier, std::function<std::int64_t()> probe);
+  /// Retransmissions scheduled but not yet fired (client RTO backlog).
+  void set_rto_backlog_probe(std::function<int()> probe) {
+    rto_backlog_probe_ = std::move(probe);
+  }
+
+  /// Starts the periodic tick; the first frame closes one resolution later.
+  void start();
+  void stop();
+  bool running() const { return task_ != nullptr; }
+
+  // -- hooks ----------------------------------------------------------------
+  /// Client completion hook (the testbed adapts the workload observer to
+  /// this). Feeds the client latency sketch and, for VLRT completions,
+  /// opens/extends the incident window and pins the request's ring spans.
+  void on_completion(SimTime now, SimTime first_sent, std::int32_t user, SimTime rt,
+                     bool post_warmup);
+
+  /// Closes any open incident at end of run. Call once before reading
+  /// incidents(); safe without a preceding start().
+  void finalize();
+
+  // -- telemetry ------------------------------------------------------------
+  const QuantileSketch& client_latency() const { return client_latency_; }
+  /// Residence-time sketch of tier `tier`; the owner hands this pointer to
+  /// TierServer::set_residence_sketch.
+  QuantileSketch* tier_residence_sketch(std::size_t tier);
+  const QuantileSketch& tier_residence(std::size_t tier) const;
+  const Timeline& timeline() const { return timeline_; }
+
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  /// Incidents observed beyond max_incidents (counted, not stored).
+  std::int64_t incidents_dropped() const { return incidents_dropped_; }
+  /// Total incidents observed, stored or not.
+  std::int64_t incidents_total() const {
+    return static_cast<std::int64_t>(incidents_.size()) + incidents_dropped_;
+  }
+  /// Span events pinned out of the ring over the whole run (post-dedupe).
+  std::int64_t pinned_events_total() const { return pinned_events_total_; }
+  /// VLRT completions folded into incidents over the whole run.
+  std::int64_t affected_requests_total() const { return affected_requests_total_; }
+
+  const FlightRecorderConfig& config() const { return config_; }
+
+  /// One span event pinned out of the ring, keyed by its absolute stream
+  /// index (for deterministic re-ordering and dedupe at close).
+  struct PinnedEvent {
+    std::uint64_t seq = 0;
+    trace::TraceEvent event{};
+  };
+
+  /// A VLRT completion whose ring spans are still to be pinned. Pins are
+  /// batched and flushed once per tick: VLRT completions cluster at RTO
+  /// release, so one backward ring scan per tick with a user-indexed
+  /// cutoff table replaces one scan per completion at identical pin
+  /// semantics (each user keeps its own first_sent cutoff). A tick's
+  /// worth of new events (~a hundred) can never wrap a forensically
+  /// sized ring, so nothing is evicted before the flush.
+  struct PendingPin {
+    SimTime first_sent = 0;
+    std::int32_t user = -1;
+  };
+
+  // -- checkpoint -----------------------------------------------------------
+  /// Mid-incident state checkpoints with the world: sketches and timeline
+  /// copy aside, closed incidents restore by truncation (append-only), and
+  /// the open window — pins included — copy-assigns back into capacity
+  /// reserved at construction, so rollback allocates nothing and a replay
+  /// re-closes byte-identical incidents.
+  struct OpenIncident {
+    bool active = false;
+    std::int64_t id = 0;
+    IncidentTrigger trigger = IncidentTrigger::kVlrtCompletion;
+    SimTime window_start = 0;
+    SimTime last_activity = 0;
+    double dip_depth = 1.0;
+    std::int64_t dip_episodes = 0;
+    SimTime first_dip_start = 0;
+    SimTime last_dip_start = 0;
+    std::array<std::int64_t, kTimelineMaxTiers> tier_drops{};
+    std::int64_t affected_requests = 0;
+    SimTime worst_rt = 0;
+    std::vector<PinnedEvent> pinned;
+  };
+
+  struct Snapshot {
+    std::vector<PendingPin> pending_pins;
+    QuantileSketch client;
+    std::array<QuantileSketch, kTimelineMaxTiers> tiers;
+    Timeline::Snapshot timeline;
+    std::size_t incident_count = 0;
+    std::int64_t incidents_dropped = 0;
+    std::int64_t next_id = 0;
+    double last_capacity = 1.0;
+    bool in_dip = false;
+    std::array<std::int64_t, kTimelineMaxTiers> last_rejected{};
+    std::uint32_t vlrt_in_window = 0;
+    std::uint32_t tick_seq = 0;
+    std::int64_t pinned_events_total = 0;
+    std::int64_t affected_requests_total = 0;
+    OpenIncident open;
+    bool has_task = false;
+    PeriodicTask::Snapshot task;
+  };
+
+  void capture(Snapshot& out) const;
+  void restore(const Snapshot& snap);
+
+ private:
+  void tick();
+  /// Opens the incident window (or extends the open one) at `now`; the
+  /// window is stretched back to cover `span_begin`.
+  void note_activity(IncidentTrigger trigger, SimTime span_begin, SimTime now);
+  /// Drains pending_pins_ with one backward ring scan: copies each batched
+  /// user's span events (from its own first_sent on, resolved through a
+  /// user-indexed cutoff table) plus the capacity/burst context marks into
+  /// the open incident.
+  void flush_pins();
+  void close_incident();
+
+  /// Pending-pin batch bound; a full batch flushes inline, so the hot
+  /// completion path stays allocation-free.
+  static constexpr std::size_t kMaxPendingPins = 1024;
+
+  Simulator& sim_;
+  trace::TraceRecorder* ring_;
+  FlightRecorderConfig config_;
+
+  QuantileSketch client_latency_;
+  std::array<QuantileSketch, kTimelineMaxTiers> tier_residence_{};
+  Timeline timeline_;
+
+  std::function<double()> capacity_probe_;
+  std::array<std::function<int()>, kTimelineMaxTiers> queue_depth_probes_;
+  std::array<std::function<std::int64_t()>, kTimelineMaxTiers> rejected_probes_;
+  std::function<int()> rto_backlog_probe_;
+
+  std::unique_ptr<PeriodicTask> task_;
+
+  // Tick-to-tick cursors.
+  double last_capacity_ = 1.0;
+  bool in_dip_ = false;
+  std::array<std::int64_t, kTimelineMaxTiers> last_rejected_{};
+  std::uint32_t vlrt_in_window_ = 0;
+  /// Ticks since start; drives the pin-flush cadence (checkpointed, so a
+  /// replay flushes on the same ticks).
+  std::uint32_t tick_seq_ = 0;
+
+  OpenIncident open_;
+  /// VLRT completions awaiting their per-tick pin flush (reserved at
+  /// construction; see PendingPin).
+  std::vector<PendingPin> pending_pins_;
+  /// flush_pins() scratch: per-user first_sent cutoffs, grown to the
+  /// largest user id seen and re-armed to sentinels after every flush
+  /// (all-sentinel between flushes, so it needs no snapshot).
+  std::vector<SimTime> user_cutoff_;
+  std::vector<Incident> incidents_;
+  std::int64_t incidents_dropped_ = 0;
+  std::int64_t next_id_ = 0;
+  std::int64_t pinned_events_total_ = 0;
+  std::int64_t affected_requests_total_ = 0;
+
+  /// Scratch arena the pinned spans are replayed into for attribution;
+  /// reused across incidents.
+  trace::TraceRecorder scratch_;
+};
+
+}  // namespace memca::flightrec

@@ -1,0 +1,125 @@
+#include "flightrec/incident.h"
+
+#include <ostream>
+
+namespace memca::flightrec {
+
+const char* to_string(IncidentTrigger trigger) {
+  switch (trigger) {
+    case IncidentTrigger::kVlrtCompletion:
+      return "vlrt-completion";
+    case IncidentTrigger::kQueueOverflow:
+      return "queue-overflow";
+    case IncidentTrigger::kCapacityDip:
+      return "capacity-dip";
+  }
+  return "?";
+}
+
+namespace {
+
+void put_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+void put_summary(std::ostream& out, const trace::TailSummary& s) {
+  out << "{\"threshold_us\": " << s.threshold << ", \"completed\": " << s.completed
+      << ", \"abandoned\": " << s.abandoned << ", \"tail_count\": " << s.tail_count
+      << ", \"tail_retrans_dominated\": " << s.tail_retrans_dominated
+      << ", \"queue_wait_us\": " << s.queue_wait_us << ", \"lock_wait_us\": " << s.lock_wait_us
+      << ", \"service_us\": " << s.service_us << ", \"degraded_us\": " << s.degraded_us
+      << ", \"rpc_hold_us\": " << s.rpc_hold_us << ", \"rto_wait_us\": " << s.rto_wait_us
+      << ", \"slack_us\": " << s.slack_us << "}";
+}
+
+void put_frame(std::ostream& out, const TimelineFrame& f) {
+  out << "{\"start_us\": " << f.start << ", \"queue_depth\": [";
+  for (std::size_t t = 0; t < kTimelineMaxTiers; ++t) {
+    if (t != 0) out << ", ";
+    out << f.queue_depth[t];
+  }
+  out << "], \"tier_drops\": [";
+  for (std::size_t t = 0; t < kTimelineMaxTiers; ++t) {
+    if (t != 0) out << ", ";
+    out << f.tier_drops[t];
+  }
+  out << "], \"capacity_min\": " << f.capacity_min << ", \"capacity_last\": " << f.capacity_last
+      << ", \"rto_backlog\": " << f.rto_backlog
+      << ", \"vlrt_completions\": " << f.vlrt_completions << "}";
+}
+
+}  // namespace
+
+void write_incidents_json(std::ostream& out, const std::vector<Incident>& incidents,
+                          const std::vector<std::string>& tier_names) {
+  out << "{\n  \"tiers\": [";
+  for (std::size_t t = 0; t < tier_names.size(); ++t) {
+    if (t != 0) out << ", ";
+    put_string(out, tier_names[t]);
+  }
+  out << "],\n  \"incident_count\": " << incidents.size() << ",\n  \"incidents\": [";
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    const Incident& inc = incidents[i];
+    out << (i == 0 ? "" : ",") << "\n    {\n      \"id\": " << inc.id << ",\n      \"trigger\": ";
+    put_string(out, to_string(inc.trigger));
+    out << ",\n      \"window_start_us\": " << inc.window_start
+        << ",\n      \"window_end_us\": " << inc.window_end
+        << ",\n      \"dip_depth\": " << inc.dip_depth
+        << ",\n      \"dip_episodes\": " << inc.dip_episodes
+        << ",\n      \"burst_interval_estimate_us\": " << inc.burst_interval_estimate
+        << ",\n      \"overflowed_tier\": " << inc.overflowed_tier
+        << ",\n      \"drop_count\": " << inc.drop_count << ",\n      \"tier_drops\": [";
+    for (std::size_t t = 0; t < kTimelineMaxTiers; ++t) {
+      if (t != 0) out << ", ";
+      out << inc.tier_drops[t];
+    }
+    out << "],\n      \"retransmissions\": " << inc.retransmissions
+        << ",\n      \"affected_requests\": " << inc.affected_requests
+        << ",\n      \"worst_rt_us\": " << inc.worst_rt
+        << ",\n      \"pinned_events\": " << inc.pinned_events
+        << ",\n      \"decomposition\": ";
+    put_summary(out, inc.decomposition);
+    out << ",\n      \"frames\": [";
+    for (std::size_t f = 0; f < inc.frames.size(); ++f) {
+      if (f != 0) out << ", ";
+      put_frame(out, inc.frames[f]);
+    }
+    out << "]\n    }";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void write_incident_annotations(std::ostream& out, const std::vector<Incident>& incidents) {
+  // Chrome-trace JSON array; ts/dur are microseconds, which SimTime already
+  // is. pid 90 keeps the flightrec track sorted after the exporter's client
+  // (0) and tier (1..depth) tracks when files are merged.
+  constexpr int kPid = 90;
+  out << "[\n";
+  out << "{\"ph\": \"M\", \"pid\": " << kPid
+      << ", \"name\": \"process_name\", \"args\": {\"name\": \"flightrec\"}},\n";
+  out << "{\"ph\": \"M\", \"pid\": " << kPid << ", \"tid\": 0"
+      << ", \"name\": \"thread_name\", \"args\": {\"name\": \"incidents\"}}";
+  for (const Incident& inc : incidents) {
+    out << ",\n{\"ph\": \"X\", \"pid\": " << kPid << ", \"tid\": 0, \"ts\": " << inc.window_start
+        << ", \"dur\": " << (inc.window_end - inc.window_start) << ", \"name\": \"incident #"
+        << inc.id << "\", \"args\": {\"trigger\": \"" << to_string(inc.trigger)
+        << "\", \"dip_depth\": " << inc.dip_depth << ", \"drop_count\": " << inc.drop_count
+        << ", \"retransmissions\": " << inc.retransmissions
+        << ", \"affected_requests\": " << inc.affected_requests
+        << ", \"burst_interval_estimate_us\": " << inc.burst_interval_estimate
+        << ", \"overflowed_tier\": " << inc.overflowed_tier << "}}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace memca::flightrec

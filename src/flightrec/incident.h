@@ -1,0 +1,79 @@
+// Structured incident records — the output half of incident forensics.
+//
+// An Incident is what the flight recorder hands an operator after a
+// millibottleneck episode: when it happened, how deep the capacity dip was,
+// which tier overflowed, how many drops and retransmissions it caused, how
+// many requests crossed the VLRT threshold, the per-phase latency
+// decomposition of those requests (reusing trace::TailAttributor over the
+// pinned ring spans) and the frozen high-resolution timeline around the
+// window. Exported as JSON (machine-readable, byte-deterministic for the
+// sweep-thread invariance gate) and as Perfetto annotation slices that load
+// alongside the chrome traces trace/exporters.h writes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "flightrec/timeline.h"
+#include "trace/attributor.h"
+
+namespace memca::flightrec {
+
+enum class IncidentTrigger : std::uint8_t {
+  /// A post-warmup completion crossed the VLRT threshold.
+  kVlrtCompletion,
+  /// A tier rejected requests (queue overflow) during a tick window.
+  kQueueOverflow,
+  /// The capacity multiplier dipped below the dip threshold.
+  kCapacityDip,
+};
+
+const char* to_string(IncidentTrigger trigger);
+
+struct Incident {
+  std::int64_t id = 0;
+  /// What opened the incident (later triggers extend the same window).
+  IncidentTrigger trigger = IncidentTrigger::kVlrtCompletion;
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  /// Minimum capacity multiplier D(t) observed in the window.
+  double dip_depth = 1.0;
+  /// Number of distinct capacity-dip episodes in the window.
+  std::int64_t dip_episodes = 0;
+  /// Mean spacing between dip-episode starts — the recovered attack burst
+  /// interval (0 when fewer than two episodes were seen).
+  SimTime burst_interval_estimate = 0;
+  /// Tier with the most drops in the window (-1 when nothing dropped).
+  int overflowed_tier = -1;
+  std::int64_t drop_count = 0;
+  /// Per-tier drop split, front tier first.
+  std::array<std::int64_t, kTimelineMaxTiers> tier_drops{};
+  /// kRetransmit events among the pinned spans — the TCP fan-out.
+  std::int64_t retransmissions = 0;
+  /// VLRT completions folded into this incident.
+  std::int64_t affected_requests = 0;
+  SimTime worst_rt = 0;
+  /// Per-phase decomposition of the pinned (VLRT) requests.
+  trace::TailSummary decomposition;
+  /// Ring span events pinned for this incident (post sort/dedupe).
+  std::int64_t pinned_events = 0;
+  /// Frozen timeline frames overlapping the window (newest retained only).
+  std::vector<TimelineFrame> frames;
+};
+
+/// Machine-readable export. Stable field order, no floating-point
+/// environment dependence — two identical incident vectors serialize to
+/// identical bytes, which is what the MEMCA_SWEEP_THREADS gate diffs.
+void write_incidents_json(std::ostream& out, const std::vector<Incident>& incidents,
+                          const std::vector<std::string>& tier_names);
+
+/// Perfetto/chrome-trace annotation slices: one "X" slice per incident on a
+/// dedicated "flightrec" track (plus one instant per dip episode estimate),
+/// with the incident's numbers in args. A standalone valid trace file; it
+/// can also be merged event-for-event into an exporter-written trace.
+void write_incident_annotations(std::ostream& out, const std::vector<Incident>& incidents);
+
+}  // namespace memca::flightrec

@@ -1,0 +1,187 @@
+#include "flightrec/quantile_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace memca::flightrec {
+
+void P2Quantile::init_markers() {
+  std::sort(height_.begin(), height_.end());
+  pos_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  inc_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::record(double x) {
+  if (count_ < 5) [[unlikely]] {
+    height_[static_cast<std::size_t>(count_)] = x;
+    ++count_;
+    if (count_ == 5) init_markers();
+    return;
+  }
+  // Locate the cell x falls in, widening the extreme markers if needed.
+  int k;
+  if (x < height_[0]) [[unlikely]] {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) [[unlikely]] {
+    height_[4] = x;
+    k = 3;
+  } else {
+    // Branchless interior search — on a hot latency stream the cell is
+    // close to uniform-random, so a compare chain mispredicts constantly.
+    k = static_cast<int>(x >= height_[1]) + static_cast<int>(x >= height_[2]) +
+        static_cast<int>(x >= height_[3]);
+  }
+  pos_[1] += k < 1 ? 1.0 : 0.0;
+  pos_[2] += k < 2 ? 1.0 : 0.0;
+  pos_[3] += k < 3 ? 1.0 : 0.0;
+  pos_[4] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += inc_[i];
+  // Nudge the three interior markers toward their desired positions,
+  // preferring the parabolic (P²) height update, falling back to linear
+  // when it would break marker monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    const double d = desired_[s] - pos_[s];
+    if ((d >= 1.0 && pos_[s + 1] - pos_[s] > 1.0) ||
+        (d <= -1.0 && pos_[s - 1] - pos_[s] < -1.0)) {
+      const double step = d >= 0.0 ? 1.0 : -1.0;
+      const double h = parabolic(i, step);
+      if (height_[s - 1] < h && h < height_[s + 1]) {
+        height_[s] = h;
+      } else {
+        height_[s] = linear(i, step);
+      }
+      pos_[s] += step;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double np = pos_[static_cast<std::size_t>(i + 1)];
+  const double nm = pos_[static_cast<std::size_t>(i - 1)];
+  const double n = pos_[static_cast<std::size_t>(i)];
+  const double hp = height_[static_cast<std::size_t>(i + 1)];
+  const double hm = height_[static_cast<std::size_t>(i - 1)];
+  const double h = height_[static_cast<std::size_t>(i)];
+  return h + d / (np - nm) *
+                 ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const std::size_t j = static_cast<std::size_t>(i + static_cast<int>(d));
+  const std::size_t k = static_cast<std::size_t>(i);
+  return height_[k] + d * (height_[j] - height_[k]) / (pos_[j] - pos_[k]);
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return height_[2];
+  // Exact phase: the first samples sit unsorted in height_. Sorted by hand
+  // (n <= 5) — std::sort's introsort machinery trips GCC's array-bounds
+  // analysis here.
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(count_ < 5 ? count_ : 5);
+  std::array<double, 5> sorted = height_;
+  for (std::ptrdiff_t i = 1; i < n; ++i) {
+    const double v = sorted[static_cast<std::size_t>(i)];
+    std::ptrdiff_t j = i;
+    for (; j > 0 && sorted[static_cast<std::size_t>(j - 1)] > v; --j) {
+      sorted[static_cast<std::size_t>(j)] = sorted[static_cast<std::size_t>(j - 1)];
+    }
+    sorted[static_cast<std::size_t>(j)] = v;
+  }
+  const double rank = q_ * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::ptrdiff_t>(rank);
+  return sorted[static_cast<std::size_t>(std::min(lo, n - 1))];
+}
+
+void P2Quantile::merge(const P2Quantile& other) {
+  MEMCA_CHECK(q_ == other.q_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.count_ < 5) {
+    // Other is still exact: replay its raw samples.
+    for (std::int64_t i = 0; i < other.count_; ++i) {
+      record(other.height_[static_cast<std::size_t>(i)]);
+    }
+    return;
+  }
+  if (count_ < 5) {
+    // We are exact, other is not: adopt other and replay our samples.
+    const std::array<double, 5> raw = height_;
+    const std::int64_t n = count_;
+    *this = other;
+    for (std::int64_t i = 0; i < n; ++i) record(raw[static_cast<std::size_t>(i)]);
+    return;
+  }
+  // Both converged: count-weighted marker combination. Heights average
+  // (monotone sequences stay monotone under elementwise weighted average),
+  // interior positions add, extremes re-anchor at 1 and n, and the desired
+  // positions are recomputed for the merged count.
+  const double w1 = static_cast<double>(count_);
+  const double w2 = static_cast<double>(other.count_);
+  for (std::size_t i = 0; i < 5; ++i) {
+    height_[i] = (height_[i] * w1 + other.height_[i] * w2) / (w1 + w2);
+  }
+  count_ += other.count_;
+  const double n = static_cast<double>(count_);
+  pos_[0] = 1.0;
+  for (std::size_t i = 1; i < 4; ++i) pos_[i] += other.pos_[i];
+  pos_[4] = n;
+  desired_ = {1.0, (n - 1.0) * q_ / 2.0 + 1.0, (n - 1.0) * q_ + 1.0,
+              (n - 1.0) * (1.0 + q_) / 2.0 + 1.0, n};
+}
+
+QuantileSketch::QuantileSketch(Profile profile, std::uint32_t decimate_shift) {
+  for (std::size_t i = 0; i < kQuantiles.size(); ++i) est_[i] = P2Quantile(kQuantiles[i]);
+  if (profile == Profile::kTail) {
+    first_ = 2;  // kQuantiles[2..3] = {0.95, 0.99}
+    last_ = 4;
+  }
+  decim_mask_ = decimate_shift == 0 ? 0 : (std::uint32_t{1} << decimate_shift) - 1;
+}
+
+void QuantileSketch::record_sample(double x) {
+  for (std::uint32_t i = first_; i < last_; ++i) est_[i].record(x);
+  if (count_ == 0 || x < min_) min_ = x;
+  if (count_ == 0 || x > max_) max_ = x;
+  sum_ += x;
+  ++count_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  for (std::uint32_t i = first_; i < last_; ++i) {
+    if (kQuantiles[i] == q) return est_[i].estimate();
+  }
+  MEMCA_CHECK_MSG(false, "quantile not tracked by the sketch");
+  return 0.0;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  MEMCA_CHECK_MSG(
+      first_ == other.first_ && last_ == other.last_ && decim_mask_ == other.decim_mask_,
+      "merging sketches with different profiles");
+  seq_ += other.seq_;
+  if (other.count_ == 0) return;
+  for (std::uint32_t i = first_; i < last_; ++i) est_[i].merge(other.est_[i]);
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void QuantileSketch::reset() {
+  const std::uint32_t first = first_, last = last_, mask = decim_mask_;
+  *this = QuantileSketch();
+  first_ = first;
+  last_ = last;
+  decim_mask_ = mask;
+}
+
+}  // namespace memca::flightrec

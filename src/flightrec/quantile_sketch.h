@@ -1,0 +1,121 @@
+// Streaming quantile sketch (P², Jain & Chlamtac 1985).
+//
+// The run report's latency quantiles historically came from full per-client
+// latency vectors or log-bucketed histograms. Neither survives the planned
+// million-user cohort rewrite: vectors grow with traffic and a histogram per
+// (tier, window) starts to dominate the cache. A P² sketch tracks a fixed
+// set of quantiles in five markers each — a few hundred bytes, O(1)
+// allocation-free updates, trivially copyable (so a WorldSnapshot captures
+// it with attach_value) — which is what an always-on flight recorder can
+// afford per tier.
+//
+// Determinism: record() is a pure function of the sketch state and the
+// sample, so a sweep cell's sketch depends only on that cell's event order.
+// merge() is a pure function of its two operands; merging per-cell sketches
+// in cell order (exactly how registry cells merge) yields bytes independent
+// of the thread count that ran the sweep.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace memca::flightrec {
+
+/// One P² estimator: five markers chasing a single quantile q.
+class P2Quantile {
+ public:
+  P2Quantile() = default;
+  explicit P2Quantile(double q) : q_(q) {}
+
+  double q() const { return q_; }
+  std::int64_t count() const { return count_; }
+
+  /// O(1), allocation-free.
+  void record(double x);
+
+  /// Current estimate; exact while fewer than five samples have arrived.
+  double estimate() const;
+
+  /// Folds `other` into this estimator. Exact when either side is still in
+  /// its exact (<5 samples) phase; otherwise an approximation: marker
+  /// heights combine count-weighted, positions add, and the desired
+  /// positions are recomputed for the merged count. Deterministic — the
+  /// result depends only on the two operands, never on scheduling.
+  void merge(const P2Quantile& other);
+
+ private:
+  void init_markers();
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_ = 0.5;
+  std::array<double, 5> height_{};   // marker heights h_i (sorted)
+  std::array<double, 5> pos_{};      // actual marker positions n_i (1-based)
+  std::array<double, 5> desired_{};  // desired positions n'_i
+  std::array<double, 5> inc_{};      // desired-position increments dn'_i
+  std::int64_t count_ = 0;
+};
+
+/// A bank of P² estimators over the quantiles the paper's evaluation
+/// reports, plus exact count/min/max/sum. ~500 bytes, no heap.
+class QuantileSketch {
+ public:
+  static constexpr std::array<double, 5> kQuantiles{0.50, 0.90, 0.95, 0.99, 0.999};
+
+  /// Which of kQuantiles the sketch maintains. kTail keeps only p95/p99 —
+  /// the pair the per-tier residence report consumes — at a fraction of
+  /// the full bank's per-sample cost.
+  enum class Profile : std::uint32_t { kFull, kTail };
+
+  QuantileSketch() : QuantileSketch(Profile::kFull, 0) {}
+  /// decimate_shift > 0 folds in only every 2^shift-th sample (the first
+  /// sample always counts, so min/max are live immediately). This is the
+  /// constant-factor lever for probes hot enough that even a P² bank
+  /// shows up in the engine budget — per-tier residence times fire on
+  /// every tier departure, and a quantile of a 1-in-2^shift subsample
+  /// estimates the same distribution.
+  explicit QuantileSketch(Profile profile, std::uint32_t decimate_shift = 0);
+
+  /// Inline decimation guard; the bank update lives out of line.
+  void record(double x) {
+    if ((seq_++ & decim_mask_) != 0) return;
+    record_sample(x);
+  }
+
+  std::int64_t count() const { return count_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Estimate for one of kQuantiles (checked: q must be tracked by the
+  /// sketch's profile).
+  double quantile(double q) const;
+
+  /// Folds `other` in; both sides must share profile and decimation.
+  void merge(const QuantileSketch& other);
+  void reset();
+
+ private:
+  void record_sample(double x);
+
+  std::array<P2Quantile, kQuantiles.size()> est_;
+  std::int64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  // All-uint32 tail: no padding bytes, so whole-object memcmp (which the
+  // determinism tests lean on) never reads indeterminate bytes.
+  std::uint32_t first_ = 0;        // active est_ range [first_, last_)
+  std::uint32_t last_ = kQuantiles.size();
+  std::uint32_t decim_mask_ = 0;   // 2^shift - 1; 0 = every sample
+  std::uint32_t seq_ = 0;          // samples offered (recorded or skipped)
+};
+
+// Trivially copyable is load-bearing: WorldSnapshot captures sketches with
+// attach_value (plain copy-assign both ways, allocation-free on restore).
+static_assert(std::is_trivially_copyable_v<QuantileSketch>);
+
+}  // namespace memca::flightrec

@@ -1,0 +1,28 @@
+#include "flightrec/timeline.h"
+
+namespace memca::flightrec {
+
+Timeline::Timeline(std::size_t capacity) {
+  std::size_t cap = 2;
+  while (cap < capacity) cap <<= 1;
+  frames_.resize(cap);
+  mask_ = cap - 1;
+}
+
+void Timeline::push(const TimelineFrame& frame) {
+  frames_[total_ & mask_] = frame;
+  ++total_;
+}
+
+void Timeline::extract(SimTime from, SimTime to, SimTime resolution,
+                       std::vector<TimelineFrame>& out) const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimelineFrame& f = (*this)[i];
+    if (f.start + resolution < from) continue;
+    if (f.start > to) break;
+    out.push_back(f);
+  }
+}
+
+}  // namespace memca::flightrec

@@ -162,6 +162,9 @@ void TierServer::depart(std::uint32_t slot) {
   --resident_;
   ++pending_completed_;
   residence_time_.record(sim_.now() - tr.enter);
+  if (residence_sketch_ != nullptr) {
+    residence_sketch_->record(static_cast<double>(sim_.now() - tr.enter));
+  }
 
   // Deliver the reply upstream first (it departs every upstream tier at the
   // same instant — the response path is negligible), then backfill the

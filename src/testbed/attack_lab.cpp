@@ -85,14 +85,26 @@ AttackLabResult measure_cell(RubbosTestbed& bed, const AttackLabConfig& config, 
     result.model = core::evaluate_attack_model(inputs);
   }
 
-  if (bed.trace() != nullptr) {
+  // Whole-run attribution needs the full arena stream; the flight ring only
+  // retains a bounded suffix, so skip it when merely flight-recording.
+  if (config.testbed.trace && bed.trace() != nullptr) {
     trace::TailAttributor attributor(*bed.trace(), bed.system().depth(),
                                      trace::AttributorConfig{config.tail_threshold});
     result.tail = attributor.summary();
   }
 
-  if (bed.registry() != nullptr) {
+  // finalize_metrics also closes a still-open incident window, so it must
+  // run even when the cell carries no registry.
+  if (bed.registry() != nullptr || bed.flight() != nullptr) {
     bed.finalize_metrics(attack.get());
+  }
+  if (bed.flight() != nullptr) {
+    result.incidents = bed.flight()->incidents();
+    result.incidents_dropped = bed.flight()->incidents_dropped();
+    result.client_sketch = bed.flight()->client_latency();
+  }
+
+  if (bed.registry() != nullptr) {
     if (warm) {
       result.registry = std::make_unique<metrics::Registry>();
       bed.registry()->clone_values_into(*result.registry);
@@ -177,6 +189,19 @@ std::string prefix_key(const AttackLabConfig& config) {
   put(key, std::int64_t{static_cast<int>(bed.oltp.scheme)});
   put(key, bed.oltp.backoff_base_us);
   put(key, std::int64_t{bed.oltp.backoff_cap});
+  put(key, std::int64_t{bed.flightrec});
+  put(key, static_cast<std::int64_t>(bed.flightrec_ring_events));
+  put(key, bed.flightrec_config.resolution);
+  put(key, static_cast<std::int64_t>(bed.flightrec_config.timeline_frames));
+  put(key, bed.flightrec_config.vlrt_threshold);
+  put(key, bed.flightrec_config.dip_threshold);
+  put(key, bed.flightrec_config.quiet_close);
+  put(key, static_cast<std::int64_t>(bed.flightrec_config.depth));
+  put(key, static_cast<std::int64_t>(bed.flightrec_config.residence_decimate_shift));
+  put(key, static_cast<std::int64_t>(bed.flightrec_config.client_decimate_shift));
+  put(key, static_cast<std::int64_t>(bed.flightrec_config.pin_flush_period));
+  put(key, static_cast<std::int64_t>(bed.flightrec_config.max_incidents));
+  put(key, static_cast<std::int64_t>(bed.flightrec_config.max_pinned_events));
   put(key, config.warmup);
   return key;
 }

@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "core/analytic_model.h"
+#include "flightrec/incident.h"
+#include "flightrec/quantile_sketch.h"
 #include "monitor/autoscaler.h"
 #include "monitor/detector.h"
 #include "testbed/rubbos_testbed.h"
@@ -54,8 +56,17 @@ struct AttackLabResult {
   /// Analytic prediction for the same run (valid when attack_enabled).
   core::AttackModelOutputs model;
   std::int64_t bursts = 0;
-  /// Per-cause tail attribution (populated iff config.testbed.trace).
+  /// Per-cause tail attribution over the whole run (populated iff
+  /// config.testbed.trace — needs the full arena, not the flight ring).
   trace::TailSummary tail;
+  /// Incident records (populated iff config.testbed.flightrec), in
+  /// emission order; deterministic per cell, so a sweep's concatenation in
+  /// cell order is independent of the thread count.
+  std::vector<flightrec::Incident> incidents;
+  /// Incidents past FlightRecorderConfig::max_incidents (counted, unstored).
+  std::int64_t incidents_dropped = 0;
+  /// Streaming client-latency sketch (populated iff config.testbed.flightrec).
+  flightrec::QuantileSketch client_sketch;
   /// The cell's finalized metrics registry (populated iff
   /// config.testbed.metrics). Movable with the result, report-ready.
   std::unique_ptr<metrics::Registry> registry;

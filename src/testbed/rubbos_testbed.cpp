@@ -90,8 +90,14 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
   if (config_.trace) {
     trace_ = std::make_unique<trace::TraceRecorder>(
         trace::TraceRecorder::Config{config_.trace_max_events});
-    system_->set_trace(trace_.get());
+  } else if (config_.flightrec) {
+    // Flight-recorder mode: same hooks, bounded ring instead of the
+    // unbounded debug arena — always-on memory stays fixed.
+    trace::TraceRecorder::Config ring;
+    ring.ring_capacity = config_.flightrec_ring_events;
+    trace_ = std::make_unique<trace::TraceRecorder>(ring);
   }
+  if (trace_ != nullptr) system_->set_trace(trace_.get());
 
   if (config_.metrics) {
     registry_ = std::make_unique<metrics::Registry>();
@@ -183,6 +189,24 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
     clients_->set_metrics(handles);
   }
 
+  if (config_.flightrec) {
+    flightrec::FlightRecorderConfig fc = config_.flightrec_config;
+    fc.resolution = config_.fine_granularity;
+    fc.depth = system_->num_tiers();
+    flight_ = std::make_unique<flightrec::FlightRecorder>(sim_, trace_.get(), fc);
+    flight_->set_capacity_probe([this] { return coupling_->capacity_multiplier(); });
+    for (std::size_t i = 0; i < system_->num_tiers(); ++i) {
+      queueing::TierServer& tier = system_->tier(i);
+      flight_->set_queue_depth_probe(i, [&tier] { return tier.resident(); });
+      flight_->set_rejected_probe(i, [&tier] { return tier.rejected(); });
+      tier.set_residence_sketch(flight_->tier_residence_sketch(i));
+    }
+    flight_->set_rto_backlog_probe([this] { return clients_->rto_backlog(); });
+    clients_->set_completion_observer([this](const workload::CompletionEvent& ev) {
+      flight_->on_completion(ev.now, ev.first_sent, ev.user, ev.rt, ev.post_warmup);
+    });
+  }
+
   target_cpu_ = std::make_unique<monitor::UtilizationSampler>(
       sim_, [this] { return target_tier().busy_worker_time_us(); },
       std::function<int()>([this] { return target_tier().workers(); }),
@@ -202,6 +226,7 @@ void RubbosTestbed::start() {
   for (auto& gauge : queue_gauges_) gauge->start();
   for (auto& neighbor : neighbors_) neighbor->start();
   if (scraper_ != nullptr) scraper_->start();
+  if (flight_ != nullptr) flight_->start();
 }
 
 RubbosTestbed::~RubbosTestbed() {
@@ -239,7 +264,22 @@ std::unique_ptr<core::MemcaAttack> RubbosTestbed::make_attack(core::MemcaConfig 
   return attack;
 }
 
+namespace {
+/// Display label for a sketch quantile (0.95 -> "p95", 0.999 -> "p999").
+const char* quantile_label(double q) {
+  if (q == 0.50) return "p50";
+  if (q == 0.90) return "p90";
+  if (q == 0.95) return "p95";
+  if (q == 0.99) return "p99";
+  if (q == 0.999) return "p999";
+  return "p?";
+}
+}  // namespace
+
 void RubbosTestbed::finalize_metrics(const core::MemcaAttack* attack) {
+  // Close a still-open incident window first so the counters below (and any
+  // later incident export) see the complete run.
+  if (flight_ != nullptr) flight_->finalize();
   if (registry_ == nullptr) return;
   registry_->counter(metrics::names::kEngineEventsTotal)
       .set_to(static_cast<std::int64_t>(sim_.events_executed()));
@@ -258,6 +298,44 @@ void RubbosTestbed::finalize_metrics(const core::MemcaAttack* attack) {
       .set_to(log_counter_->warnings());
   registry_->counter(metrics::names::kLogMessagesTotal, {{"level", "error"}})
       .set_to(log_counter_->errors());
+  if (flight_ != nullptr) {
+    // Sketch quantiles become plain gauges: the run report (and fig10's
+    // windowed tail stats) read latency quantiles from here without ever
+    // touching a full client-latency vector.
+    for (const double q : flightrec::QuantileSketch::kQuantiles) {
+      registry_->gauge(metrics::names::kClientLatencySketchUs, {{"q", quantile_label(q)}})
+          .set(flight_->client_latency().quantile(q));
+    }
+    for (std::size_t i = 0; i < system_->num_tiers(); ++i) {
+      const std::string& name = system_->tier(i).name();
+      registry_
+          ->gauge(metrics::names::kTierResidenceSketchUs, {{"tier", name}, {"q", "p95"}})
+          .set(flight_->tier_residence(i).quantile(0.95));
+      registry_
+          ->gauge(metrics::names::kTierResidenceSketchUs, {{"tier", name}, {"q", "p99"}})
+          .set(flight_->tier_residence(i).quantile(0.99));
+    }
+    registry_->counter(metrics::names::kFlightrecIncidentsTotal)
+        .set_to(flight_->incidents_total());
+    registry_->counter(metrics::names::kFlightrecAffectedTotal)
+        .set_to(flight_->affected_requests_total());
+    // Self-profile: the volume the always-on observability plane processed
+    // (multiply by BENCH_PR8.json per-op costs for the overhead estimate).
+    std::int64_t sketch_samples = flight_->client_latency().count();
+    for (std::size_t i = 0; i < system_->num_tiers(); ++i) {
+      sketch_samples += flight_->tier_residence(i).count();
+    }
+    registry_->gauge(metrics::names::kEngineSelfprofile, {{"component", "sketch_samples"}})
+        .set(static_cast<double>(sketch_samples));
+    if (trace_ != nullptr) {
+      registry_->gauge(metrics::names::kEngineSelfprofile, {{"component", "ring_events"}})
+          .set(static_cast<double>(trace_->total_recorded()));
+      registry_->gauge(metrics::names::kEngineSelfprofile, {{"component", "ring_bytes"}})
+          .set(static_cast<double>(trace_->bytes_retained()));
+    }
+    registry_->gauge(metrics::names::kEngineSelfprofile, {{"component", "pinned_events"}})
+        .set(static_cast<double>(flight_->pinned_events_total()));
+  }
 }
 
 std::unique_ptr<metrics::Registry> RubbosTestbed::release_metrics() {
@@ -276,6 +354,7 @@ void RubbosTestbed::snapshot() {
     ws.attach(*coupling_);
     for (auto& neighbor : neighbors_) ws.attach(*neighbor);
     if (trace_ != nullptr) ws.attach(*trace_);
+    if (flight_ != nullptr) ws.attach(*flight_);
     if (registry_ != nullptr) ws.attach(*registry_);
     if (scraper_ != nullptr) ws.attach(*scraper_);
     if (log_counter_ != nullptr) ws.attach(*log_counter_);

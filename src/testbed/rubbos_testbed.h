@@ -20,6 +20,7 @@
 #include "cloud/contention.h"
 #include "cloud/host.h"
 #include "common/log.h"
+#include "flightrec/flight_recorder.h"
 #include "core/analytic_model.h"
 #include "core/memca.h"
 #include "metrics/registry.h"
@@ -97,6 +98,19 @@ struct TestbedConfig {
   BottleneckKind bottleneck = BottleneckKind::kFifo;
   /// Transaction/lock-table profile, used only when bottleneck == kOltp.
   oltp::OltpConfig oltp;
+  /// Always-on flight recorder (memca_flightrec): bounded span ring,
+  /// streaming latency sketches, high-resolution timeline and incident
+  /// detection. Off by default; cheap enough (< 5 % on the full testbed)
+  /// to leave on in any production-style run.
+  bool flightrec = false;
+  /// Span-ring budget when the flight recorder is on and full tracing is
+  /// off (events, rounded up to a power of two). 2^16 events = 2.5 MB
+  /// covers tens of seconds of testbed traffic — enough history to pin a
+  /// multi-RTO VLRT request end to end.
+  std::size_t flightrec_ring_events = std::size_t{1} << 16;
+  /// Detector thresholds and budgets. resolution and depth are overridden
+  /// from fine_granularity and the tier count at construction.
+  flightrec::FlightRecorderConfig flightrec_config;
 };
 
 class RubbosTestbed {
@@ -152,10 +166,17 @@ class RubbosTestbed {
   /// Fresh RNG stream derived from the testbed seed.
   Rng fork_rng(std::string_view label) const { return root_rng_.fork(label); }
 
-  /// The span-event recorder, nullptr unless config.trace is set. Attacks
-  /// built through make_attack share it (burst ON/OFF marks).
+  /// The span-event recorder: the whole-run arena when config.trace is
+  /// set, the bounded ring when only config.flightrec is, else nullptr.
+  /// Attacks built through make_attack share it (burst ON/OFF marks).
   trace::TraceRecorder* trace() { return trace_.get(); }
   const trace::TraceRecorder* trace() const { return trace_.get(); }
+
+  /// The flight recorder, nullptr unless config.flightrec is set. Ticking
+  /// from start() on; call finalize_metrics() (or flight()->finalize())
+  /// after the run to close a still-open incident window.
+  flightrec::FlightRecorder* flight() { return flight_.get(); }
+  const flightrec::FlightRecorder* flight() const { return flight_.get(); }
   /// Display names of the three tiers, front first (exporter input).
   std::vector<std::string> tier_names() const;
 
@@ -204,6 +225,7 @@ class RubbosTestbed {
   std::vector<std::unique_ptr<cloud::NoisyNeighbor>> neighbors_;
 
   std::unique_ptr<trace::TraceRecorder> trace_;
+  std::unique_ptr<flightrec::FlightRecorder> flight_;
   std::unique_ptr<metrics::Registry> registry_;
   std::unique_ptr<metrics::Scraper> scraper_;
   /// Tallies warn/error lines this run emits (the testbed is built and run

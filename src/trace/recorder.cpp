@@ -1,5 +1,7 @@
 #include "trace/recorder.h"
 
+#include <array>
+
 #include "trace/trace_event.h"
 
 namespace memca::trace {
@@ -38,16 +40,72 @@ namespace {
 constexpr std::size_t kPoolMaxChunks = 64;
 thread_local std::vector<std::unique_ptr<TraceEvent[]>> chunk_pool;
 
+// Retired ring buffers, parked the same way. A sweep builds one flight
+// ring per cell, each a multi-megabyte block that glibc mmaps and hands
+// straight back to the OS on free — so without the pool every fresh cell
+// pays the allocation, the default-initialisation, and the first-touch
+// page faults of the whole ring again. Ring contents are garbage to a new
+// recorder by construction (slots are written before they are ever read),
+// so reuse is just a pointer handoff.
+struct PooledRing {
+  std::size_t capacity = 0;
+  std::unique_ptr<TraceEvent[]> buf;
+};
+constexpr std::size_t kPoolMaxRings = 2;
+thread_local std::array<PooledRing, kPoolMaxRings> ring_pool;
+
+std::unique_ptr<TraceEvent[]> take_pooled_ring(std::size_t capacity) {
+  for (PooledRing& slot : ring_pool) {
+    if (slot.capacity == capacity && slot.buf != nullptr) {
+      slot.capacity = 0;
+      return std::move(slot.buf);
+    }
+  }
+  return std::make_unique_for_overwrite<TraceEvent[]>(capacity);
+}
+
+void park_pooled_ring(std::size_t capacity, std::unique_ptr<TraceEvent[]> buf) {
+  for (PooledRing& slot : ring_pool) {
+    if (slot.buf == nullptr) {
+      slot.capacity = capacity;
+      slot.buf = std::move(buf);
+      return;
+    }
+  }
+}
+
 }  // namespace
+
+TraceRecorder::TraceRecorder(Config config) : config_(config) {
+#ifndef MEMCA_TRACE_DISABLED
+  if (config_.ring_capacity != 0) {
+    MEMCA_CHECK(config_.max_events == 0);  // modes are mutually exclusive
+    std::size_t cap = 2;
+    while (cap < config_.ring_capacity) cap <<= 1;
+    ring_ = take_pooled_ring(cap);
+    ring_mask_ = cap - 1;
+    chunk_begin_ = ring_.get();
+    chunk_end_ = chunk_begin_ + cap;
+    cursor_ = chunk_begin_;
+  }
+#endif
+}
 
 TraceRecorder::~TraceRecorder() {
   for (auto& chunk : chunks_) {
     if (chunk_pool.size() >= kPoolMaxChunks) break;
     chunk_pool.push_back(std::move(chunk));
   }
+  if (ring_ != nullptr) park_pooled_ring(ring_mask_ + 1, std::move(ring_));
 }
 
 bool TraceRecorder::next_chunk() {
+  if (ring_mask_ != 0) {
+    // Wrap in place: the oldest lap is evicted, nothing is allocated.
+    base_ += ring_mask_ + 1;
+    cursor_ = chunk_begin_;
+    return true;
+  }
   const std::size_t current = size();
   if (config_.max_events != 0 && current >= config_.max_events) {
     truncated_ = true;

@@ -1,11 +1,26 @@
 // Low-overhead append-only span-event recorder.
 //
-// A TraceRecorder is an arena of fixed-size chunks of TraceEvents. Each
-// simulation (one RubbosTestbed, one sweep cell) owns exactly one recorder
-// and appends from the single thread driving that cell's Simulator, so
-// recording needs no synchronisation and a parallel sweep stays bit-
-// identical to a sequential run: a cell's stream depends only on its own
-// event order, never on which worker thread ran it.
+// A TraceRecorder owns the span-event stream of one simulation (one
+// RubbosTestbed, one sweep cell) and appends from the single thread driving
+// that cell's Simulator, so recording needs no synchronisation and a
+// parallel sweep stays bit-identical to a sequential run: a cell's stream
+// depends only on its own event order, never on which worker thread ran it.
+//
+// Two capture modes share the same fast path (a pointer compare plus the
+// 40-byte store):
+//
+//  * Arena mode (default): an ever-growing arena of fixed-size chunks that
+//    retains every event. Memory grows with traffic, so this is the
+//    *debug/offline* mode — full Perfetto exports and exact whole-run
+//    attribution, at a cost that cannot stay resident in a production-scale
+//    (million-user) run.
+//  * Ring mode (Config::ring_capacity > 0): a fixed power-of-two ring that
+//    keeps the most recent events and evicts the oldest on wrap. Memory is
+//    bounded at construction and steady-state recording allocates nothing —
+//    the always-on flight-recorder mode (see src/flightrec). Tail-biased
+//    retention is layered on top by the IncidentDetector, which pins the
+//    spans of slow requests by copying them out of the ring the moment the
+//    request completes, before wrap-around can evict them.
 //
 // Hot-path cost when tracing is off is a null-pointer check at each hook
 // site (see emit()). Configuring CMake with -DMEMCA_TRACE=OFF defines
@@ -24,13 +39,18 @@ namespace memca::trace {
 class TraceRecorder {
  public:
   struct Config {
-    /// Hard cap on recorded events; once reached, further events are
-    /// dropped and truncated() turns true. 0 = unbounded.
+    /// Arena mode: hard cap on recorded events; once reached, further
+    /// events are dropped and truncated() turns true. 0 = unbounded.
     std::size_t max_events = 0;
+    /// Ring mode: > 0 selects the bounded ring (rounded up to a power of
+    /// two events, allocated eagerly at construction). The newest
+    /// ring_capacity events are retained; older ones are evicted on wrap.
+    /// Mutually exclusive with max_events.
+    std::size_t ring_capacity = 0;
   };
 
   TraceRecorder() = default;
-  explicit TraceRecorder(Config config) : config_(config) {}
+  explicit TraceRecorder(Config config);
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
   /// Parks the arena chunks in a thread-local pool for the next recorder on
@@ -55,15 +75,41 @@ class TraceRecorder {
 #endif
   }
 
+  /// Retained events. In arena mode this is everything recorded; in ring
+  /// mode it saturates at the ring capacity once the ring wraps.
   std::size_t size() const {
-    return cursor_ == nullptr ? 0 : base_ + static_cast<std::size_t>(cursor_ - chunk_begin_);
+    const std::size_t total = total_recorded();
+    return ring_mask_ != 0 && total > ring_mask_ + 1 ? ring_mask_ + 1 : total;
   }
   bool empty() const { return size() == 0; }
   /// True if max_events was hit and at least one event was dropped.
   bool truncated() const { return truncated_; }
 
+  /// Every event ever recorded, including ring-evicted ones.
+  std::size_t total_recorded() const {
+    return cursor_ == nullptr ? 0 : base_ + static_cast<std::size_t>(cursor_ - chunk_begin_);
+  }
+
+  bool ring_mode() const { return ring_mask_ != 0; }
+  /// Ring mode only: true once the oldest events have been evicted.
+  bool wrapped() const { return ring_mask_ != 0 && total_recorded() > ring_mask_ + 1; }
+
+  /// Bytes of event storage currently allocated. Constant for the lifetime
+  /// of a ring recorder (the memory-budget guarantee flightrec builds on);
+  /// grows with traffic in arena mode.
+  std::size_t bytes_retained() const {
+    if (ring_mask_ != 0) return (ring_mask_ + 1) * sizeof(TraceEvent);
+    return chunks_.size() * (kChunkMask + 1) * sizeof(TraceEvent);
+  }
+
+  /// Indexing is in causal order over the *retained* window: [0] is the
+  /// oldest retained event, [size()-1] the newest.
   const TraceEvent& operator[](std::size_t i) const {
     MEMCA_DCHECK(i < size());
+    if (ring_mask_ != 0) {
+      const std::size_t first = total_recorded() - size();
+      return ring_[(first + i) & ring_mask_];
+    }
     return chunks_[i >> kChunkShift][i & kChunkMask];
   }
 
@@ -73,8 +119,14 @@ class TraceRecorder {
     for (std::size_t i = 0; i < n; ++i) fn((*this)[i]);
   }
 
-  /// Forgets all events but keeps the allocated chunks for reuse.
+  /// Forgets all events but keeps the allocated storage for reuse.
   void clear() {
+    if (ring_mask_ != 0) {
+      base_ = 0;
+      cursor_ = chunk_begin_;
+      truncated_ = false;
+      return;
+    }
     used_chunks_ = 0;
     base_ = 0;
     chunk_begin_ = chunk_end_ = cursor_ = nullptr;
@@ -83,21 +135,48 @@ class TraceRecorder {
 
   const Config& config() const { return config_; }
 
-  /// Checkpoint: the stream is append-only, so its state is just the event
-  /// count (plus the truncation flag). restore() rewinds the cursor into
-  /// the already-allocated chunks — events past the mark are garbage that
-  /// will be overwritten before size() ever exposes them.
+  /// Checkpoint. Arena mode: the stream is append-only, so its state is
+  /// just the event count (plus the truncation flag) and restore() rewinds
+  /// the cursor into the already-allocated chunks — events past the mark
+  /// are garbage that will be overwritten before size() ever exposes them.
+  /// Ring mode: a later wrap overwrites pre-checkpoint events in place, so
+  /// capture() copies the retained window out (the one place ring mode may
+  /// allocate — capture, never record/restore) and restore() memcpys it
+  /// back into the exact physical slots it came from, making post-rollback
+  /// replay byte-identical to the original run.
   struct Snapshot {
     std::size_t size = 0;
     bool truncated = false;
+    std::vector<TraceEvent> ring_events;  // ring mode: retained window, causal order
   };
 
   void capture(Snapshot& out) const {
-    out.size = size();
     out.truncated = truncated_;
+    if (ring_mask_ != 0) {
+      out.size = total_recorded();
+      const std::size_t retained = size();
+      out.ring_events.resize(retained);
+      for (std::size_t i = 0; i < retained; ++i) out.ring_events[i] = (*this)[i];
+      return;
+    }
+    out.size = size();
+    out.ring_events.clear();
   }
 
   void restore(const Snapshot& snap) {
+    if (ring_mask_ != 0) {
+      const std::size_t retained = snap.ring_events.size();
+      MEMCA_CHECK(retained <= snap.size);
+      const std::size_t first = snap.size - retained;
+      for (std::size_t i = 0; i < retained; ++i) {
+        ring_[(first + i) & ring_mask_] = snap.ring_events[i];
+      }
+      const std::size_t lap = snap.size & ring_mask_;
+      base_ = snap.size - lap;
+      cursor_ = chunk_begin_ + lap;
+      truncated_ = snap.truncated;
+      return;
+    }
     if (snap.size == 0) {
       clear();
     } else {
@@ -118,10 +197,12 @@ class TraceRecorder {
   }
 
  private:
-  /// Opens the next chunk (allocating or reusing one) and repoints the
-  /// cursor at it; returns false — dropping the event — once max_events is
-  /// reached. A capped final chunk gets a shortened chunk_end_ so the fast
-  /// path stops exactly at the limit.
+  /// Arena mode: opens the next chunk (allocating or reusing one) and
+  /// repoints the cursor at it; returns false — dropping the event — once
+  /// max_events is reached. A capped final chunk gets a shortened
+  /// chunk_end_ so the fast path stops exactly at the limit. Ring mode:
+  /// wraps the cursor back to the ring start (evicting the oldest lap) and
+  /// never fails or allocates.
   bool next_chunk();
 
   // 2048 events (80 KB) per chunk: growth never copies recorded events, and
@@ -136,10 +217,12 @@ class TraceRecorder {
   TraceEvent* cursor_ = nullptr;
   TraceEvent* chunk_end_ = nullptr;
   TraceEvent* chunk_begin_ = nullptr;
-  std::size_t base_ = 0;              // events in the chunks before the open one
+  std::size_t base_ = 0;              // arena: events before the open chunk; ring: evicted laps
   std::size_t used_chunks_ = 0;       // chunks holding events (clear() reuses)
+  std::size_t ring_mask_ = 0;         // ring capacity - 1; 0 = arena mode
   Config config_;
   std::vector<std::unique_ptr<TraceEvent[]>> chunks_;
+  std::unique_ptr<TraceEvent[]> ring_;
   bool truncated_ = false;
 };
 

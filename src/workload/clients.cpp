@@ -75,11 +75,16 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
   mark(trace::EventKind::kComplete, req, req.first_sent());
   if (req.attempt() > 0) ++retransmitted_completions_;
   const SimTime rt = sim_.now() - req.first_sent();
-  if (sim_.now() >= config_.stats_warmup) {
+  const bool post_warmup = sim_.now() >= config_.stats_warmup;
+  if (post_warmup) {
     response_times_.record(rt);
     metrics_.response_time.record(rt);
     response_series_.append(sim_.now(), static_cast<double>(rt));
     recent_.record(sim_.now(), rt);
+  }
+  if (completion_observer_) {
+    completion_observer_(CompletionEvent{sim_.now(), req.id, req.first_sent(), req.user,
+                                         req.attempt(), rt, post_warmup});
   }
   schedule_think(req.user);
 }
@@ -104,7 +109,9 @@ void ClosedLoopClients::on_drop(const queueing::Request& req) {
   const int page = req.page_class;
   const SimTime first_sent = req.first_sent();
   const int next_attempt = req.attempt() + 1;
+  ++rto_backlog_;
   sim_.schedule_in(rto, [this, user, page, first_sent, next_attempt] {
+    --rto_backlog_;
     send_request(user, page, first_sent, next_attempt);
   });
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "common/check.h"
@@ -49,6 +50,22 @@ struct ClientConfig {
   SimTime stats_warmup = 0;
 };
 
+/// What a completion observer (see set_completion_observer) learns about
+/// each finished logical request — enough for an online tail watcher to
+/// feed latency sketches and detect VLRT completions without reaching into
+/// the request pool.
+struct CompletionEvent {
+  SimTime now = 0;
+  std::int64_t request = 0;
+  SimTime first_sent = 0;
+  std::int32_t user = -1;
+  int attempt = 0;
+  /// End-to-end client-observed response time (now - first_sent).
+  SimTime rt = 0;
+  /// False during the statistics warm-up.
+  bool post_warmup = false;
+};
+
 class ClosedLoopClients {
  public:
   ClosedLoopClients(Simulator& sim, RequestRouter& router, WorkloadProfile profile,
@@ -75,6 +92,9 @@ class ClosedLoopClients {
   std::int64_t failed() const { return failed_; }
   /// Completed requests that needed at least one retransmission.
   std::int64_t retransmitted_completions() const { return retransmitted_completions_; }
+  /// Retransmissions scheduled (RFC 6298 timer armed) but not yet fired —
+  /// the in-flight RTO backlog a flight recorder samples per tick.
+  int rto_backlog() const { return rto_backlog_; }
   /// Observed throughput since start, requests/second.
   double throughput() const;
 
@@ -86,6 +106,14 @@ class ClosedLoopClients {
 
   /// Attaches pre-resolved metric handles; a default ClientMetrics detaches.
   void set_metrics(ClientMetrics metrics) { metrics_ = metrics; }
+
+  /// Observer invoked once per completed request, after the completion has
+  /// been traced and recorded (so an observer that walks the trace stream
+  /// already sees the kComplete event). Construction-time wiring, not
+  /// checkpointed; null disables.
+  void set_completion_observer(std::function<void(const CompletionEvent&)> observer) {
+    completion_observer_ = std::move(observer);
+  }
 
  private:
   struct User {
@@ -123,6 +151,7 @@ class ClosedLoopClients {
   int source_ = -1;
   trace::TraceRecorder* trace_ = nullptr;
   ClientMetrics metrics_;
+  std::function<void(const CompletionEvent&)> completion_observer_;
   std::vector<User> users_;
   bool started_ = false;
   SimTime start_time_ = 0;
@@ -134,6 +163,7 @@ class ClosedLoopClients {
   std::int64_t dropped_attempts_ = 0;
   std::int64_t failed_ = 0;
   std::int64_t retransmitted_completions_ = 0;
+  int rto_backlog_ = 0;
 
  public:
   /// Checkpoint of the population: per-user in-flight flags, the RNG stream
@@ -152,6 +182,7 @@ class ClosedLoopClients {
     std::int64_t dropped_attempts = 0;
     std::int64_t failed = 0;
     std::int64_t retransmitted_completions = 0;
+    int rto_backlog = 0;
   };
 
   void capture(Snapshot& out) const {
@@ -166,6 +197,7 @@ class ClosedLoopClients {
     out.dropped_attempts = dropped_attempts_;
     out.failed = failed_;
     out.retransmitted_completions = retransmitted_completions_;
+    out.rto_backlog = rto_backlog_;
   }
 
   void restore(const Snapshot& snap) {
@@ -181,6 +213,7 @@ class ClosedLoopClients {
     dropped_attempts_ = snap.dropped_attempts;
     failed_ = snap.failed;
     retransmitted_completions_ = snap.retransmitted_completions;
+    rto_backlog_ = snap.rto_backlog;
   }
 };
 

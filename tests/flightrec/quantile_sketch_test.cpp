@@ -1,0 +1,156 @@
+#include "flightrec/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace memca::flightrec {
+namespace {
+
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.estimate(), 0.0);
+  median.record(30.0);
+  EXPECT_EQ(median.estimate(), 30.0);
+  median.record(10.0);
+  median.record(20.0);
+  EXPECT_EQ(median.estimate(), 20.0);  // exact median of {10, 20, 30}
+}
+
+TEST(P2Quantile, TracksExponentialTailWithinTolerance) {
+  Rng rng(3);
+  std::vector<double> values;
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.exponential(1000.0);
+    values.push_back(x);
+    p50.record(x);
+    p95.record(x);
+    p99.record(x);
+  }
+  // P² on a smooth unimodal distribution stays within a few percent.
+  EXPECT_NEAR(p50.estimate(), exact_quantile(values, 0.5), 0.05 * exact_quantile(values, 0.5));
+  EXPECT_NEAR(p95.estimate(), exact_quantile(values, 0.95),
+              0.05 * exact_quantile(values, 0.95));
+  EXPECT_NEAR(p99.estimate(), exact_quantile(values, 0.99),
+              0.10 * exact_quantile(values, 0.99));
+}
+
+TEST(P2Quantile, MergeOfPartsTracksTheFullStream) {
+  Rng rng(5);
+  std::array<P2Quantile, 4> parts{P2Quantile(0.95), P2Quantile(0.95), P2Quantile(0.95),
+                                  P2Quantile(0.95)};
+  P2Quantile whole(0.95);
+  std::vector<double> values;
+  for (int i = 0; i < 40000; ++i) {
+    const double x = rng.exponential(1000.0);
+    values.push_back(x);
+    whole.record(x);
+    parts[static_cast<std::size_t>(i) % 4].record(x);
+  }
+  P2Quantile merged = parts[0];
+  for (std::size_t i = 1; i < 4; ++i) merged.merge(parts[i]);
+  EXPECT_EQ(merged.count(), whole.count());
+  const double exact = exact_quantile(values, 0.95);
+  EXPECT_NEAR(merged.estimate(), exact, 0.10 * exact);
+}
+
+TEST(P2Quantile, MergeIsDeterministic) {
+  Rng rng(9);
+  P2Quantile a(0.9), b(0.9);
+  for (int i = 0; i < 1000; ++i) a.record(rng.exponential(100.0));
+  for (int i = 0; i < 700; ++i) b.record(rng.exponential(300.0));
+  P2Quantile m1 = a;
+  m1.merge(b);
+  P2Quantile m2 = a;
+  m2.merge(b);
+  // Same operands, same bytes — the sweep-merge determinism contract.
+  EXPECT_EQ(std::memcmp(&m1, &m2, sizeof(P2Quantile)), 0);
+}
+
+TEST(P2Quantile, MergeReplaysExactSideExactly) {
+  // When one side is still in its exact (<5 samples) phase, merging must be
+  // identical to having recorded those samples directly.
+  Rng rng(11);
+  P2Quantile direct(0.5), merged(0.5), tiny(0.5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.exponential(50.0);
+    direct.record(x);
+    merged.record(x);
+  }
+  const double extras[3] = {1.0, 2.0, 3.0};
+  for (const double x : extras) {
+    direct.record(x);
+    tiny.record(x);
+  }
+  merged.merge(tiny);
+  EXPECT_EQ(std::memcmp(&merged, &direct, sizeof(P2Quantile)), 0);
+}
+
+TEST(P2Quantile, MergeIntoEmptyCopies) {
+  P2Quantile full(0.99);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) full.record(rng.exponential(10.0));
+  P2Quantile empty(0.99);
+  empty.merge(full);
+  EXPECT_EQ(std::memcmp(&empty, &full, sizeof(P2Quantile)), 0);
+  // Merging an empty sketch in is a no-op.
+  P2Quantile copy = full;
+  copy.merge(P2Quantile(0.99));
+  EXPECT_EQ(std::memcmp(&copy, &full, sizeof(P2Quantile)), 0);
+}
+
+TEST(QuantileSketch, ExactScalarsAndTrackedQuantiles) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.quantile(0.99), 0.0);
+  // 1..100 in a decorrelated order (37 is coprime to 100, so the stride
+  // visits every value once) — P² converges poorly on sorted input.
+  for (int i = 0; i < 100; ++i) sketch.record(static_cast<double>(i * 37 % 100 + 1));
+  EXPECT_EQ(sketch.count(), 100);
+  EXPECT_EQ(sketch.min(), 1.0);
+  EXPECT_EQ(sketch.max(), 100.0);
+  EXPECT_EQ(sketch.mean(), 50.5);
+  EXPECT_NEAR(sketch.quantile(0.50), 50.0, 5.0);
+  EXPECT_NEAR(sketch.quantile(0.90), 90.0, 5.0);
+  EXPECT_NEAR(sketch.quantile(0.95), 95.0, 5.0);
+  EXPECT_NEAR(sketch.quantile(0.99), 99.0, 5.0);
+}
+
+TEST(QuantileSketch, CopySnapshotRestoresEstimates) {
+  // Trivially-copyable checkpoint semantics: copy-assign aside, diverge,
+  // copy-assign back — exactly what WorldSnapshot::attach_value does.
+  QuantileSketch sketch;
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) sketch.record(rng.exponential(200.0));
+  const QuantileSketch checkpoint = sketch;
+  for (int i = 0; i < 5000; ++i) sketch.record(rng.exponential(90000.0));
+  EXPECT_NE(sketch.count(), checkpoint.count());
+  sketch = checkpoint;
+  EXPECT_EQ(std::memcmp(&sketch, &checkpoint, sizeof(QuantileSketch)), 0);
+}
+
+TEST(QuantileSketch, MergeAggregatesScalars) {
+  QuantileSketch a, b;
+  for (int i = 0; i < 10; ++i) a.record(static_cast<double>(i + 1));
+  for (int i = 0; i < 5; ++i) b.record(static_cast<double>(100 + i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 15);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 104.0);
+  EXPECT_EQ(a.sum(), 55.0 + 510.0);
+}
+
+}  // namespace
+}  // namespace memca::flightrec

@@ -1,0 +1,75 @@
+#include "flightrec/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memca::flightrec {
+namespace {
+
+TimelineFrame frame_at(SimTime start) {
+  TimelineFrame f;
+  f.start = start;
+  f.queue_depth[0] = static_cast<std::uint32_t>(start / msec(50));
+  return f;
+}
+
+TEST(Timeline, PushWrapsKeepingNewestFrames) {
+  Timeline timeline(8);
+  EXPECT_TRUE(timeline.empty());
+  for (int i = 0; i < 20; ++i) timeline.push(frame_at(i * msec(50)));
+  EXPECT_EQ(timeline.size(), 8u);
+  EXPECT_EQ(timeline.total(), 20u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(timeline[i].start, static_cast<SimTime>(12 + i) * msec(50));
+  }
+  EXPECT_EQ(timeline.newest().start, 19 * msec(50));
+}
+
+TEST(Timeline, CapacityRoundsUpToPowerOfTwo) {
+  Timeline timeline(5);
+  EXPECT_EQ(timeline.capacity(), 8u);
+}
+
+TEST(Timeline, ExtractIntersectingWindow) {
+  Timeline timeline(16);
+  for (int i = 0; i < 16; ++i) timeline.push(frame_at(i * msec(50)));
+  std::vector<TimelineFrame> out;
+  // [125 ms, 275 ms] intersects the windows starting at 100..250 ms.
+  timeline.extract(msec(125), msec(275), msec(50), out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.front().start, msec(100));
+  EXPECT_EQ(out.back().start, msec(250));
+}
+
+TEST(Timeline, ExtractClampsToRetainedHistory) {
+  Timeline timeline(4);
+  for (int i = 0; i < 12; ++i) timeline.push(frame_at(i * msec(50)));
+  std::vector<TimelineFrame> out;
+  timeline.extract(0, sec(std::int64_t{1}), msec(50), out);
+  // Only the 4 retained frames can be frozen; evicted history is gone.
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.front().start, 8 * msec(50));
+}
+
+TEST(Timeline, SnapshotRestoresWrappedStateExactly) {
+  Timeline timeline(8);
+  for (int i = 0; i < 13; ++i) timeline.push(frame_at(i * msec(50)));
+  Timeline::Snapshot snap;
+  timeline.capture(snap);
+
+  for (int i = 13; i < 30; ++i) timeline.push(frame_at(i * msec(50)));
+  std::vector<SimTime> control;
+  for (std::size_t i = 0; i < timeline.size(); ++i) control.push_back(timeline[i].start);
+
+  timeline.restore(snap);
+  EXPECT_EQ(timeline.total(), 13u);
+  EXPECT_EQ(timeline.newest().start, 12 * msec(50));
+  for (int i = 13; i < 30; ++i) timeline.push(frame_at(i * msec(50)));
+  std::vector<SimTime> replayed;
+  for (std::size_t i = 0; i < timeline.size(); ++i) replayed.push_back(timeline[i].start);
+  EXPECT_EQ(replayed, control);
+}
+
+}  // namespace
+}  // namespace memca::flightrec
