@@ -31,7 +31,9 @@ struct Row {
 };
 
 Row run(const std::string& attack_name, bool defended) {
-  testbed::RubbosTestbed bed;
+  testbed::TestbedConfig bed_config;
+  bed_config.record_response_series = true;  // the final-3min tail reads it
+  testbed::RubbosTestbed bed(bed_config);
   bed.start();
 
   std::unique_ptr<defense::DefenseController> defense_ctl;

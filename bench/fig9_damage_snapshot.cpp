@@ -17,6 +17,7 @@ using namespace memca;
 int main() {
   testbed::TestbedConfig config;
   config.metrics = true;
+  config.record_response_series = true;  // Fig. 9d plots the raw series
   testbed::RubbosTestbed bed(config);
   bed.start();
 

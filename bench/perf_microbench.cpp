@@ -366,6 +366,70 @@ void BM_TimingWheelRto(benchmark::State& state) {
 }
 BENCHMARK(BM_TimingWheelRto);
 
+void BM_ClientPopulationTick(benchmark::State& state) {
+  // One simulated second of a client population against a 2-tier system
+  // whose capacity scales with the population (no overload, throughput =
+  // N/Z). Arg0 picks the model (0 = exact per-user timers, 1 = cohort
+  // batching), Arg1 the population. The exact model costs one timer event
+  // per user per cycle; the cohort model costs ~20 ticks plus per-page
+  // batched sends per second regardless of N — the gap is the tentpole.
+  const bool cohort = state.range(0) == 1;
+  const int users = static_cast<int>(state.range(1));
+  const int k = users / 3500;
+  Simulator sim;
+  queueing::NTierSystem system(sim, {{"front", 200 * k, 4 * k}, {"back", 100 * k, 2 * k}});
+  workload::RequestRouter router(system);
+  workload::ClientConfig config;
+  config.num_users = users;
+  config.mode = cohort ? workload::ClientMode::kCohort : workload::ClientMode::kExact;
+  workload::ClosedLoopClients clients(
+      sim, router, workload::uniform_profile({100.0, 500.0}, sec(std::int64_t{7})),
+      config, Rng(1));
+  clients.start();
+  sim.run_until(sec(std::int64_t{20}));  // past ramp-up, at steady state
+  for (auto _ : state) {
+    sim.run_for(sec(std::int64_t{1}));
+  }
+  benchmark::DoNotOptimize(clients.completed());
+  state.counters["bytes_per_user"] = benchmark::Counter(
+      static_cast<double>(clients.memory_bytes()) / static_cast<double>(users));
+  state.SetItemsProcessed(state.iterations());  // simulated seconds
+}
+BENCHMARK(BM_ClientPopulationTick)
+    ->Args({0, 3500})->Args({0, 35000})->Args({0, 350000})
+    ->Args({1, 3500})->Args({1, 35000})->Args({1, 350000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClientPopulationScale(benchmark::State& state) {
+  // The scale story (BENCH_PR9.json): the full paper testbed at its fixed
+  // calibration (3-tier capacity sized for 3.5k users), asked to carry a
+  // cohort population from the paper's 3.5k up to 3.5M. Above ~3.5k the
+  // system saturates and the population lives in RTO backoff — the regime
+  // where per-user timers would melt (3.5M heap timers) but cohort draws
+  // keep the event rate pinned to service capacity plus batched arrival
+  // bursts. Reported: ms per simulated second and bytes/user (population
+  // state only, which stays bounded by in-flight + ledger, not N).
+  const int users = static_cast<int>(state.range(0));
+  testbed::TestbedConfig config;
+  config.client_mode = workload::ClientMode::kCohort;
+  config.num_users = users;
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+  bed.sim().run_until(sec(std::int64_t{20}));  // ramp-up + first RTO waves
+  for (auto _ : state) {
+    bed.sim().run_for(sec(std::int64_t{1}));
+  }
+  benchmark::DoNotOptimize(bed.clients().completed());
+  state.counters["bytes_per_user"] = benchmark::Counter(
+      static_cast<double>(bed.clients().memory_bytes()) / static_cast<double>(users));
+  state.counters["pool_slots"] =
+      benchmark::Counter(static_cast<double>(bed.sim().pool_slots()));
+  state.SetItemsProcessed(state.iterations());  // simulated seconds
+}
+BENCHMARK(BM_ClientPopulationScale)
+    ->Arg(3500)->Arg(35000)->Arg(350000)->Arg(3500000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullTestbedSecond(benchmark::State& state) {
   // One simulated second of the full attacked 3500-user scenario per
   // iteration (construction amortised out by measuring a long run).

@@ -158,6 +158,9 @@ std::string prefix_key(const AttackLabConfig& config) {
   std::string key;
   put(key, std::int64_t{static_cast<int>(bed.cloud)});
   put(key, std::int64_t{bed.num_users});
+  put(key, std::int64_t{static_cast<int>(bed.client_mode)});
+  put(key, bed.cohort_tick);
+  put(key, std::int64_t{bed.record_response_series});
   put(key, bed.apache);
   put(key, bed.tomcat);
   put(key, bed.mysql);

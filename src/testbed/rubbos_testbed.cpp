@@ -1,6 +1,8 @@
 #include "testbed/rubbos_testbed.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/check.h"
 #include "metrics/names.h"
@@ -37,6 +39,19 @@ cloud::HostSpec host_spec_for(CloudProfile profile) {
 RubbosTestbed::RubbosTestbed(TestbedConfig config)
     : config_(config), root_rng_(config.seed), profile_(workload::rubbos_profile()) {
   MEMCA_CHECK_MSG(config_.num_users > 0, "testbed needs users");
+  // Environment override for A/B runs without touching the caller: any
+  // consumer of this testbed can be flipped between the exact and cohort
+  // client models per process.
+  if (const char* env = std::getenv("MEMCA_CLIENT_MODE")) {
+    const std::string_view mode(env);
+    if (mode == "cohort") {
+      config_.client_mode = workload::ClientMode::kCohort;
+    } else if (mode == "exact") {
+      config_.client_mode = workload::ClientMode::kExact;
+    } else if (!mode.empty()) {
+      MEMCA_CHECK_MSG(false, "MEMCA_CLIENT_MODE must be 'exact' or 'cohort'");
+    }
+  }
   MEMCA_CHECK_MSG(config_.target_tier >= 0 && config_.target_tier < 3,
                   "target tier must name one of the three tiers");
   MEMCA_CHECK_MSG(config_.background_neighbors >= 0, "neighbor count must be non-negative");
@@ -171,6 +186,9 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
   workload::ClientConfig client_config;
   client_config.num_users = config_.num_users;
   client_config.stats_warmup = config_.stats_warmup;
+  client_config.mode = config_.client_mode;
+  client_config.cohort_tick = config_.cohort_tick;
+  client_config.record_response_series = config_.record_response_series;
   clients_ = std::make_unique<workload::ClosedLoopClients>(
       sim_, *router_, profile_, client_config, root_rng_.fork("clients"));
   if (trace_ != nullptr) clients_->set_trace(trace_.get());

@@ -59,6 +59,19 @@ const char* to_string(BottleneckKind kind);
 struct TestbedConfig {
   CloudProfile cloud = CloudProfile::kAmazonEc2;
   int num_users = 3500;
+  /// Client population scheduling (see workload::ClientMode): kExact keeps
+  /// the per-user reference model and its byte-stable event streams;
+  /// kCohort batches statistically identical users into aggregate arrival
+  /// draws — the only mode that scales to millions of users. Overridable
+  /// per process with MEMCA_CLIENT_MODE=exact|cohort (applied at
+  /// construction, like MEMCA_SWEEP_THREADS for the sweep runner).
+  workload::ClientMode client_mode = workload::ClientMode::kExact;
+  /// Cohort think-tick granularity, used when client_mode == kCohort.
+  SimTime cohort_tick = msec(50);
+  /// Keep the raw client (time, rt) response series (Fig. 9d and the
+  /// defense ablation read it). Off by default: it grows with every
+  /// completion, which is unbounded at population scale.
+  bool record_response_series = false;
   /// Tier thread limits and vCPUs (paper Condition 1: decreasing threads).
   queueing::TierConfig apache{"apache", 100, 8};
   queueing::TierConfig tomcat{"tomcat", 60, 6};

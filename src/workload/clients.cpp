@@ -1,8 +1,21 @@
 #include "workload/clients.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 
 namespace memca::workload {
+
+const char* to_string(ClientMode mode) {
+  switch (mode) {
+    case ClientMode::kExact:
+      return "exact";
+    case ClientMode::kCohort:
+      return "cohort";
+  }
+  return "?";
+}
 
 ClosedLoopClients::ClosedLoopClients(Simulator& sim, RequestRouter& router,
                                      WorkloadProfile profile, ClientConfig config, Rng rng)
@@ -11,18 +24,42 @@ ClosedLoopClients::ClosedLoopClients(Simulator& sim, RequestRouter& router,
       profile_(std::move(profile)),
       chain_(profile_.transitions, profile_.initial),
       config_(config),
-      rng_(std::move(rng)),
-      users_(static_cast<std::size_t>(config.num_users)) {
+      rng_(std::move(rng)) {
   MEMCA_CHECK_MSG(config_.num_users > 0, "need at least one user");
   MEMCA_CHECK_MSG(config_.min_rto > 0, "min RTO must be positive");
   MEMCA_CHECK_MSG(config_.max_retries >= 0, "max_retries must be non-negative");
   profile_.validate();
   MEMCA_CHECK_MSG(profile_.num_tiers() == router_.depth(),
                   "profile tier count must match the target system");
-  // Pre-size the post-warmup sample store: each user completes roughly one
-  // request per think time, so a minute of samples per user is a generous
-  // first chunk that avoids reallocation churn during warm-up.
-  response_series_.reserve(static_cast<std::size_t>(config_.num_users) * 8);
+  if (config_.mode == ClientMode::kExact) {
+    user_page_.resize(static_cast<std::size_t>(config_.num_users), 0);
+    user_busy_.resize(static_cast<std::size_t>(config_.num_users), 0);
+  } else {
+    MEMCA_CHECK_MSG(config_.cohort_tick > 0, "cohort tick must be positive");
+    idle_by_page_.resize(chain_.num_states(), 0);
+    send_scratch_.resize(chain_.num_states(), 0);
+    // P(an idle user wakes within one tick) for exponential think time.
+    wake_probability_ = 1.0 - std::exp(-static_cast<double>(config_.cohort_tick) /
+                                       static_cast<double>(profile_.think_time_mean));
+    // Millisecond sub-slots within each tick (capped so a coarse tick still
+    // bounds the per-tick slot scan). Wakers scatter uniformly over these,
+    // so arrival instants stay spread like the exact model's instead of
+    // bunching a whole tick's arrivals onto one instant.
+    num_sub_slots_ = static_cast<int>(
+        std::clamp<SimTime>(config_.cohort_tick / msec(1), 1, 128));
+    sub_slot_width_ = config_.cohort_tick / num_sub_slots_;
+    spread_scratch_.resize(static_cast<std::size_t>(chain_.num_states()) *
+                               static_cast<std::size_t>(num_sub_slots_),
+                           0);
+  }
+  if (config_.record_response_series) {
+    // Pre-size the post-warmup sample store: each user completes roughly one
+    // request per think time, so a minute of samples per user is a generous
+    // first chunk that avoids reallocation churn during warm-up. Capped so
+    // enabling the series on a large population does not pre-book gigabytes.
+    response_series_.reserve(
+        std::min<std::size_t>(static_cast<std::size_t>(config_.num_users) * 8, 1u << 20));
+  }
   source_ = router_.register_source([this](const queueing::Request& r) { on_complete(r); },
                                     [this](const queueing::Request& r) { on_drop(r); });
 }
@@ -31,15 +68,21 @@ void ClosedLoopClients::start() {
   MEMCA_CHECK_MSG(!started_, "clients already started");
   started_ = true;
   start_time_ = sim_.now();
+  if (config_.mode == ClientMode::kCohort) {
+    initial_pending_ = config_.num_users;
+    // The first tick fires immediately: each tick draws wakes for the
+    // *upcoming* [now, now + tick) window and scatters them inside it.
+    tick_ = sim_.schedule_in(0, [this] { on_cohort_tick(); });
+    return;
+  }
   for (int u = 0; u < config_.num_users; ++u) {
-    users_[static_cast<std::size_t>(u)].page = chain_.initial_state(rng_);
+    user_page_[static_cast<std::size_t>(u)] = chain_.initial_state(rng_);
     // Uniform initial offset over one think period spreads arrivals out.
     const SimTime offset =
         static_cast<SimTime>(rng_.uniform(0.0, to_seconds(profile_.think_time_mean)) *
                              static_cast<double>(kSecond));
     sim_.schedule_in(offset, [this, u] {
-      User& user = users_[static_cast<std::size_t>(u)];
-      send_request(u, user.page, sim_.now(), 0);
+      send_request(u, user_page_[static_cast<std::size_t>(u)], sim_.now(), 0);
     });
   }
 }
@@ -47,15 +90,114 @@ void ClosedLoopClients::start() {
 void ClosedLoopClients::schedule_think(int user) {
   const SimTime think = rng_.exponential_time(profile_.think_time_mean);
   sim_.schedule_in(think, [this, user] {
-    User& u = users_[static_cast<std::size_t>(user)];
-    u.page = chain_.next(u.page, rng_);
-    send_request(user, u.page, sim_.now(), 0);
+    const auto u = static_cast<std::size_t>(user);
+    user_page_[u] = chain_.next(user_page_[u], rng_);
+    send_request(user, user_page_[u], sim_.now(), 0);
+  });
+}
+
+void ClosedLoopClients::on_cohort_tick() {
+  const SimTime now = sim_.now();
+  bool any = false;
+
+  // Start-up ramp: the exact model spreads first sends uniformly over one
+  // think period. Thin the not-yet-started count by the fraction of the
+  // remaining ramp window the upcoming tick covers (uniform order
+  // statistics), and draw the wakers' first pages from the chain's initial
+  // distribution.
+  if (initial_pending_ > 0) {
+    const SimTime ramp_end = start_time_ + profile_.think_time_mean;
+    const SimTime remaining = ramp_end - now;
+    std::int64_t wake = initial_pending_;
+    if (remaining > config_.cohort_tick) {
+      const double p = static_cast<double>(config_.cohort_tick) /
+                       static_cast<double>(remaining);
+      wake = rng_.binomial(initial_pending_, p);
+    }
+    if (wake > 0) {
+      initial_pending_ -= wake;
+      chain_.sample_initial_counts(wake, rng_, send_scratch_);
+      any = true;
+    }
+  }
+
+  // Idle wake-ups for the [now, now + tick) window: one binomial draw per
+  // page class, then a multinomial page transition for the wakers —
+  // O(pages) work however large the population is.
+  for (std::size_t p = 0; p < idle_by_page_.size(); ++p) {
+    if (idle_by_page_[p] == 0) continue;
+    const std::int64_t wake = rng_.binomial(idle_by_page_[p], wake_probability_);
+    if (wake == 0) continue;
+    idle_by_page_[p] -= wake;
+    chain_.sample_transition_counts(static_cast<int>(p), wake, rng_, send_scratch_);
+    any = true;
+  }
+
+  if (any) {
+    // Scatter the wakers uniformly over the tick's sub-slots: conditioned
+    // on waking inside a window much shorter than the think time, the
+    // truncated-exponential wake instant is uniform to first order. One
+    // draw per waker — the same asymptotic cost as the per-arrival sends
+    // that follow, and what keeps per-instant queue transients matched to
+    // the exact model's spread arrivals.
+    const auto pages = static_cast<std::size_t>(chain_.num_states());
+    for (std::size_t p = 0; p < pages; ++p) {
+      std::int64_t count = send_scratch_[p];
+      send_scratch_[p] = 0;
+      waking_ += count;
+      while (count-- > 0) {
+        const auto slot =
+            static_cast<std::size_t>(rng_.uniform_int(0, num_sub_slots_ - 1));
+        ++spread_scratch_[slot * pages + p];
+      }
+    }
+
+    // One send event per occupied (sub-slot, page); the pages of one
+    // sub-slot fire at the same instant under one batch key, so
+    // Simulator::batch_continues stays true until the slot's last page and
+    // the tiers fold that instant's arrivals into one counter flush (the
+    // PR 6 batch-drain machinery). All slot events land strictly before
+    // the next tick, so the scratch is free for reuse by then.
+    for (int s = 0; s < num_sub_slots_; ++s) {
+      const SimTime when = now + s * sub_slot_width_;
+      std::uint32_t key = 0;
+      for (std::size_t p = 0; p < pages; ++p) {
+        const std::size_t cell = static_cast<std::size_t>(s) * pages + p;
+        if (spread_scratch_[cell] == 0) continue;
+        const int page = static_cast<int>(p);
+        const auto count = static_cast<std::int32_t>(spread_scratch_[cell]);
+        spread_scratch_[cell] = 0;
+        if (key == 0) key = sim_.new_batch_key();
+        sim_.schedule_batched(when, key, [this, page, count] {
+          send_cohort_burst(page, count);
+        });
+      }
+    }
+  }
+
+  tick_ = sim_.schedule_in(config_.cohort_tick, [this] { on_cohort_tick(); });
+}
+
+void ClosedLoopClients::send_cohort_burst(int page, std::int32_t count) {
+  waking_ -= count;
+  for (std::int32_t i = 0; i < count; ++i) {
+    const std::uint32_t user = slots_.alloc();
+    send_request(static_cast<int>(user), page, sim_.now(), 0);
+  }
+}
+
+void ClosedLoopClients::fire_rto_group(std::uint32_t group) {
+  const int next_attempt = rto_.attempt(group) + 1;
+  rto_.drain(group, [this, next_attempt](std::int32_t page, SimTime first_sent,
+                                         std::uint32_t user) {
+    send_request(static_cast<int>(user), page, first_sent, next_attempt);
   });
 }
 
 void ClosedLoopClients::send_request(int user, int page, SimTime first_sent, int attempt) {
-  User& u = users_[static_cast<std::size_t>(user)];
-  u.busy = true;
+  if (config_.mode == ClientMode::kExact) {
+    user_busy_[static_cast<std::size_t>(user)] = 1;
+  }
   auto req = router_.make_request(source_);
   req->user = user;
   req->page_class = page;
@@ -68,8 +210,6 @@ void ClosedLoopClients::send_request(int user, int page, SimTime first_sent, int
 }
 
 void ClosedLoopClients::on_complete(const queueing::Request& req) {
-  User& u = users_[static_cast<std::size_t>(req.user)];
-  u.busy = false;
   ++completed_;
   metrics_.completed.inc();
   mark(trace::EventKind::kComplete, req, req.first_sent());
@@ -79,13 +219,23 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
   if (post_warmup) {
     response_times_.record(rt);
     metrics_.response_time.record(rt);
-    response_series_.append(sim_.now(), static_cast<double>(rt));
+    if (config_.record_response_series) {
+      response_series_.append(sim_.now(), static_cast<double>(rt));
+    }
     recent_.record(sim_.now(), rt);
   }
   if (completion_observer_) {
     completion_observer_(CompletionEvent{sim_.now(), req.id, req.first_sent(), req.user,
                                          req.attempt(), rt, post_warmup});
   }
+  if (config_.mode == ClientMode::kCohort) {
+    // The user rejoins the idle pool on the page it just fetched; its slot
+    // id returns to the allocator.
+    slots_.release(static_cast<std::uint32_t>(req.user));
+    ++idle_by_page_[static_cast<std::size_t>(req.page_class)];
+    return;
+  }
+  user_busy_[static_cast<std::size_t>(req.user)] = 0;
   schedule_think(req.user);
 }
 
@@ -97,7 +247,12 @@ void ClosedLoopClients::on_drop(const queueing::Request& req) {
     ++failed_;
     metrics_.failed.inc();
     mark(trace::EventKind::kAbandon, req, req.first_sent());
-    users_[static_cast<std::size_t>(req.user)].busy = false;
+    if (config_.mode == ClientMode::kCohort) {
+      slots_.release(static_cast<std::uint32_t>(req.user));
+      ++idle_by_page_[static_cast<std::size_t>(req.page_class)];
+      return;
+    }
+    user_busy_[static_cast<std::size_t>(req.user)] = 0;
     schedule_think(req.user);
     return;
   }
@@ -105,6 +260,17 @@ void ClosedLoopClients::on_drop(const queueing::Request& req) {
   const SimTime rto = config_.min_rto * (SimTime{1} << req.attempt());
   metrics_.retransmitted.inc();
   mark(trace::EventKind::kRetransmit, req, rto);
+  if (config_.mode == ClientMode::kCohort) {
+    // Same-instant drops at the same attempt share one (deadline, attempt)
+    // ledger group and therefore one timer; the fire drains them together.
+    const RtoLedger::Parked parked =
+        rto_.park(req.attempt(), sim_.now() + rto, req.page_class, req.first_sent(),
+                  static_cast<std::uint32_t>(req.user));
+    if (parked.opened) {
+      sim_.schedule_in(rto, [this, group = parked.group] { fire_rto_group(group); });
+    }
+    return;
+  }
   const int user = req.user;
   const int page = req.page_class;
   const SimTime first_sent = req.first_sent();
@@ -114,6 +280,23 @@ void ClosedLoopClients::on_drop(const queueing::Request& req) {
     --rto_backlog_;
     send_request(user, page, first_sent, next_attempt);
   });
+}
+
+std::int64_t ClosedLoopClients::idle_users() const {
+  // Wakers scattered to a sub-slot whose send event has not fired yet are
+  // still thinking — they hold no slot, so they count as idle here or the
+  // population conservation invariant breaks mid-tick.
+  std::int64_t idle = initial_pending_ + waking_;
+  for (std::int64_t n : idle_by_page_) idle += n;
+  return idle;
+}
+
+std::size_t ClosedLoopClients::memory_bytes() const {
+  return user_page_.capacity() * sizeof(std::int32_t) + user_busy_.capacity() +
+         idle_by_page_.capacity() * sizeof(std::int64_t) +
+         send_scratch_.capacity() * sizeof(std::int64_t) +
+         spread_scratch_.capacity() * sizeof(std::int64_t) + slots_.memory_bytes() +
+         rto_.memory_bytes() + response_series_.samples().capacity() * sizeof(Sample);
 }
 
 double ClosedLoopClients::throughput() const {

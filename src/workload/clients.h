@@ -9,6 +9,37 @@
 // observed* response time spans the first transmission to the final
 // completion — this is the 1 s+ tail the paper's Fig. 2/9d measures, and
 // the reason finite front-tier queues amplify the tail so dramatically.
+//
+// Two scheduling models share this implementation (ClientConfig::mode):
+//
+//  * kExact — the original per-user model: every user owns a think-time
+//    timer and a (page, busy) record. Event streams are byte-identical to
+//    the historical implementation; this is the reference the cohort model
+//    is validated against and the default everywhere.
+//  * kCohort — the population is one cohort of statistically identical
+//    users. Idle users exist only as a per-page-class count; a periodic
+//    think tick draws Binomial(idle[p], 1 - exp(-tick/Z)) wake-ups per page
+//    for the upcoming window and advances them through the Markov chain
+//    with multinomial count draws — so the draw cost per tick is O(pages)
+//    regardless of population size. The wakers are then scattered uniformly
+//    over millisecond sub-slots inside the window (for tick << Z the
+//    truncated-exponential wake instant is uniform to first order), and each
+//    occupied sub-slot emits one *batch-tagged* send event per target page
+//    sharing that instant's batch key — so arrival *instants* match the
+//    exact model's spread while same-instant batches still drive
+//    Simulator::batch_continues whenever the per-slot arrival count exceeds
+//    one (every slot, at population scale). Individual identity (a compact
+//    slot id) exists only while a request or RTO is in flight; RFC 6298
+//    timers aggregate per (deadline, attempt) group in an RtoLedger.
+//    Statistically the cohort model quantizes the *start* of each think
+//    period to the tick grid (adding ~tick/2 to the effective think time,
+//    0.4% at the defaults); arrival instants themselves are not bunched —
+//    without the sub-slot scatter, a 50 ms tick at the paper's 3.5k-user
+//    calibration lands ~25 arrivals on one instant and the transient queue
+//    spike quadruples baseline p50. tests/workload/
+//    cohort_equivalence_test.cpp pins the resulting tail-quantile and
+//    retransmission-count agreement with the exact model on the calibrated
+//    Fig. 2 configuration.
 #pragma once
 
 #include <algorithm>
@@ -23,6 +54,7 @@
 #include "metrics/registry.h"
 #include "sim/simulator.h"
 #include "trace/recorder.h"
+#include "workload/cohort.h"
 #include "workload/markov.h"
 #include "workload/profile.h"
 #include "workload/router.h"
@@ -40,6 +72,14 @@ struct ClientMetrics {
   metrics::HistogramHandle response_time;  ///< post-warmup end-to-end RT, µs
 };
 
+/// How the population schedules itself; see the file comment.
+enum class ClientMode {
+  kExact,
+  kCohort,
+};
+
+const char* to_string(ClientMode mode);
+
 struct ClientConfig {
   int num_users = 3500;
   /// RFC 6298 minimum retransmission timeout.
@@ -48,6 +88,23 @@ struct ClientConfig {
   int max_retries = 6;
   /// Response times before this instant are not recorded (warm-up).
   SimTime stats_warmup = 0;
+  /// Per-user timers (kExact, byte-stable reference) or aggregate cohort
+  /// draws (kCohort, O(pages) per tick — the only mode that scales to
+  /// millions of users).
+  ClientMode mode = ClientMode::kExact;
+  /// Think-tick granularity of the cohort scheduler. Think-period *starts*
+  /// quantize to this grid (50 ms against a 7 s think time biases
+  /// throughput by ~0.4%, inside the documented equivalence tolerance);
+  /// arrival instants are scattered over millisecond sub-slots within each
+  /// tick, so the tick length does not bunch arrivals.
+  SimTime cohort_tick = msec(50);
+  /// Keep the raw post-warmup (time, rt) sample series (Fig. 9d and the
+  /// defense ablation read it). Off by default: the series grows with every
+  /// completion — unbounded at population scale — and since PR 8 the
+  /// reporting path reads streaming sketches instead. The response-time
+  /// *histogram* stays always-on: its log-bucketed store is a few KB
+  /// regardless of population size.
+  bool record_response_series = false;
 };
 
 /// What a completion observer (see set_completion_observer) learns about
@@ -74,13 +131,15 @@ class ClosedLoopClients {
   ClosedLoopClients& operator=(const ClosedLoopClients&) = delete;
 
   /// Launches all users; each issues its first request after a uniformly
-  /// random initial think (desynchronises the population).
+  /// random initial think (desynchronises the population). The cohort model
+  /// realises the same ramp by thinning the not-yet-started count per tick.
   void start();
 
   // -- statistics ----------------------------------------------------------
   /// End-to-end (first send -> completion) response times, post-warmup.
   const LatencyHistogram& response_times() const { return response_times_; }
   /// (completion time, response time µs) samples, post-warmup (Fig. 9d).
+  /// Empty unless ClientConfig::record_response_series.
   const TimeSeries& response_series() const { return response_series_; }
   /// Quantile of response times over roughly the last 30 seconds — the
   /// live SLO-dashboard view of the client experience.
@@ -94,11 +153,29 @@ class ClosedLoopClients {
   std::int64_t retransmitted_completions() const { return retransmitted_completions_; }
   /// Retransmissions scheduled (RFC 6298 timer armed) but not yet fired —
   /// the in-flight RTO backlog a flight recorder samples per tick.
-  int rto_backlog() const { return rto_backlog_; }
+  int rto_backlog() const {
+    return config_.mode == ClientMode::kCohort ? rto_.backlog() : rto_backlog_;
+  }
   /// Observed throughput since start, requests/second.
   double throughput() const;
 
   const ClientConfig& config() const { return config_; }
+  ClientMode mode() const { return config_.mode; }
+
+  /// Cohort-mode introspection: users currently idle (counted per page) plus
+  /// users still in the start-up ramp. With the in-flight slot count this
+  /// conserves the population: idle_users() + user_slots().live() ==
+  /// num_users. Zero in exact mode.
+  std::int64_t idle_users() const;
+  /// Cohort-mode slot allocator (ids for users with a request or RTO in
+  /// flight); high_water() bounds every user-indexed side table.
+  const UserSlotAllocator& user_slots() const { return slots_; }
+
+  /// Bytes of population-proportional storage currently held (user lanes,
+  /// cohort counters, slot/RTO lanes, the optional response series) — the
+  /// bytes/user figure BENCH_PR9.json reports. Excludes the fixed-size
+  /// histogram/windowed-quantile stores.
+  std::size_t memory_bytes() const;
 
   /// Attaches a span-event recorder for the client lifecycle events
   /// (send / complete / retransmit / abandon). Not owned.
@@ -116,16 +193,17 @@ class ClosedLoopClients {
   }
 
  private:
-  struct User {
-    int page = 0;
-    /// Page class and demands of the attempt currently in flight.
-    bool busy = false;
-  };
-
   void schedule_think(int user);
   void send_request(int user, int page, SimTime first_sent, int attempt);
   void on_complete(const queueing::Request& req);
   void on_drop(const queueing::Request& req);
+  /// One cohort think tick: binomial wake-ups per page, multinomial page
+  /// transitions, one batch-tagged send event per target page.
+  void on_cohort_tick();
+  /// Sends `count` fresh requests on `page`, one slot id each.
+  void send_cohort_burst(int page, std::int32_t count);
+  /// Re-sends every retransmission parked in RTO ledger group `group`.
+  void fire_rto_group(std::uint32_t group);
 
   /// Appends a client lifecycle event iff a recorder is attached.
   /// aux = first_sent for send/complete/abandon, the scheduled RTO for
@@ -152,7 +230,36 @@ class ClosedLoopClients {
   trace::TraceRecorder* trace_ = nullptr;
   ClientMetrics metrics_;
   std::function<void(const CompletionEvent&)> completion_observer_;
-  std::vector<User> users_;
+
+  // Exact-mode per-user state, SoA lanes (empty in cohort mode): the current
+  // page class and the attempt-in-flight flag.
+  std::vector<std::int32_t> user_page_;
+  std::vector<std::uint8_t> user_busy_;
+
+  // Cohort-mode state. idle_by_page_[p] counts idle users whose current page
+  // is p; initial_pending_ counts users still in the start-up ramp (no page
+  // yet — the initial distribution is drawn at first wake). send_scratch_
+  // (per-page wake totals) and spread_scratch_ (slot-major [sub-slot][page]
+  // counts after the uniform scatter) are per-tick transients, consumed
+  // before the tick callback returns — they carry nothing across ticks and
+  // stay out of the snapshot.
+  std::vector<std::int64_t> idle_by_page_;
+  std::int64_t initial_pending_ = 0;
+  // Wakers whose scattered sub-slot send event has not fired yet: removed
+  // from idle_by_page_ (so later draws cannot wake them twice) but holding
+  // no slot. idle_users() counts them so the conservation invariant holds
+  // at every instant, and a mid-tick snapshot must round-trip the count
+  // alongside the pending send events it mirrors.
+  std::int64_t waking_ = 0;
+  double wake_probability_ = 0.0;
+  int num_sub_slots_ = 1;
+  SimTime sub_slot_width_ = 0;
+  EventHandle tick_;
+  UserSlotAllocator slots_;
+  RtoLedger rto_;
+  std::vector<std::int64_t> send_scratch_;
+  std::vector<std::int64_t> spread_scratch_;
+
   bool started_ = false;
   SimTime start_time_ = 0;
 
@@ -166,13 +273,24 @@ class ClosedLoopClients {
   int rto_backlog_ = 0;
 
  public:
-  /// Checkpoint of the population: per-user in-flight flags, the RNG stream
-  /// position, and every statistic. The response series is append-only, so
-  /// it is restored by truncation (allocation-free); in-flight think-time
-  /// and RTO events are the simulator's to restore.
+  /// Checkpoint of the population: POD lanes for the per-user (exact) or
+  /// per-page (cohort) state, the RNG stream position, and every statistic.
+  /// The response series is append-only, so it is restored by truncation
+  /// (allocation-free); in-flight think-time, tick and RTO events are the
+  /// simulator's to restore — the tick handle round-trips by value, the
+  /// same idiom as OpenLoopSource. All lanes are captured with
+  /// capacity-reusing assigns and restored with plain copies, so rollback
+  /// after the first capture never allocates.
   struct Snapshot {
     Rng rng{0};
-    std::vector<User> users;
+    std::vector<std::int32_t> user_page;
+    std::vector<std::uint8_t> user_busy;
+    std::vector<std::int64_t> idle_by_page;
+    std::int64_t initial_pending = 0;
+    std::int64_t waking = 0;
+    EventHandle tick;
+    UserSlotAllocator::Snapshot slots;
+    RtoLedger::Snapshot rto;
     bool started = false;
     SimTime start_time = 0;
     LatencyHistogram response_times;
@@ -187,7 +305,14 @@ class ClosedLoopClients {
 
   void capture(Snapshot& out) const {
     out.rng = rng_;
-    out.users.assign(users_.begin(), users_.end());
+    out.user_page.assign(user_page_.begin(), user_page_.end());
+    out.user_busy.assign(user_busy_.begin(), user_busy_.end());
+    out.idle_by_page.assign(idle_by_page_.begin(), idle_by_page_.end());
+    out.initial_pending = initial_pending_;
+    out.waking = waking_;
+    out.tick = tick_;
+    slots_.capture(out.slots);
+    rto_.capture(out.rto);
     out.started = started_;
     out.start_time = start_time_;
     out.response_times = response_times_;
@@ -202,8 +327,17 @@ class ClosedLoopClients {
 
   void restore(const Snapshot& snap) {
     rng_ = snap.rng;
-    MEMCA_CHECK(snap.users.size() == users_.size());
-    std::copy(snap.users.begin(), snap.users.end(), users_.begin());
+    MEMCA_CHECK(snap.user_page.size() == user_page_.size());
+    MEMCA_CHECK(snap.user_busy.size() == user_busy_.size());
+    MEMCA_CHECK(snap.idle_by_page.size() == idle_by_page_.size());
+    std::copy(snap.user_page.begin(), snap.user_page.end(), user_page_.begin());
+    std::copy(snap.user_busy.begin(), snap.user_busy.end(), user_busy_.begin());
+    std::copy(snap.idle_by_page.begin(), snap.idle_by_page.end(), idle_by_page_.begin());
+    initial_pending_ = snap.initial_pending;
+    waking_ = snap.waking;
+    tick_ = snap.tick;
+    slots_.restore(snap.slots);
+    rto_.restore(snap.rto);
     started_ = snap.started;
     start_time_ = snap.start_time;
     response_times_ = snap.response_times;

@@ -29,6 +29,40 @@ int MarkovChain::next(int current, Rng& rng) const {
   return static_cast<int>(rng.weighted_index(transitions_[static_cast<std::size_t>(current)]));
 }
 
+namespace {
+
+/// Multinomial sample by sequential conditional binomials: state i receives
+/// Binomial(remaining, w_i / W_remaining) of the still-unassigned users.
+void multinomial_into(const std::vector<double>& weights, std::int64_t count, Rng& rng,
+                      std::vector<std::int64_t>& out) {
+  MEMCA_DCHECK(out.size() == weights.size());
+  std::int64_t remaining = count;
+  double weight_left = 0.0;
+  for (double w : weights) weight_left += w;
+  for (std::size_t i = 0; i + 1 < weights.size() && remaining > 0; ++i) {
+    if (weight_left <= 0.0) break;
+    const double p = std::min(1.0, weights[i] / weight_left);
+    const std::int64_t k = rng.binomial(remaining, p);
+    out[i] += k;
+    remaining -= k;
+    weight_left -= weights[i];
+  }
+  if (remaining > 0) out[weights.size() - 1] += remaining;
+}
+
+}  // namespace
+
+void MarkovChain::sample_initial_counts(std::int64_t count, Rng& rng,
+                                        std::vector<std::int64_t>& out) const {
+  multinomial_into(initial_, count, rng, out);
+}
+
+void MarkovChain::sample_transition_counts(int from, std::int64_t count, Rng& rng,
+                                           std::vector<std::int64_t>& out) const {
+  MEMCA_CHECK(from >= 0 && from < static_cast<int>(transitions_.size()));
+  multinomial_into(transitions_[static_cast<std::size_t>(from)], count, rng, out);
+}
+
 std::vector<double> MarkovChain::stationary(int iterations) const {
   const std::size_t n = transitions_.size();
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));

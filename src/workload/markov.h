@@ -19,6 +19,16 @@ class MarkovChain {
   /// Samples the successor of `current`.
   int next(int current, Rng& rng) const;
 
+  /// Aggregate counterparts of initial_state()/next() for cohort scheduling:
+  /// distribute `count` statistically identical users over the successor
+  /// states with one conditional binomial draw per state (a multinomial
+  /// sample) instead of `count` individual draws. Counts are *added* into
+  /// `out`, which must hold num_states() entries; allocation-free.
+  void sample_initial_counts(std::int64_t count, Rng& rng,
+                             std::vector<std::int64_t>& out) const;
+  void sample_transition_counts(int from, std::int64_t count, Rng& rng,
+                                std::vector<std::int64_t>& out) const;
+
   /// Stationary distribution by power iteration (chains used here are
   /// irreducible and aperiodic; iteration converges fast).
   std::vector<double> stationary(int iterations = 200) const;

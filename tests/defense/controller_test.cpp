@@ -88,7 +88,9 @@ TEST(DefenseController, DetectsAttributesAndMitigatesMemca) {
 
 TEST(DefenseController, MitigationRestoresTailLatency) {
   auto run = [](bool defended) {
-    testbed::RubbosTestbed bed;
+    testbed::TestbedConfig bed_config;
+    bed_config.record_response_series = true;  // the late-window tail reads it
+    testbed::RubbosTestbed bed(bed_config);
     bed.start();
     std::unique_ptr<DefenseController> defense;
     if (defended) {

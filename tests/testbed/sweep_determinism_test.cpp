@@ -69,6 +69,29 @@ TEST(SweepDeterminism, ParallelMatchesSequentialBitForBit) {
   }
 }
 
+TEST(SweepDeterminism, CohortCellsBitIdenticalAcrossThreadCounts) {
+  // The cohort client model must hold the same contract as the exact one:
+  // a swept cohort cell is bit-identical to its sequential baseline at any
+  // thread count. Cohort cells share their binomial/multinomial draws with
+  // nobody — each cell owns its RNG streams like every other world object.
+  std::vector<AttackLabConfig> grid = test_grid();
+  for (AttackLabConfig& config : grid) {
+    config.testbed.client_mode = workload::ClientMode::kCohort;
+  }
+
+  std::vector<AttackLabResult> baseline;
+  for (const AttackLabConfig& config : grid) baseline.push_back(run_attack_lab(config));
+
+  for (int threads : {1, 2, 4}) {
+    const std::vector<AttackLabResult> swept = run_attack_lab_sweep(grid, threads);
+    ASSERT_EQ(swept.size(), baseline.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      SCOPED_TRACE("cohort threads " + std::to_string(threads));
+      expect_identical(baseline[i], swept[i], i);
+    }
+  }
+}
+
 TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
   const std::vector<AttackLabConfig> grid = test_grid();
   const std::vector<AttackLabResult> first = run_attack_lab_sweep(grid, 4);

@@ -36,6 +36,7 @@ TEST(ClosedLoopClients, RecordsResponseTimes) {
   Fixture f;
   ClientConfig config;
   config.num_users = 10;
+  config.record_response_series = true;
   ClosedLoopClients clients(f.sim, f.router, two_tier_profile(), config, Rng(2));
   clients.start();
   f.sim.run_until(sec(std::int64_t{20}));
@@ -50,6 +51,7 @@ TEST(ClosedLoopClients, WarmupSuppressesEarlyStats) {
   Fixture f;
   ClientConfig config;
   config.num_users = 10;
+  config.record_response_series = true;
   config.stats_warmup = sec(std::int64_t{10});
   ClosedLoopClients clients(f.sim, f.router, two_tier_profile(), config, Rng(3));
   clients.start();

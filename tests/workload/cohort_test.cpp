@@ -1,0 +1,279 @@
+// Cohort-batched client population: unit coverage for the SoA building
+// blocks (slot allocator, RTO ledger, multinomial chain advances) and
+// behavioural coverage for ClosedLoopClients in kCohort mode — population
+// conservation, throughput, retransmission semantics, determinism, and the
+// zero-allocation steady state. The statistical agreement with the exact
+// per-user model is pinned separately in cohort_equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "queueing/ntier.h"
+#include "sim/simulator.h"
+#include "support/counting_alloc.h"
+#include "workload/clients.h"
+#include "workload/cohort.h"
+#include "workload/markov.h"
+#include "workload/profile.h"
+#include "workload/router.h"
+
+namespace memca::workload {
+namespace {
+
+TEST(CohortParts, SlotAllocatorHandsOutCompactIdsAndRecycles) {
+  UserSlotAllocator slots;
+  EXPECT_EQ(slots.alloc(), 0u);
+  EXPECT_EQ(slots.alloc(), 1u);
+  EXPECT_EQ(slots.alloc(), 2u);
+  EXPECT_EQ(slots.live(), 3);
+  slots.release(1);
+  EXPECT_EQ(slots.live(), 2);
+  // LIFO reuse: the released id comes back before a fresh one.
+  EXPECT_EQ(slots.alloc(), 1u);
+  EXPECT_EQ(slots.high_water(), 3u);
+}
+
+TEST(CohortParts, SlotAllocatorSnapshotRoundTrip) {
+  UserSlotAllocator slots;
+  for (int i = 0; i < 8; ++i) slots.alloc();
+  slots.release(2);
+  slots.release(5);
+  UserSlotAllocator::Snapshot snap;
+  slots.capture(snap);
+  // Diverge, then restore: the alloc sequence must replay identically.
+  slots.release(0);
+  (void)slots.alloc();
+  slots.restore(snap);
+  EXPECT_EQ(slots.live(), 6);
+  EXPECT_EQ(slots.alloc(), 5u);
+  EXPECT_EQ(slots.alloc(), 2u);
+  EXPECT_EQ(slots.alloc(), 8u);
+}
+
+TEST(CohortParts, RtoLedgerGroupsSameDeadlineDrops) {
+  RtoLedger ledger;
+  // Three same-instant drops at attempt 0: one group, one timer to arm.
+  const auto a = ledger.park(0, sec(std::int64_t{5}), 1, 100, 10);
+  const auto b = ledger.park(0, sec(std::int64_t{5}), 2, 200, 11);
+  const auto c = ledger.park(0, sec(std::int64_t{5}), 3, 300, 12);
+  EXPECT_TRUE(a.opened);
+  EXPECT_FALSE(b.opened);
+  EXPECT_FALSE(c.opened);
+  EXPECT_EQ(a.group, b.group);
+  EXPECT_EQ(b.group, c.group);
+  EXPECT_EQ(ledger.backlog(), 3);
+  // A later drop (different deadline) opens a fresh group even at the same
+  // attempt; a different attempt always does.
+  const auto d = ledger.park(0, sec(std::int64_t{6}), 4, 400, 13);
+  const auto e = ledger.park(1, sec(std::int64_t{7}), 5, 500, 14);
+  EXPECT_TRUE(d.opened);
+  EXPECT_TRUE(e.opened);
+  EXPECT_EQ(ledger.backlog(), 5);
+
+  EXPECT_EQ(ledger.deadline(a.group), sec(std::int64_t{5}));
+  EXPECT_EQ(ledger.attempt(e.group), 1);
+
+  // Drain pops LIFO (deterministic) and frees the group.
+  std::vector<std::uint32_t> users;
+  ledger.drain(a.group, [&](std::int32_t page, SimTime first_sent, std::uint32_t user) {
+    users.push_back(user);
+    EXPECT_EQ(first_sent, static_cast<SimTime>(page) * 100);
+  });
+  EXPECT_EQ(users, (std::vector<std::uint32_t>{12, 11, 10}));
+  EXPECT_EQ(ledger.backlog(), 2);
+}
+
+TEST(CohortParts, RtoLedgerSnapshotRoundTrip) {
+  RtoLedger ledger;
+  const auto g0 = ledger.park(0, 1000, 1, 10, 100);
+  ledger.park(0, 1000, 2, 20, 101);
+  const auto g1 = ledger.park(2, 4000, 3, 30, 102);
+  RtoLedger::Snapshot snap;
+  ledger.capture(snap);
+
+  // Diverge: drain both groups, park new entries.
+  ledger.drain(g0.group, [](std::int32_t, SimTime, std::uint32_t) {});
+  ledger.drain(g1.group, [](std::int32_t, SimTime, std::uint32_t) {});
+  ledger.park(1, 2000, 9, 90, 900);
+
+  ledger.restore(snap);
+  EXPECT_EQ(ledger.backlog(), 3);
+  std::vector<std::uint32_t> users;
+  ledger.drain(g0.group, [&](std::int32_t, SimTime, std::uint32_t user) {
+    users.push_back(user);
+  });
+  EXPECT_EQ(users, (std::vector<std::uint32_t>{101, 100}));
+  users.clear();
+  ledger.drain(g1.group, [&](std::int32_t, SimTime, std::uint32_t user) {
+    users.push_back(user);
+  });
+  EXPECT_EQ(users, (std::vector<std::uint32_t>{102}));
+  EXPECT_EQ(ledger.backlog(), 0);
+}
+
+TEST(CohortParts, MultinomialCountsConserveAndMatchDistribution) {
+  const MarkovChain chain({{0.5, 0.3, 0.2}, {0.1, 0.6, 0.3}, {0.2, 0.2, 0.6}},
+                          {0.6, 0.3, 0.1});
+  Rng rng(11);
+  std::vector<std::int64_t> counts(3, 0);
+  const std::int64_t n = 1'000'000;
+  chain.sample_transition_counts(0, n, rng, counts);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], n);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / static_cast<double>(n), 0.5, 0.005);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / static_cast<double>(n), 0.3, 0.005);
+
+  std::fill(counts.begin(), counts.end(), 0);
+  chain.sample_initial_counts(n, rng, counts);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], n);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / static_cast<double>(n), 0.6, 0.005);
+}
+
+TEST(CohortParts, BinomialEdgeCases) {
+  Rng rng(3);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100);
+  const std::int64_t k = rng.binomial(1'000'000, 0.25);
+  EXPECT_NEAR(static_cast<double>(k), 250'000.0, 2'500.0);
+}
+
+// -- population behaviour ---------------------------------------------------
+
+struct Fixture {
+  Simulator sim;
+  queueing::NTierSystem system;
+  RequestRouter router;
+  explicit Fixture(std::vector<queueing::TierConfig> tiers = {{"front", 200, 4},
+                                                              {"back", 100, 2}})
+      : system(sim, std::move(tiers)), router(system) {}
+};
+
+ClientConfig cohort_config(int users) {
+  ClientConfig config;
+  config.num_users = users;
+  config.mode = ClientMode::kCohort;
+  return config;
+}
+
+TEST(CohortClients, ThroughputApproximatesUsersOverThinkTime) {
+  Fixture f;
+  ClosedLoopClients clients(f.sim, f.router,
+                            uniform_profile({100.0, 500.0}, sec(std::int64_t{1})),
+                            cohort_config(1000), Rng(1));
+  clients.start();
+  f.sim.run_until(sec(std::int64_t{100}));
+  // N / (Z + tick/2 + R): the tick grid quantization adds ~25 ms to the
+  // effective 1 s think time, so expect ~2.5% below N/Z.
+  EXPECT_NEAR(clients.throughput(), 975.0, 30.0);
+  EXPECT_EQ(clients.dropped_attempts(), 0);
+}
+
+TEST(CohortClients, PopulationIsConserved) {
+  Fixture f;
+  ClosedLoopClients clients(f.sim, f.router,
+                            uniform_profile({100.0, 500.0}, sec(std::int64_t{7})),
+                            cohort_config(2000), Rng(2));
+  clients.start();
+  for (int step = 0; step < 150; ++step) {
+    f.sim.run_for(msec(100));
+    // Every user is idle (or still ramping up) xor holds a live slot
+    // (request or RTO in flight).
+    EXPECT_EQ(clients.idle_users() + clients.user_slots().live(), 2000);
+    EXPECT_LE(f.system.in_flight(), 2000);
+  }
+  // Slot ids stay compact: bounded by the concurrent in-flight + parked-RTO
+  // population (here: sub-millisecond service against a 7 s think time),
+  // far below the total population.
+  EXPECT_LT(clients.user_slots().high_water(), 200u);
+}
+
+TEST(CohortClients, RetransmitsAfterRtoAndAbandons) {
+  // Tiny saturated system: most sends bounce off the full front queue.
+  Fixture f({{"front", 2, 1}, {"back", 1, 1}});
+  ClientConfig config = cohort_config(30);
+  config.max_retries = 2;
+  ClosedLoopClients clients(f.sim, f.router,
+                            uniform_profile({100.0, 50000.0}, sec(std::int64_t{1})), config,
+                            Rng(4));
+  clients.start();
+  f.sim.run_until(sec(std::int64_t{60}));
+  EXPECT_GT(clients.dropped_attempts(), 0);
+  EXPECT_GT(clients.retransmitted_completions() + clients.failed(), 0);
+  // Retransmitted completions pay at least the 1 s RTO.
+  EXPECT_GE(clients.response_times().max(), sec(std::int64_t{1}));
+  EXPECT_EQ(clients.idle_users() + clients.user_slots().live(), 30);
+  EXPECT_GE(clients.rto_backlog(), 0);
+}
+
+TEST(CohortClients, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Fixture f;
+    ClosedLoopClients clients(f.sim, f.router,
+                              uniform_profile({100.0, 500.0}, sec(std::int64_t{1})),
+                              cohort_config(500), Rng(7));
+    clients.start();
+    f.sim.run_until(sec(std::int64_t{30}));
+    return std::tuple<std::int64_t, SimTime, std::uint64_t>(
+        clients.completed(), clients.response_times().quantile(0.9),
+        f.sim.events_executed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CohortClients, ResponseSeriesIsOptIn) {
+  Fixture f;
+  ClosedLoopClients clients(f.sim, f.router,
+                            uniform_profile({100.0, 500.0}, sec(std::int64_t{1})),
+                            cohort_config(100), Rng(9));
+  clients.start();
+  f.sim.run_until(sec(std::int64_t{10}));
+  EXPECT_GT(clients.completed(), 0);
+  // Off by default: the histogram records, the raw series stays empty.
+  EXPECT_GT(clients.response_times().count(), 0);
+  EXPECT_TRUE(clients.response_series().empty());
+}
+
+TEST(CohortClients, SteadyStateAllocatesNothing) {
+  // A drop-heavy cohort population at steady state: think tick, batched
+  // sends, RTO ledger churn and group timers must all run out of recycled
+  // storage. The wheel-bucket grids below mirror SteadyStateAllocation's
+  // warming: without them a re-dropped retry occasionally arms a new RTO
+  // group timer into a wheel bucket at an occupancy that beats the bucket's
+  // historic maximum — one amortised capacity-growth allocation, which is
+  // exactly what the armed counter would flag.
+  Fixture f({{"front", 12, 2}, {"back", 8, 1}});
+  ClientConfig config = cohort_config(800);
+  config.stats_warmup = sec(std::int64_t{590});
+  ClosedLoopClients clients(f.sim, f.router,
+                            uniform_profile({200.0, 2000.0}, sec(std::int64_t{2})), config,
+                            Rng(5));
+  clients.start();
+  for (SimTime d = msec(140); d < sec(std::int64_t{4}); d += msec(1)) {
+    for (int k = 0; k < 2; ++k) f.sim.schedule_in(d, [] {});  // level-0 buckets
+  }
+  for (SimTime d = sec(std::int64_t{4}); d < sec(std::int64_t{268}); d += msec(33)) {
+    for (int k = 0; k < 8; ++k) f.sim.schedule_in(d, [] {});  // level-1 buckets
+  }
+
+  // Warm past a full level-1 wheel rotation (268 s) so the RTO group timers
+  // (1 s .. 64 s backoffs) have cycled through every bucket index they can
+  // reach with the grid-warmed capacities in place.
+  f.sim.run_until(sec(std::int64_t{600}));
+  const std::int64_t warm_completed = clients.completed();
+  ASSERT_GT(warm_completed, 10000) << "warm-up must reach steady state";
+  ASSERT_GT(clients.dropped_attempts(), 0) << "config must exercise the RTO ledger";
+
+  std::int64_t allocations = 0;
+  {
+    tests::ScopedAllocationCounter counter;
+    f.sim.run_for(sec(std::int64_t{30}));
+    allocations = counter.count();
+  }
+  EXPECT_GT(clients.completed(), warm_completed + 1000);
+  EXPECT_EQ(allocations, 0)
+      << "cohort steady state must not touch the heap";
+}
+
+}  // namespace
+}  // namespace memca::workload
