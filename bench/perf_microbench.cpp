@@ -7,6 +7,8 @@
 //   ./build/bench/perf_microbench --benchmark_format=json > BENCH_<rev>.json
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -430,6 +432,45 @@ BENCHMARK(BM_ClientPopulationScale)
     ->Arg(3500)->Arg(35000)->Arg(350000)->Arg(3500000)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ClientPopulationScaleQuantized(benchmark::State& state) {
+  // BM_ClientPopulationScale with service demands on the 100 us grid: the
+  // PR 10 completion batch drain plus lazy demand sampling (a submit the
+  // saturated front tier would reject skips its three RNG draws — at 3.5M
+  // users the drop storm is ~1.75M rejected submissions per simulated
+  // second, the dominant per-event cost of the exact-demand run). The
+  // gate: the 3.5M row ≥1.5x over BENCH_PR9's exact-mode
+  // BM_ClientPopulationScale/3500000.
+  //
+  // Iterations are pinned (see registration) because the overloaded
+  // population is non-stationary: RTO backoff synchronises 3.5M users into
+  // retransmit waves whose decades cost 20-40x the quiet decades between
+  // them. Auto-calibration would give each variant a different iteration
+  // count and therefore a different simulated window, and the window choice
+  // — not the code under test — would dominate the comparison. Pinning makes
+  // every variant measure the identical simulated span t = 20 s .. 50 s
+  // (one wave decade plus quiet decades, one warm world per repetition).
+  const int users = static_cast<int>(state.range(0));
+  testbed::TestbedConfig config;
+  config.client_mode = workload::ClientMode::kCohort;
+  config.service_quantum_us = 100;
+  config.num_users = users;
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+  bed.sim().run_until(sec(std::int64_t{20}));  // ramp-up + first RTO waves
+  for (auto _ : state) {
+    bed.sim().run_for(sec(std::int64_t{1}));
+  }
+  benchmark::DoNotOptimize(bed.clients().completed());
+  state.counters["bytes_per_user"] = benchmark::Counter(
+      static_cast<double>(bed.clients().memory_bytes()) / static_cast<double>(users));
+  state.counters["pool_slots"] =
+      benchmark::Counter(static_cast<double>(bed.sim().pool_slots()));
+  state.SetItemsProcessed(state.iterations());  // simulated seconds
+}
+BENCHMARK(BM_ClientPopulationScaleQuantized)
+    ->Arg(3500)->Arg(35000)->Arg(350000)->Arg(3500000)
+    ->Iterations(30)->Unit(benchmark::kMillisecond);
+
 void BM_FullTestbedSecond(benchmark::State& state) {
   // One simulated second of the full attacked 3500-user scenario per
   // iteration (construction amortised out by measuring a long run).
@@ -440,11 +481,18 @@ void BM_FullTestbedSecond(benchmark::State& state) {
   // (< 5% target for tracing and for the flight recorder, < 3% for
   // metrics). The testbed is driven directly — run_attack_lab would also
   // time post-hoc analysis, which is not an instrumentation cost.
+  // Arg(4) is the PR 10 quantized discipline at the paper's calibration
+  // scale: demands on the 100 us grid, completions draining as groups. At
+  // 3.5k users completion groups are mostly singletons (~500 req/s against
+  // 10k grid instants/s), so this variant documents that quantization is
+  // cost-neutral where it cannot help; its payoff is population scale
+  // (BM_FullTestbedSecondScale below).
   for (auto _ : state) {
     testbed::TestbedConfig config;
     config.trace = state.range(0) == 1;
     config.metrics = state.range(0) == 2;
     config.flightrec = state.range(0) == 3;
+    if (state.range(0) == 4) config.service_quantum_us = 100;
     testbed::RubbosTestbed bed(config);
     bed.start();
     core::MemcaConfig memca;
@@ -460,7 +508,44 @@ void BM_FullTestbedSecond(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
-BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullTestbedSecond)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullTestbedSecondScale(benchmark::State& state) {
+  // The tentpole figure: one simulated second of the full *attacked* Fig. 2
+  // scenario carried by a 3.5M-user cohort population, exact demands
+  // (quantum 0) vs the quantized batch drain (quantum 100 us). Construction
+  // and the 20 s ramp sit outside the timed loop, like
+  // BM_ClientPopulationScale — this is the marginal cost of a simulated
+  // second at population scale, the number the < 10 ms/simulated-second
+  // headline and the ≥1.5x-vs-BENCH_PR9 gate read. Iterations are pinned so
+  // both rows measure the identical simulated window t = 20 s .. 50 s (see
+  // BM_ClientPopulationScaleQuantized for why auto-calibration would not).
+  const int users = static_cast<int>(state.range(0));
+  testbed::TestbedConfig config;
+  config.client_mode = workload::ClientMode::kCohort;
+  config.num_users = users;
+  config.service_quantum_us = static_cast<std::uint32_t>(state.range(1));
+  testbed::RubbosTestbed bed(config);
+  bed.start();
+  core::MemcaConfig memca;
+  memca.enable_controller = false;
+  memca.params.burst_length = msec(500);
+  memca.params.burst_interval = sec(std::int64_t{2});
+  memca.params.type = cloud::MemoryAttackType::kMemoryLock;
+  auto attack = bed.make_attack(memca);
+  attack->start();
+  bed.sim().run_until(sec(std::int64_t{20}));  // ramp-up + first RTO waves
+  for (auto _ : state) {
+    bed.sim().run_for(sec(std::int64_t{1}));
+  }
+  attack->stop();
+  benchmark::DoNotOptimize(bed.clients().completed());
+  state.SetItemsProcessed(state.iterations());  // simulated seconds
+}
+BENCHMARK(BM_FullTestbedSecondScale)
+    ->Args({3500000, 0})->Args({3500000, 100})
+    ->Iterations(30)->Unit(benchmark::kMillisecond);
 
 void BM_FullTestbedSecondOltp(benchmark::State& state) {
   // BM_FullTestbedSecond with the lock/CC-aware OLTP bottleneck swapped in
@@ -586,7 +671,21 @@ BENCHMARK(BM_SweepRunnerScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
 // convenience flag picks the full-testbed service discipline: `--tier=fifo`
 // skips the OLTP full-testbed bench, `--tier=oltp` skips the FIFO one
 // (micro-benches always run); the default runs both.
+//
+// Every run stamps `memca_build_type` into the benchmark context, keyed off
+// this translation unit's own NDEBUG (google-benchmark's `library_build_type`
+// reports how the *library* was compiled, which is what let a debug-build
+// snapshot masquerade as a baseline). Writing a JSON snapshot from a debug
+// build is refused outright — a debug baseline poisons every later gate —
+// unless MEMCA_ALLOW_DEBUG_BENCH=1 explicitly overrides for local probing.
 int main(int argc, char** argv) {
+#ifdef NDEBUG
+  constexpr bool release_build = true;
+#else
+  constexpr bool release_build = false;
+#endif
+  benchmark::AddCustomContext("memca_build_type", release_build ? "release" : "debug");
+
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc) + 2);
   args.emplace_back(argv[0]);
@@ -606,6 +705,18 @@ int main(int argc, char** argv) {
     } else {
       args.push_back(std::move(arg));
       continue;
+    }
+    if (!release_build) {
+      const char* allow = std::getenv("MEMCA_ALLOW_DEBUG_BENCH");
+      if (allow == nullptr || std::strcmp(allow, "1") != 0) {
+        std::fprintf(stderr,
+                     "perf_microbench: refusing to write a JSON snapshot from a "
+                     "debug build (assertions on, optimisation uncertain — the "
+                     "numbers are not comparable to release baselines).\n"
+                     "Rebuild with CMAKE_BUILD_TYPE=Release, or set "
+                     "MEMCA_ALLOW_DEBUG_BENCH=1 to override for local probing.\n");
+        return 1;
+      }
     }
     args.push_back("--benchmark_out=" + json_path);
     args.emplace_back("--benchmark_out_format=json");

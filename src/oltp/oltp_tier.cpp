@@ -92,7 +92,10 @@ void OltpTierServer::begin_local_work(std::uint32_t slot) {
 
   // A long transaction does proportionally more local work; its staged
   // demand (and therefore its lock hold) scales before the worker reads it.
-  hot_->stamp(slot, index_).demand *= cls.demand_multiplier;
+  // Re-quantized: the multiplier pushes the staged (already gridded) demand
+  // off the grid, and quantized mode needs every demand on it.
+  queueing::TierTrace& tr = hot_->stamp(slot, index_);
+  tr.demand = hot_->quantize(tr.demand * cls.demand_multiplier);
 
   continue_acquisition(slot);
 }

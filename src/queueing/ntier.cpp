@@ -24,6 +24,18 @@ NTierSystem::NTierSystem(Simulator& sim, std::vector<TierConfig> tiers,
     tiers_[i]->set_downstream(tiers_[i + 1].get());
   }
   tiers_.front()->set_reply_sink([this](Request* r) { on_reply(r); });
+  // Quantized mode is a chain-wide property: demands are rounded once, at
+  // stage_demands time, so every tier must share one grid.
+  const std::uint32_t quantum = tiers_.front()->config().service_quantum_us;
+  for (std::size_t i = 1; i < tiers_.size(); ++i) {
+    MEMCA_CHECK_MSG(tiers_[i]->config().service_quantum_us == quantum,
+                    "service_quantum_us must be uniform across the tier chain");
+  }
+  if (quantum > 0) {
+    pool_.hot().set_quantum(static_cast<double>(quantum));
+    tiers_.front()->set_batch_reply_sink(
+        [this](Request* const* reqs, std::size_t n) { on_reply_batch(reqs, n); });
+  }
   if (!satisfies_condition1()) {
     MEMCA_LOG(kInfo) << "tier thread limits are not strictly decreasing; the analytic "
                         "fill-up equations (Condition 1) will not apply";
@@ -78,6 +90,19 @@ void NTierSystem::on_reply(Request* req) {
   --in_flight_;
   if (on_complete_) on_complete_(*req);
   pool_.release(req);
+}
+
+void NTierSystem::on_reply_batch(Request* const* reqs, std::size_t n) {
+  completed_ += static_cast<std::int64_t>(n);
+  MEMCA_DCHECK(in_flight_ >= static_cast<std::int64_t>(n));
+  in_flight_ -= static_cast<std::int64_t>(n);
+  if (on_complete_batch_) {
+    on_complete_batch_(reqs, n);
+  } else if (on_complete_) {
+    for (std::size_t i = 0; i < n; ++i) on_complete_(*reqs[i]);
+  }
+  // Released only after the callbacks, matching on_reply's reentrancy rule.
+  for (std::size_t i = 0; i < n; ++i) pool_.release(reqs[i]);
 }
 
 }  // namespace memca::queueing

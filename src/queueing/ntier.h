@@ -37,6 +37,9 @@ class NTierSystem : public RequestSystem {
   /// request is released back to the pool after the drop callback.
   bool submit(Request* req) override;
 
+  /// A submit admits iff the front tier has a free thread.
+  bool accepting() const override { return !tiers_.front()->full(); }
+
   std::size_t num_tiers() const { return tiers_.size(); }
   std::size_t depth() const override { return tiers_.size(); }
   TierServer& tier(std::size_t i);
@@ -72,6 +75,9 @@ class NTierSystem : public RequestSystem {
 
  private:
   void on_reply(Request* req);
+  /// Quantized mode: delivers one completion group's replies (front tier's
+  /// batch reply sink) through on_complete_batch_ when set, else per request.
+  void on_reply_batch(Request* const* reqs, std::size_t n);
 
   Simulator& sim_;
   trace::TraceRecorder* trace_ = nullptr;

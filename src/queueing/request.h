@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,26 @@ class RequestHotArena {
   }
   std::size_t depth() const { return depth_; }
 
+  /// Fixes the service-demand quantum (µs of speed-1 work; 0 = exact, the
+  /// default). When set, stage_demands rounds every staged demand onto the
+  /// quantum grid — see quantize(). A deliberate event-stream change: set it
+  /// once at system construction, before the first request is staged.
+  void set_quantum(double quantum_us) {
+    MEMCA_CHECK_MSG(quantum_us >= 0.0, "service quantum must be non-negative");
+    quantum_us_ = quantum_us;
+  }
+  double quantum() const { return quantum_us_; }
+
+  /// Rounds `demand_us` onto the quantum grid: nearest multiple, with a floor
+  /// of one quantum so non-zero work never rounds to nothing. Nearest (rather
+  /// than up) keeps the mean demand of an exponential sample essentially
+  /// unbiased, which is what lets quantized runs stay inside the Fig. 2
+  /// throughput-equivalence gate. Identity when the quantum is 0.
+  double quantize(double demand_us) const {
+    if (quantum_us_ <= 0.0) return demand_us;
+    return std::max(1.0, std::round(demand_us / quantum_us_)) * quantum_us_;
+  }
+
   /// Grows every lane to cover slots [0, slots). Lanes only ever grow.
   void ensure(std::uint32_t slots) {
     if (slots <= sent_.size()) return;
@@ -119,12 +140,13 @@ class RequestHotArena {
   }
 
   /// Submit-time staging: resets the slot's stamps and copies the per-tier
-  /// service demands into them in one pass over the lane.
+  /// service demands into them in one pass over the lane, rounding each onto
+  /// the quantum grid when a quantum is set (identity by default).
   void stage_demands(std::uint32_t slot, const std::vector<double>& demand_us) {
     MEMCA_DCHECK(demand_us.size() == depth_);
     TierTrace* s = &stamps_[static_cast<std::size_t>(slot) * depth_];
     for (std::size_t t = 0; t < depth_; ++t) {
-      s[t] = TierTrace{-1, -1, -1, demand_us[t]};
+      s[t] = TierTrace{-1, -1, -1, quantize(demand_us[t])};
     }
   }
 
@@ -163,6 +185,8 @@ class RequestHotArena {
 
  private:
   std::size_t depth_ = 0;
+  /// Service-demand grid step in µs; 0 disables quantization (see quantize).
+  double quantum_us_ = 0.0;
   std::vector<SimTime> sent_;
   std::vector<SimTime> first_sent_;
   std::vector<std::int32_t> attempt_;

@@ -26,6 +26,9 @@ namespace memca::queueing {
 class RequestSystem {
  public:
   using RequestFn = InlineFunction<void(const Request&)>;
+  /// Batched completion delivery: a packed span of requests finishing at one
+  /// instant (the quantized completion-group drain).
+  using BatchRequestFn = InlineFunction<void(Request* const*, std::size_t)>;
 
   virtual ~RequestSystem() = default;
 
@@ -42,9 +45,21 @@ class RequestSystem {
   /// must not be used after the completion/drop callback has run.
   virtual bool submit(Request* req) = 0;
 
+  /// Whether a submit() issued right now would be admitted (entry-point
+  /// capacity only). Lets a generator skip work that is wasted on a
+  /// rejection — e.g. demand sampling during an overload storm, where
+  /// rejected attempts outnumber admissions a thousandfold. Nothing changes
+  /// between this check and a synchronous submit, so the answer is exact.
+  virtual bool accepting() const { return true; }
+
   /// Completion callback: fires when a reply reaches the client side. The
   /// referenced request dies when the callback returns.
   void set_on_complete(RequestFn fn) { on_complete_ = std::move(fn); }
+  /// Batch completion callback (quantized mode): one call per completion
+  /// group instead of one per request. Systems that never batch ignore it;
+  /// when unset, a batching system falls back to per-request on_complete.
+  /// Every referenced request dies when the callback returns.
+  void set_on_complete_batch(BatchRequestFn fn) { on_complete_batch_ = std::move(fn); }
   /// Drop callback: fires when the system rejects an attempt (the client's
   /// TCP layer retransmits). Same lifetime rule as on_complete.
   void set_on_drop(RequestFn fn) { on_drop_ = std::move(fn); }
@@ -92,6 +107,7 @@ class RequestSystem {
  protected:
   RequestPool pool_;
   RequestFn on_complete_;
+  BatchRequestFn on_complete_batch_;
   RequestFn on_drop_;
   std::int64_t submitted_ = 0;
   std::int64_t completed_ = 0;

@@ -20,6 +20,15 @@ TierServer::TierServer(Simulator& sim, RequestPool& pool, TierConfig config,
   // the thread limit; pre-sizing makes serving allocation-free.
   wait_queue_.reserve(static_cast<std::size_t>(config_.threads));
   blocked_.reserve(static_cast<std::size_t>(config_.threads));
+  if (config_.service_quantum_us > 0) {
+    batched_ = true;
+    // A batch drain's departures are bounded by residency; pre-size the
+    // reply staging so the front tier buffers without allocating.
+    reply_buf_.reserve(static_cast<std::size_t>(config_.threads));
+    station_.enable_batch_completions(
+        static_cast<SimTime>(config_.service_quantum_us),
+        [this](const std::uint32_t* s, std::size_t n) { on_service_batch_done(s, n); });
+  }
 }
 
 void TierServer::set_downstream(TierServer* downstream) {
@@ -60,17 +69,25 @@ void TierServer::set_reply_sink(InlineFunction<void(Request*)> sink) {
   reply_sink_ = std::move(sink);
 }
 
+void TierServer::set_batch_reply_sink(InlineFunction<void(Request* const*, std::size_t)> sink) {
+  MEMCA_CHECK(static_cast<bool>(sink));
+  MEMCA_CHECK_MSG(batched_, "a batch reply sink needs a quantized tier");
+  batch_reply_sink_ = std::move(sink);
+}
+
 bool TierServer::try_submit(Request* req) {
   MEMCA_CHECK(req != nullptr);
-  // External entry: stage the per-tier demands into the stamp lane so the
-  // admit/pump fast paths never have to chase the Request body.
-  hot_->stage_demands(req->pool_slot, req->demand_us);
   ++pending_offered_;
   if (full()) {
     ++pending_rejected_;
     maybe_flush();
     return false;
   }
+  // Stage the per-tier demands into the stamp lane (so the admit/pump fast
+  // paths never chase the Request body) only once the request is in: a
+  // rejected attempt's stamps are never read, and during an overload storm
+  // rejections outnumber admissions a thousandfold.
+  hot_->stage_demands(req->pool_slot, req->demand_us);
   admit(req->pool_slot);
   maybe_flush();
   return true;
@@ -149,13 +166,13 @@ void TierServer::forward_downstream(std::uint32_t slot) {
   }
 }
 
-void TierServer::on_reply_from_downstream(std::uint32_t slot) {
+void TierServer::on_reply_from_downstream(std::uint32_t slot, bool settle) {
   MEMCA_CHECK(awaiting_reply_ > 0);
   --awaiting_reply_;
-  depart(slot);
+  depart(slot, settle);
 }
 
-void TierServer::depart(std::uint32_t slot) {
+void TierServer::depart(std::uint32_t slot, bool settle) {
   TierTrace& tr = hot_->stamp(slot, index_);
   tr.leave = sim_.now();
   MEMCA_CHECK(resident_ > 0);
@@ -170,13 +187,79 @@ void TierServer::depart(std::uint32_t slot) {
   // same instant — the response path is negligible), then backfill the
   // thread we just freed from the upstream blocked queue.
   if (upstream_ != nullptr) {
-    upstream_->on_reply_from_downstream(slot);
+    upstream_->on_reply_from_downstream(slot, settle);
+  } else if (!settle && static_cast<bool>(batch_reply_sink_)) {
+    // Batch drain: stage the reply; flush_chain() delivers the whole span
+    // before the drain's event returns.
+    reply_buf_.push_back(pool_.get(slot));
   } else {
     MEMCA_CHECK_MSG(static_cast<bool>(reply_sink_), "front tier needs a reply sink");
     reply_sink_(pool_.get(slot));
   }
   pull_blocked_from_upstream();
-  maybe_flush();
+  if (settle) maybe_flush();
+}
+
+void TierServer::on_service_batch_done(const std::uint32_t* slots, std::size_t n) {
+  // Singleton groups — the common case off-burst, when completions rarely
+  // coincide even on the grid — take the per-slot path: identical cost to
+  // exact mode (per-request reply delivery, counters settled by the
+  // batch-peek flush), none of the batch staging.
+  if (n == 1) {
+    on_service_done(slots[0]);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    mark_span(slots[i]);
+    // Variant hook, per member: an OLTP tier releases the transaction's
+    // record locks and resumes granted waiters (which may start service on
+    // workers this very group just freed).
+    after_local_service(slots[i]);
+  }
+  if (downstream_ == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) depart(slots[i], /*settle=*/false);
+  } else {
+    const std::size_t taken = downstream_->accept_batch_from_upstream(slots, n);
+    awaiting_reply_ += static_cast<int>(taken);
+    for (std::size_t i = taken; i < n; ++i) {
+      // Downstream thread pool exhausted mid-batch: the rest hold our
+      // threads and wait to be pulled (cross-tier overflow propagation).
+      hot_->state(slots[i]) = RequestState::kBlockedDownstream;
+      blocked_.push_back(slots[i]);
+    }
+  }
+  // The group's workers are all free; take the next waiting requests.
+  if (!wait_queue_.empty()) pump();
+  flush_chain();
+}
+
+std::size_t TierServer::accept_batch_from_upstream(const std::uint32_t* slots,
+                                                   std::size_t n) {
+  pending_offered_ += static_cast<std::int64_t>(n);
+  std::size_t taken = 0;
+  // Admission only ever consumes threads, so the accepted set is a prefix:
+  // once full, every later member of the batch is rejected.
+  while (taken < n && !full()) {
+    admit(slots[taken]);
+    ++taken;
+  }
+  pending_rejected_ += static_cast<std::int64_t>(n - taken);
+  return taken;
+}
+
+void TierServer::flush_chain() {
+  TierServer* t = this;
+  while (t->upstream_ != nullptr) t = t->upstream_;
+  for (; t != nullptr; t = t->downstream_) {
+    t->flush_pending();
+    t->flush_replies();
+  }
+}
+
+void TierServer::flush_replies() {
+  if (reply_buf_.empty()) return;
+  batch_reply_sink_(reply_buf_.data(), reply_buf_.size());
+  reply_buf_.clear();
 }
 
 void TierServer::pull_blocked_from_upstream() {

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/inline_callback.h"
@@ -54,6 +55,13 @@ struct TierConfig {
   int threads = 100;
   /// Parallel service slots (vCPUs).
   int workers = 2;
+  /// Service-demand quantum in µs (0 = exact, the byte-stable default).
+  /// When set, staged demands round onto this grid, the station groups
+  /// same-instant completions under one simulator event, and the tier drains
+  /// whole completion batches end to end (batched downstream forward, one
+  /// counter flush per batch). Must be uniform across a chain — the staging
+  /// arena is shared. A deliberate, documented event-stream change.
+  std::uint32_t service_quantum_us = 0;
 };
 
 class TierServer {
@@ -71,6 +79,11 @@ class TierServer {
   void set_downstream(TierServer* downstream);
   /// Front tier only: where completed replies are delivered.
   void set_reply_sink(InlineFunction<void(Request*)> sink);
+  /// Front tier, quantized mode: replies departing during one completion
+  /// batch are buffered and delivered as one span through this sink (the
+  /// batch-end flush empties the buffer before the event returns). Without
+  /// it, quantized mode falls back to the per-request reply sink.
+  void set_batch_reply_sink(InlineFunction<void(Request* const*, std::size_t)> sink);
 
   /// External entry (front tier): admits or rejects. A rejection is a
   /// dropped request — the client's TCP layer will retransmit.
@@ -92,6 +105,7 @@ class TierServer {
   void remove_capacity(int workers, int fewer_threads = 0);
 
   // -- introspection -------------------------------------------------------
+  const TierConfig& config() const { return config_; }
   const std::string& name() const { return config_.name; }
   std::size_t index() const { return index_; }
   int threads() const { return config_.threads; }
@@ -176,15 +190,36 @@ class TierServer {
   void pump();
   void on_service_done(std::uint32_t slot);
   void forward_downstream(std::uint32_t slot);
-  /// Called by the downstream tier when our request's reply returns.
-  void on_reply_from_downstream(std::uint32_t slot);
-  /// Request departs this tier; propagates the reply upstream.
-  void depart(std::uint32_t slot);
+  /// Called by the downstream tier when our request's reply returns. With
+  /// settle=false (a batch drain) the per-slot counter flush is skipped —
+  /// the drain's end-of-batch flush_chain() settles everything at once.
+  void on_reply_from_downstream(std::uint32_t slot, bool settle = true);
+  /// Request departs this tier; propagates the reply upstream. settle as
+  /// above; unsettled front-tier departures buffer their reply for the
+  /// batch reply sink instead of delivering one by one.
+  void depart(std::uint32_t slot, bool settle = true);
   /// Called by `this` after freeing a thread: pulls the oldest request
   /// blocked in the upstream tier, if any.
   void pull_blocked_from_upstream();
   /// Upstream-facing admission used by forward/pull paths.
   bool accept_from_upstream(std::uint32_t slot);
+
+  // -- quantized batch drain (station in grouped-completion mode) ----------
+  /// Station callback: one whole same-instant completion group. Spans and
+  /// variant hooks run per member, then the batch forwards downstream in one
+  /// call (or departs member by member), the freed workers are re-pumped
+  /// once, and the whole chain's counters flush once.
+  void on_service_batch_done(const std::uint32_t* slots, std::size_t n);
+  /// Batched admission from the upstream tier: offers all `n` packed slot
+  /// indices, admits the prefix that fits (admission cannot free threads, so
+  /// acceptance is prefix-closed), counts the rest rejected, and returns the
+  /// number admitted. No flush — the caller's batch-end flush settles it.
+  std::size_t accept_batch_from_upstream(const std::uint32_t* slots, std::size_t n);
+  /// Batch-end settlement: flushes pending counters (and the front tier's
+  /// buffered replies) across the whole chain, front to back.
+  void flush_chain();
+  /// Delivers the front tier's buffered reply batch, if any.
+  void flush_replies();
 
   /// Settles the batch-pending counters into the real counters and the
   /// metrics registry: one update per batch instead of one per completion.
@@ -239,6 +274,12 @@ class TierServer {
   TierServer* downstream_ = nullptr;
   TierServer* upstream_ = nullptr;
   InlineFunction<void(Request*)> reply_sink_;
+  InlineFunction<void(Request* const*, std::size_t)> batch_reply_sink_;
+  /// True iff the station runs grouped completions (service_quantum_us > 0).
+  bool batched_ = false;
+  /// Front-tier reply staging during a batch drain; always empty between
+  /// events. Reserved to the thread limit, so buffering never allocates.
+  std::vector<Request*> reply_buf_;
 
   /// Occupancy of both queues is bounded by the thread limit Q_i, so they
   /// are pre-sized to it at construction and never allocate while serving.
@@ -287,6 +328,7 @@ class TierServer {
     MEMCA_CHECK_MSG(pending_offered_ == 0 && pending_admitted_ == 0 &&
                         pending_rejected_ == 0 && pending_completed_ == 0,
                     "batch pendings must be settled between events");
+    MEMCA_CHECK_MSG(reply_buf_.empty(), "reply batch must be flushed between events");
     out.threads = config_.threads;
     station_.capture(out.station);
     wait_queue_.capture(out.wait_queue);

@@ -14,6 +14,15 @@
 // next (Simulator::batch_continues) and defer commutative bookkeeping to the
 // batch's last member. The tag never changes firing order.
 //
+// Quantized mode (enable_batch_completions) goes further: completion
+// *instants* are rounded up onto a fixed microsecond grid and every service
+// of this station landing on one grid instant is a completion *group* —
+// one simulator event fires the whole group and hands the freed payloads to
+// a batch callback as a packed span, instead of one event per worker. This
+// is a deliberate event-stream change (services run ≤ one quantum longer,
+// batch members complete simultaneously); the default per-worker path stays
+// byte-identical when the mode is off.
+//
 // The station also integrates busy-worker time, which is exactly what an
 // OS-level CPU utilization monitor sees: a memory-stalled core counts as
 // busy, so during a burst utilization shows transient saturation (Fig. 9b)
@@ -58,6 +67,18 @@ class WorkStation {
   void set_speed(double speed);
   double speed() const { return speed_; }
 
+  /// Switches the station into quantized grouped-completion mode (see file
+  /// comment): completion instants round up onto the `quantum_us` grid and
+  /// all same-instant completions fire through ONE simulator event, handing
+  /// `on_batch` a packed span of payloads in service-start order (workers
+  /// already freed when it runs). Call once, before any service starts.
+  void enable_batch_completions(
+      SimTime quantum_us, InlineFunction<void(const std::uint32_t*, std::size_t)> on_batch);
+  bool batch_mode() const { return quantum_ > 0; }
+  SimTime quantum() const { return quantum_; }
+  /// Completion groups currently armed (quantized mode; 0 otherwise).
+  std::size_t pending_groups() const { return groups_.size(); }
+
   /// Integral of busy workers over time, in worker-microseconds. Divide a
   /// delta by (workers * window) to get utilization over that window.
   double busy_worker_time_us() const;
@@ -90,11 +111,40 @@ class WorkStation {
   static_assert(sizeof(Slot) == kCacheLineSize,
                 "worker slot should pack into one cache line");
 
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// One armed completion group (quantized mode): the grid instant, its one
+  /// scheduled event, and an intrusive member list threaded through
+  /// group_next_ in service-start order. Trivially copyable, so snapshots
+  /// value-copy the table and the EventHandle round-trips by value.
+  struct Group {
+    SimTime when = 0;
+    std::uint32_t head = kNoSlot;
+    std::uint32_t tail = kNoSlot;
+    EventHandle ev;
+  };
+  /// The group-completion closure: finds the group by its instant (at most
+  /// one group per instant per station) and drains it.
+  struct GroupFire {
+    WorkStation* station = nullptr;
+    SimTime when = 0;
+    void operator()() const { station->fire_group(when); }
+  };
+
   void accrue_busy_time();
   /// (Re)binds the per-slot completion thunks; called whenever slots_ grows.
   void bind_completion_thunks(std::size_t first);
   void schedule_completion(std::size_t slot_index);
   void complete(std::size_t slot_index);
+  /// Quantized mode: appends the slot to the group at `when`, arming the
+  /// group's single event when the instant is new.
+  void join_group(std::uint32_t slot_index, SimTime when);
+  /// Quantized mode: frees every member of the group at `when` (in
+  /// service-start order), then delivers the payload span to on_batch_done_.
+  void fire_group(SimTime when);
+  /// Reserves group/scratch capacity for the current worker count so the
+  /// quantized hot path never allocates.
+  void reserve_batch_storage();
 
   // Availability bitmap over slots_ (bit i set iff slot i is idle and not
   // retired): start() finds its worker with a count-trailing-zeros instead
@@ -113,6 +163,19 @@ class WorkStation {
   InlineFunction<void(std::uint32_t)> on_done_;
   std::vector<Slot> slots_;
   std::vector<std::uint64_t> free_mask_;
+  // -- quantized grouped-completion state (empty/unused when quantum_ == 0) --
+  /// Completion-instant grid step; 0 = exact per-worker completions.
+  SimTime quantum_ = 0;
+  InlineFunction<void(const std::uint32_t*, std::size_t)> on_batch_done_;
+  /// Armed groups (at most one per distinct grid instant; ≤ busy workers).
+  std::vector<Group> groups_;
+  /// Intrusive per-slot group links (lane parallel to slots_, kept out of
+  /// the Slot so the worker record stays one cache line).
+  std::vector<std::uint32_t> group_next_;
+  /// Payload span handed to on_batch_done_; reused across fires.
+  std::vector<std::uint32_t> batch_buf_;
+  /// set_speed staging for the group events' bulk cancel; reused.
+  std::vector<EventHandle> cancel_scratch_;
   double speed_ = 1.0;
   int busy_ = 0;
   int retired_ = 0;
@@ -132,6 +195,10 @@ class WorkStation {
   /// a capture is not restorable (restore checks the worker count).
   struct Snapshot {
     std::vector<Slot> slots;
+    /// Quantized mode: the armed groups (their EventHandles stay valid for
+    /// the same reason `done` does) and the member-link lane.
+    std::vector<Group> groups;
+    std::vector<std::uint32_t> group_next;
     double speed = 1.0;
     int busy = 0;
     int retired = 0;
@@ -143,6 +210,8 @@ class WorkStation {
 
   void capture(Snapshot& out) const {
     out.slots.assign(slots_.begin(), slots_.end());
+    out.groups.assign(groups_.begin(), groups_.end());
+    out.group_next.assign(group_next_.begin(), group_next_.end());
     out.speed = speed_;
     out.busy = busy_;
     out.retired = retired_;
@@ -157,6 +226,10 @@ class WorkStation {
                     "cannot roll back across an elastic worker-count change");
     std::copy(snap.slots.begin(), snap.slots.end(), slots_.begin());
     rebuild_free_mask();
+    // groups_ capacity was reserved for the worker count at capture time, so
+    // this assign never allocates on a post-capture restore.
+    groups_.assign(snap.groups.begin(), snap.groups.end());
+    std::copy(snap.group_next.begin(), snap.group_next.end(), group_next_.begin());
     speed_ = snap.speed;
     busy_ = snap.busy;
     retired_ = snap.retired;

@@ -522,6 +522,21 @@ void Simulator::cancel_event(std::uint32_t index, std::uint64_t seq) {
   maybe_compact();
 }
 
+void Simulator::cancel_bulk(const EventHandle* handles, std::size_t n) {
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const EventHandle& h = handles[i];
+    if (h.sim_ == nullptr || !event_pending(h.slot_, h.seq_)) continue;
+    MEMCA_DCHECK(h.sim_ == this);
+    release_slot(h.slot_);
+    ++cancelled;
+  }
+  if (cancelled == 0) return;
+  live_pending_ -= cancelled;
+  cancelled_pending_ += cancelled;
+  maybe_compact();
+}
+
 void Simulator::maybe_compact() {
   const std::size_t entries =
       heap_.size() + (sorted_.size() - cursor_) + wheel_entries_;

@@ -153,6 +153,14 @@ class Simulator {
 
  public:
 
+  /// Cancels `n` handles in one pass. Equivalent to calling cancel() on each,
+  /// but the liveness bookkeeping is settled once and the lazy-sweep decision
+  /// (maybe_compact) runs once at the end instead of per handle — the batch
+  /// counterpart the grouped-completion and RTO paths use when a whole batch
+  /// of timers dies at one instant. Works on heap- and wheel-parked events
+  /// alike; already-fired/cancelled/empty handles are skipped.
+  void cancel_bulk(const EventHandle* handles, std::size_t n);
+
   /// Runs events until the queue is empty or the clock would pass `end`;
   /// afterwards now() == end (events exactly at `end` do fire).
   void run_until(SimTime end);

@@ -160,6 +160,9 @@ std::string prefix_key(const AttackLabConfig& config) {
   put(key, std::int64_t{bed.num_users});
   put(key, std::int64_t{static_cast<int>(bed.client_mode)});
   put(key, bed.cohort_tick);
+  // Quantized service changes the event stream wholesale; never share a
+  // warmed prefix across different grids.
+  put(key, std::int64_t{bed.service_quantum_us});
   put(key, std::int64_t{bed.record_response_series});
   put(key, bed.apache);
   put(key, bed.tomcat);

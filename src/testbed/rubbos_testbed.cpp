@@ -52,6 +52,23 @@ RubbosTestbed::RubbosTestbed(TestbedConfig config)
       MEMCA_CHECK_MSG(false, "MEMCA_CLIENT_MODE must be 'exact' or 'cohort'");
     }
   }
+  // Same idiom for quantized service: MEMCA_SERVICE_QUANTUM=<µs> flips any
+  // consumer of this testbed into grid-quantized batch-drain mode (0 = exact).
+  if (const char* env = std::getenv("MEMCA_SERVICE_QUANTUM")) {
+    const std::string_view text(env);
+    if (!text.empty()) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      MEMCA_CHECK_MSG(end != nullptr && *end == '\0' && parsed >= 0,
+                      "MEMCA_SERVICE_QUANTUM must be a non-negative integer (µs)");
+      config_.service_quantum_us = static_cast<std::uint32_t>(parsed);
+    }
+  }
+  // The quantum is chain-wide (demands quantize once, in the shared staging
+  // arena), so the per-tier configs inherit the testbed-level knob.
+  config_.apache.service_quantum_us = config_.service_quantum_us;
+  config_.tomcat.service_quantum_us = config_.service_quantum_us;
+  config_.mysql.service_quantum_us = config_.service_quantum_us;
   MEMCA_CHECK_MSG(config_.target_tier >= 0 && config_.target_tier < 3,
                   "target tier must name one of the three tiers");
   MEMCA_CHECK_MSG(config_.background_neighbors >= 0, "neighbor count must be non-negative");

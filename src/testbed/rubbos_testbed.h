@@ -72,6 +72,14 @@ struct TestbedConfig {
   /// defense ablation read it). Off by default: it grows with every
   /// completion, which is unbounded at population scale.
   bool record_response_series = false;
+  /// Service-demand/completion quantum in µs, applied uniformly to all
+  /// three tiers (0 = exact service, the byte-stable default). When set,
+  /// sampled demands round onto the grid and each tier drains same-instant
+  /// completion groups through one simulator event — the raw-speed lever
+  /// for population-scale runs, validated against exact mode by the Fig. 2
+  /// equivalence gate. Overridable per process with MEMCA_SERVICE_QUANTUM=<µs>
+  /// (applied at construction, like MEMCA_CLIENT_MODE).
+  std::uint32_t service_quantum_us = 0;
   /// Tier thread limits and vCPUs (paper Condition 1: decreasing threads).
   queueing::TierConfig apache{"apache", 100, 8};
   queueing::TierConfig tomcat{"tomcat", 60, 6};

@@ -60,8 +60,18 @@ ClosedLoopClients::ClosedLoopClients(Simulator& sim, RequestRouter& router,
     response_series_.reserve(
         std::min<std::size_t>(static_cast<std::size_t>(config_.num_users) * 8, 1u << 20));
   }
+  // Quantized systems set their pool's service grid at construction (before
+  // any clients exist), so the flag is stable from here on. Exact mode keeps
+  // eager sampling: its RNG stream is the byte-stable reference.
+  lazy_demands_ = router_.system().pool().hot().quantum() > 0.0;
   source_ = router_.register_source([this](const queueing::Request& r) { on_complete(r); },
                                     [this](const queueing::Request& r) { on_drop(r); });
+  // Quantized-mode path: the router only delivers batches when the system
+  // drains completion groups, so registering it is inert otherwise.
+  router_.set_batch_complete(
+      source_, [this](queueing::Request* const* reqs, std::size_t n) {
+        on_complete_batch(reqs, n);
+      });
 }
 
 void ClosedLoopClients::start() {
@@ -204,12 +214,23 @@ void ClosedLoopClients::send_request(int user, int page, SimTime first_sent, int
   req->set_attempt(attempt);
   req->set_first_sent(first_sent);
   req->set_sent(sim_.now());
-  profile_.sample_demands_into(page, rng_, req->demand_us);
+  if (!lazy_demands_ || router_.system().accepting()) {
+    profile_.sample_demands_into(page, rng_, req->demand_us);
+  } else {
+    // Quantized mode, entry tier full: this attempt drops synchronously in
+    // submit() and its demands are never staged (try_submit stages on
+    // admission only), so the three RNG draws would be pure waste — and
+    // during an overload storm the drops outnumber admissions a
+    // thousandfold. Skipping them forks the quantized RNG stream from the
+    // exact one, which is fine: quantized mode is a distinct event stream
+    // with its own goldens, validated statistically against exact.
+    req->demand_us.resize(profile_.num_tiers());
+  }
   metrics_.submitted.inc();
   router_.submit(req);
 }
 
-void ClosedLoopClients::on_complete(const queueing::Request& req) {
+SimTime ClosedLoopClients::record_completion(const queueing::Request& req) {
   ++completed_;
   metrics_.completed.inc();
   mark(trace::EventKind::kComplete, req, req.first_sent());
@@ -228,6 +249,11 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
     completion_observer_(CompletionEvent{sim_.now(), req.id, req.first_sent(), req.user,
                                          req.attempt(), rt, post_warmup});
   }
+  return rt;
+}
+
+void ClosedLoopClients::on_complete(const queueing::Request& req) {
+  record_completion(req);
   if (config_.mode == ClientMode::kCohort) {
     // The user rejoins the idle pool on the page it just fetched; its slot
     // id returns to the allocator.
@@ -237,6 +263,27 @@ void ClosedLoopClients::on_complete(const queueing::Request& req) {
   }
   user_busy_[static_cast<std::size_t>(req.user)] = 0;
   schedule_think(req.user);
+}
+
+void ClosedLoopClients::on_complete_batch(queueing::Request* const* reqs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) record_completion(*reqs[i]);
+  if (config_.mode == ClientMode::kCohort) {
+    // One slot-free / idle-recount pass for the whole group: the scheduling
+    // tail touches only the allocator free list and the per-page counters,
+    // never a timer — the cohort tick picks the returned users up on its
+    // next binomial draw.
+    for (std::size_t i = 0; i < n; ++i) {
+      const queueing::Request& req = *reqs[i];
+      slots_.release(static_cast<std::uint32_t>(req.user));
+      ++idle_by_page_[static_cast<std::size_t>(req.page_class)];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const queueing::Request& req = *reqs[i];
+    user_busy_[static_cast<std::size_t>(req.user)] = 0;
+    schedule_think(req.user);
+  }
 }
 
 void ClosedLoopClients::on_drop(const queueing::Request& req) {

@@ -196,6 +196,14 @@ class ClosedLoopClients {
   void schedule_think(int user);
   void send_request(int user, int page, SimTime first_sent, int attempt);
   void on_complete(const queueing::Request& req);
+  /// Quantized mode: one completion group of this population's requests.
+  /// Statistics per member, then the scheduling tail (cohort slot release +
+  /// idle re-count, or exact think scheduling) folded into one pass.
+  void on_complete_batch(queueing::Request* const* reqs, std::size_t n);
+  /// The statistics half of a completion (counters, trace mark, histograms,
+  /// observer) — everything except the mode-specific scheduling tail.
+  /// Returns the client-observed response time.
+  SimTime record_completion(const queueing::Request& req);
   void on_drop(const queueing::Request& req);
   /// One cohort think tick: binomial wake-ups per page, multinomial page
   /// transitions, one batch-tagged send event per target page.
@@ -227,6 +235,10 @@ class ClosedLoopClients {
   ClientConfig config_;
   Rng rng_;
   int source_ = -1;
+  // Quantized mode only: skip demand sampling when the system would reject
+  // the submit anyway (see send_request). Derived from the target system's
+  // service grid at construction — wiring, not state, so not checkpointed.
+  bool lazy_demands_ = false;
   trace::TraceRecorder* trace_ = nullptr;
   ClientMetrics metrics_;
   std::function<void(const CompletionEvent&)> completion_observer_;

@@ -16,6 +16,29 @@ RequestRouter::RequestRouter(queueing::RequestSystem& system) : system_(system) 
     for (auto& observer : completion_observers_) observer(r);
     if (sources_[source].on_complete) sources_[source].on_complete(r);
   });
+  system_.set_on_complete_batch([this](queueing::Request* const* reqs, std::size_t n) {
+    // A completion group is usually dominated by one source (the client
+    // population); dispatch it as maximal consecutive same-source runs so
+    // the common case is a single batched callback. Observers stay
+    // per-request — they see the same stream either way.
+    std::size_t i = 0;
+    while (i < n) {
+      const auto source = static_cast<std::size_t>(reqs[i]->id & kSourceMask);
+      MEMCA_CHECK_MSG(source < sources_.size(), "completion for unregistered source");
+      std::size_t j = i + 1;
+      while (j < n && static_cast<std::size_t>(reqs[j]->id & kSourceMask) == source) ++j;
+      for (std::size_t k = i; k < j; ++k) {
+        for (auto& observer : completion_observers_) observer(*reqs[k]);
+      }
+      Source& src = sources_[source];
+      if (src.on_complete_batch) {
+        src.on_complete_batch(reqs + i, j - i);
+      } else if (src.on_complete) {
+        for (std::size_t k = i; k < j; ++k) src.on_complete(*reqs[k]);
+      }
+      i = j;
+    }
+  });
   system_.set_on_drop([this](const queueing::Request& r) {
     const auto source = static_cast<std::size_t>(r.id & kSourceMask);
     MEMCA_CHECK_MSG(source < sources_.size(), "drop for unregistered source");
@@ -31,8 +54,14 @@ void RequestRouter::add_completion_observer(CompleteFn fn) {
 int RequestRouter::register_source(CompleteFn on_complete, DropFn on_drop) {
   MEMCA_CHECK_MSG(sources_.size() < (std::size_t{1} << kSourceBits),
                   "too many traffic sources");
-  sources_.push_back(Source{std::move(on_complete), std::move(on_drop)});
+  sources_.push_back(Source{std::move(on_complete), std::move(on_drop), {}});
   return static_cast<int>(sources_.size() - 1);
+}
+
+void RequestRouter::set_batch_complete(int source, BatchCompleteFn fn) {
+  MEMCA_CHECK(source >= 0 && source < static_cast<int>(sources_.size()));
+  MEMCA_CHECK(static_cast<bool>(fn));
+  sources_[static_cast<std::size_t>(source)].on_complete_batch = std::move(fn);
 }
 
 queueing::Request* RequestRouter::make_request(int source) {

@@ -18,6 +18,9 @@ class RequestRouter {
  public:
   using CompleteFn = InlineFunction<void(const queueing::Request&)>;
   using DropFn = InlineFunction<void(const queueing::Request&)>;
+  /// Batched completion delivery (quantized mode): a packed span of requests
+  /// belonging to ONE source, in completion order.
+  using BatchCompleteFn = InlineFunction<void(queueing::Request* const*, std::size_t)>;
 
   explicit RequestRouter(queueing::RequestSystem& system);
   RequestRouter(const RequestRouter&) = delete;
@@ -25,6 +28,13 @@ class RequestRouter {
 
   /// Registers a traffic source; returns its source id.
   int register_source(CompleteFn on_complete, DropFn on_drop);
+
+  /// Upgrades a registered source to batched completion delivery (quantized
+  /// mode): when the system hands the router a completion batch, this
+  /// source's members are delivered as packed same-source spans instead of
+  /// one call per request. Sources without a batch callback keep receiving
+  /// per-request on_complete; completion observers always run per request.
+  void set_batch_complete(int source, BatchCompleteFn fn);
 
   /// Registers an observer invoked for EVERY completion (any source),
   /// before the owning source's callback. For measurement taps that need
@@ -73,6 +83,7 @@ class RequestRouter {
   struct Source {
     CompleteFn on_complete;
     DropFn on_drop;
+    BatchCompleteFn on_complete_batch;
   };
 
   queueing::RequestSystem& system_;

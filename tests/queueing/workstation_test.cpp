@@ -131,5 +131,140 @@ TEST(WorkStation, CompletionCallbackSeesFreeWorker) {
   EXPECT_TRUE(free_inside);
 }
 
+// -- quantized grouped completions ------------------------------------------
+
+/// Batch-mode fixture: the per-payload callback must never fire (batch mode
+/// replaces it); spans are recorded with their delivery instant.
+struct BatchFixture {
+  Simulator sim;
+  std::vector<std::pair<SimTime, std::vector<std::uint32_t>>> spans;
+  WorkStation station{sim, 4, [](std::uint32_t) { FAIL() << "per-payload path in batch mode"; }};
+
+  explicit BatchFixture(SimTime quantum) {
+    station.enable_batch_completions(quantum, [this](const std::uint32_t* p, std::size_t n) {
+      spans.emplace_back(sim.now(), std::vector<std::uint32_t>(p, p + n));
+    });
+  }
+};
+
+TEST(WorkStationBatch, CompletionInstantRoundsUpToGrid) {
+  BatchFixture f(100);
+  f.station.start(1, 150.0);
+  f.sim.run_until(usec(199));
+  EXPECT_TRUE(f.spans.empty());
+  f.sim.run_until(usec(200));
+  ASSERT_EQ(f.spans.size(), 1u);
+  EXPECT_EQ(f.spans[0].first, usec(200));
+  EXPECT_EQ(f.spans[0].second, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(f.station.completed(), 1);
+}
+
+TEST(WorkStationBatch, OnGridCompletionDoesNotStretch) {
+  BatchFixture f(100);
+  f.station.start(7, 300.0);
+  f.sim.run_until(usec(300));
+  ASSERT_EQ(f.spans.size(), 1u);
+  EXPECT_EQ(f.spans[0].first, usec(300));
+}
+
+TEST(WorkStationBatch, SameQuantumServicesFireAsOneGroup) {
+  BatchFixture f(100);
+  f.station.start(1, 150.0);  // -> 200
+  f.station.start(2, 180.0);  // -> 200
+  f.station.start(3, 240.0);  // -> 300
+  EXPECT_EQ(f.station.pending_groups(), 2u);
+  f.sim.run_until(msec(1));
+  ASSERT_EQ(f.spans.size(), 2u);
+  // One span per grid instant, members in service-start order.
+  EXPECT_EQ(f.spans[0].first, usec(200));
+  EXPECT_EQ(f.spans[0].second, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(f.spans[1].first, usec(300));
+  EXPECT_EQ(f.spans[1].second, (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(f.station.pending_groups(), 0u);
+  EXPECT_EQ(f.station.completed(), 3);
+}
+
+TEST(WorkStationBatch, GroupSharesOneSimulatorEvent) {
+  BatchFixture f(100);
+  const std::size_t before = f.sim.pending_events();
+  f.station.start(1, 110.0);
+  f.station.start(2, 120.0);
+  f.station.start(3, 130.0);
+  // All three land on the 200 us instant: one group, ONE scheduled event.
+  EXPECT_EQ(f.station.pending_groups(), 1u);
+  EXPECT_EQ(f.sim.pending_events(), before + 1);
+  f.sim.run_until(msec(1));
+  ASSERT_EQ(f.spans.size(), 1u);
+  EXPECT_EQ(f.spans[0].second.size(), 3u);
+}
+
+TEST(WorkStationBatch, WorkersFreeWhenBatchCallbackRuns) {
+  Simulator sim;
+  WorkStation* ptr = nullptr;
+  int free_inside = -1;
+  WorkStation station(sim, 2, [](std::uint32_t) { FAIL(); });
+  station.enable_batch_completions(100, [&](const std::uint32_t*, std::size_t) {
+    free_inside = ptr->busy();
+  });
+  ptr = &station;
+  station.start(1, 50.0);
+  station.start(2, 60.0);
+  sim.run_until(msec(1));
+  EXPECT_EQ(free_inside, 0);
+}
+
+TEST(WorkStationBatch, SetSpeedRegroupsInFlightServices) {
+  BatchFixture f(100);
+  f.station.start(1, 150.0);  // raw 150 -> 200
+  f.station.start(2, 180.0);  // raw 180 -> 200
+  f.sim.run_until(usec(100));
+  // Half speed from t=100: slot 1 has 50 us of work left (-> raw 200),
+  // slot 2 has 80 (-> raw 260): the shared group splits onto 200 and 300.
+  f.station.set_speed(0.5);
+  EXPECT_EQ(f.station.pending_groups(), 2u);
+  f.sim.run_until(msec(1));
+  ASSERT_EQ(f.spans.size(), 2u);
+  EXPECT_EQ(f.spans[0].first, usec(200));
+  EXPECT_EQ(f.spans[0].second, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(f.spans[1].first, usec(300));
+  EXPECT_EQ(f.spans[1].second, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(WorkStationBatch, SetSpeedLeavesNoStaleEvents) {
+  BatchFixture f(100);
+  f.station.start(1, 150.0);
+  f.station.start(2, 400.0);
+  const std::size_t idle = 0;
+  f.station.set_speed(2.0);
+  f.station.set_speed(1.0);
+  f.sim.run_until(msec(5));
+  // Every service completed exactly once and nothing is left pending.
+  std::size_t total = 0;
+  for (const auto& s : f.spans) total += s.second.size();
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(f.station.pending_groups(), 0u);
+  EXPECT_EQ(f.sim.pending_events(), idle);
+}
+
+TEST(WorkStationBatch, SnapshotRestoreReplaysGroupsIdentically) {
+  BatchFixture f(100);
+  f.station.start(1, 150.0);
+  f.station.start(2, 180.0);
+  f.station.start(3, 240.0);
+  Simulator::Snapshot sim_snap;
+  WorkStation::Snapshot st_snap;
+  f.sim.capture(sim_snap);
+  f.station.capture(st_snap);
+
+  f.sim.run_until(msec(1));
+  const auto first = f.spans;
+
+  f.sim.restore(sim_snap);
+  f.station.restore(st_snap);
+  f.spans.clear();
+  f.sim.run_until(msec(1));
+  EXPECT_EQ(f.spans, first);
+}
+
 }  // namespace
 }  // namespace memca::queueing

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "support/counting_alloc.h"
+
 namespace memca {
 namespace {
 
@@ -238,6 +240,127 @@ TEST(Simulator, CancelDuringCallbackAffectsLaterEvent) {
   sim.run_all();
   EXPECT_FALSE(second_fired);
   EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+// -- batch tagging (batch_continues peek) ------------------------------------
+
+TEST(SimulatorBatch, ForeignStaleHeadBetweenMembersFlushesEarly) {
+  // A cancelled event with a *different* tag sits (in seq order) between two
+  // members of one batch at the same instant. The peek's cheap tag reject
+  // answers "no" without probing the stale head's liveness, so the first
+  // member sees batch_continues() == false — a conservative early flush,
+  // never a wrong count. Both members must still fire.
+  Simulator sim;
+  const std::uint32_t mine = sim.new_batch_key();
+  const std::uint32_t foreign = sim.new_batch_key();
+  std::vector<bool> continues;
+  sim.schedule_batched(msec(5), mine, [&] { continues.push_back(sim.batch_continues()); });
+  EventHandle stale = sim.schedule_batched(msec(5), foreign, [] { FAIL(); });
+  sim.schedule_batched(msec(5), mine, [&] { continues.push_back(sim.batch_continues()); });
+  stale.cancel();
+  sim.run_all();
+  EXPECT_EQ(continues, (std::vector<bool>{false, false}));
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulatorBatch, OwnTagStaleHeadIsSkippedByPeek) {
+  // Same shape, but the stale head carries the batch's own tag: the peek
+  // drops it and sees through to the live second member, so the first member
+  // may defer its flush.
+  Simulator sim;
+  const std::uint32_t key = sim.new_batch_key();
+  std::vector<bool> continues;
+  sim.schedule_batched(msec(5), key, [&] { continues.push_back(sim.batch_continues()); });
+  EventHandle stale = sim.schedule_batched(msec(5), key, [] { FAIL(); });
+  sim.schedule_batched(msec(5), key, [&] { continues.push_back(sim.batch_continues()); });
+  stale.cancel();
+  sim.run_all();
+  EXPECT_EQ(continues, (std::vector<bool>{true, false}));
+  EXPECT_EQ(sim.events_executed(), 2u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(SimulatorBatch, TwoDistinctKeysSharingOneInstant) {
+  // Quantized mode puts one completion group per *station* on an instant, so
+  // two stations' groups regularly share a grid point under different keys.
+  // Each key's run must end exactly where the other key's events begin.
+  Simulator sim;
+  const std::uint32_t k1 = sim.new_batch_key();
+  const std::uint32_t k2 = sim.new_batch_key();
+  std::vector<bool> continues;
+  auto probe = [&] { continues.push_back(sim.batch_continues()); };
+  sim.schedule_batched(msec(7), k1, probe);
+  sim.schedule_batched(msec(7), k1, probe);
+  sim.schedule_batched(msec(7), k2, probe);
+  sim.schedule_batched(msec(7), k2, probe);
+  sim.run_all();
+  // k1's first member sees its second; k1's second sees k2's head (foreign:
+  // flush); k2 mirrors the pattern at the tail of the instant.
+  EXPECT_EQ(continues, (std::vector<bool>{true, false, true, false}));
+}
+
+// -- bulk cancel -------------------------------------------------------------
+
+TEST(SimulatorBulkCancel, WheelParkedTimersLeavePendingBalanced) {
+  // RTO-style timers park in the timing wheel (delay >= the wheel routing
+  // threshold). A bulk cancel must settle live/cancelled counts in one pass
+  // and leave nothing to fire.
+  Simulator sim;
+  std::vector<EventHandle> timers;
+  int fired = 0;
+  for (int i = 0; i < 16; ++i) {
+    timers.push_back(sim.schedule_in(sec(std::int64_t{1}) + msec(i), [&] { ++fired; }));
+  }
+  EXPECT_EQ(sim.pending_events(), 16u);
+  sim.cancel_bulk(timers.data(), timers.size());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(SimulatorBulkCancel, SkipsFiredCancelledAndEmptyHandles) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  handles.push_back(sim.schedule_at(msec(1), [&] { ++fired; }));   // will fire first
+  handles.push_back(sim.schedule_at(msec(10), [&] { ++fired; }));  // cancelled twice
+  handles.push_back(EventHandle{});                                // inert
+  handles.push_back(sim.schedule_at(sec(std::int64_t{2}), [&] { ++fired; }));  // wheel
+  handles.push_back(sim.schedule_at(msec(20), [&] { ++fired; }));  // heap
+  sim.run_until(msec(1));
+  handles[1].cancel();
+  sim.cancel_bulk(handles.data(), handles.size());
+  sim.run_all();
+  // Only the already-fired event executed; every live handle in the span
+  // died, and re-cancelling the stale ones was a no-op.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(SimulatorBulkCancel, RepeatBulkCancelAllocatesNothing) {
+  // Steady-state contract: once the arena and wheel are warm, a bulk cancel
+  // of wheel-parked timers is allocation-free (the counting-allocator gate
+  // the snapshot and flight-recorder paths also hold themselves to).
+  Simulator sim;
+  std::vector<EventHandle> timers;
+  for (int round = 0; round < 2; ++round) {
+    timers.clear();
+    for (int i = 0; i < 8; ++i) {
+      timers.push_back(sim.schedule_in(sec(std::int64_t{1}), [] {}));
+    }
+    if (round == 0) {
+      sim.cancel_bulk(timers.data(), timers.size());
+    } else {
+      tests::ScopedAllocationCounter counter;
+      sim.cancel_bulk(timers.data(), timers.size());
+      EXPECT_EQ(counter.count(), 0);
+    }
+    sim.run_all();
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 TEST(PeriodicTask, FiresAtFixedPeriod) {

@@ -92,6 +92,30 @@ TEST(SweepDeterminism, CohortCellsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SweepDeterminism, QuantizedCellsBitIdenticalAcrossThreadCounts) {
+  // Quantized service (grouped completion drains) must hold the same
+  // contract: each cell's batch state lives entirely inside its own world,
+  // so a swept quantized cell byte-matches its sequential baseline. The
+  // grid mixes exact and cohort clients so both completion tails run.
+  std::vector<AttackLabConfig> grid = test_grid();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].testbed.service_quantum_us = 100;
+    if (i % 2 == 1) grid[i].testbed.client_mode = workload::ClientMode::kCohort;
+  }
+
+  std::vector<AttackLabResult> baseline;
+  for (const AttackLabConfig& config : grid) baseline.push_back(run_attack_lab(config));
+
+  for (int threads : {1, 2, 4}) {
+    const std::vector<AttackLabResult> swept = run_attack_lab_sweep(grid, threads);
+    ASSERT_EQ(swept.size(), baseline.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      SCOPED_TRACE("quantized threads " + std::to_string(threads));
+      expect_identical(baseline[i], swept[i], i);
+    }
+  }
+}
+
 TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
   const std::vector<AttackLabConfig> grid = test_grid();
   const std::vector<AttackLabResult> first = run_attack_lab_sweep(grid, 4);
